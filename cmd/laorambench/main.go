@@ -1,0 +1,180 @@
+// Command laorambench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	laorambench -exp all                 # every experiment at default scale
+//	laorambench -exp fig7e -scale full   # one experiment at paper scale
+//	laorambench -exp fig8 -csv out/      # also write CSV series
+//	laorambench -list                    # list experiment IDs
+//
+// Experiment IDs follow DESIGN.md's experiment index: fig2, fig7a..fig7f,
+// fig8, fig9, table1, table2, memneutral, preproc, ring, security, and the
+// ablations abl-window, abl-profile, abl-thresh, abl-z, abl-model, abl-batch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/trace"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(sc harness.Scale, seed int64) (renderer, error)
+}
+
+type renderer interface{ Render() string }
+
+// csvAble lets experiments export raw series.
+type csvAble interface{ CSV() string }
+
+func experiments() []experiment {
+	wrap := func(f func(harness.Scale, int64) (*harness.Fig7Result, error)) func(harness.Scale, int64) (renderer, error) {
+		return func(sc harness.Scale, seed int64) (renderer, error) { return f(sc, seed) }
+	}
+	return []experiment{
+		{"fig2", "Kaggle-like access scatter (first 10k accesses)", func(sc harness.Scale, seed int64) (renderer, error) { return harness.Fig2(sc, seed) }},
+		{"fig7a", "speedups, Permutation (8M-class)", wrap(harness.Fig7a)},
+		{"fig7b", "speedups, Permutation (16M-class)", wrap(harness.Fig7b)},
+		{"fig7c", "speedups, Gaussian (8M-class)", wrap(harness.Fig7c)},
+		{"fig7d", "speedups, Gaussian (16M-class)", wrap(harness.Fig7d)},
+		{"fig7e", "speedups, DLRM with Kaggle-like trace", wrap(harness.Fig7e)},
+		{"fig7f", "speedups, XLM-R with XNLI-like trace", wrap(harness.Fig7f)},
+		{"fig8", "stash growth without background eviction", func(sc harness.Scale, seed int64) (renderer, error) { return harness.Fig8(sc, seed) }},
+		{"fig9", "memory traffic reduction (Kaggle-like)", func(sc harness.Scale, seed int64) (renderer, error) { return harness.Fig9(sc, seed) }},
+		{"table1", "embedding table memory requirement", func(sc harness.Scale, seed int64) (renderer, error) { return harness.Table1(sc, false) }},
+		{"table2", "average dummy reads per access", func(sc harness.Scale, seed int64) (renderer, error) { return harness.Table2(sc, seed) }},
+		{"memneutral", "§VIII-C fat 9→5 vs uniform Z=6", func(sc harness.Scale, seed int64) (renderer, error) { return harness.MemNeutral(sc, seed) }},
+		{"preproc", "§VIII-A preprocessing timing pipeline", func(sc harness.Scale, seed int64) (renderer, error) { return harness.Preproc(sc, seed) }},
+		{"ring", "§VIII-G RingORAM vs LAORAM-on-Ring", func(sc harness.Scale, seed int64) (renderer, error) { return harness.RingExp(sc, seed) }},
+		{"security", "§VI empirical uniformity/indistinguishability", func(sc harness.Scale, seed int64) (renderer, error) { return harness.Security(sc, seed) }},
+		{"abl-window", "ablation: look-ahead window size", func(sc harness.Scale, seed int64) (renderer, error) { return harness.WindowSweep(sc, seed) }},
+		{"abl-profile", "ablation: fat-tree capacity profile", func(sc harness.Scale, seed int64) (renderer, error) { return harness.ProfileSweep(sc, seed) }},
+		{"abl-thresh", "ablation: eviction watermarks", func(sc harness.Scale, seed int64) (renderer, error) { return harness.ThreshSweep(sc, seed) }},
+		{"abl-z", "ablation: bucket size × tree shape", func(sc harness.Scale, seed int64) (renderer, error) { return harness.ZSweep(sc, seed) }},
+		{"abl-model", "ablation: timing-model robustness", func(sc harness.Scale, seed int64) (renderer, error) { return harness.ModelSweep(sc, seed) }},
+		{"abl-batch", "ablation: batch-granularity fetch", func(sc harness.Scale, seed int64) (renderer, error) { return harness.BatchSweep(sc, seed) }},
+	}
+}
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scaleFlag = flag.String("scale", "default", "scale preset: ci, default, full")
+		seedFlag  = flag.Int64("seed", 42, "deterministic experiment seed")
+		csvDir    = flag.String("csv", "", "directory to also write CSV output into")
+		listFlag  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	exps := experiments()
+	if *listFlag {
+		for _, e := range exps {
+			fmt.Printf("%-12s %s\n", e.id, e.desc)
+		}
+		return
+	}
+
+	var sc harness.Scale
+	switch *scaleFlag {
+	case "ci":
+		sc = harness.CIScale()
+	case "default":
+		sc = harness.DefaultScale()
+	case "full":
+		sc = harness.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "laorambench: unknown scale %q (ci|default|full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	wanted := map[string]bool{}
+	runAll := *expFlag == "all"
+	if !runAll {
+		for _, id := range strings.Split(*expFlag, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+		known := map[string]bool{}
+		for _, e := range exps {
+			known[e.id] = true
+		}
+		var unknown []string
+		for id := range wanted {
+			if !known[id] {
+				unknown = append(unknown, id)
+			}
+		}
+		if len(unknown) > 0 {
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "laorambench: unknown experiment(s): %s (try -list)\n", strings.Join(unknown, ", "))
+			os.Exit(2)
+		}
+	}
+
+	fmt.Printf("LAORAM reproduction harness — scale=%s seed=%d\n\n", sc.Name, *seedFlag)
+	for _, e := range exps {
+		if !runAll && !wanted[e.id] {
+			continue
+		}
+		start := time.Now()
+		res, err := e.run(sc, *seedFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "laorambench: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("[%s completed in %v]\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, e.id, res); err != nil {
+				fmt.Fprintf(os.Stderr, "laorambench: csv %s: %v\n", e.id, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSV(dir, id string, res renderer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, id+".csv")
+	switch r := res.(type) {
+	case csvAble:
+		return os.WriteFile(path, []byte(r.CSV()), 0o644)
+	case *harness.Fig2Result:
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return trace.WriteCSV(f, r.Stream)
+	case *harness.Fig8Result:
+		var sb strings.Builder
+		sb.WriteString("accesses")
+		for _, s := range r.Series {
+			sb.WriteString("," + s.Config)
+		}
+		sb.WriteByte('\n')
+		if len(r.Series) > 0 {
+			for i := range r.Series[0].Access {
+				sb.WriteString(fmt.Sprintf("%d", r.Series[0].Access[i]))
+				for _, s := range r.Series {
+					sb.WriteString(fmt.Sprintf(",%d", s.Stash[i]))
+				}
+				sb.WriteByte('\n')
+			}
+		}
+		return os.WriteFile(path, []byte(sb.String()), 0o644)
+	default:
+		// Text render as fallback.
+		return os.WriteFile(filepath.Join(dir, id+".txt"), []byte(res.Render()), 0o644)
+	}
+}

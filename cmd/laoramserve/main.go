@@ -1,0 +1,83 @@
+// Command laoramserve runs the paper's server_storage component as a TCP
+// service (§III, Fig. 5): the untrusted CPU-DRAM side of LAORAM holding the
+// ORAM tree. Clients (examples/remote, or any oram client over
+// remote.Dial) connect and issue bucket-granularity requests; the address
+// stream on this socket is exactly what the paper's adversary observes.
+//
+// Usage:
+//
+//	laoramserve -addr :7312 -entries 1048576 -block 128 -fat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"repro/internal/oram"
+	"repro/internal/remote"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7312", "listen address")
+		entries = flag.Uint64("entries", 1<<20, "embedding table entries (sizes the tree)")
+		block   = flag.Int("block", 128, "block (embedding row) size in bytes; 0 = metadata-only")
+		leafZ   = flag.Int("z", 4, "leaf bucket size")
+		fat     = flag.Bool("fat", false, "use the fat-tree (root 2x leaf, linear decay)")
+	)
+	flag.Parse()
+
+	cfg := oram.GeometryConfig{
+		LeafBits:  oram.LeafBitsFor(*entries),
+		LeafZ:     *leafZ,
+		BlockSize: *block,
+	}
+	if *fat {
+		cfg.RootZ = 2 * *leafZ
+		cfg.Profile = oram.ProfileLinear
+	}
+	g, err := oram.NewGeometry(cfg)
+	if err != nil {
+		log.Fatalf("laoramserve: %v", err)
+	}
+
+	var inner oram.Store
+	if *block > 0 {
+		ps, err := oram.NewPayloadStore(g, nil)
+		if err != nil {
+			log.Fatalf("laoramserve: %v (hint: -block 0 for metadata-only at large scales)", err)
+		}
+		inner = ps
+	} else {
+		inner = oram.NewMetaStore(g)
+	}
+	cs := oram.NewCountingStore(inner, nil)
+
+	srv, bound, err := remote.ListenAndLog(cs, *addr)
+	if err != nil {
+		log.Fatalf("laoramserve: %v", err)
+	}
+	fmt.Printf("laoramserve: serving %s (%s, %d entries, server bytes %.2f GB) on %s\n",
+		g.String(), storeKind(*block), *entries, float64(g.ServerBytes())/(1<<30), bound)
+	fmt.Println("laoramserve: Ctrl-C to stop")
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	c := cs.Counters()
+	fmt.Printf("\nlaoramserve: shutting down — served %d bucket reads, %d bucket writes, %.2f MB moved\n",
+		c.BucketReads, c.BucketWrites, float64(c.BytesRead+c.BytesWritten)/(1<<20))
+	if err := srv.Close(); err != nil {
+		log.Printf("laoramserve: close: %v", err)
+	}
+}
+
+func storeKind(block int) string {
+	if block > 0 {
+		return fmt.Sprintf("payload %dB", block)
+	}
+	return "metadata-only"
+}

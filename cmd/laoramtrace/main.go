@@ -1,0 +1,80 @@
+// Command laoramtrace generates and inspects the workload traces of the
+// paper's evaluation (§VII-B), including the Fig. 2 scatter data.
+//
+// Usage:
+//
+//	laoramtrace -kind kaggle -n 10131227 -count 10000 -out fig2.csv
+//	laoramtrace -kind permutation -n 1048576 -count 100000 -stats
+//	laoramtrace -kind xnli -n 262144 -count 5000 -plot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "kaggle", "workload: permutation, gaussian, kaggle, xnli, uniform, sequential")
+		n     = flag.Uint64("n", 1<<20, "embedding table entries")
+		count = flag.Int("count", 10000, "accesses to generate")
+		seed  = flag.Int64("seed", 42, "generator seed")
+		out   = flag.String("out", "", "write CSV to this file ('-' for stdout)")
+		plot  = flag.Bool("plot", false, "print an ASCII density plot (Fig. 2 style)")
+		stats = flag.Bool("stats", true, "print stream statistics")
+		reuse = flag.Bool("reuse", false, "print reuse-distance analysis (sizes the look-ahead window)")
+
+		sigmaFrac = flag.Float64("sigma", 0.125, "gaussian: sigma as fraction of n")
+		hotFrac   = flag.Float64("hotfrac", 0.005, "kaggle: hot band fraction of table")
+		hotRate   = flag.Float64("hotrate", 0.2, "kaggle: probability of a hot access")
+		zipfS     = flag.Float64("zipf", 1.1, "xnli: Zipf exponent")
+	)
+	flag.Parse()
+
+	stream, err := trace.Generate(trace.Config{
+		Kind: trace.Kind(*kind), N: *n, Count: *count, Seed: *seed,
+		SigmaFrac: *sigmaFrac, HotFrac: *hotFrac, HotRate: *hotRate, ZipfS: *zipfS,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "laoramtrace: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *stats {
+		fmt.Printf("kind=%s n=%d count=%d seed=%d\n", *kind, *n, len(stream), *seed)
+		fmt.Printf("unique addresses: %d\n", trace.UniqueCount(stream))
+		fmt.Printf("repeat fraction:  %.4f\n", trace.RepeatFraction(stream))
+	}
+	if *reuse {
+		s := trace.AnalyzeReuse(stream)
+		fmt.Printf("reuse: revisits=%d/%d median=%d p90=%d max=%d\n",
+			s.Revisits, s.Accesses, s.Median, s.P90, s.Max)
+		fmt.Printf("look-ahead window covering 50%%/90%%/100%% of reuse: %d / %d / %d accesses\n",
+			s.WindowFor(0.5), s.WindowFor(0.9), s.WindowFor(1.0))
+	}
+	if *plot {
+		fmt.Println(trace.ASCIIScatter(stream, *n, 72, 20))
+	}
+	if *out != "" {
+		w := os.Stdout
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "laoramtrace: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := trace.WriteCSV(w, stream); err != nil {
+			fmt.Fprintf(os.Stderr, "laoramtrace: %v\n", err)
+			os.Exit(1)
+		}
+		if *out != "-" {
+			fmt.Printf("wrote %d rows to %s\n", len(stream), *out)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package batch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/oram"
+	"repro/internal/trace"
+)
+
+func newBase(t *testing.T, leafBits int, blocks uint64, seed int64) *oram.Client {
+	t.Helper()
+	g := oram.MustGeometry(oram.GeometryConfig{LeafBits: leafBits, LeafZ: 4})
+	c, err := oram.NewClient(oram.ClientConfig{
+		Store: oram.NewCountingStore(oram.NewMetaStore(g), nil),
+		Rand:  rand.New(rand.NewSource(seed)), Evict: oram.PaperEvict,
+		StashHits: true, Blocks: blocks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPipelineValidation(t *testing.T) {
+	bad := []PipelineConfig{
+		{Stream: nil, S: 4, WindowAccesses: 16, Depth: 1},
+		{Stream: []uint64{1}, S: 0, WindowAccesses: 16, Depth: 1},
+		{Stream: []uint64{1}, S: 4, WindowAccesses: 2, Depth: 1},
+		{Stream: []uint64{1}, S: 4, WindowAccesses: 16, Depth: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewPipeline(cfg); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestPipelineRunsWholeStream(t *testing.T) {
+	const blocks = 512
+	stream := trace.PermutationEpochs(trace.NewRNG(1), blocks, 2048)
+	p, err := NewPipeline(PipelineConfig{
+		Stream: stream, S: 4, WindowAccesses: 512, Depth: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Windows() != 4 {
+		t.Errorf("Windows = %d, want 4", p.Windows())
+	}
+	base := newBase(t, 9, blocks, 5)
+	if err := p.PrePlaceFirstWindow(base, blocks, nil); err != nil {
+		t.Fatal(err)
+	}
+	visited := 0
+	st, err := p.Run(base, func(id oram.BlockID, payload []byte) []byte {
+		visited++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Windows != 4 {
+		t.Errorf("stats Windows = %d", st.Windows)
+	}
+	if st.Accesses != uint64(len(stream)) {
+		t.Errorf("Accesses = %d, want %d", st.Accesses, len(stream))
+	}
+	if visited != len(stream) {
+		t.Errorf("visited %d rows, want %d", visited, len(stream))
+	}
+	if st.Bins == 0 || st.TrainTime == 0 {
+		t.Errorf("degenerate stats: %+v", st)
+	}
+	if st.PreprocessPerAccess <= 0 || st.TrainPerAccess <= 0 {
+		t.Errorf("per-access averages missing: %+v", st)
+	}
+}
+
+// TestPreprocessingOffCriticalPath reproduces §VIII-A: per-access
+// preprocessing cost is far below per-access ORAM (training) cost, so the
+// pipeline's trainer is the bottleneck.
+func TestPreprocessingOffCriticalPath(t *testing.T) {
+	const blocks = 1 << 10
+	stream := trace.PermutationEpochs(trace.NewRNG(2), blocks, 8192)
+	p, err := NewPipeline(PipelineConfig{
+		Stream: stream, S: 4, WindowAccesses: 2048, Depth: 2, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := newBase(t, 10, blocks, 6)
+	if err := p.PrePlaceFirstWindow(base, blocks, nil); err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Run(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PreprocessTime*2 >= st.TrainTime {
+		t.Errorf("preprocessing (%v) not clearly cheaper than training (%v)",
+			st.PreprocessTime, st.TrainTime)
+	}
+	t.Logf("preprocess/access=%v train/access=%v stall=%v",
+		st.PreprocessPerAccess, st.TrainPerAccess, st.TrainerStalled)
+}
+
+// TestWindowBoundariesCauseColdReads: shrinking the look-ahead window below
+// the reuse distance reintroduces cold path reads (the abl-window effect);
+// a full-stream window eliminates them after pre-placement.
+func TestWindowBoundariesCauseColdReads(t *testing.T) {
+	const blocks = 512
+	stream := trace.PermutationEpochs(trace.NewRNG(3), blocks, 2048)
+	run := func(window int) uint64 {
+		p, err := NewPipeline(PipelineConfig{
+			Stream: stream, S: 4, WindowAccesses: window, Depth: 2, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := newBase(t, 9, blocks, 8)
+		if err := p.PrePlaceFirstWindow(base, blocks, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Run(base, nil); err != nil {
+			t.Fatal(err)
+		}
+		// Cold traffic shows up as extra path reads beyond one per bin.
+		st := base.Stats()
+		bins := (uint64(len(stream)) + 3) / 4
+		if st.PathReads < bins-uint64(blocks/4) { // tolerance for stash hits
+			t.Fatalf("implausible path reads %d for %d bins", st.PathReads, bins)
+		}
+		return st.PathReads
+	}
+	full := run(len(stream))
+	tiny := run(64)
+	if tiny <= full {
+		t.Errorf("tiny window reads (%d) should exceed full-window reads (%d)", tiny, full)
+	}
+}

@@ -1,0 +1,168 @@
+// Package cache implements the trusted client-side entry cache that sits
+// above the ORAM client: the paper's trainer-GPU VRAM cache of embedding
+// entries ("it may cache the embedding table entries needed for an upcoming
+// training batches", §III) and, equivalently, the LLC that gives PrORAM's
+// superblocks their hit-rate benefit. Accesses served here are invisible to
+// the adversary and cost no server traffic.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Entry is a cached block payload with its dirty state.
+type Entry struct {
+	ID      uint64
+	Payload []byte
+	Dirty   bool
+}
+
+// Victim is an evicted dirty entry the caller must write back through the
+// ORAM before reusing the slot.
+type Victim = Entry
+
+// LRU is a fixed-capacity least-recently-used cache of block payloads.
+// The zero value is not usable; call New.
+type LRU struct {
+	capacity int
+	order    *list.List // front = most recent; values are *Entry
+	index    map[uint64]*list.Element
+
+	hits   uint64
+	misses uint64
+}
+
+// New creates an LRU holding up to capacity entries.
+func New(capacity int) (*LRU, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("cache: capacity must be >= 1, got %d", capacity)
+	}
+	return &LRU{
+		capacity: capacity,
+		order:    list.New(),
+		index:    make(map[uint64]*list.Element, capacity),
+	}, nil
+}
+
+// Len returns the number of cached entries.
+func (c *LRU) Len() int { return c.order.Len() }
+
+// Capacity returns the configured capacity.
+func (c *LRU) Capacity() int { return c.capacity }
+
+// Hits and Misses report Get outcomes since creation.
+func (c *LRU) Hits() uint64   { return c.hits }
+func (c *LRU) Misses() uint64 { return c.misses }
+
+// HitRate returns hits / (hits+misses), or 0 with no lookups.
+func (c *LRU) HitRate() float64 {
+	t := c.hits + c.misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(t)
+}
+
+// Get returns the cached entry for id, promoting it to most-recent.
+func (c *LRU) Get(id uint64) (*Entry, bool) {
+	el, ok := c.index[id]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*Entry), true
+}
+
+// Contains reports presence without promoting or counting.
+func (c *LRU) Contains(id uint64) bool {
+	_, ok := c.index[id]
+	return ok
+}
+
+// Put inserts or refreshes an entry, returning any dirty entry evicted to
+// make room (clean evictions are dropped silently).
+func (c *LRU) Put(id uint64, payload []byte, dirty bool) *Victim {
+	if el, ok := c.index[id]; ok {
+		e := el.Value.(*Entry)
+		e.Payload = payload
+		e.Dirty = e.Dirty || dirty
+		c.order.MoveToFront(el)
+		return nil
+	}
+	var victim *Victim
+	if c.order.Len() >= c.capacity {
+		victim = c.evictOldest()
+	}
+	el := c.order.PushFront(&Entry{ID: id, Payload: payload, Dirty: dirty})
+	c.index[id] = el
+	return victim
+}
+
+// MarkDirty flags a cached entry as modified.
+func (c *LRU) MarkDirty(id uint64) bool {
+	el, ok := c.index[id]
+	if !ok {
+		return false
+	}
+	el.Value.(*Entry).Dirty = true
+	return true
+}
+
+// Remove drops an entry, returning it if it was dirty.
+func (c *LRU) Remove(id uint64) *Victim {
+	el, ok := c.index[id]
+	if !ok {
+		return nil
+	}
+	e := el.Value.(*Entry)
+	c.order.Remove(el)
+	delete(c.index, id)
+	if e.Dirty {
+		return e
+	}
+	return nil
+}
+
+// FlushDirty removes and returns every dirty entry (order: least recent
+// first), leaving clean entries cached.
+func (c *LRU) FlushDirty() []*Victim {
+	var out []*Victim
+	for el := c.order.Back(); el != nil; {
+		prev := el.Prev()
+		e := el.Value.(*Entry)
+		if e.Dirty {
+			c.order.Remove(el)
+			delete(c.index, e.ID)
+			out = append(out, e)
+		}
+		el = prev
+	}
+	return out
+}
+
+// Clear drops everything, returning the dirty entries (least recent first).
+func (c *LRU) Clear() []*Victim {
+	dirty := c.FlushDirty()
+	c.order.Init()
+	for k := range c.index {
+		delete(c.index, k)
+	}
+	return dirty
+}
+
+func (c *LRU) evictOldest() *Victim {
+	el := c.order.Back()
+	if el == nil {
+		return nil
+	}
+	e := el.Value.(*Entry)
+	c.order.Remove(el)
+	delete(c.index, e.ID)
+	if e.Dirty {
+		return e
+	}
+	return nil
+}

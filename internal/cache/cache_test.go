@@ -1,0 +1,125 @@
+package cache
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := New(-3); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	c, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Capacity() != 2 || c.Len() != 0 {
+		t.Errorf("fresh cache: cap=%d len=%d", c.Capacity(), c.Len())
+	}
+}
+
+func TestGetPutAndLRUOrder(t *testing.T) {
+	c, _ := New(2)
+	if _, ok := c.Get(1); ok {
+		t.Error("hit on empty cache")
+	}
+	if v := c.Put(1, []byte{1}, false); v != nil {
+		t.Error("eviction from non-full cache")
+	}
+	if v := c.Put(2, []byte{2}, false); v != nil {
+		t.Error("eviction from non-full cache")
+	}
+	// Touch 1 so 2 becomes LRU.
+	if e, ok := c.Get(1); !ok || e.Payload[0] != 1 {
+		t.Fatal("miss on resident entry")
+	}
+	// Insert 3: clean victim 2 dropped silently.
+	if v := c.Put(3, []byte{3}, false); v != nil {
+		t.Errorf("clean eviction returned victim %+v", v)
+	}
+	if c.Contains(2) {
+		t.Error("LRU entry not evicted")
+	}
+	if !c.Contains(1) || !c.Contains(3) {
+		t.Error("wrong entries evicted")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+	if c.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v", c.HitRate())
+	}
+}
+
+func TestDirtyEviction(t *testing.T) {
+	c, _ := New(1)
+	c.Put(1, []byte{0xA}, true)
+	v := c.Put(2, []byte{0xB}, false)
+	if v == nil || v.ID != 1 || !v.Dirty || v.Payload[0] != 0xA {
+		t.Errorf("dirty victim = %+v", v)
+	}
+}
+
+func TestPutRefreshMergesDirty(t *testing.T) {
+	c, _ := New(2)
+	c.Put(1, []byte{1}, true)
+	c.Put(1, []byte{2}, false) // refresh with clean write keeps dirty bit
+	e, ok := c.Get(1)
+	if !ok || !e.Dirty || e.Payload[0] != 2 {
+		t.Errorf("refreshed entry = %+v", e)
+	}
+	if c.Len() != 1 {
+		t.Errorf("refresh duplicated entry: len=%d", c.Len())
+	}
+}
+
+func TestMarkDirtyAndRemove(t *testing.T) {
+	c, _ := New(2)
+	c.Put(7, []byte{7}, false)
+	if !c.MarkDirty(7) {
+		t.Error("MarkDirty on resident failed")
+	}
+	if c.MarkDirty(99) {
+		t.Error("MarkDirty on absent succeeded")
+	}
+	v := c.Remove(7)
+	if v == nil || v.ID != 7 {
+		t.Errorf("Remove dirty = %+v", v)
+	}
+	if c.Remove(7) != nil {
+		t.Error("double remove returned victim")
+	}
+	c.Put(8, nil, false)
+	if c.Remove(8) != nil {
+		t.Error("clean remove returned victim")
+	}
+}
+
+func TestFlushDirtyOrderAndClear(t *testing.T) {
+	c, _ := New(4)
+	c.Put(1, []byte{1}, true)
+	c.Put(2, []byte{2}, false)
+	c.Put(3, []byte{3}, true)
+	dirty := c.FlushDirty()
+	if len(dirty) != 2 || dirty[0].ID != 1 || dirty[1].ID != 3 {
+		t.Errorf("FlushDirty = %+v", dirty)
+	}
+	if c.Len() != 1 || !c.Contains(2) {
+		t.Errorf("clean entry dropped by flush: len=%d", c.Len())
+	}
+	c.MarkDirty(2)
+	cleared := c.Clear()
+	if len(cleared) != 1 || cleared[0].ID != 2 {
+		t.Errorf("Clear = %+v", cleared)
+	}
+	if c.Len() != 0 {
+		t.Error("Clear left entries")
+	}
+}
+
+func TestHitRateEmpty(t *testing.T) {
+	c, _ := New(1)
+	if c.HitRate() != 0 {
+		t.Error("hit rate of fresh cache nonzero")
+	}
+}

@@ -1,0 +1,109 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickLRUInvariants drives random op sequences and checks the cache's
+// structural invariants against a reference model: size never exceeds
+// capacity, Get reflects Put, dirty data is never silently dropped.
+func TestQuickLRUInvariants(t *testing.T) {
+	type op struct {
+		Kind    uint8 // 0 get, 1 put, 2 putDirty, 3 remove, 4 flush
+		ID      uint8
+		Payload byte
+	}
+	rng := rand.New(rand.NewSource(21))
+	f := func(capRaw uint8, ops []op) bool {
+		capacity := 1 + int(capRaw%16)
+		c, err := New(capacity)
+		if err != nil {
+			return false
+		}
+		// Reference: id → (payload, dirty) for entries we believe cached,
+		// plus the multiset of dirty payloads that must have been handed
+		// back on eviction.
+		type ref struct {
+			payload byte
+			dirty   bool
+		}
+		model := map[uint64]ref{}
+		dirtyOut := map[uint64]byte{} // last dirty payload surrendered
+		for _, o := range ops {
+			id := uint64(o.ID % 32)
+			switch o.Kind % 5 {
+			case 0:
+				e, ok := c.Get(id)
+				m, mok := model[id]
+				if ok != mok {
+					return false
+				}
+				if ok && (e.Payload[0] != m.payload || e.Dirty != m.dirty) {
+					return false
+				}
+			case 1, 2:
+				dirty := o.Kind%5 == 2
+				v := c.Put(id, []byte{o.Payload}, dirty)
+				if m, ok := model[id]; ok {
+					model[id] = ref{payload: o.Payload, dirty: m.dirty || dirty}
+					if v != nil {
+						return false // refresh must not evict
+					}
+				} else {
+					model[id] = ref{payload: o.Payload, dirty: dirty}
+					if v != nil {
+						m, ok := model[v.ID]
+						if !ok || !m.dirty || v.Payload[0] != m.payload {
+							return false
+						}
+						dirtyOut[v.ID] = v.Payload[0]
+						delete(model, v.ID)
+					}
+				}
+				// Clean evictions: drop whatever the cache no longer has.
+				for mid := range model {
+					if !c.Contains(mid) {
+						if model[mid].dirty {
+							return false // dirty entry vanished silently
+						}
+						delete(model, mid)
+					}
+				}
+			case 3:
+				v := c.Remove(id)
+				m, ok := model[id]
+				if ok && m.dirty {
+					if v == nil || v.Payload[0] != m.payload {
+						return false
+					}
+				} else if v != nil {
+					return false
+				}
+				delete(model, id)
+			case 4:
+				for _, v := range c.FlushDirty() {
+					m, ok := model[v.ID]
+					if !ok || !m.dirty || v.Payload[0] != m.payload {
+						return false
+					}
+					delete(model, v.ID)
+				}
+				for mid, m := range model {
+					if m.dirty {
+						_ = mid
+						return false // flush missed a dirty entry
+					}
+				}
+			}
+			if c.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,250 @@
+// Package core implements LAORAM, the paper's primary contribution (§IV):
+// a look-ahead ORAM client for embedding-table training. The preprocessor
+// (internal/superblock) has already scanned the upcoming training stream
+// into superblock bins, each assigned a uniformly random path; this client
+// executes the plan bin by bin on top of the PathORAM engine
+// (internal/oram), optionally over a fat-tree (§V).
+//
+// Per §IV-A, reads and writes happen at superblock granularity: one path
+// fetch serves every member of the bin, and each member is then remapped
+// independently to the path of the *next* bin it appears in (its "future
+// locality"), or to a fresh uniform path if it does not reappear within the
+// look-ahead horizon. Security is unchanged from PathORAM: every path a bin
+// receives was drawn uniformly (§VI).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/oram"
+	"repro/internal/superblock"
+)
+
+// Visit is the per-block callback invoked while a bin's members are resident
+// in trusted memory (the trainer GPU's cache in the paper). payload is the
+// block's current content (nil under a metadata-only store); returning a
+// non-nil slice replaces the content — this is where the training step's
+// gradient update lands.
+type Visit func(id oram.BlockID, payload []byte) []byte
+
+// Stats extends the PathORAM counters with LAORAM-specific observability.
+type Stats struct {
+	oram.AccessStats
+	// Bins is the number of superblock bins executed.
+	Bins uint64
+	// ColdPathReads counts extra path reads needed because a bin member
+	// was not yet sitting on the bin's path (first access within the
+	// horizon without pre-placement).
+	ColdPathReads uint64
+	// LookaheadRemaps counts remaps whose target came from the plan
+	// (vs. UniformRemaps for blocks leaving the horizon).
+	LookaheadRemaps uint64
+	UniformRemaps   uint64
+}
+
+// LAORAM executes a superblock plan over a PathORAM engine.
+type LAORAM struct {
+	base   *oram.Client
+	plan   *superblock.Plan
+	cursor *superblock.Cursor
+
+	bins            uint64
+	coldPathReads   uint64
+	lookaheadRemaps uint64
+	uniformRemaps   uint64
+
+	// scratch reused across bins
+	readLeaves []oram.Leaf
+	leafSeen   map[oram.Leaf]bool
+}
+
+// Config assembles a LAORAM instance.
+type Config struct {
+	// Base is the PathORAM engine (its geometry may be a fat-tree).
+	Base *oram.Client
+	// Plan is the preprocessor output to execute.
+	Plan *superblock.Plan
+}
+
+// New validates cfg and builds the client.
+func New(cfg Config) (*LAORAM, error) {
+	if cfg.Base == nil {
+		return nil, fmt.Errorf("core: Config.Base is required")
+	}
+	if cfg.Plan == nil {
+		return nil, fmt.Errorf("core: Config.Plan is required")
+	}
+	return &LAORAM{
+		base:     cfg.Base,
+		plan:     cfg.Plan,
+		cursor:   superblock.NewCursor(cfg.Plan),
+		leafSeen: make(map[oram.Leaf]bool, 8),
+	}, nil
+}
+
+// Base returns the underlying PathORAM client.
+func (l *LAORAM) Base() *oram.Client { return l.base }
+
+// Plan returns the plan under execution.
+func (l *LAORAM) Plan() *superblock.Plan { return l.plan }
+
+// Stats returns a snapshot of combined statistics.
+func (l *LAORAM) Stats() Stats {
+	return Stats{
+		AccessStats:     l.base.Stats(),
+		Bins:            l.bins,
+		ColdPathReads:   l.coldPathReads,
+		LookaheadRemaps: l.lookaheadRemaps,
+		UniformRemaps:   l.uniformRemaps,
+	}
+}
+
+// ResetStats zeroes all counters (base and LAORAM-level).
+func (l *LAORAM) ResetStats() {
+	l.base.ResetStats()
+	l.bins = 0
+	l.coldPathReads = 0
+	l.lookaheadRemaps = 0
+	l.uniformRemaps = 0
+}
+
+// Done reports whether the plan has been fully executed.
+func (l *LAORAM) Done() bool { return l.cursor.Done() }
+
+// LoadPrePlaced populates the tree with n blocks, placing every block that
+// appears in the plan on the path of its first bin and the rest uniformly.
+// This is the converged steady state: after one warm-up epoch every block's
+// position already agrees with the look-ahead assignment (§IV-B3 fixes a
+// block's next path at its previous access; pre-placement just short-cuts
+// the first epoch). Use Base().Load(n, nil, payload) + a warm-up run for
+// the cold-start variant.
+func (l *LAORAM) LoadPrePlaced(n uint64, payload func(oram.BlockID) []byte) error {
+	leafOf := func(id oram.BlockID) oram.Leaf {
+		if leaf := l.plan.FirstLeaf(id); leaf != oram.NoLeaf {
+			return leaf
+		}
+		return l.base.RandomLeaf()
+	}
+	return l.base.Load(n, leafOf, payload)
+}
+
+// StepBin executes the next superblock bin (§IV-A):
+//
+//  1. Fetch the bin's path once; members not resident there (cold blocks
+//     still on their own paths) cost extra reads, counted in
+//     ColdPathReads.
+//  2. Remap every member to its own next bin's path (or uniform if it has
+//     no future within the horizon).
+//  3. Run visit for each member while resident in trusted memory.
+//  4. Write the fetched paths back with greedy eviction, then run
+//     background eviction if the stash is over its high-water mark.
+//
+// visit may be nil. Returns the executed bin.
+func (l *LAORAM) StepBin(visit Visit) (*superblock.Bin, error) {
+	bin := l.cursor.NextBin()
+	if bin == nil {
+		return nil, fmt.Errorf("core: plan exhausted after %d bins", l.bins)
+	}
+	st := l.base.StatsMut()
+	st.Accesses += uint64(len(bin.Blocks))
+
+	// Gather the distinct paths that must be fetched. In steady state
+	// every member already sits on bin.Leaf (or in the stash) and this
+	// is exactly one path.
+	l.readLeaves = l.readLeaves[:0]
+	for k := range l.leafSeen {
+		delete(l.leafSeen, k)
+	}
+	for _, id := range bin.Blocks {
+		if uint64(id) >= l.base.PosMap().Len() {
+			return nil, fmt.Errorf("core: bin %d references block %d beyond table size %d", bin.Index, id, l.base.PosMap().Len())
+		}
+		if l.base.Stash().Contains(id) {
+			st.StashHits++
+			continue
+		}
+		leaf := l.base.PosMap().Get(id)
+		if leaf == oram.NoLeaf {
+			return nil, fmt.Errorf("core: block %d not loaded (bin %d)", id, bin.Index)
+		}
+		if !l.leafSeen[leaf] {
+			l.leafSeen[leaf] = true
+			l.readLeaves = append(l.readLeaves, leaf)
+		}
+	}
+	for i, leaf := range l.readLeaves {
+		if err := l.base.ReadPath(leaf); err != nil {
+			return nil, err
+		}
+		st.PathReads++
+		if i > 0 {
+			// Everything beyond the first path is cold-start traffic.
+			l.coldPathReads++
+		}
+	}
+
+	// Consume the plan: each member's next path comes from its next bin.
+	_, nextLeaves, err := l.cursor.Advance()
+	if err != nil {
+		return nil, err
+	}
+	for i, id := range bin.Blocks {
+		if !l.base.Stash().Contains(id) {
+			return nil, fmt.Errorf("core: block %d missing after path reads (bin %d)", id, bin.Index)
+		}
+		leaf := nextLeaves[i]
+		if leaf == oram.NoLeaf {
+			leaf = l.base.RandomLeaf()
+			l.uniformRemaps++
+		} else {
+			l.lookaheadRemaps++
+		}
+		l.base.PosMap().Set(id, leaf)
+		l.base.Stash().SetLeaf(id, leaf)
+		st.Remaps++
+	}
+
+	if visit != nil {
+		for _, id := range bin.Blocks {
+			p, _ := l.base.Stash().Payload(id)
+			if np := visit(id, p); np != nil {
+				l.base.Stash().SetPayload(id, np)
+			}
+		}
+	}
+
+	// Joint write-back: with cold members more than one path was read,
+	// and the paths overlap at least at the root (oram.WriteBackPaths
+	// writes the union exactly once).
+	if err := l.base.WriteBackPaths(l.readLeaves); err != nil {
+		return nil, err
+	}
+	st.PathWrites += uint64(len(l.readLeaves))
+	if _, err := l.base.MaybeEvict(); err != nil {
+		return nil, err
+	}
+	l.bins++
+	return bin, nil
+}
+
+// Run executes the remaining plan to completion.
+func (l *LAORAM) Run(visit Visit) error {
+	for !l.cursor.Done() {
+		if _, err := l.StepBin(visit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunN executes up to n bins, returning how many were executed.
+func (l *LAORAM) RunN(n int, visit Visit) (int, error) {
+	done := 0
+	for done < n && !l.cursor.Done() {
+		if _, err := l.StepBin(visit); err != nil {
+			return done, err
+		}
+		done++
+	}
+	return done, nil
+}

@@ -1,0 +1,186 @@
+package embed
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/oram"
+)
+
+// CachedTrainer adds the paper's trainer-GPU entry cache (§III: the GPU
+// "may cache the embedding table entries needed for an upcoming training
+// batches" in VRAM) on top of the LAORAM trainer. The cache is
+// authoritative for rows it holds: a bin fetch of a cached row ignores the
+// (stale) tree copy, trains against the cached value, and re-synchronises
+// the stash so the ORAM write-back persists the newest state — i.e. dirty
+// rows are written back on their next scheduled access, and a final Flush
+// pushes any remainder through explicit oblivious writes.
+type CachedTrainer struct {
+	cfg   TrainerConfig
+	lru   *cache.LRU
+	steps uint64
+	rows  uint64
+
+	// served counts rows whose latest value came from the cache (the
+	// tree copy was stale).
+	served uint64
+
+	row  []float32
+	grad []float32
+}
+
+// NewCachedTrainer wraps the trainer configuration with a VRAM cache of
+// capacityRows entries.
+func NewCachedTrainer(cfg TrainerConfig, capacityRows int) (*CachedTrainer, error) {
+	if err := cfg.Table.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.LAORAM == nil {
+		return nil, fmt.Errorf("embed: TrainerConfig.LAORAM is required")
+	}
+	if bs := cfg.LAORAM.Base().Geometry().BlockSize(); bs != cfg.Table.RowBytes() {
+		return nil, fmt.Errorf("embed: ORAM block size %d != row bytes %d", bs, cfg.Table.RowBytes())
+	}
+	if cfg.Grad == nil {
+		cfg.Grad = SyntheticGradient()
+	}
+	lru, err := cache.New(capacityRows)
+	if err != nil {
+		return nil, err
+	}
+	return &CachedTrainer{
+		cfg:  cfg,
+		lru:  lru,
+		row:  make([]float32, cfg.Table.Dim),
+		grad: make([]float32, cfg.Table.Dim),
+	}, nil
+}
+
+// Cache exposes the underlying LRU for hit-rate inspection.
+func (t *CachedTrainer) Cache() *cache.LRU { return t.lru }
+
+// Steps returns the number of bins trained.
+func (t *CachedTrainer) Steps() uint64 { return t.steps }
+
+// RowsTouched returns the number of row updates applied.
+func (t *CachedTrainer) RowsTouched() uint64 { return t.rows }
+
+// CacheServed returns how many updates used a cached (newer-than-tree) row.
+func (t *CachedTrainer) CacheServed() uint64 { return t.served }
+
+// Step trains one superblock bin. Returns false when the plan is done.
+func (t *CachedTrainer) Step() (bool, error) {
+	if t.cfg.LAORAM.Done() {
+		return false, nil
+	}
+	var innerErr error
+	_, err := t.cfg.LAORAM.StepBin(func(id oram.BlockID, payload []byte) []byte {
+		if innerErr != nil {
+			return nil
+		}
+		// Latest value: cache beats the tree copy.
+		src := payload
+		if e, ok := t.lru.Get(uint64(id)); ok {
+			if e.Dirty {
+				src = e.Payload
+				t.served++
+			}
+		}
+		if src == nil {
+			t.rows++
+			return nil // metadata-only store
+		}
+		if err := DecodeRowInto(t.row, src); err != nil {
+			innerErr = fmt.Errorf("embed: row %d: %w", id, err)
+			return nil
+		}
+		t.cfg.Grad(t.steps, uint64(id), t.row, t.grad)
+		t.cfg.Opt.Apply(t.row, t.grad)
+		out := make([]byte, len(src))
+		if err := EncodeRowInto(out, t.row); err != nil {
+			innerErr = fmt.Errorf("embed: row %d: %w", id, err)
+			return nil
+		}
+		t.rows++
+		// The value returned below goes into the stash and is persisted
+		// by the bin's write-back, so the cached copy is clean again.
+		if victim := t.lru.Put(uint64(id), out, false); victim != nil {
+			// A dirty row fell out of the cache: persist it with an
+			// explicit oblivious write (rare: only rows that were
+			// dirtied outside bin order, which this trainer never
+			// produces, but the path is kept for external writers).
+			if err := t.writeback(victim); err != nil {
+				innerErr = err
+				return nil
+			}
+		}
+		return out
+	})
+	if err != nil {
+		return false, err
+	}
+	if innerErr != nil {
+		return false, innerErr
+	}
+	t.steps++
+	return true, nil
+}
+
+// Train runs the remaining plan.
+func (t *CachedTrainer) Train() error {
+	for {
+		more, err := t.Step()
+		if err != nil {
+			return err
+		}
+		if !more {
+			break
+		}
+	}
+	return t.Flush()
+}
+
+// WriteRow lets external code (e.g. a dense-model sync) update a row in
+// cache without an immediate ORAM access; it is persisted on the row's
+// next scheduled bin or at Flush.
+func (t *CachedTrainer) WriteRow(id uint64, row []float32) error {
+	if len(row) != t.cfg.Table.Dim {
+		return fmt.Errorf("embed: row length %d != dim %d", len(row), t.cfg.Table.Dim)
+	}
+	if victim := t.lru.Put(id, EncodeRow(row), true); victim != nil {
+		return t.writeback(victim)
+	}
+	return nil
+}
+
+// Flush persists every dirty cached row through explicit oblivious writes.
+func (t *CachedTrainer) Flush() error {
+	for _, v := range t.lru.FlushDirty() {
+		if err := t.writeback(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *CachedTrainer) writeback(v *cache.Victim) error {
+	return t.cfg.LAORAM.Base().Write(oram.BlockID(v.ID), v.Payload)
+}
+
+// ensure interface parity with Trainer for callers that switch.
+var _ interface {
+	Step() (bool, error)
+	Train() error
+} = (*CachedTrainer)(nil)
+
+// NewSessionTrainer picks the plain or cached trainer based on capacity
+// (0 = uncached).
+func NewSessionTrainer(cfg TrainerConfig, cacheRows int) (interface {
+	Step() (bool, error)
+	Train() error
+}, error) {
+	if cacheRows <= 0 {
+		return NewTrainer(cfg)
+	}
+	return NewCachedTrainer(cfg, cacheRows)
+}

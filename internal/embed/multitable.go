@@ -1,0 +1,110 @@
+package embed
+
+import "fmt"
+
+// MultiTable maps a DLRM-style collection of embedding tables onto one
+// flat ORAM block space. A production DLRM has tens of categorical
+// features, each with its own table (Criteo-Kaggle has 26; the paper
+// evaluates the largest); a single ORAM over the concatenation hides not
+// only which row but also *which feature's table* a sample touches.
+type MultiTable struct {
+	tables  []TableConfig
+	offsets []uint64
+	total   uint64
+	dim     int
+}
+
+// NewMultiTable validates that all tables share one row shape (a
+// requirement of a single fixed-block ORAM) and computes offsets.
+func NewMultiTable(tables []TableConfig) (*MultiTable, error) {
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("embed: no tables")
+	}
+	mt := &MultiTable{tables: tables, offsets: make([]uint64, len(tables))}
+	mt.dim = tables[0].Dim
+	var off uint64
+	for i, tc := range tables {
+		if err := tc.Validate(); err != nil {
+			return nil, fmt.Errorf("embed: table %d: %w", i, err)
+		}
+		if tc.Dim != mt.dim {
+			return nil, fmt.Errorf("embed: table %d dim %d != %d (one ORAM block size)", i, tc.Dim, mt.dim)
+		}
+		mt.offsets[i] = off
+		off += tc.Rows
+	}
+	mt.total = off
+	return mt, nil
+}
+
+// Tables returns the number of constituent tables.
+func (mt *MultiTable) Tables() int { return len(mt.tables) }
+
+// TotalRows returns the flat block count the ORAM must hold.
+func (mt *MultiTable) TotalRows() uint64 { return mt.total }
+
+// Dim returns the shared embedding dimension.
+func (mt *MultiTable) Dim() int { return mt.dim }
+
+// RowBytes returns the shared serialized row size.
+func (mt *MultiTable) RowBytes() int { return 4 * mt.dim }
+
+// BlockOf maps (table, row) to the flat ORAM block ID.
+func (mt *MultiTable) BlockOf(table int, row uint64) (uint64, error) {
+	if table < 0 || table >= len(mt.tables) {
+		return 0, fmt.Errorf("embed: table %d out of range [0,%d)", table, len(mt.tables))
+	}
+	if row >= mt.tables[table].Rows {
+		return 0, fmt.Errorf("embed: row %d out of range for table %d (%d rows)", row, table, mt.tables[table].Rows)
+	}
+	return mt.offsets[table] + row, nil
+}
+
+// TableOf inverts BlockOf: flat ID → (table, row).
+func (mt *MultiTable) TableOf(block uint64) (table int, row uint64, err error) {
+	if block >= mt.total {
+		return 0, 0, fmt.Errorf("embed: block %d out of range", block)
+	}
+	// Linear scan: DLRM models have tens of tables, not thousands.
+	for i := len(mt.offsets) - 1; i >= 0; i-- {
+		if block >= mt.offsets[i] {
+			return i, block - mt.offsets[i], nil
+		}
+	}
+	return 0, 0, fmt.Errorf("embed: unreachable")
+}
+
+// Sample is one training sample's categorical part: one row index per
+// table (DLRM's sparse features).
+type Sample []uint64
+
+// FlattenSamples converts per-table row indices into the flat access
+// stream the preprocessor consumes: sample s touches block
+// BlockOf(t, s[t]) for every table t, in table order.
+func (mt *MultiTable) FlattenSamples(samples []Sample) ([]uint64, error) {
+	out := make([]uint64, 0, len(samples)*len(mt.tables))
+	for si, s := range samples {
+		if len(s) != len(mt.tables) {
+			return nil, fmt.Errorf("embed: sample %d has %d indices, want %d", si, len(s), len(mt.tables))
+		}
+		for t, row := range s {
+			b, err := mt.BlockOf(t, row)
+			if err != nil {
+				return nil, fmt.Errorf("embed: sample %d: %w", si, err)
+			}
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// InitBlock returns the initial payload for a flat block ID, delegating to
+// the owning table's deterministic initialiser (so per-table init remains
+// reproducible after concatenation).
+func (mt *MultiTable) InitBlock(block uint64) ([]byte, error) {
+	table, row, err := mt.TableOf(block)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeRow(InitRow(mt.tables[table], mt.offsets[table]+row)), nil
+}

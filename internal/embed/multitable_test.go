@@ -1,0 +1,295 @@
+package embed
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/oram"
+	"repro/internal/superblock"
+	"repro/internal/trace"
+)
+
+func TestMultiTableValidation(t *testing.T) {
+	if _, err := NewMultiTable(nil); err == nil {
+		t.Error("empty table list accepted")
+	}
+	if _, err := NewMultiTable([]TableConfig{{Rows: 0, Dim: 4}}); err == nil {
+		t.Error("invalid table accepted")
+	}
+	if _, err := NewMultiTable([]TableConfig{{Rows: 4, Dim: 4}, {Rows: 4, Dim: 8}}); err == nil {
+		t.Error("mixed dims accepted")
+	}
+}
+
+func TestMultiTableMapping(t *testing.T) {
+	mt, err := NewMultiTable([]TableConfig{
+		{Rows: 10, Dim: 4},
+		{Rows: 20, Dim: 4},
+		{Rows: 5, Dim: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Tables() != 3 || mt.TotalRows() != 35 || mt.Dim() != 4 || mt.RowBytes() != 16 {
+		t.Fatalf("shape wrong: %d tables %d rows", mt.Tables(), mt.TotalRows())
+	}
+	cases := []struct {
+		table int
+		row   uint64
+		block uint64
+	}{
+		{0, 0, 0}, {0, 9, 9}, {1, 0, 10}, {1, 19, 29}, {2, 0, 30}, {2, 4, 34},
+	}
+	for _, c := range cases {
+		b, err := mt.BlockOf(c.table, c.row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b != c.block {
+			t.Errorf("BlockOf(%d,%d) = %d, want %d", c.table, c.row, b, c.block)
+		}
+		tb, row, err := mt.TableOf(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tb != c.table || row != c.row {
+			t.Errorf("TableOf(%d) = (%d,%d), want (%d,%d)", b, tb, row, c.table, c.row)
+		}
+	}
+	if _, err := mt.BlockOf(3, 0); err == nil {
+		t.Error("bad table accepted")
+	}
+	if _, err := mt.BlockOf(0, 10); err == nil {
+		t.Error("bad row accepted")
+	}
+	if _, _, err := mt.TableOf(35); err == nil {
+		t.Error("bad block accepted")
+	}
+}
+
+func TestMultiTableFlatten(t *testing.T) {
+	mt, err := NewMultiTable([]TableConfig{{Rows: 10, Dim: 4}, {Rows: 20, Dim: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := mt.FlattenSamples([]Sample{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 12, 3, 14}
+	for i := range want {
+		if stream[i] != want[i] {
+			t.Errorf("stream[%d] = %d, want %d", i, stream[i], want[i])
+		}
+	}
+	if _, err := mt.FlattenSamples([]Sample{{1}}); err == nil {
+		t.Error("short sample accepted")
+	}
+	if _, err := mt.FlattenSamples([]Sample{{1, 99}}); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+}
+
+// TestMultiTableEndToEnd: a 4-table DLRM trains through one LAORAM and the
+// trained rows land in the right tables.
+func TestMultiTableEndToEnd(t *testing.T) {
+	mt, err := NewMultiTable([]TableConfig{
+		{Rows: 64, Dim: 4}, {Rows: 128, Dim: 4}, {Rows: 32, Dim: 4}, {Rows: 16, Dim: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random per-table samples.
+	rng := trace.NewRNG(31)
+	samples := make([]Sample, 200)
+	for i := range samples {
+		samples[i] = Sample{
+			uint64(rng.Intn(64)), uint64(rng.Intn(128)), uint64(rng.Intn(32)), uint64(rng.Intn(16)),
+		}
+	}
+	stream, err := mt.FlattenSamples(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := oram.MustGeometry(oram.GeometryConfig{
+		LeafBits: oram.LeafBitsFor(mt.TotalRows()), LeafZ: 4, BlockSize: mt.RowBytes(),
+	})
+	ps, err := oram.NewPayloadStore(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := oram.NewClient(oram.ClientConfig{
+		Store: ps, Rand: rand.New(rand.NewSource(32)),
+		Evict: oram.PaperEvict, StashHits: true, Blocks: mt.TotalRows(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := superblock.NewPlan(stream, superblock.PlanConfig{
+		S: 4, Leaves: g.Leaves(), Rand: rand.New(rand.NewSource(33)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, err := core.New(core.Config{Base: base, Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := la.LoadPrePlaced(mt.TotalRows(), func(id oram.BlockID) []byte {
+		b, err := mt.InitBlock(uint64(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}); err != nil {
+		t.Fatal(err)
+	}
+	touched := make(map[uint64]bool)
+	err = la.Run(func(id oram.BlockID, payload []byte) []byte {
+		touched[uint64(id)] = true
+		out := make([]byte, len(payload))
+		copy(out, payload)
+		// Monotone mutation: visible however many times the row is
+		// re-visited (an XOR would cancel on even visit counts).
+		out[0]++
+		return out
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every sample's blocks were touched, and reads through (table,row)
+	// coordinates see the mutation.
+	for _, s := range samples[:10] {
+		for tb, row := range s {
+			b, err := mt.BlockOf(tb, row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !touched[b] {
+				t.Errorf("sample block (%d,%d)=%d untouched", tb, row, b)
+			}
+			payload, err := base.Read(oram.BlockID(b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			init, err := mt.InitBlock(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if payload[0] == init[0] {
+				t.Errorf("block %d unmodified", b)
+			}
+		}
+	}
+}
+
+// TestCachedTrainerEquivalence: the cached trainer must produce the exact
+// same table as the plain trainer (the cache changes *where* the newest
+// value lives, never its contents).
+func TestCachedTrainerEquivalence(t *testing.T) {
+	cfg := TableConfig{Rows: 128, Dim: 4}
+	stream := trace.PermutationEpochs(trace.NewRNG(34), cfg.Rows, 3*int(cfg.Rows))
+	opt := SGD{LR: 0.1}
+
+	runPlain := func() *core.LAORAM {
+		la, _ := buildLAORAM(t, cfg, stream, 4, 35)
+		tr, err := NewTrainer(TrainerConfig{Table: cfg, LAORAM: la, Opt: opt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Train(); err != nil {
+			t.Fatal(err)
+		}
+		return la
+	}
+	runCached := func() (*core.LAORAM, *CachedTrainer) {
+		la, _ := buildLAORAM(t, cfg, stream, 4, 35)
+		tr, err := NewCachedTrainer(TrainerConfig{Table: cfg, LAORAM: la, Opt: opt}, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Train(); err != nil {
+			t.Fatal(err)
+		}
+		return la, tr
+	}
+	plain := runPlain()
+	cached, tr := runCached()
+	if tr.RowsTouched() == 0 {
+		t.Fatal("cached trainer did nothing")
+	}
+	for id := uint64(0); id < cfg.Rows; id++ {
+		a, err := plain.Base().Read(oram.BlockID(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cached.Base().Read(oram.BlockID(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("row %d byte %d: plain %x != cached %x", id, k, a[k], b[k])
+			}
+		}
+	}
+}
+
+// TestCachedTrainerWriteRowAndFlush: external writes persist through Flush.
+func TestCachedTrainerWriteRowAndFlush(t *testing.T) {
+	cfg := TableConfig{Rows: 64, Dim: 4}
+	stream := trace.Sequential(cfg.Rows, 64)
+	la, _ := buildLAORAM(t, cfg, stream, 4, 36)
+	tr, err := NewCachedTrainer(TrainerConfig{Table: cfg, LAORAM: la, Opt: SGD{}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1, 2, 3, 4}
+	if err := tr.WriteRow(7, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteRow(7, []float32{1}); err == nil {
+		t.Error("short row accepted")
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := la.Base().Read(oram.BlockID(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRow(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row 7 = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNewSessionTrainerSelector(t *testing.T) {
+	cfg := TableConfig{Rows: 32, Dim: 4}
+	stream := trace.Sequential(cfg.Rows, 32)
+	la, _ := buildLAORAM(t, cfg, stream, 4, 37)
+	tr, err := NewSessionTrainer(TrainerConfig{Table: cfg, LAORAM: la, Opt: SGD{LR: 0.1}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.(*Trainer); !ok {
+		t.Errorf("cacheRows=0 should give *Trainer, got %T", tr)
+	}
+	la2, _ := buildLAORAM(t, cfg, stream, 4, 38)
+	tr2, err := NewSessionTrainer(TrainerConfig{Table: cfg, LAORAM: la2, Opt: SGD{LR: 0.1}}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr2.(*CachedTrainer); !ok {
+		t.Errorf("cacheRows=16 should give *CachedTrainer, got %T", tr2)
+	}
+	if err := tr2.Train(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+package embed
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/oram"
+)
+
+// Gradient computes the synthetic gradient for one embedding row of one
+// training sample. Real DLRM/XLM-R gradients depend on the dense model
+// state on the GPU, which is outside the ORAM problem; what matters for
+// the reproduction is that rows referenced by a sample receive a
+// deterministic update so secure and insecure runs can be compared
+// bit-for-bit. step is the global sample index, row the current vector;
+// the result is written into grad (same length).
+type Gradient func(step uint64, id uint64, row []float32, grad []float32)
+
+// SyntheticGradient returns the default deterministic gradient: a
+// hash-driven pseudo-random direction scaled by the row's own magnitude,
+// exercising the same read-modify-write data path as a real backward pass.
+func SyntheticGradient() Gradient {
+	return func(step uint64, id uint64, row []float32, grad []float32) {
+		for i := range grad {
+			h := splitmix64(step ^ id*0x2545F4914F6CDD1D ^ uint64(i))
+			dir := (float32(h>>40)/float32(1<<24) - 0.5)
+			grad[i] = dir * (row[i] + 0.01)
+		}
+	}
+}
+
+// SGD holds optimiser state (plain SGD; the paper trains embedding tables
+// with simple gradient descent on the GPU client).
+type SGD struct {
+	// LR is the learning rate.
+	LR float32
+}
+
+// Apply performs row -= lr * grad in place.
+func (s SGD) Apply(row, grad []float32) {
+	for i := range row {
+		row[i] -= s.LR * grad[i]
+	}
+}
+
+// TrainerConfig assembles a Trainer.
+type TrainerConfig struct {
+	Table TableConfig
+	// LAORAM executes the superblock plan built from the training stream.
+	LAORAM *core.LAORAM
+	// Grad computes per-row gradients; nil selects SyntheticGradient.
+	Grad Gradient
+	// Opt is the optimiser (zero value = SGD with LR 0 → no-op updates).
+	Opt SGD
+}
+
+// Trainer drives embedding-table training through a LAORAM client, bin by
+// bin: each superblock fetch brings a bin's rows into trusted memory, the
+// gradient step updates them there, and the write-back persists them
+// obliviously. One "step" is one bin (S logical row accesses).
+type Trainer struct {
+	cfg   TrainerConfig
+	steps uint64
+	rows  uint64
+
+	// scratch
+	row  []float32
+	grad []float32
+}
+
+// NewTrainer validates cfg.
+func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
+	if err := cfg.Table.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.LAORAM == nil {
+		return nil, fmt.Errorf("embed: TrainerConfig.LAORAM is required")
+	}
+	if bs := cfg.LAORAM.Base().Geometry().BlockSize(); bs != cfg.Table.RowBytes() {
+		return nil, fmt.Errorf("embed: ORAM block size %d != row bytes %d", bs, cfg.Table.RowBytes())
+	}
+	if cfg.Grad == nil {
+		cfg.Grad = SyntheticGradient()
+	}
+	return &Trainer{
+		cfg:  cfg,
+		row:  make([]float32, cfg.Table.Dim),
+		grad: make([]float32, cfg.Table.Dim),
+	}, nil
+}
+
+// Steps returns the number of bins trained.
+func (t *Trainer) Steps() uint64 { return t.steps }
+
+// RowsTouched returns the number of row updates applied.
+func (t *Trainer) RowsTouched() uint64 { return t.rows }
+
+// Step trains one superblock bin. Returns false when the plan is finished.
+func (t *Trainer) Step() (bool, error) {
+	if t.cfg.LAORAM.Done() {
+		return false, nil
+	}
+	_, err := t.cfg.LAORAM.StepBin(func(id oram.BlockID, payload []byte) []byte {
+		if payload == nil {
+			// Metadata-only store: the data path is simulated; still
+			// count the touch.
+			t.rows++
+			return nil
+		}
+		if derr := DecodeRowInto(t.row, payload); derr != nil {
+			panic(fmt.Sprintf("embed: row %d: %v", id, derr))
+		}
+		t.cfg.Grad(t.steps, uint64(id), t.row, t.grad)
+		t.cfg.Opt.Apply(t.row, t.grad)
+		out := make([]byte, len(payload))
+		if eerr := EncodeRowInto(out, t.row); eerr != nil {
+			panic(fmt.Sprintf("embed: row %d: %v", id, eerr))
+		}
+		t.rows++
+		return out
+	})
+	if err != nil {
+		return false, err
+	}
+	t.steps++
+	return true, nil
+}
+
+// Train runs the remaining plan to completion.
+func (t *Trainer) Train() error {
+	for {
+		more, err := t.Step()
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+// InsecureTable is the non-oblivious reference trainer: the same rows,
+// gradients and optimiser over a plain in-memory table. It defines ground
+// truth for the training-equivalence integration test and the "Insecure"
+// row of Table I.
+type InsecureTable struct {
+	cfg  TableConfig
+	rows [][]float32
+	grad Gradient
+	opt  SGD
+}
+
+// NewInsecureTable builds and initialises the reference table.
+func NewInsecureTable(cfg TableConfig, grad Gradient, opt SGD) (*InsecureTable, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if grad == nil {
+		grad = SyntheticGradient()
+	}
+	t := &InsecureTable{cfg: cfg, grad: grad, opt: opt}
+	t.rows = make([][]float32, cfg.Rows)
+	for i := range t.rows {
+		t.rows[i] = InitRow(cfg, uint64(i))
+	}
+	return t, nil
+}
+
+// Row returns the current vector of a row (not a copy).
+func (t *InsecureTable) Row(id uint64) []float32 { return t.rows[id] }
+
+// Bytes returns the table's memory requirement — Table I's "Insecure"
+// column.
+func (t *InsecureTable) Bytes() int64 { return int64(t.cfg.Rows) * int64(t.cfg.RowBytes()) }
+
+// TrainBins applies the same bin-granularity schedule the LAORAM trainer
+// uses: for bin step s with members ids, each row gets one gradient update.
+func (t *InsecureTable) TrainBins(bins [][]uint64) {
+	grad := make([]float32, t.cfg.Dim)
+	for s, ids := range bins {
+		for _, id := range ids {
+			row := t.rows[id]
+			t.grad(uint64(s), id, row, grad)
+			t.opt.Apply(row, grad)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package memsim is the deterministic memory-system timing model that
+// substitutes for the paper's hardware testbed (Xeon E-2174G + DDR4 server
+// storage, RTX 1080 Ti client; §VII). Every quantity the paper's figures
+// report is a ratio of traffic and eviction counts, so a model that charges
+// per-request latency plus bytes/bandwidth reproduces the comparison
+// structure (see DESIGN.md, "Substitutions").
+//
+// The model is intentionally simple and fully deterministic: simulated time
+// advances only through explicit charges. Speedups are computed as
+// simTime(baseline)/simTime(config), mirroring Fig. 7.
+package memsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Model holds the cost parameters of the simulated memory system.
+type Model struct {
+	// RequestLatency is charged once per path-granularity round trip
+	// (client → server storage → client): request dispatch, DRAM row
+	// activation, interconnect overhead.
+	RequestLatency time.Duration
+	// BytesPerSecond is the sustained server-storage bandwidth for bulk
+	// path transfers.
+	BytesPerSecond float64
+	// PerBlockCPU is charged per real block of client-side metadata work
+	// (stash insert/scan share, position-map update).
+	PerBlockCPU time.Duration
+}
+
+// DDR4Default approximates the paper's testbed: ~19.2 GB/s DDR4-2400
+// sustained bandwidth, ~1 µs per request round trip (DRAM + kernel/driver
+// overhead at path granularity), 20 ns of client bookkeeping per block.
+// Absolute values are not claims — only ratios are reported.
+func DDR4Default() Model {
+	return Model{
+		RequestLatency: time.Microsecond,
+		BytesPerSecond: 19.2e9,
+		PerBlockCPU:    20 * time.Nanosecond,
+	}
+}
+
+// Validate checks the model parameters.
+func (m Model) Validate() error {
+	if m.BytesPerSecond <= 0 {
+		return fmt.Errorf("memsim: BytesPerSecond must be positive, got %g", m.BytesPerSecond)
+	}
+	if m.RequestLatency < 0 || m.PerBlockCPU < 0 {
+		return fmt.Errorf("memsim: negative latency parameters")
+	}
+	return nil
+}
+
+// Meter accumulates simulated time under a Model. It implements both
+// oram.Ticker (byte transfers) and oram.Timer (request/stash events) so it
+// plugs into the CountingStore and the ORAM clients without those packages
+// importing memsim.
+type Meter struct {
+	model Model
+	now   time.Duration
+}
+
+// NewMeter builds a meter; panics on an invalid model (programmer error).
+func NewMeter(model Model) *Meter {
+	if err := model.Validate(); err != nil {
+		panic(err)
+	}
+	return &Meter{model: model}
+}
+
+// Model returns the cost parameters.
+func (mt *Meter) Model() Model { return mt.model }
+
+// Now returns accumulated simulated time.
+func (mt *Meter) Now() time.Duration { return mt.now }
+
+// Reset zeroes the simulated clock.
+func (mt *Meter) Reset() { mt.now = 0 }
+
+// Advance adds an explicit duration (e.g. preprocessing CPU time measured
+// elsewhere).
+func (mt *Meter) Advance(d time.Duration) { mt.now += d }
+
+// OnTransfer charges bandwidth time for a bulk transfer of n bytes.
+// Implements oram.Ticker.
+func (mt *Meter) OnTransfer(bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	sec := float64(bytes) / mt.model.BytesPerSecond
+	mt.now += time.Duration(sec * float64(time.Second))
+}
+
+// OnPathRequest charges one request round-trip latency. Implements
+// oram.Timer.
+func (mt *Meter) OnPathRequest() { mt.now += mt.model.RequestLatency }
+
+// OnStashWork charges client CPU for handling n blocks. Implements
+// oram.Timer.
+func (mt *Meter) OnStashWork(blocks int) {
+	if blocks <= 0 {
+		return
+	}
+	mt.now += time.Duration(blocks) * mt.model.PerBlockCPU
+}
+
+// Speedup returns base/this as a ratio of simulated times; it is the
+// paper's Fig. 7 metric.
+func Speedup(base, cfg time.Duration) float64 {
+	if cfg <= 0 {
+		return 0
+	}
+	return float64(base) / float64(cfg)
+}

@@ -1,0 +1,109 @@
+package memsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestModelValidate(t *testing.T) {
+	if err := DDR4Default().Validate(); err != nil {
+		t.Errorf("default model invalid: %v", err)
+	}
+	bad := []Model{
+		{BytesPerSecond: 0},
+		{BytesPerSecond: -1},
+		{BytesPerSecond: 1, RequestLatency: -time.Second},
+		{BytesPerSecond: 1, PerBlockCPU: -time.Second},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid model accepted: %+v", i, m)
+		}
+	}
+}
+
+func TestNewMeterPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewMeter(Model{})
+}
+
+func TestMeterCharging(t *testing.T) {
+	m := Model{
+		RequestLatency: time.Microsecond,
+		BytesPerSecond: 1e9, // 1 GB/s → 1 ns per byte
+		PerBlockCPU:    10 * time.Nanosecond,
+	}
+	mt := NewMeter(m)
+	if mt.Now() != 0 {
+		t.Fatal("fresh meter nonzero")
+	}
+	if mt.Model() != m {
+		t.Fatal("model not retained")
+	}
+	mt.OnPathRequest()
+	if mt.Now() != time.Microsecond {
+		t.Errorf("after request: %v", mt.Now())
+	}
+	mt.OnTransfer(1000)
+	want := time.Microsecond + 1000*time.Nanosecond
+	if mt.Now() != want {
+		t.Errorf("after transfer: %v, want %v", mt.Now(), want)
+	}
+	mt.OnStashWork(5)
+	want += 50 * time.Nanosecond
+	if mt.Now() != want {
+		t.Errorf("after stash work: %v, want %v", mt.Now(), want)
+	}
+	// Zero/negative events are no-ops.
+	mt.OnTransfer(0)
+	mt.OnTransfer(-5)
+	mt.OnStashWork(0)
+	mt.OnStashWork(-1)
+	if mt.Now() != want {
+		t.Errorf("no-op events advanced clock: %v", mt.Now())
+	}
+	mt.Advance(time.Millisecond)
+	want += time.Millisecond
+	if mt.Now() != want {
+		t.Errorf("Advance: %v", mt.Now())
+	}
+	mt.Reset()
+	if mt.Now() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(10*time.Second, 2*time.Second); s != 5 {
+		t.Errorf("Speedup = %v, want 5", s)
+	}
+	if s := Speedup(time.Second, 0); s != 0 {
+		t.Errorf("Speedup with zero cfg = %v, want 0", s)
+	}
+}
+
+// TestBandwidthDominatedOrdering: for paper-like parameters, a fat-tree path
+// (more slots) must cost more simulated time than a normal path — the
+// (3Z+1)/(2(Z+1)) factor in §VIII-F comes straight from this.
+func TestBandwidthDominatedOrdering(t *testing.T) {
+	m := DDR4Default()
+	normal := NewMeter(m)
+	fat := NewMeter(m)
+	const blockBytes = 128
+	// Normal Z=4 path of 21 levels = 84 slots; fat 8→4 ≈ 127 slots.
+	normal.OnPathRequest()
+	normal.OnTransfer(84 * blockBytes)
+	fat.OnPathRequest()
+	fat.OnTransfer(127 * blockBytes)
+	if fat.Now() <= normal.Now() {
+		t.Errorf("fat path (%v) should cost more than normal (%v)", fat.Now(), normal.Now())
+	}
+	ratio := float64(fat.Now()-time.Microsecond) / float64(normal.Now()-time.Microsecond)
+	if ratio < 1.4 || ratio > 1.6 {
+		t.Errorf("bandwidth ratio = %.2f, want ≈ 127/84 = 1.51", ratio)
+	}
+}

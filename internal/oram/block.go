@@ -1,0 +1,77 @@
+// Package oram implements the Path ORAM substrate the paper builds on:
+// binary-tree (and fat-tree) server storage, position map, stash with greedy
+// write-back, and background eviction. It corresponds to §II of the paper
+// (Background: Oblivious RAM, PathORAM, Stash Management) and §V (the
+// fat-tree organisation), and is the layer on top of which the LAORAM client
+// (internal/core) and the superblock machinery (internal/superblock) sit.
+//
+// The package is deliberately free of any look-ahead logic: everything here
+// behaves exactly like the paper's PathORAM baseline so that LAORAM's gains
+// are measured against a faithful reference.
+package oram
+
+import "fmt"
+
+// BlockID identifies a real data block (an embedding-table row in the
+// paper's setting). IDs are dense: a table with N rows uses IDs 0..N-1.
+type BlockID uint64
+
+// DummyID marks an empty slot in the tree. Dummy slots carry no payload and
+// are never entered into the stash.
+const DummyID = BlockID(^uint64(0))
+
+// Leaf names a path in the ORAM tree by its leaf index, 0..Leaves()-1.
+// "Path p" means the set of buckets from the root to leaf p.
+type Leaf uint64
+
+// NoLeaf is the position-map sentinel for a block that has never been
+// placed (it lives only in the stash, or does not exist yet).
+const NoLeaf = Leaf(^uint64(0))
+
+// Op distinguishes the two ORAM access types. PathORAM makes them
+// indistinguishable on the bus; the type exists only for the client API.
+type Op uint8
+
+const (
+	// OpRead fetches the block's payload.
+	OpRead Op = iota
+	// OpWrite replaces the block's payload.
+	OpWrite
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Slot is one block position inside a bucket as seen by the client after
+// decryption. A slot either holds a real block (ID != DummyID) together with
+// its assigned leaf, or is a dummy.
+//
+// Payload is nil when the underlying store is metadata-only (MetaStore);
+// all client logic must treat a nil payload as "simulated bytes".
+type Slot struct {
+	ID      BlockID
+	Leaf    Leaf
+	Payload []byte
+}
+
+// Dummy reports whether the slot is empty.
+func (s *Slot) Dummy() bool { return s.ID == DummyID }
+
+// Clear resets the slot to a dummy.
+func (s *Slot) Clear() {
+	s.ID = DummyID
+	s.Leaf = 0
+	s.Payload = nil
+}
+
+// DummySlot returns an empty slot value.
+func DummySlot() Slot { return Slot{ID: DummyID} }

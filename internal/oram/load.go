@@ -1,0 +1,70 @@
+package oram
+
+import "fmt"
+
+// Load bulk-initialises the ORAM with blocks 0..n-1, assigning each block
+// the leaf returned by leafOf (nil means uniformly random) and the payload
+// returned by payload (nil payloads suit metadata-only stores).
+//
+// This models the setup phase: in the paper's deployment the client streams
+// the (encrypted) embedding table into the tree once before training; setup
+// traffic is not part of any measured experiment, so Load writes slots
+// directly instead of performing O(N) full accesses. Callers should reset
+// store counters and client stats afterwards.
+//
+// Placement is greedy from the leaf up, exactly the invariant the ORAM
+// maintains at run time: a block with leaf l may live in any bucket on the
+// path to l. Blocks that find no free slot on their whole path stay in the
+// stash (rare when leaves >= n and leaf buckets hold Z >= 2).
+func (c *Client) Load(n uint64, leafOf func(BlockID) Leaf, payload func(BlockID) []byte) error {
+	if n > c.pos.Len() {
+		return fmt.Errorf("oram: Load of %d blocks exceeds configured %d", n, c.pos.Len())
+	}
+	g := c.geom
+	fill := make([]uint8, g.TotalBuckets())
+	// bucketNo maps (level, node) to a dense bucket index for the fill
+	// tracking: level offsets in bucket (not slot) space.
+	bucketNo := func(level int, node uint64) int64 {
+		return int64((uint64(1)<<uint(level))-1) + int64(node)
+	}
+	var slot Slot
+	for i := uint64(0); i < n; i++ {
+		id := BlockID(i)
+		var leaf Leaf
+		if leafOf != nil {
+			leaf = leafOf(id)
+			if !g.ValidLeaf(leaf) {
+				return fmt.Errorf("oram: Load: leafOf(%d) = %d invalid", id, leaf)
+			}
+		} else {
+			leaf = c.RandomLeaf()
+		}
+		c.pos.Set(id, leaf)
+		var data []byte
+		if payload != nil {
+			data = payload(id)
+		}
+		placed := false
+		for lvl := g.Levels() - 1; lvl >= 0; lvl-- {
+			node := g.NodeAt(leaf, lvl)
+			b := bucketNo(lvl, node)
+			z := g.BucketSize(lvl)
+			if int(fill[b]) >= z {
+				continue
+			}
+			slot = Slot{ID: id, Leaf: leaf, Payload: data}
+			if err := c.store.WriteSlot(lvl, node, int(fill[b]), slot); err != nil {
+				return fmt.Errorf("oram: Load block %d: %w", id, err)
+			}
+			fill[b]++
+			placed = true
+			break
+		}
+		if !placed {
+			if err := c.stash.Put(id, leaf, data); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package oram
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ReadPaths fetches the union of buckets across several paths in one
+// operation, reading each shared bucket exactly once (paths overlap at
+// least at the root, and batched fetches of nearby leaves share long
+// prefixes). All real blocks land in the stash. This is the paper's
+// batch-granularity fetch: "The GPU then issues read request to all the
+// paths associated with the embedding entries in the upcoming training
+// batch and caches them locally" (§IV-A).
+func (c *Client) ReadPaths(leaves []Leaf) error {
+	switch len(leaves) {
+	case 0:
+		return nil
+	case 1:
+		return c.ReadPath(leaves[0])
+	}
+	g := c.geom
+	for _, l := range leaves {
+		if !g.ValidLeaf(l) {
+			return fmt.Errorf("oram: ReadPaths: invalid leaf %d", l)
+		}
+	}
+	type bucket struct {
+		lvl  int
+		node uint64
+	}
+	seen := make(map[bucket]bool, len(leaves)*g.Levels())
+	moved := 0
+	for lvl := 0; lvl < g.Levels(); lvl++ {
+		for _, l := range leaves {
+			b := bucket{lvl, g.NodeAt(l, lvl)}
+			if seen[b] {
+				continue
+			}
+			seen[b] = true
+			buf := c.bucketBufs[lvl]
+			if err := c.store.ReadBucket(lvl, b.node, buf); err != nil {
+				return fmt.Errorf("oram: ReadPaths level %d node %d: %w", lvl, b.node, err)
+			}
+			for i := range buf {
+				if buf[i].Dummy() {
+					continue
+				}
+				if err := c.stash.Put(buf[i].ID, buf[i].Leaf, buf[i].Payload); err != nil {
+					return err
+				}
+				moved++
+			}
+		}
+	}
+	if c.timer != nil {
+		for range leaves {
+			c.timer.OnPathRequest()
+		}
+		if moved > 0 {
+			c.timer.OnStashWork(moved)
+		}
+	}
+	return nil
+}
+
+// WriteBackPaths writes a set of previously read paths back in one joint
+// operation. Paths overlap (every path shares at least the root bucket), so
+// writing them back one at a time would let a later path's write-back
+// clobber blocks the earlier one just placed in a shared bucket. The joint
+// plan writes every bucket in the union exactly once.
+//
+// Superblock clients need this whenever a single logical access fetches
+// more than one path: LAORAM bins with cold members (§IV-A) and PrORAM
+// dynamic superblocks right after a merge.
+//
+// Placement is the same greedy rule as WriteBackPath, generalised: each
+// stash block goes into the deepest not-yet-full bucket of the union that
+// lies on the path of the block's assigned leaf.
+func (c *Client) WriteBackPaths(leaves []Leaf) error {
+	switch len(leaves) {
+	case 0:
+		return nil
+	case 1:
+		return c.WriteBackPath(leaves[0])
+	}
+	g := c.geom
+	for _, l := range leaves {
+		if !g.ValidLeaf(l) {
+			return fmt.Errorf("oram: WriteBackPaths: invalid leaf %d", l)
+		}
+	}
+
+	// The union of buckets, deepest level first; within a level, sorted
+	// by node for determinism. Duplicates (shared prefixes) collapse.
+	type bucket struct {
+		lvl  int
+		node uint64
+	}
+	seen := make(map[bucket]bool, len(leaves)*g.Levels())
+	var buckets []bucket
+	for lvl := g.Levels() - 1; lvl >= 0; lvl-- {
+		start := len(buckets)
+		for _, l := range leaves {
+			b := bucket{lvl, g.NodeAt(l, lvl)}
+			if !seen[b] {
+				seen[b] = true
+				buckets = append(buckets, b)
+			}
+		}
+		lvlBuckets := buckets[start:]
+		sort.Slice(lvlBuckets, func(i, j int) bool { return lvlBuckets[i].node < lvlBuckets[j].node })
+	}
+
+	// Stable stash snapshot for deterministic placement.
+	ids := c.stash.IDs()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	placed := make(map[BlockID]bool, len(ids))
+	moved := 0
+	for _, b := range buckets {
+		z := g.BucketSize(b.lvl)
+		buf := c.writeBuf[:z]
+		n := 0
+		for _, id := range ids {
+			if n == z {
+				break
+			}
+			if placed[id] {
+				continue
+			}
+			bl, ok := c.stash.Leaf(id)
+			if !ok {
+				continue
+			}
+			if g.NodeAt(bl, b.lvl) != b.node {
+				continue
+			}
+			p, _ := c.stash.Payload(id)
+			buf[n] = Slot{ID: id, Leaf: bl, Payload: p}
+			placed[id] = true
+			n++
+		}
+		moved += n
+		for ; n < z; n++ {
+			buf[n] = DummySlot()
+		}
+		if err := c.store.WriteBucket(b.lvl, b.node, buf); err != nil {
+			return fmt.Errorf("oram: WriteBackPaths level %d node %d: %w", b.lvl, b.node, err)
+		}
+	}
+	for id := range placed {
+		c.stash.Remove(id)
+	}
+	if c.timer != nil {
+		for range leaves {
+			c.timer.OnPathRequest()
+		}
+		if moved > 0 {
+			c.timer.OnStashWork(moved)
+		}
+	}
+	return nil
+}

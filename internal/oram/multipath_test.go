@@ -1,0 +1,149 @@
+package oram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestWriteBackPathsConservation is the regression test for the multi-path
+// clobbering bug: reading several overlapping paths and writing them back
+// jointly must preserve every block exactly once (tree ∪ stash).
+func TestWriteBackPathsConservation(t *testing.T) {
+	const blocks = 128
+	c, cs := newTestClient(t, 7, blocks, 0, EvictConfig{})
+	if err := c.Load(blocks, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	for round := 0; round < 60; round++ {
+		k := 2 + rng.Intn(3) // 2..4 paths per round
+		leaves := make([]Leaf, 0, k)
+		seen := map[Leaf]bool{}
+		for len(leaves) < k {
+			l := Leaf(rng.Int63n(int64(c.Geometry().Leaves())))
+			if !seen[l] {
+				seen[l] = true
+				leaves = append(leaves, l)
+			}
+		}
+		for _, l := range leaves {
+			if err := c.ReadPath(l); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Remap a few stashed blocks to fresh leaves (as a superblock
+		// client would).
+		for _, id := range c.Stash().IDs() {
+			if rng.Intn(2) == 0 {
+				nl := c.RandomLeaf()
+				c.PosMap().Set(id, nl)
+				c.Stash().SetLeaf(id, nl)
+			}
+		}
+		if err := c.WriteBackPaths(leaves); err != nil {
+			t.Fatal(err)
+		}
+		inTree := scanTree(t, cs)
+		for id := BlockID(0); id < blocks; id++ {
+			n := inTree[id]
+			if c.Stash().Contains(id) {
+				n++
+			}
+			if n != 1 {
+				t.Fatalf("round %d: block %d present %d times", round, id, n)
+			}
+		}
+	}
+}
+
+// TestWriteBackPathsPlacementLegality: every block written must land on the
+// path of its assigned leaf.
+func TestWriteBackPathsPlacementLegality(t *testing.T) {
+	const blocks = 64
+	c, cs := newTestClient(t, 6, blocks, 0, EvictConfig{})
+	if err := c.Load(blocks, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	leaves := []Leaf{0, 31, 32, 63}
+	for _, l := range leaves {
+		if err := c.ReadPath(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WriteBackPaths(leaves); err != nil {
+		t.Fatal(err)
+	}
+	g := c.Geometry()
+	for lvl := 0; lvl < g.Levels(); lvl++ {
+		buf := make([]Slot, g.BucketSize(lvl))
+		for node := uint64(0); node < 1<<uint(lvl); node++ {
+			if err := cs.ReadBucket(lvl, node, buf); err != nil {
+				t.Fatal(err)
+			}
+			for i := range buf {
+				if buf[i].Dummy() {
+					continue
+				}
+				if g.NodeAt(buf[i].Leaf, lvl) != node {
+					t.Errorf("block %d (leaf %d) stored off-path at level %d node %d",
+						buf[i].ID, buf[i].Leaf, lvl, node)
+				}
+			}
+		}
+	}
+}
+
+func TestWriteBackPathsEdgeCases(t *testing.T) {
+	const blocks = 16
+	c, _ := newTestClient(t, 4, blocks, 0, EvictConfig{})
+	if err := c.Load(blocks, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Empty set is a no-op.
+	if err := c.WriteBackPaths(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Single path delegates to WriteBackPath.
+	if err := c.ReadPath(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteBackPaths([]Leaf{3}); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid leaf rejected.
+	if err := c.WriteBackPaths([]Leaf{1, Leaf(1 << 40)}); err == nil {
+		t.Error("invalid leaf accepted")
+	}
+	// Duplicate leaves collapse (shared buckets written once).
+	if err := c.ReadPath(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteBackPaths([]Leaf{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteBackPathsDrainsStash: with enough room, the joint write-back
+// should place read blocks back rather than strand them in the stash.
+func TestWriteBackPathsDrainsStash(t *testing.T) {
+	const blocks = 64
+	c, _ := newTestClient(t, 6, blocks, 0, EvictConfig{})
+	if err := c.Load(blocks, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	start := c.Stash().Len()
+	leaves := []Leaf{7, 21}
+	for _, l := range leaves {
+		if err := c.ReadPath(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WriteBackPaths(leaves); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing was remapped, so every block read must fit back exactly
+	// where it was.
+	if c.Stash().Len() != start {
+		t.Errorf("stash grew from %d to %d without remaps", start, c.Stash().Len())
+	}
+}

@@ -1,0 +1,417 @@
+package oram
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Timer observes client-side request boundaries for the timing model.
+// memsim.Meter implements it; a nil Timer disables simulated timing.
+type Timer interface {
+	// OnPathRequest is charged once per path-granularity round trip to
+	// server storage (path read, path write-back, dummy read, ...).
+	OnPathRequest()
+	// OnStashWork is charged for client-side metadata management over the
+	// given number of blocks (stash scan/insert, position-map updates).
+	OnStashWork(blocks int)
+}
+
+// EvictConfig controls background eviction (§II-E, §VIII-E): when the stash
+// exceeds High blocks, dummy reads are issued until it drains to Low.
+type EvictConfig struct {
+	Enabled bool
+	High    int
+	Low     int
+}
+
+// PaperEvict is the paper's measurement configuration (§VIII-E): "dummy
+// reads are triggered whenever the stash size grows above 500 entries, and
+// a series of dummy reads are performed until the stash size reduces to 50".
+var PaperEvict = EvictConfig{Enabled: true, High: 500, Low: 50}
+
+// AccessStats are the client-side per-run statistics the paper reports:
+// dummy reads per access (Table II), path read/write counts (the inputs to
+// Fig. 7's speedups and Fig. 9's traffic reduction), and stash behaviour
+// (Fig. 8 via Stash().Peak and sampled sizes).
+type AccessStats struct {
+	Accesses   uint64 // logical block accesses requested by the application
+	StashHits  uint64 // accesses served from the stash without a path read
+	PathReads  uint64 // real path reads (excluding dummy reads)
+	PathWrites uint64 // path write-backs paired with real reads
+	DummyReads uint64 // background-eviction path read+write pairs
+	Remaps     uint64 // uniform re-assignments of a block's leaf
+}
+
+// DummyReadsPerAccess returns Table II's metric.
+func (s AccessStats) DummyReadsPerAccess() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.DummyReads) / float64(s.Accesses)
+}
+
+// Sub returns the difference s - prev for windowed measurement.
+func (s AccessStats) Sub(prev AccessStats) AccessStats {
+	return AccessStats{
+		Accesses:   s.Accesses - prev.Accesses,
+		StashHits:  s.StashHits - prev.StashHits,
+		PathReads:  s.PathReads - prev.PathReads,
+		PathWrites: s.PathWrites - prev.PathWrites,
+		DummyReads: s.DummyReads - prev.DummyReads,
+		Remaps:     s.Remaps - prev.Remaps,
+	}
+}
+
+// ClientConfig configures a PathORAM client.
+type ClientConfig struct {
+	// Store is the server storage. Wrap it in a CountingStore to measure
+	// traffic.
+	Store Store
+	// Rand drives leaf selection. Must be non-nil; seed it for
+	// reproducible experiments.
+	Rand *rand.Rand
+	// Evict is the background-eviction policy.
+	Evict EvictConfig
+	// Timer receives simulated-time events; may be nil.
+	Timer Timer
+	// StashHits, when true (the paper's description, §II-C step 1:
+	// "If the block is already in the stash, it is immediately
+	// provided"), serves stash-resident blocks without touching the
+	// server. When false the client always performs a path read, as in
+	// the original PathORAM presentation.
+	StashHits bool
+	// Blocks is the number of real blocks (dense IDs 0..Blocks-1).
+	Blocks uint64
+	// PosMap overrides the position map implementation (default: a flat
+	// in-client PosMap). Use NewRecursiveMap for O(log N) client state.
+	PosMap PositionMap
+}
+
+// Client is a PathORAM client (§II-C): position map + stash on the trusted
+// side, tree on the untrusted Store. It is both the paper's baseline and
+// the engine under the LAORAM client in internal/core, which composes the
+// exported ReadPath/WriteBackPath/DummyRead primitives with look-ahead path
+// assignment.
+type Client struct {
+	geom  *Geometry
+	store Store
+	pos   PositionMap
+	stash *Stash
+	rng   *rand.Rand
+	evict EvictConfig
+	timer Timer
+	stats AccessStats
+
+	stashHits bool
+	// bucketBufs[level] is a reusable read buffer sized to the level's
+	// bucket capacity.
+	bucketBufs [][]Slot
+	// writeBuf is a reusable write buffer sized to the largest bucket.
+	writeBuf []Slot
+}
+
+// NewClient validates cfg and builds a client. The tree starts empty; call
+// Load (or perform writes) to populate it.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("oram: ClientConfig.Store is required")
+	}
+	if cfg.Rand == nil {
+		return nil, fmt.Errorf("oram: ClientConfig.Rand is required")
+	}
+	if cfg.Blocks == 0 {
+		return nil, fmt.Errorf("oram: ClientConfig.Blocks must be > 0")
+	}
+	g := cfg.Store.Geometry()
+	if g.Leaves() < cfg.Blocks/uint64(g.BucketSize(g.LeafBits())) {
+		return nil, fmt.Errorf("oram: tree too small: %d leaves for %d blocks", g.Leaves(), cfg.Blocks)
+	}
+	if cfg.Evict.Enabled {
+		if cfg.Evict.High <= 0 || cfg.Evict.Low < 0 || cfg.Evict.Low > cfg.Evict.High {
+			return nil, fmt.Errorf("oram: invalid eviction thresholds high=%d low=%d", cfg.Evict.High, cfg.Evict.Low)
+		}
+	}
+	pm := cfg.PosMap
+	if pm == nil {
+		pm = NewPosMap(cfg.Blocks)
+	}
+	if pm.Len() < cfg.Blocks {
+		return nil, fmt.Errorf("oram: position map covers %d blocks, need %d", pm.Len(), cfg.Blocks)
+	}
+	c := &Client{
+		geom:      g,
+		store:     cfg.Store,
+		pos:       pm,
+		stash:     NewStash(),
+		rng:       cfg.Rand,
+		evict:     cfg.Evict,
+		timer:     cfg.Timer,
+		stashHits: cfg.StashHits,
+	}
+	c.bucketBufs = make([][]Slot, g.Levels())
+	maxZ := 0
+	for lvl := 0; lvl < g.Levels(); lvl++ {
+		z := g.BucketSize(lvl)
+		c.bucketBufs[lvl] = make([]Slot, z)
+		if z > maxZ {
+			maxZ = z
+		}
+	}
+	c.writeBuf = make([]Slot, maxZ)
+	return c, nil
+}
+
+// Geometry returns the tree shape.
+func (c *Client) Geometry() *Geometry { return c.geom }
+
+// Store returns the server storage the client talks to.
+func (c *Client) Store() Store { return c.store }
+
+// PosMap exposes the position map (trusted client state). The LAORAM layer
+// uses it to install look-ahead path assignments.
+func (c *Client) PosMap() PositionMap { return c.pos }
+
+// Stash exposes the stash (trusted client state).
+func (c *Client) Stash() *Stash { return c.stash }
+
+// Rand returns the client's random source.
+func (c *Client) Rand() *rand.Rand { return c.rng }
+
+// Stats returns a snapshot of the access statistics.
+func (c *Client) Stats() AccessStats { return c.stats }
+
+// StatsMut returns the live statistics for composing clients (the LAORAM
+// layer counts its superblock-granularity path operations into the same
+// ledger so that dummy reads, issued via MaybeEvict, land in one place).
+func (c *Client) StatsMut() *AccessStats { return &c.stats }
+
+// ResetStats zeroes the access statistics.
+func (c *Client) ResetStats() { c.stats = AccessStats{} }
+
+// RandomLeaf draws a uniform leaf, the remap primitive of §II-C step 4.
+func (c *Client) RandomLeaf() Leaf {
+	return Leaf(c.rng.Int63n(int64(c.geom.Leaves())))
+}
+
+// ReadPath fetches every bucket on the path to leaf, moving all real blocks
+// into the stash (§II-C step 2); dummies are dropped. It performs no
+// statistics accounting beyond timing: callers decide whether the read was
+// a real access or a dummy.
+func (c *Client) ReadPath(leaf Leaf) error {
+	if !c.geom.ValidLeaf(leaf) {
+		return fmt.Errorf("oram: ReadPath: invalid leaf %d", leaf)
+	}
+	if c.timer != nil {
+		c.timer.OnPathRequest()
+	}
+	moved := 0
+	for lvl := 0; lvl < c.geom.Levels(); lvl++ {
+		node := c.geom.NodeAt(leaf, lvl)
+		buf := c.bucketBufs[lvl]
+		if err := c.store.ReadBucket(lvl, node, buf); err != nil {
+			return fmt.Errorf("oram: ReadPath level %d: %w", lvl, err)
+		}
+		for i := range buf {
+			if buf[i].Dummy() {
+				continue
+			}
+			if err := c.stash.Put(buf[i].ID, buf[i].Leaf, buf[i].Payload); err != nil {
+				return err
+			}
+			moved++
+		}
+	}
+	if c.timer != nil && moved > 0 {
+		c.timer.OnStashWork(moved)
+	}
+	return nil
+}
+
+// WriteBackPath greedily writes stashed blocks into the path to leaf
+// (§II-C step 5), as deep as each block's assigned leaf allows, filling
+// remaining slots with dummies. Blocks written are removed from the stash.
+func (c *Client) WriteBackPath(leaf Leaf) error {
+	if !c.geom.ValidLeaf(leaf) {
+		return fmt.Errorf("oram: WriteBackPath: invalid leaf %d", leaf)
+	}
+	if c.timer != nil {
+		c.timer.OnPathRequest()
+	}
+	plan := c.stash.evictPlan(c.geom, leaf)
+	moved := 0
+	for lvl := 0; lvl < c.geom.Levels(); lvl++ {
+		node := c.geom.NodeAt(leaf, lvl)
+		z := c.geom.BucketSize(lvl)
+		buf := c.writeBuf[:z]
+		i := 0
+		for _, id := range plan[lvl] {
+			l, _ := c.stash.Leaf(id)
+			p, _ := c.stash.Payload(id)
+			buf[i] = Slot{ID: id, Leaf: l, Payload: p}
+			i++
+		}
+		moved += i
+		for ; i < z; i++ {
+			buf[i] = DummySlot()
+		}
+		if err := c.store.WriteBucket(lvl, node, buf); err != nil {
+			return fmt.Errorf("oram: WriteBackPath level %d: %w", lvl, err)
+		}
+		for _, id := range plan[lvl] {
+			c.stash.Remove(id)
+		}
+	}
+	if c.timer != nil && moved > 0 {
+		c.timer.OnStashWork(moved)
+	}
+	return nil
+}
+
+// DummyRead performs one background-eviction round (§II-E): read a
+// uniformly random path and write it straight back with greedy stash
+// placement, remapping nothing. Counted in stats.DummyReads.
+func (c *Client) DummyRead() error {
+	leaf := c.RandomLeaf()
+	if err := c.ReadPath(leaf); err != nil {
+		return err
+	}
+	if err := c.WriteBackPath(leaf); err != nil {
+		return err
+	}
+	c.stats.DummyReads++
+	return nil
+}
+
+// MaybeEvict runs background eviction if the stash is above the high-water
+// mark, draining to the low-water mark. Returns the number of dummy reads
+// issued.
+func (c *Client) MaybeEvict() (int, error) {
+	if !c.evict.Enabled || c.stash.Len() <= c.evict.High {
+		return 0, nil
+	}
+	n := 0
+	for c.stash.Len() > c.evict.Low {
+		if err := c.DummyRead(); err != nil {
+			return n, err
+		}
+		n++
+		// Safety valve: with a pathological configuration (e.g. Low
+		// smaller than the steady-state stash of an over-full tree)
+		// eviction cannot make progress; bail out rather than spin.
+		if n > 64 && c.stash.Len() > c.evict.High {
+			return n, fmt.Errorf("oram: background eviction not draining (stash=%d after %d dummy reads)", c.stash.Len(), n)
+		}
+	}
+	return n, nil
+}
+
+// Access performs one PathORAM access (§II-C): look up the block's path,
+// fetch it, serve the operation, remap the block uniformly, write the path
+// back, then run background eviction. For OpRead the returned slice is a
+// copy owned by the caller; for OpWrite, data is copied in.
+func (c *Client) Access(op Op, id BlockID, data []byte) ([]byte, error) {
+	if uint64(id) >= c.pos.Len() {
+		return nil, fmt.Errorf("oram: block %d out of range (have %d blocks)", id, c.pos.Len())
+	}
+	c.stats.Accesses++
+
+	if c.stashHits && c.stash.Contains(id) {
+		c.stats.StashHits++
+		out, err := c.serveFromStash(op, id, data)
+		if err != nil {
+			return nil, err
+		}
+		_, err = c.MaybeEvict()
+		return out, err
+	}
+
+	leaf := c.pos.Get(id)
+	if leaf == NoLeaf {
+		// First-ever touch of this block: it exists nowhere. A write
+		// creates it in the stash; a read is an error.
+		if op != OpWrite {
+			return nil, fmt.Errorf("oram: read of unwritten block %d", id)
+		}
+		newLeaf := c.RandomLeaf()
+		c.pos.Set(id, newLeaf)
+		c.stats.Remaps++
+		if err := c.stash.Put(id, newLeaf, cloneBytes(data)); err != nil {
+			return nil, err
+		}
+		// Obliviousness: the bus must still see one path read + write,
+		// otherwise "first write" is distinguishable from an update.
+		cover := c.RandomLeaf()
+		if err := c.ReadPath(cover); err != nil {
+			return nil, err
+		}
+		c.stats.PathReads++
+		if err := c.WriteBackPath(cover); err != nil {
+			return nil, err
+		}
+		c.stats.PathWrites++
+		_, err := c.MaybeEvict()
+		return nil, err
+	}
+
+	if err := c.ReadPath(leaf); err != nil {
+		return nil, err
+	}
+	c.stats.PathReads++
+	if !c.stash.Contains(id) {
+		return nil, fmt.Errorf("oram: block %d not found on its assigned path %d (tree corrupt)", id, leaf)
+	}
+	// Remap uniformly before write-back (§II-C step 4).
+	newLeaf := c.RandomLeaf()
+	c.pos.Set(id, newLeaf)
+	c.stash.SetLeaf(id, newLeaf)
+	c.stats.Remaps++
+
+	out, err := c.serveFromStash(op, id, data)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.WriteBackPath(leaf); err != nil {
+		return nil, err
+	}
+	c.stats.PathWrites++
+	if _, err := c.MaybeEvict(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Read is shorthand for Access(OpRead, id, nil).
+func (c *Client) Read(id BlockID) ([]byte, error) { return c.Access(OpRead, id, nil) }
+
+// Write is shorthand for Access(OpWrite, id, data).
+func (c *Client) Write(id BlockID, data []byte) error {
+	_, err := c.Access(OpWrite, id, data)
+	return err
+}
+
+func (c *Client) serveFromStash(op Op, id BlockID, data []byte) ([]byte, error) {
+	switch op {
+	case OpRead:
+		p, ok := c.stash.Payload(id)
+		if !ok {
+			return nil, fmt.Errorf("oram: block %d vanished from stash", id)
+		}
+		return cloneBytes(p), nil
+	case OpWrite:
+		if !c.stash.SetPayload(id, cloneBytes(data)) {
+			return nil, fmt.Errorf("oram: block %d vanished from stash", id)
+		}
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("oram: unknown op %v", op)
+	}
+}
+
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

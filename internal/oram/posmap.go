@@ -1,0 +1,74 @@
+package oram
+
+import "fmt"
+
+// PositionMap abstracts the block ID → leaf mapping (§II-C). Two
+// implementations exist: the flat in-client PosMap (the paper's setting —
+// it lives in the trainer GPU's HBM, invisible to the adversary) and
+// RecursiveMap, which stores the map itself in smaller ORAMs as the
+// original PathORAM paper describes, shrinking trusted client state to
+// O(log N) at the cost of extra oblivious accesses per lookup.
+type PositionMap interface {
+	// Get returns the leaf currently assigned to id, or NoLeaf.
+	Get(id BlockID) Leaf
+	// Set assigns leaf to id (NoLeaf clears).
+	Set(id BlockID, l Leaf)
+	// Known reports whether id has an assigned leaf.
+	Known(id BlockID) bool
+	// Len returns the number of block IDs covered.
+	Len() uint64
+	// Bytes returns the trusted client memory the map occupies.
+	Bytes() int64
+}
+
+// PosMap is the flat position map. IDs are dense (0..N-1) so a slice
+// suffices; leaves fit uint32 for every configuration in the paper
+// (≤ 2^24 leaves).
+type PosMap struct {
+	leaves []uint32
+}
+
+var _ PositionMap = (*PosMap)(nil)
+
+const noLeaf32 = ^uint32(0)
+
+// NewPosMap creates a position map for n blocks, all initially unplaced.
+func NewPosMap(n uint64) *PosMap {
+	pm := &PosMap{leaves: make([]uint32, n)}
+	for i := range pm.leaves {
+		pm.leaves[i] = noLeaf32
+	}
+	return pm
+}
+
+// Len returns the number of block IDs the map covers.
+func (pm *PosMap) Len() uint64 { return uint64(len(pm.leaves)) }
+
+// Get returns the leaf currently assigned to id, or NoLeaf if the block has
+// never been placed.
+func (pm *PosMap) Get(id BlockID) Leaf {
+	v := pm.leaves[id]
+	if v == noLeaf32 {
+		return NoLeaf
+	}
+	return Leaf(v)
+}
+
+// Set assigns leaf to id.
+func (pm *PosMap) Set(id BlockID, l Leaf) {
+	if l == NoLeaf {
+		pm.leaves[id] = noLeaf32
+		return
+	}
+	if uint64(l) >= uint64(noLeaf32) {
+		panic(fmt.Sprintf("oram: leaf %d overflows position map entry", l))
+	}
+	pm.leaves[id] = uint32(l)
+}
+
+// Known reports whether id has an assigned leaf.
+func (pm *PosMap) Known(id BlockID) bool { return pm.leaves[id] != noLeaf32 }
+
+// Bytes returns the client memory footprint of the map, for the paper's
+// client-storage accounting.
+func (pm *PosMap) Bytes() int64 { return int64(len(pm.leaves)) * 4 }

@@ -1,0 +1,314 @@
+package oram
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+)
+
+// RecursiveMap stores the position map in smaller ORAMs, recursively, as
+// the original PathORAM construction describes: leaves for N blocks are
+// packed EntriesPerBlock to a block and kept in an ORAM of N/EntriesPerBlock
+// blocks, whose own position map recurses until it fits a flat in-client
+// map of at most Cutoff entries. Trusted client state shrinks from O(N) to
+// O(log N) (the stashes plus the final flat map), at the cost of one
+// oblivious access per recursion level per Get/Set.
+//
+// The LAORAM paper itself assumes the flat map fits the trainer GPU's HBM
+// (§III); RecursiveMap is the substrate a deployment without that luxury
+// would use, and an ablation point for client-memory/latency trade-offs.
+type RecursiveMap struct {
+	n       uint64
+	epb     int // entries per packed block
+	clients []*Client
+	flat    *PosMap
+}
+
+var _ PositionMap = (*RecursiveMap)(nil)
+
+// RecursiveConfig sizes a RecursiveMap.
+type RecursiveConfig struct {
+	// Blocks is the number of data-ORAM blocks the map must cover.
+	Blocks uint64
+	// EntriesPerBlock is how many 4-byte leaf entries pack into one map
+	// block (default 64 → 256-byte map blocks).
+	EntriesPerBlock int
+	// Cutoff is the maximum size of the final flat map (default 1024).
+	Cutoff uint64
+	// LeafZ is the bucket size of the map ORAM trees (default 4).
+	LeafZ int
+	// Rand drives the map ORAMs' randomness. Required.
+	Rand *rand.Rand
+	// NewStore builds server storage for each map level; nil uses
+	// in-memory MetaStore-backed... no: map blocks carry real payloads,
+	// so nil uses NewPayloadStore without sealing. Supply a factory to
+	// count traffic or seal map blocks.
+	NewStore func(*Geometry) (Store, error)
+}
+
+func (c *RecursiveConfig) setDefaults() error {
+	if c.Blocks == 0 {
+		return fmt.Errorf("oram: RecursiveConfig.Blocks must be > 0")
+	}
+	if c.Rand == nil {
+		return fmt.Errorf("oram: RecursiveConfig.Rand is required")
+	}
+	if c.EntriesPerBlock == 0 {
+		c.EntriesPerBlock = 64
+	}
+	if c.EntriesPerBlock < 2 {
+		return fmt.Errorf("oram: EntriesPerBlock must be >= 2, got %d", c.EntriesPerBlock)
+	}
+	if c.Cutoff == 0 {
+		c.Cutoff = 1024
+	}
+	if c.LeafZ == 0 {
+		c.LeafZ = 4
+	}
+	if c.NewStore == nil {
+		c.NewStore = func(g *Geometry) (Store, error) { return NewPayloadStore(g, nil) }
+	}
+	return nil
+}
+
+// NewRecursiveMap builds the recursion. Every level is fully initialised
+// (all entries NoLeaf), so the map is immediately usable by a data-ORAM
+// Load.
+func NewRecursiveMap(cfg RecursiveConfig) (*RecursiveMap, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	rm := &RecursiveMap{n: cfg.Blocks, epb: cfg.EntriesPerBlock}
+
+	// Level sizes: blocks covered by each map ORAM, largest first.
+	var sizes []uint64
+	for n := cfg.Blocks; n > cfg.Cutoff; {
+		n = (n + uint64(cfg.EntriesPerBlock) - 1) / uint64(cfg.EntriesPerBlock)
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		// Degenerate: the whole map fits the flat cutoff.
+		rm.flat = NewPosMap(cfg.Blocks)
+		return rm, nil
+	}
+	// The deepest level's own position map is flat.
+	rm.flat = NewPosMap(sizes[len(sizes)-1])
+
+	// Build clients from the deepest level up, wiring each level's
+	// position map to the next-deeper structure.
+	blockSize := 4 * cfg.EntriesPerBlock
+	clients := make([]*Client, len(sizes))
+	for i := len(sizes) - 1; i >= 0; i-- {
+		g, err := NewGeometry(GeometryConfig{
+			LeafBits:  LeafBitsFor(sizes[i]),
+			LeafZ:     cfg.LeafZ,
+			BlockSize: blockSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st, err := cfg.NewStore(g)
+		if err != nil {
+			return nil, err
+		}
+		var pm PositionMap
+		if i == len(sizes)-1 {
+			pm = rm.flat
+		} else {
+			pm = &packedView{client: clients[i+1], epb: cfg.EntriesPerBlock, n: sizes[i]}
+		}
+		cl, err := NewClient(ClientConfig{
+			Store:     st,
+			Rand:      cfg.Rand,
+			Evict:     PaperEvict,
+			StashHits: true,
+			Blocks:    sizes[i],
+			PosMap:    pm,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Initialise all packed entries to NoLeaf.
+		empty := emptyPackedBlock(cfg.EntriesPerBlock)
+		if err := cl.Load(sizes[i], nil, func(BlockID) []byte {
+			out := make([]byte, len(empty))
+			copy(out, empty)
+			return out
+		}); err != nil {
+			return nil, err
+		}
+		clients[i] = cl
+	}
+	rm.clients = clients
+	return rm, nil
+}
+
+func emptyPackedBlock(epb int) []byte {
+	b := make([]byte, 4*epb)
+	for i := 0; i < epb; i++ {
+		binary.LittleEndian.PutUint32(b[4*i:], noLeaf32)
+	}
+	return b
+}
+
+// Levels returns the number of ORAM levels in the recursion (0 = flat).
+func (rm *RecursiveMap) Levels() int { return len(rm.clients) }
+
+// Len implements PositionMap.
+func (rm *RecursiveMap) Len() uint64 { return rm.n }
+
+// Bytes implements PositionMap: the trusted client state is the flat tail
+// map plus each level's stash (bounded by its eviction watermark); packed
+// blocks live on untrusted storage.
+func (rm *RecursiveMap) Bytes() int64 {
+	total := rm.flat.Bytes()
+	for _, c := range rm.clients {
+		total += int64(c.Stash().Len()) * int64(4*rm.epb)
+	}
+	return total
+}
+
+// ServerBytes returns the untrusted storage consumed by the map ORAMs.
+func (rm *RecursiveMap) ServerBytes() int64 {
+	var total int64
+	for _, c := range rm.clients {
+		total += c.Geometry().ServerBytes()
+	}
+	return total
+}
+
+// Get implements PositionMap via one oblivious access per level.
+func (rm *RecursiveMap) Get(id BlockID) Leaf {
+	if len(rm.clients) == 0 {
+		return rm.flat.Get(id)
+	}
+	block := uint64(id) / uint64(rm.epb)
+	off := int(uint64(id) % uint64(rm.epb))
+	payload, err := rm.clients[0].Read(BlockID(block))
+	if err != nil {
+		// PositionMap's interface is error-free (the flat map cannot
+		// fail); a broken map ORAM is unrecoverable state corruption.
+		panic(fmt.Sprintf("oram: recursive map read: %v", err))
+	}
+	v := binary.LittleEndian.Uint32(payload[4*off:])
+	if v == noLeaf32 {
+		return NoLeaf
+	}
+	return Leaf(v)
+}
+
+// Set implements PositionMap via an oblivious read-modify-write.
+func (rm *RecursiveMap) Set(id BlockID, l Leaf) {
+	if len(rm.clients) == 0 {
+		rm.flat.Set(id, l)
+		return
+	}
+	block := uint64(id) / uint64(rm.epb)
+	off := int(uint64(id) % uint64(rm.epb))
+	v := noLeaf32
+	if l != NoLeaf {
+		if uint64(l) >= uint64(noLeaf32) {
+			panic(fmt.Sprintf("oram: leaf %d overflows packed entry", l))
+		}
+		v = uint32(l)
+	}
+	err := rm.clients[0].Update(BlockID(block), func(payload []byte) {
+		binary.LittleEndian.PutUint32(payload[4*off:], v)
+	})
+	if err != nil {
+		panic(fmt.Sprintf("oram: recursive map update: %v", err))
+	}
+}
+
+// Known implements PositionMap.
+func (rm *RecursiveMap) Known(id BlockID) bool { return rm.Get(id) != NoLeaf }
+
+// packedView adapts a map-ORAM client into the PositionMap its next-upper
+// level needs: entry i of this view is the 4-byte leaf at offset i%epb of
+// packed block i/epb.
+type packedView struct {
+	client *Client
+	epb    int
+	n      uint64
+}
+
+var _ PositionMap = (*packedView)(nil)
+
+func (pv *packedView) Len() uint64 { return pv.n }
+
+func (pv *packedView) Bytes() int64 { return 0 } // state lives in the deeper level
+
+func (pv *packedView) Get(id BlockID) Leaf {
+	payload, err := pv.client.Read(BlockID(uint64(id) / uint64(pv.epb)))
+	if err != nil {
+		panic(fmt.Sprintf("oram: packed view read: %v", err))
+	}
+	off := int(uint64(id) % uint64(pv.epb))
+	v := binary.LittleEndian.Uint32(payload[4*off:])
+	if v == noLeaf32 {
+		return NoLeaf
+	}
+	return Leaf(v)
+}
+
+func (pv *packedView) Set(id BlockID, l Leaf) {
+	v := noLeaf32
+	if l != NoLeaf {
+		v = uint32(l)
+	}
+	off := int(uint64(id) % uint64(pv.epb))
+	err := pv.client.Update(BlockID(uint64(id)/uint64(pv.epb)), func(payload []byte) {
+		binary.LittleEndian.PutUint32(payload[4*off:], v)
+	})
+	if err != nil {
+		panic(fmt.Sprintf("oram: packed view update: %v", err))
+	}
+}
+
+func (pv *packedView) Known(id BlockID) bool { return pv.Get(id) != NoLeaf }
+
+// Update performs an oblivious read-modify-write of one block in a single
+// ORAM access: the block is fetched, fn mutates its payload in place, and
+// the path is written back. Used by the recursive position map.
+func (c *Client) Update(id BlockID, fn func(payload []byte)) error {
+	if uint64(id) >= c.pos.Len() {
+		return fmt.Errorf("oram: block %d out of range (have %d blocks)", id, c.pos.Len())
+	}
+	c.stats.Accesses++
+	if c.stashHits && c.stash.Contains(id) {
+		c.stats.StashHits++
+		p, _ := c.stash.Payload(id)
+		if p == nil {
+			return fmt.Errorf("oram: Update of metadata-only block %d", id)
+		}
+		fn(p)
+		_, err := c.MaybeEvict()
+		return err
+	}
+	leaf := c.pos.Get(id)
+	if leaf == NoLeaf {
+		return fmt.Errorf("oram: Update of unwritten block %d", id)
+	}
+	if err := c.ReadPath(leaf); err != nil {
+		return err
+	}
+	c.stats.PathReads++
+	p, ok := c.stash.Payload(id)
+	if !ok {
+		return fmt.Errorf("oram: block %d not found on its assigned path %d (tree corrupt)", id, leaf)
+	}
+	if p == nil {
+		return fmt.Errorf("oram: Update of metadata-only block %d", id)
+	}
+	newLeaf := c.RandomLeaf()
+	c.pos.Set(id, newLeaf)
+	c.stash.SetLeaf(id, newLeaf)
+	c.stats.Remaps++
+	fn(p)
+	if err := c.WriteBackPath(leaf); err != nil {
+		return err
+	}
+	c.stats.PathWrites++
+	_, err := c.MaybeEvict()
+	return err
+}

@@ -1,0 +1,219 @@
+package oram
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func newRecursive(t *testing.T, blocks uint64, epb int, cutoff uint64, seed int64) *RecursiveMap {
+	t.Helper()
+	rm, err := NewRecursiveMap(RecursiveConfig{
+		Blocks: blocks, EntriesPerBlock: epb, Cutoff: cutoff,
+		Rand: rand.New(rand.NewSource(seed)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rm
+}
+
+func TestRecursiveConfigValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewRecursiveMap(RecursiveConfig{Blocks: 0, Rand: rng}); err == nil {
+		t.Error("Blocks=0 accepted")
+	}
+	if _, err := NewRecursiveMap(RecursiveConfig{Blocks: 8}); err == nil {
+		t.Error("nil Rand accepted")
+	}
+	if _, err := NewRecursiveMap(RecursiveConfig{Blocks: 8, Rand: rng, EntriesPerBlock: 1}); err == nil {
+		t.Error("EntriesPerBlock=1 accepted")
+	}
+}
+
+func TestRecursiveDegenerate(t *testing.T) {
+	// Below the cutoff: no ORAM levels, behaves exactly like a flat map.
+	rm := newRecursive(t, 100, 16, 1024, 2)
+	if rm.Levels() != 0 {
+		t.Errorf("Levels = %d, want 0", rm.Levels())
+	}
+	rm.Set(5, 77)
+	if rm.Get(5) != 77 || !rm.Known(5) {
+		t.Error("degenerate map broken")
+	}
+	if rm.Known(6) {
+		t.Error("unset entry known")
+	}
+}
+
+func TestRecursiveLevelsAndRoundTrip(t *testing.T) {
+	// 4096 entries, 16/block, cutoff 64: 4096→256→16 ⇒ 2 ORAM levels.
+	rm := newRecursive(t, 4096, 16, 64, 3)
+	if rm.Levels() != 2 {
+		t.Fatalf("Levels = %d, want 2", rm.Levels())
+	}
+	if rm.Len() != 4096 {
+		t.Errorf("Len = %d", rm.Len())
+	}
+	// Everything starts unknown.
+	for _, id := range []BlockID{0, 1, 63, 64, 4095} {
+		if rm.Known(id) {
+			t.Errorf("entry %d known at init", id)
+		}
+		if rm.Get(id) != NoLeaf {
+			t.Errorf("entry %d = %d, want NoLeaf", id, rm.Get(id))
+		}
+	}
+	// Random round-trips, including overwrites and clears.
+	rng := rand.New(rand.NewSource(4))
+	ref := make(map[BlockID]Leaf)
+	for i := 0; i < 300; i++ {
+		id := BlockID(rng.Intn(4096))
+		switch rng.Intn(3) {
+		case 0, 1:
+			l := Leaf(rng.Intn(1 << 20))
+			rm.Set(id, l)
+			ref[id] = l
+		case 2:
+			rm.Set(id, NoLeaf)
+			delete(ref, id)
+		}
+		// Spot-check a few entries.
+		for j := 0; j < 3; j++ {
+			q := BlockID(rng.Intn(4096))
+			want, ok := ref[q]
+			if !ok {
+				want = NoLeaf
+			}
+			if got := rm.Get(q); got != want {
+				t.Fatalf("op %d: entry %d = %d, want %d", i, q, got, want)
+			}
+		}
+	}
+}
+
+func TestRecursiveClientStateSmall(t *testing.T) {
+	rm := newRecursive(t, 1<<14, 32, 256, 5)
+	flatBytes := int64(1<<14) * 4
+	if rm.Bytes() >= flatBytes {
+		t.Errorf("recursive client state %d B not smaller than flat %d B", rm.Bytes(), flatBytes)
+	}
+	if rm.ServerBytes() <= 0 {
+		t.Error("server bytes missing")
+	}
+}
+
+// TestClientWithRecursiveMap runs a full PathORAM data client whose
+// position map is itself recursive — the complete O(log N)-client
+// construction — and checks read-your-writes.
+func TestClientWithRecursiveMap(t *testing.T) {
+	const blocks = 512
+	rm := newRecursive(t, blocks, 16, 32, 6)
+	if rm.Levels() == 0 {
+		t.Fatal("expected at least one recursion level")
+	}
+	g := MustGeometry(GeometryConfig{LeafBits: LeafBitsFor(blocks), LeafZ: 4, BlockSize: 8})
+	ps, err := NewPayloadStore(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(ClientConfig{
+		Store: ps, Rand: rand.New(rand.NewSource(7)),
+		Evict: PaperEvict, StashHits: true, Blocks: blocks, PosMap: rm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Load(blocks, nil, func(id BlockID) []byte {
+		b := make([]byte, 8)
+		b[0] = byte(id)
+		return b
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	ref := make(map[BlockID]byte)
+	for i := 0; i < 200; i++ {
+		id := BlockID(rng.Intn(blocks))
+		if rng.Intn(2) == 0 {
+			v := byte(rng.Intn(256))
+			b := make([]byte, 8)
+			b[0] = v
+			if err := c.Write(id, b); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			ref[id] = v
+		} else {
+			got, err := c.Read(id)
+			if err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			want, ok := ref[id]
+			if !ok {
+				want = byte(id)
+			}
+			if got[0] != want {
+				t.Fatalf("op %d: block %d = %d, want %d", i, id, got[0], want)
+			}
+		}
+	}
+}
+
+// TestRecursiveMapObliviousness: the map ORAM's own leaf accesses are
+// uniform, so recursion leaks nothing extra.
+func TestRecursiveMapObliviousness(t *testing.T) {
+	rm := newRecursive(t, 1<<12, 16, 64, 9)
+	if rm.Levels() == 0 {
+		t.Skip("no recursion at this size")
+	}
+	level0 := rm.clients[0]
+	h := stats.NewHistogram(int(level0.Geometry().Leaves()))
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 6000; i++ {
+		id := BlockID(rng.Intn(1 << 12))
+		// Observe the leaf the level-0 access is about to fetch.
+		blk := BlockID(uint64(id) / uint64(rm.epb))
+		if !level0.Stash().Contains(blk) {
+			if l := level0.PosMap().Get(blk); l != NoLeaf {
+				h.Add(uint64(l))
+			}
+		}
+		rm.Set(id, Leaf(rng.Intn(1<<12)))
+	}
+	if _, _, p, err := stats.ChiSquareUniform(h); err != nil || p < 0.001 {
+		t.Errorf("recursive map accesses not uniform: p=%v err=%v", p, err)
+	}
+}
+
+func TestUpdatePrimitive(t *testing.T) {
+	const blocks = 64
+	c, _ := newTestClient(t, 6, blocks, 8, PaperEvict)
+	if err := c.Load(blocks, nil, func(id BlockID) []byte { return make([]byte, 8) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Update(3, func(p []byte) { p[0] = 0x42 }); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x42 {
+		t.Errorf("Update lost: %x", got[0])
+	}
+	if err := c.Update(9999, nil); err == nil {
+		t.Error("out-of-range Update accepted")
+	}
+	// Update on a stash-resident block takes the stash-hit path.
+	if err := c.Stash().Put(5, c.PosMap().Get(5), make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Update(5, func(p []byte) { p[1] = 0x24 }); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := c.Stash().Payload(5)
+	if p == nil || p[1] != 0x24 {
+		t.Error("stash-hit Update lost")
+	}
+}

@@ -1,0 +1,296 @@
+package oram
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Checkpoint/restore: embedding-table training runs for days and
+// checkpoints regularly; losing the ORAM client state (position map +
+// stash) strands every block in the tree. SaveState/LoadState serialise
+// the trusted client state; the store implementations serialise the
+// server-side tree. Both formats are versioned little-endian binary.
+//
+// The random source is deliberately not serialised: a restored client must
+// be given a fresh (re-seeded) RNG, which affects only *which* uniform
+// leaves future remaps draw — obliviousness is unaffected.
+
+const snapshotMagic = 0x4C414F52414D5631 // "LAORAMV1"
+
+// SaveState writes the client's trusted state (position map and stash).
+// Only flat position maps are supported; a RecursiveMap's state already
+// lives in its own ORAM stores and is saved with them.
+func (c *Client) SaveState(w io.Writer) error {
+	pm, ok := c.pos.(*PosMap)
+	if !ok {
+		return fmt.Errorf("oram: SaveState supports flat position maps; recursive maps persist via their stores")
+	}
+	bw := bufio.NewWriter(w)
+	var u64 [8]byte
+	put := func(v uint64) error {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		_, err := bw.Write(u64[:])
+		return err
+	}
+	if err := put(snapshotMagic); err != nil {
+		return err
+	}
+	if err := put(pm.Len()); err != nil {
+		return err
+	}
+	for i := uint64(0); i < pm.Len(); i++ {
+		if err := put(uint64(pm.leaves[i])); err != nil {
+			return err
+		}
+	}
+	// Stash: count, then (id, leaf, payloadLen, payload) sorted by ID
+	// for deterministic output.
+	ids := c.stash.IDs()
+	sortBlockIDsStable(ids)
+	if err := put(uint64(len(ids))); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		leaf, _ := c.stash.Leaf(id)
+		payload, _ := c.stash.Payload(id)
+		if err := put(uint64(id)); err != nil {
+			return err
+		}
+		if err := put(uint64(leaf)); err != nil {
+			return err
+		}
+		if err := put(uint64(len(payload))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(payload); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadState restores state saved by SaveState into this client. The client
+// must have been built with the same Blocks count and a flat position map.
+func (c *Client) LoadState(r io.Reader) error {
+	pm, ok := c.pos.(*PosMap)
+	if !ok {
+		return fmt.Errorf("oram: LoadState requires a flat position map")
+	}
+	br := bufio.NewReader(r)
+	var u64 [8]byte
+	get := func() (uint64, error) {
+		if _, err := io.ReadFull(br, u64[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(u64[:]), nil
+	}
+	magic, err := get()
+	if err != nil {
+		return fmt.Errorf("oram: snapshot header: %w", err)
+	}
+	if magic != snapshotMagic {
+		return fmt.Errorf("oram: bad snapshot magic %#x", magic)
+	}
+	n, err := get()
+	if err != nil {
+		return err
+	}
+	if n != pm.Len() {
+		return fmt.Errorf("oram: snapshot covers %d blocks, client configured for %d", n, pm.Len())
+	}
+	for i := uint64(0); i < n; i++ {
+		v, err := get()
+		if err != nil {
+			return err
+		}
+		pm.leaves[i] = uint32(v)
+	}
+	// Rebuild the stash.
+	c.stash = NewStash()
+	count, err := get()
+	if err != nil {
+		return err
+	}
+	const maxStash = 1 << 24
+	if count > maxStash {
+		return fmt.Errorf("oram: snapshot stash of %d entries implausible", count)
+	}
+	for i := uint64(0); i < count; i++ {
+		id, err := get()
+		if err != nil {
+			return err
+		}
+		leaf, err := get()
+		if err != nil {
+			return err
+		}
+		plen, err := get()
+		if err != nil {
+			return err
+		}
+		if plen > 1<<24 {
+			return fmt.Errorf("oram: snapshot payload of %d bytes implausible", plen)
+		}
+		var payload []byte
+		if plen > 0 {
+			payload = make([]byte, plen)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				return err
+			}
+		}
+		if err := c.stash.Put(BlockID(id), Leaf(leaf), payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortBlockIDsStable(ids []BlockID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// Save serialises the metadata-only server tree.
+func (st *MetaStore) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var u64 [8]byte
+	put := func(v uint64) error {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		_, err := bw.Write(u64[:])
+		return err
+	}
+	if err := put(snapshotMagic + 1); err != nil {
+		return err
+	}
+	if err := put(uint64(st.geom.TotalSlots())); err != nil {
+		return err
+	}
+	for i := range st.ids {
+		if err := put(st.ids[i]); err != nil {
+			return err
+		}
+		if err := put(st.leaf[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load restores a MetaStore snapshot; the geometry must match.
+func (st *MetaStore) Load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var u64 [8]byte
+	get := func() (uint64, error) {
+		if _, err := io.ReadFull(br, u64[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(u64[:]), nil
+	}
+	magic, err := get()
+	if err != nil {
+		return err
+	}
+	if magic != snapshotMagic+1 {
+		return fmt.Errorf("oram: bad store snapshot magic %#x", magic)
+	}
+	n, err := get()
+	if err != nil {
+		return err
+	}
+	if n != uint64(st.geom.TotalSlots()) {
+		return fmt.Errorf("oram: store snapshot has %d slots, geometry needs %d", n, st.geom.TotalSlots())
+	}
+	for i := range st.ids {
+		if st.ids[i], err = get(); err != nil {
+			return err
+		}
+		if st.leaf[i], err = get(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Save serialises the payload-bearing server tree (including sealed
+// payload bytes exactly as stored, so a sealed store restores sealed).
+func (st *PayloadStore) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var u64 [8]byte
+	put := func(v uint64) error {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		_, err := bw.Write(u64[:])
+		return err
+	}
+	if err := put(snapshotMagic + 2); err != nil {
+		return err
+	}
+	if err := put(uint64(st.geom.TotalSlots())); err != nil {
+		return err
+	}
+	if err := put(uint64(st.stride)); err != nil {
+		return err
+	}
+	for i := range st.ids {
+		if err := put(st.ids[i]); err != nil {
+			return err
+		}
+		if err := put(st.leaf[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.Write(st.arena); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load restores a PayloadStore snapshot; geometry and stride (and hence
+// sealing configuration) must match.
+func (st *PayloadStore) Load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var u64 [8]byte
+	get := func() (uint64, error) {
+		if _, err := io.ReadFull(br, u64[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(u64[:]), nil
+	}
+	magic, err := get()
+	if err != nil {
+		return err
+	}
+	if magic != snapshotMagic+2 {
+		return fmt.Errorf("oram: bad store snapshot magic %#x", magic)
+	}
+	n, err := get()
+	if err != nil {
+		return err
+	}
+	if n != uint64(st.geom.TotalSlots()) {
+		return fmt.Errorf("oram: store snapshot has %d slots, geometry needs %d", n, st.geom.TotalSlots())
+	}
+	stride, err := get()
+	if err != nil {
+		return err
+	}
+	if stride != uint64(st.stride) {
+		return fmt.Errorf("oram: store snapshot stride %d != %d (sealing mismatch?)", stride, st.stride)
+	}
+	for i := range st.ids {
+		if st.ids[i], err = get(); err != nil {
+			return err
+		}
+		if st.leaf[i], err = get(); err != nil {
+			return err
+		}
+	}
+	if _, err := io.ReadFull(br, st.arena); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package oram
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stash is the client-side buffer for blocks that could not be written back
+// into the tree (§II-E). It lives in trusted client memory (the trainer
+// GPU's HBM in the paper); its accesses are invisible to the adversary.
+//
+// The stash tracks its own high-water mark because stash growth is the
+// paper's central scalability concern with superblocks (Fig. 8).
+type Stash struct {
+	blocks map[BlockID]*stashEntry
+	peak   int
+}
+
+type stashEntry struct {
+	id      BlockID
+	leaf    Leaf
+	payload []byte
+}
+
+// NewStash returns an empty stash.
+func NewStash() *Stash {
+	return &Stash{blocks: make(map[BlockID]*stashEntry)}
+}
+
+// Len returns the number of blocks currently stashed.
+func (s *Stash) Len() int { return len(s.blocks) }
+
+// Peak returns the high-water mark of Len over the stash's lifetime.
+func (s *Stash) Peak() int { return s.peak }
+
+// ResetPeak sets the high-water mark to the current size.
+func (s *Stash) ResetPeak() { s.peak = len(s.blocks) }
+
+// Contains reports whether id is stashed.
+func (s *Stash) Contains(id BlockID) bool {
+	_, ok := s.blocks[id]
+	return ok
+}
+
+// Put inserts or replaces a block. Dummy IDs are rejected: dummies are
+// dropped at path-read time, never stashed (§II-C step 2).
+func (s *Stash) Put(id BlockID, leaf Leaf, payload []byte) error {
+	if id == DummyID {
+		return fmt.Errorf("oram: refusing to stash a dummy block")
+	}
+	e, ok := s.blocks[id]
+	if !ok {
+		e = &stashEntry{id: id}
+		s.blocks[id] = e
+		if len(s.blocks) > s.peak {
+			s.peak = len(s.blocks)
+		}
+	}
+	e.leaf = leaf
+	e.payload = payload
+	return nil
+}
+
+// Leaf returns the assigned leaf of a stashed block.
+func (s *Stash) Leaf(id BlockID) (Leaf, bool) {
+	e, ok := s.blocks[id]
+	if !ok {
+		return NoLeaf, false
+	}
+	return e.leaf, true
+}
+
+// SetLeaf reassigns the leaf of a stashed block.
+func (s *Stash) SetLeaf(id BlockID, leaf Leaf) bool {
+	e, ok := s.blocks[id]
+	if !ok {
+		return false
+	}
+	e.leaf = leaf
+	return true
+}
+
+// Payload returns the stored payload of a stashed block (not a copy).
+func (s *Stash) Payload(id BlockID) ([]byte, bool) {
+	e, ok := s.blocks[id]
+	if !ok {
+		return nil, false
+	}
+	return e.payload, true
+}
+
+// SetPayload replaces the payload of a stashed block.
+func (s *Stash) SetPayload(id BlockID, payload []byte) bool {
+	e, ok := s.blocks[id]
+	if !ok {
+		return false
+	}
+	e.payload = payload
+	return true
+}
+
+// Remove deletes a block from the stash.
+func (s *Stash) Remove(id BlockID) { delete(s.blocks, id) }
+
+// ForEach calls fn for every stashed block, in unspecified order. fn must
+// not mutate the stash.
+func (s *Stash) ForEach(fn func(id BlockID, leaf Leaf)) {
+	for id, e := range s.blocks {
+		fn(id, e.leaf)
+	}
+}
+
+// IDs returns the stashed block IDs in unspecified order.
+func (s *Stash) IDs() []BlockID {
+	out := make([]BlockID, 0, len(s.blocks))
+	for id := range s.blocks {
+		out = append(out, id)
+	}
+	return out
+}
+
+// evictPlan computes the greedy write-back for one path: which stashed
+// blocks go into which level of the path to target. A stashed block with
+// assigned leaf b can be placed at any level <= CommonLevel(target, b); the
+// greedy policy (identical to the PathORAM reference implementation)
+// places blocks as deep as possible, letting unplaced candidates spill
+// toward the root.
+//
+// perLevel[lvl] lists the block IDs to write into the path bucket at lvl;
+// each listed block must then be removed from the stash by the caller once
+// written. Capacity respects the geometry's per-level bucket size, which is
+// exactly where the fat-tree (§V) earns its keep: wider buckets near the
+// root absorb the spill that a uniform tree would bounce back into the
+// stash.
+func (s *Stash) evictPlan(g *Geometry, target Leaf) [][]BlockID {
+	L := g.LeafBits()
+	byDeepest := make([][]BlockID, L+1)
+	for id, e := range s.blocks {
+		d := g.CommonLevel(target, e.leaf)
+		byDeepest[d] = append(byDeepest[d], id)
+	}
+	// Map iteration order is randomised; sort so experiments are
+	// bit-reproducible under a fixed seed.
+	for _, ids := range byDeepest {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+	plan := make([][]BlockID, L+1)
+	var spill []BlockID
+	for lvl := L; lvl >= 0; lvl-- {
+		cand := byDeepest[lvl]
+		if len(spill) > 0 {
+			cand = append(cand, spill...)
+			spill = spill[:0]
+		}
+		z := g.BucketSize(lvl)
+		if len(cand) <= z {
+			plan[lvl] = cand
+			continue
+		}
+		plan[lvl] = cand[:z]
+		spill = append(spill, cand[z:]...)
+	}
+	// Whatever is left in spill stays in the stash.
+	return plan
+}

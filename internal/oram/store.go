@@ -1,0 +1,450 @@
+package oram
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Store is the server-storage abstraction: the paper's server_storage
+// component, i.e. the CPU DRAM holding the ORAM tree. Every address sent to
+// a Store is considered visible to the adversary; obliviousness is the
+// client's job, not the store's.
+//
+// Bucket granularity (rather than whole-path granularity) is exposed so
+// that the fat-tree, the RingORAM variant (which reads a single slot per
+// bucket) and the remote TCP server can all share one interface.
+//
+// Implementations must be safe for use by a single client goroutine;
+// concurrent use requires external synchronisation except where noted.
+type Store interface {
+	// Geometry returns the tree shape this store was built for.
+	Geometry() *Geometry
+
+	// ReadBucket reads all slots of the bucket (level, node) into dst,
+	// which must have length BucketSize(level). Payloads are copies the
+	// caller owns (or nil for metadata-only stores).
+	ReadBucket(level int, node uint64, dst []Slot) error
+
+	// WriteBucket overwrites all slots of the bucket (level, node) from
+	// src, which must have length BucketSize(level).
+	WriteBucket(level int, node uint64, src []Slot) error
+
+	// ReadSlot reads a single slot. RingORAM's per-bucket single-block
+	// reads use this; PathORAM reads whole buckets.
+	ReadSlot(level int, node uint64, slot int, dst *Slot) error
+
+	// WriteSlot overwrites a single slot.
+	WriteSlot(level int, node uint64, slot int, src Slot) error
+}
+
+// bucketRange validates bucket coordinates against g.
+func bucketRange(g *Geometry, level int, node uint64) error {
+	if level < 0 || level >= g.Levels() {
+		return fmt.Errorf("oram: level %d out of range [0,%d)", level, g.Levels())
+	}
+	if node >= 1<<uint(level) {
+		return fmt.Errorf("oram: node %d out of range at level %d", node, level)
+	}
+	return nil
+}
+
+// MetaStore is a metadata-only server storage: it records, for every slot,
+// only the block ID and assigned leaf (16 bytes/slot) and simulates the
+// payload. This is what makes the paper's full-scale configurations (8M–16M
+// entries, multi-GB trees) runnable on a laptop: the traffic, stash and
+// eviction behaviour is identical to a payload-bearing store because client
+// decisions never depend on payload bytes.
+type MetaStore struct {
+	geom *Geometry
+	ids  []uint64 // BlockID per linear slot
+	leaf []uint64 // Leaf per linear slot
+}
+
+var _ Store = (*MetaStore)(nil)
+
+// NewMetaStore allocates a metadata-only store with every slot a dummy.
+func NewMetaStore(g *Geometry) *MetaStore {
+	n := g.TotalSlots()
+	st := &MetaStore{
+		geom: g,
+		ids:  make([]uint64, n),
+		leaf: make([]uint64, n),
+	}
+	for i := range st.ids {
+		st.ids[i] = uint64(DummyID)
+	}
+	return st
+}
+
+// Geometry implements Store.
+func (st *MetaStore) Geometry() *Geometry { return st.geom }
+
+// ReadBucket implements Store.
+func (st *MetaStore) ReadBucket(level int, node uint64, dst []Slot) error {
+	if err := bucketRange(st.geom, level, node); err != nil {
+		return err
+	}
+	z := st.geom.BucketSize(level)
+	if len(dst) != z {
+		return fmt.Errorf("oram: ReadBucket dst len %d != bucket size %d", len(dst), z)
+	}
+	base := st.geom.SlotIndex(level, node, 0)
+	for i := 0; i < z; i++ {
+		dst[i].ID = BlockID(st.ids[base+int64(i)])
+		dst[i].Leaf = Leaf(st.leaf[base+int64(i)])
+		dst[i].Payload = nil
+	}
+	return nil
+}
+
+// WriteBucket implements Store.
+func (st *MetaStore) WriteBucket(level int, node uint64, src []Slot) error {
+	if err := bucketRange(st.geom, level, node); err != nil {
+		return err
+	}
+	z := st.geom.BucketSize(level)
+	if len(src) != z {
+		return fmt.Errorf("oram: WriteBucket src len %d != bucket size %d", len(src), z)
+	}
+	base := st.geom.SlotIndex(level, node, 0)
+	for i := 0; i < z; i++ {
+		st.ids[base+int64(i)] = uint64(src[i].ID)
+		st.leaf[base+int64(i)] = uint64(src[i].Leaf)
+	}
+	return nil
+}
+
+// ReadSlot implements Store.
+func (st *MetaStore) ReadSlot(level int, node uint64, slot int, dst *Slot) error {
+	if err := bucketRange(st.geom, level, node); err != nil {
+		return err
+	}
+	if slot < 0 || slot >= st.geom.BucketSize(level) {
+		return fmt.Errorf("oram: slot %d out of range at level %d", slot, level)
+	}
+	i := st.geom.SlotIndex(level, node, slot)
+	dst.ID = BlockID(st.ids[i])
+	dst.Leaf = Leaf(st.leaf[i])
+	dst.Payload = nil
+	return nil
+}
+
+// WriteSlot implements Store.
+func (st *MetaStore) WriteSlot(level int, node uint64, slot int, src Slot) error {
+	if err := bucketRange(st.geom, level, node); err != nil {
+		return err
+	}
+	if slot < 0 || slot >= st.geom.BucketSize(level) {
+		return fmt.Errorf("oram: slot %d out of range at level %d", slot, level)
+	}
+	i := st.geom.SlotIndex(level, node, slot)
+	st.ids[i] = uint64(src.ID)
+	st.leaf[i] = uint64(src.Leaf)
+	return nil
+}
+
+// Sealer transforms slot payloads at the storage boundary. The crypto
+// package provides an AES-CTR implementation; the interface lives here so
+// that PayloadStore does not import it.
+type Sealer interface {
+	// SealedSize returns the on-server size of a sealed payload of the
+	// given plaintext size.
+	SealedSize(plain int) int
+	// Seal encrypts plain (exactly the configured block size) into a
+	// fresh ciphertext slice.
+	Seal(plain []byte) ([]byte, error)
+	// Open decrypts sealed in place of a fresh plaintext slice.
+	Open(sealed []byte) ([]byte, error)
+}
+
+// PayloadStore is a payload-bearing in-memory server storage. Slot metadata
+// (ID, leaf) is kept alongside a byte arena holding fixed-size payloads.
+// With a Sealer installed the arena holds ciphertext and payloads are
+// sealed/opened at the Read/Write boundary, mimicking a client that only
+// ever hands ciphertext to the untrusted server.
+type PayloadStore struct {
+	geom   *Geometry
+	ids    []uint64
+	leaf   []uint64
+	arena  []byte
+	stride int // bytes per slot in the arena
+	sealer Sealer
+}
+
+var _ Store = (*PayloadStore)(nil)
+
+// NewPayloadStore allocates a payload-bearing store with every slot a dummy.
+// If sealer is non-nil all payloads are stored sealed.
+func NewPayloadStore(g *Geometry, sealer Sealer) (*PayloadStore, error) {
+	if g.BlockSize() <= 0 {
+		return nil, fmt.Errorf("oram: PayloadStore requires BlockSize > 0, got %d", g.BlockSize())
+	}
+	stride := g.BlockSize()
+	if sealer != nil {
+		stride = sealer.SealedSize(g.BlockSize())
+	}
+	n := g.TotalSlots()
+	bytes := n * int64(stride)
+	const maxArena = int64(8) << 30
+	if bytes > maxArena {
+		return nil, fmt.Errorf("oram: PayloadStore would need %d bytes (> %d); use MetaStore for paper-scale sweeps", bytes, maxArena)
+	}
+	st := &PayloadStore{
+		geom:   g,
+		ids:    make([]uint64, n),
+		leaf:   make([]uint64, n),
+		arena:  make([]byte, bytes),
+		stride: stride,
+		sealer: sealer,
+	}
+	for i := range st.ids {
+		st.ids[i] = uint64(DummyID)
+	}
+	return st, nil
+}
+
+// Geometry implements Store.
+func (st *PayloadStore) Geometry() *Geometry { return st.geom }
+
+func (st *PayloadStore) slotBytes(i int64) []byte {
+	return st.arena[i*int64(st.stride) : (i+1)*int64(st.stride)]
+}
+
+func (st *PayloadStore) readSlotAt(i int64, dst *Slot) error {
+	dst.ID = BlockID(st.ids[i])
+	dst.Leaf = Leaf(st.leaf[i])
+	if dst.ID == DummyID {
+		dst.Payload = nil
+		return nil
+	}
+	raw := st.slotBytes(i)
+	if st.sealer != nil {
+		plain, err := st.sealer.Open(raw)
+		if err != nil {
+			return fmt.Errorf("oram: open slot %d: %w", i, err)
+		}
+		dst.Payload = plain
+		return nil
+	}
+	dst.Payload = make([]byte, st.geom.BlockSize())
+	copy(dst.Payload, raw)
+	return nil
+}
+
+func (st *PayloadStore) writeSlotAt(i int64, src Slot) error {
+	st.ids[i] = uint64(src.ID)
+	st.leaf[i] = uint64(src.Leaf)
+	raw := st.slotBytes(i)
+	if src.ID == DummyID {
+		// Dummy payloads are zeroed (a real deployment stores fresh
+		// random ciphertext; the distinction is invisible to the
+		// client logic we are measuring).
+		for j := range raw {
+			raw[j] = 0
+		}
+		return nil
+	}
+	if src.Payload == nil {
+		// A real block with no payload means "zero-filled row" (e.g.
+		// bulk loads that only care about placement).
+		src.Payload = make([]byte, st.geom.BlockSize())
+	}
+	if len(src.Payload) != st.geom.BlockSize() {
+		return fmt.Errorf("oram: payload len %d != block size %d", len(src.Payload), st.geom.BlockSize())
+	}
+	if st.sealer != nil {
+		sealed, err := st.sealer.Seal(src.Payload)
+		if err != nil {
+			return fmt.Errorf("oram: seal slot %d: %w", i, err)
+		}
+		copy(raw, sealed)
+		return nil
+	}
+	copy(raw, src.Payload)
+	return nil
+}
+
+// ReadBucket implements Store.
+func (st *PayloadStore) ReadBucket(level int, node uint64, dst []Slot) error {
+	if err := bucketRange(st.geom, level, node); err != nil {
+		return err
+	}
+	z := st.geom.BucketSize(level)
+	if len(dst) != z {
+		return fmt.Errorf("oram: ReadBucket dst len %d != bucket size %d", len(dst), z)
+	}
+	base := st.geom.SlotIndex(level, node, 0)
+	for i := 0; i < z; i++ {
+		if err := st.readSlotAt(base+int64(i), &dst[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteBucket implements Store.
+func (st *PayloadStore) WriteBucket(level int, node uint64, src []Slot) error {
+	if err := bucketRange(st.geom, level, node); err != nil {
+		return err
+	}
+	z := st.geom.BucketSize(level)
+	if len(src) != z {
+		return fmt.Errorf("oram: WriteBucket src len %d != bucket size %d", len(src), z)
+	}
+	base := st.geom.SlotIndex(level, node, 0)
+	for i := 0; i < z; i++ {
+		if err := st.writeSlotAt(base+int64(i), src[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSlot implements Store.
+func (st *PayloadStore) ReadSlot(level int, node uint64, slot int, dst *Slot) error {
+	if err := bucketRange(st.geom, level, node); err != nil {
+		return err
+	}
+	if slot < 0 || slot >= st.geom.BucketSize(level) {
+		return fmt.Errorf("oram: slot %d out of range at level %d", slot, level)
+	}
+	return st.readSlotAt(st.geom.SlotIndex(level, node, slot), dst)
+}
+
+// WriteSlot implements Store.
+func (st *PayloadStore) WriteSlot(level int, node uint64, slot int, src Slot) error {
+	if err := bucketRange(st.geom, level, node); err != nil {
+		return err
+	}
+	if slot < 0 || slot >= st.geom.BucketSize(level) {
+		return fmt.Errorf("oram: slot %d out of range at level %d", slot, level)
+	}
+	return st.writeSlotAt(st.geom.SlotIndex(level, node, slot), src)
+}
+
+// Counters aggregates server-side traffic statistics: exactly what the
+// adversary on the memory bus could tally, and the raw material for the
+// paper's Fig. 9 (traffic reduction) and Table II (dummy reads, counted by
+// the client into AccessStats).
+type Counters struct {
+	BucketReads  uint64
+	BucketWrites uint64
+	SlotReads    uint64 // slots transferred by reads
+	SlotWrites   uint64
+	BytesRead    uint64
+	BytesWritten uint64
+}
+
+// Total returns total slots and bytes moved in both directions.
+func (c *Counters) Total() (slots, bytes uint64) {
+	return c.SlotReads + c.SlotWrites, c.BytesRead + c.BytesWritten
+}
+
+// Sub returns the difference c - prev, for windowed measurements.
+func (c Counters) Sub(prev Counters) Counters {
+	return Counters{
+		BucketReads:  c.BucketReads - prev.BucketReads,
+		BucketWrites: c.BucketWrites - prev.BucketWrites,
+		SlotReads:    c.SlotReads - prev.SlotReads,
+		SlotWrites:   c.SlotWrites - prev.SlotWrites,
+		BytesRead:    c.BytesRead - prev.BytesRead,
+		BytesWritten: c.BytesWritten - prev.BytesWritten,
+	}
+}
+
+// CountingStore wraps a Store and tallies traffic. It is also the hook for
+// the memsim timing model: if a Ticker is installed every transfer charges
+// simulated time.
+type CountingStore struct {
+	inner Store
+	c     Counters
+	tick  Ticker
+	mu    sync.Mutex // protects c; remote server may count concurrently
+}
+
+// Ticker receives byte-level transfer events; memsim.Meter implements it.
+type Ticker interface {
+	// OnTransfer is called once per bucket read/write with the bytes moved.
+	OnTransfer(bytes int)
+}
+
+var _ Store = (*CountingStore)(nil)
+
+// NewCountingStore wraps inner. tick may be nil.
+func NewCountingStore(inner Store, tick Ticker) *CountingStore {
+	return &CountingStore{inner: inner, tick: tick}
+}
+
+// Geometry implements Store.
+func (cs *CountingStore) Geometry() *Geometry { return cs.inner.Geometry() }
+
+// Counters returns a snapshot of the traffic counters.
+func (cs *CountingStore) Counters() Counters {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.c
+}
+
+// ResetCounters zeroes the traffic counters.
+func (cs *CountingStore) ResetCounters() {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.c = Counters{}
+}
+
+func (cs *CountingStore) charge(read, bucketOp bool, slots int, bytes int) {
+	cs.mu.Lock()
+	if read {
+		if bucketOp {
+			cs.c.BucketReads++
+		}
+		cs.c.SlotReads += uint64(slots)
+		cs.c.BytesRead += uint64(bytes)
+	} else {
+		if bucketOp {
+			cs.c.BucketWrites++
+		}
+		cs.c.SlotWrites += uint64(slots)
+		cs.c.BytesWritten += uint64(bytes)
+	}
+	cs.mu.Unlock()
+	if cs.tick != nil {
+		cs.tick.OnTransfer(bytes)
+	}
+}
+
+// ReadBucket implements Store.
+func (cs *CountingStore) ReadBucket(level int, node uint64, dst []Slot) error {
+	if err := cs.inner.ReadBucket(level, node, dst); err != nil {
+		return err
+	}
+	cs.charge(true, true, len(dst), len(dst)*cs.Geometry().BlockSize())
+	return nil
+}
+
+// WriteBucket implements Store.
+func (cs *CountingStore) WriteBucket(level int, node uint64, src []Slot) error {
+	if err := cs.inner.WriteBucket(level, node, src); err != nil {
+		return err
+	}
+	cs.charge(false, true, len(src), len(src)*cs.Geometry().BlockSize())
+	return nil
+}
+
+// ReadSlot implements Store.
+func (cs *CountingStore) ReadSlot(level int, node uint64, slot int, dst *Slot) error {
+	if err := cs.inner.ReadSlot(level, node, slot, dst); err != nil {
+		return err
+	}
+	cs.charge(true, false, 1, cs.Geometry().BlockSize())
+	return nil
+}
+
+// WriteSlot implements Store.
+func (cs *CountingStore) WriteSlot(level int, node uint64, slot int, src Slot) error {
+	if err := cs.inner.WriteSlot(level, node, slot, src); err != nil {
+		return err
+	}
+	cs.charge(false, false, 1, cs.Geometry().BlockSize())
+	return nil
+}

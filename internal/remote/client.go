@@ -1,0 +1,111 @@
+package remote
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/oram"
+)
+
+// Client is the client-side Store adapter: it satisfies oram.Store over a
+// TCP connection to a Server, so every ORAM client in this repository
+// (PathORAM, LAORAM, PrORAM wrappers) can run against remote server_storage
+// unchanged. Requests are synchronous, matching the sequential ORAM client.
+type Client struct {
+	conn net.Conn
+	geom *oram.Geometry
+	wbuf []byte
+}
+
+var _ oram.Store = (*Client)(nil)
+
+// Dial connects to a Server and performs the geometry handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
+	}
+	c := &Client{conn: conn}
+	resp, err := c.roundTrip(appendReqHeader(nil, opHello, 0, 0, 0))
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	gw, err := parseGeometryWire(resp)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	g, err := gw.build()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("remote: bad server geometry: %w", err)
+	}
+	c.geom = g
+	return c, nil
+}
+
+// Close shuts the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Geometry implements oram.Store.
+func (c *Client) Geometry() *oram.Geometry { return c.geom }
+
+func (c *Client) roundTrip(req []byte) ([]byte, error) {
+	if err := writeFrame(c.conn, req); err != nil {
+		return nil, fmt.Errorf("remote: send: %w", err)
+	}
+	resp, err := readFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("remote: recv: %w", err)
+	}
+	return parseResponse(resp)
+}
+
+// ReadBucket implements oram.Store.
+func (c *Client) ReadBucket(level int, node uint64, dst []Slot) error {
+	resp, err := c.roundTrip(appendReqHeader(c.wbuf[:0], opReadBucket, level, node, 0))
+	if err != nil {
+		return err
+	}
+	for i := range dst {
+		resp, err = parseSlot(resp, &dst[i])
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteBucket implements oram.Store.
+func (c *Client) WriteBucket(level int, node uint64, src []Slot) error {
+	req := appendReqHeader(c.wbuf[:0], opWriteBucket, level, node, 0)
+	for i := range src {
+		req = appendSlot(req, &src[i])
+	}
+	_, err := c.roundTrip(req)
+	c.wbuf = req[:0]
+	return err
+}
+
+// ReadSlot implements oram.Store.
+func (c *Client) ReadSlot(level int, node uint64, slot int, dst *Slot) error {
+	resp, err := c.roundTrip(appendReqHeader(c.wbuf[:0], opReadSlot, level, node, slot))
+	if err != nil {
+		return err
+	}
+	_, err = parseSlot(resp, dst)
+	return err
+}
+
+// WriteSlot implements oram.Store.
+func (c *Client) WriteSlot(level int, node uint64, slot int, src Slot) error {
+	req := appendReqHeader(c.wbuf[:0], opWriteSlot, level, node, slot)
+	req = appendSlot(req, &src)
+	_, err := c.roundTrip(req)
+	c.wbuf = req[:0]
+	return err
+}
+
+// Slot aliases oram.Slot for the Store method signatures.
+type Slot = oram.Slot

@@ -1,0 +1,192 @@
+// Package remote implements the paper's deployment split (§III, Fig. 5):
+// server_storage as a network service holding the ORAM tree, and a client-
+// side Store adapter the trainer uses. The TCP link is the red line of
+// Fig. 5 — the insecure channel on which the adversary observes exactly the
+// bucket addresses the ORAM protocol was designed to make oblivious. Block
+// contents should be sealed by the client (internal/crypto) before they
+// reach this layer.
+//
+// Wire format: 4-byte big-endian length-prefixed frames. Requests carry a
+// 1-byte opcode followed by fixed-width fields; slots are serialised as
+// (id u64, leaf u64, payloadLen u32, payload). All integers big-endian.
+package remote
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/oram"
+)
+
+// Opcodes.
+const (
+	opHello       = 1
+	opReadBucket  = 2
+	opWriteBucket = 3
+	opReadSlot    = 4
+	opWriteSlot   = 5
+)
+
+// Response status codes.
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// maxFrame bounds a frame to something generous but finite: a bucket of
+// 4 KB blocks with headroom.
+const maxFrame = 16 << 20
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	if len(payload) > maxFrame {
+		return fmt.Errorf("remote: frame too large (%d bytes)", len(payload))
+	}
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("remote: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// appendSlot serialises one slot.
+func appendSlot(buf []byte, s *oram.Slot) []byte {
+	var tmp [20]byte
+	binary.BigEndian.PutUint64(tmp[0:], uint64(s.ID))
+	binary.BigEndian.PutUint64(tmp[8:], uint64(s.Leaf))
+	binary.BigEndian.PutUint32(tmp[16:], uint32(len(s.Payload)))
+	buf = append(buf, tmp[:]...)
+	return append(buf, s.Payload...)
+}
+
+// parseSlot deserialises one slot, returning the remaining buffer.
+func parseSlot(buf []byte, s *oram.Slot) ([]byte, error) {
+	if len(buf) < 20 {
+		return nil, fmt.Errorf("remote: truncated slot header")
+	}
+	s.ID = oram.BlockID(binary.BigEndian.Uint64(buf[0:]))
+	s.Leaf = oram.Leaf(binary.BigEndian.Uint64(buf[8:]))
+	n := binary.BigEndian.Uint32(buf[16:])
+	buf = buf[20:]
+	if uint32(len(buf)) < n {
+		return nil, fmt.Errorf("remote: truncated slot payload (%d < %d)", len(buf), n)
+	}
+	if n == 0 {
+		s.Payload = nil
+	} else {
+		s.Payload = make([]byte, n)
+		copy(s.Payload, buf[:n])
+	}
+	return buf[n:], nil
+}
+
+// geometryWire carries the fields needed to reconstruct the Geometry on the
+// client during the Hello handshake.
+type geometryWire struct {
+	LeafBits  int32
+	LeafZ     int32
+	RootZ     int32
+	Profile   uint8
+	BlockSize int32
+}
+
+func geometryToWire(g *oram.Geometry) geometryWire {
+	return geometryWire{
+		LeafBits:  int32(g.LeafBits()),
+		LeafZ:     int32(g.BucketSize(g.LeafBits())),
+		RootZ:     int32(g.BucketSize(0)),
+		Profile:   uint8(g.Profile()),
+		BlockSize: int32(g.BlockSize()),
+	}
+}
+
+func (gw geometryWire) build() (*oram.Geometry, error) {
+	return oram.NewGeometry(oram.GeometryConfig{
+		LeafBits:  int(gw.LeafBits),
+		LeafZ:     int(gw.LeafZ),
+		RootZ:     int(gw.RootZ),
+		Profile:   oram.Profile(gw.Profile),
+		BlockSize: int(gw.BlockSize),
+	})
+}
+
+func (gw geometryWire) append(buf []byte) []byte {
+	var tmp [17]byte
+	binary.BigEndian.PutUint32(tmp[0:], uint32(gw.LeafBits))
+	binary.BigEndian.PutUint32(tmp[4:], uint32(gw.LeafZ))
+	binary.BigEndian.PutUint32(tmp[8:], uint32(gw.RootZ))
+	tmp[12] = gw.Profile
+	binary.BigEndian.PutUint32(tmp[13:], uint32(gw.BlockSize))
+	return append(buf, tmp[:]...)
+}
+
+func parseGeometryWire(buf []byte) (geometryWire, error) {
+	if len(buf) < 17 {
+		return geometryWire{}, fmt.Errorf("remote: truncated geometry")
+	}
+	return geometryWire{
+		LeafBits:  int32(binary.BigEndian.Uint32(buf[0:])),
+		LeafZ:     int32(binary.BigEndian.Uint32(buf[4:])),
+		RootZ:     int32(binary.BigEndian.Uint32(buf[8:])),
+		Profile:   buf[12],
+		BlockSize: int32(binary.BigEndian.Uint32(buf[13:])),
+	}, nil
+}
+
+// request header layout after the opcode: level u32, node u64, slot u32.
+func appendReqHeader(buf []byte, op byte, level int, node uint64, slot int) []byte {
+	var tmp [17]byte
+	tmp[0] = op
+	binary.BigEndian.PutUint32(tmp[1:], uint32(level))
+	binary.BigEndian.PutUint64(tmp[5:], node)
+	binary.BigEndian.PutUint32(tmp[13:], uint32(slot))
+	return append(buf, tmp[:]...)
+}
+
+func parseReqHeader(buf []byte) (op byte, level int, node uint64, slot int, rest []byte, err error) {
+	if len(buf) < 17 {
+		return 0, 0, 0, 0, nil, fmt.Errorf("remote: truncated request")
+	}
+	op = buf[0]
+	level = int(int32(binary.BigEndian.Uint32(buf[1:])))
+	node = binary.BigEndian.Uint64(buf[5:])
+	slot = int(int32(binary.BigEndian.Uint32(buf[13:])))
+	return op, level, node, slot, buf[17:], nil
+}
+
+func okResponse(buf []byte) []byte { return append(buf, statusOK) }
+
+func errResponse(err error) []byte {
+	msg := err.Error()
+	out := make([]byte, 0, 1+len(msg))
+	out = append(out, statusErr)
+	return append(out, msg...)
+}
+
+func parseResponse(buf []byte) ([]byte, error) {
+	if len(buf) < 1 {
+		return nil, fmt.Errorf("remote: empty response")
+	}
+	if buf[0] == statusErr {
+		return nil, fmt.Errorf("remote: server: %s", string(buf[1:]))
+	}
+	return buf[1:], nil
+}

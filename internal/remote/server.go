@@ -1,0 +1,167 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/oram"
+)
+
+// Server exposes a Store over TCP: the paper's server_storage component.
+// It is intentionally "dumb" — it answers bucket/slot requests at the
+// addresses the client names and never learns which logical block is meant;
+// all obliviousness lives client-side.
+type Server struct {
+	store oram.Store
+	ln    net.Listener
+	mu    sync.Mutex // serialises store access across connections
+
+	logf func(format string, args ...any)
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewServer wraps store; logf may be nil (silent).
+func NewServer(store oram.Store, logf func(string, ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{store: store, logf: logf, closed: make(chan struct{})}
+}
+
+// Listen starts accepting on addr ("host:port"; ":0" picks a free port) and
+// returns the bound address. Serving happens on background goroutines.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("remote: listen: %w", err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	close(s.closed)
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			s.logf("remote: accept: %v", err)
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			if err := s.handleConn(conn); err != nil && !errors.Is(err, io.EOF) {
+				s.logf("remote: conn %v: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) error {
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			return err
+		}
+		resp := s.dispatch(req)
+		if err := writeFrame(conn, resp); err != nil {
+			return err
+		}
+	}
+}
+
+func (s *Server) dispatch(req []byte) []byte {
+	op, level, node, slot, rest, err := parseReqHeader(req)
+	if err != nil {
+		return errResponse(err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.store.Geometry()
+	switch op {
+	case opHello:
+		return geometryToWire(g).append(okResponse(nil))
+	case opReadBucket:
+		if level < 0 || level >= g.Levels() {
+			return errResponse(fmt.Errorf("level %d out of range", level))
+		}
+		buf := make([]oram.Slot, g.BucketSize(level))
+		if err := s.store.ReadBucket(level, node, buf); err != nil {
+			return errResponse(err)
+		}
+		out := okResponse(nil)
+		for i := range buf {
+			out = appendSlot(out, &buf[i])
+		}
+		return out
+	case opWriteBucket:
+		if level < 0 || level >= g.Levels() {
+			return errResponse(fmt.Errorf("level %d out of range", level))
+		}
+		z := g.BucketSize(level)
+		slots := make([]oram.Slot, z)
+		for i := 0; i < z; i++ {
+			rest, err = parseSlot(rest, &slots[i])
+			if err != nil {
+				return errResponse(err)
+			}
+		}
+		if err := s.store.WriteBucket(level, node, slots); err != nil {
+			return errResponse(err)
+		}
+		return okResponse(nil)
+	case opReadSlot:
+		var sl oram.Slot
+		if err := s.store.ReadSlot(level, node, slot, &sl); err != nil {
+			return errResponse(err)
+		}
+		return appendSlot(okResponse(nil), &sl)
+	case opWriteSlot:
+		var sl oram.Slot
+		if _, err := parseSlot(rest, &sl); err != nil {
+			return errResponse(err)
+		}
+		if err := s.store.WriteSlot(level, node, slot, sl); err != nil {
+			return errResponse(err)
+		}
+		return okResponse(nil)
+	default:
+		return errResponse(fmt.Errorf("unknown opcode %d", op))
+	}
+}
+
+// ListenAndLog is a convenience for cmd/laoramserve: listen and log with the
+// standard logger.
+func ListenAndLog(store oram.Store, addr string) (*Server, string, error) {
+	srv := NewServer(store, log.Printf)
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, bound, nil
+}

@@ -1,0 +1,106 @@
+package superblock
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/oram"
+)
+
+// CachedStatic puts a trusted client cache (PrORAM's LLC; the paper's GPU
+// VRAM entry cache) in front of a StaticORAM. A superblock fetch installs
+// every member into the cache, so spatially local access runs are served
+// with one path read per S accesses — the "perfectly formed superblock"
+// case of §II-D. Dirty evictions are written back through the ORAM.
+type CachedStatic struct {
+	inner *StaticORAM
+	lru   *cache.LRU
+}
+
+// NewCachedStatic wraps inner with a cache of capacityBlocks entries.
+func NewCachedStatic(inner *StaticORAM, capacityBlocks int) (*CachedStatic, error) {
+	lru, err := cache.New(capacityBlocks)
+	if err != nil {
+		return nil, err
+	}
+	return &CachedStatic{inner: inner, lru: lru}, nil
+}
+
+// Inner returns the wrapped StaticORAM.
+func (cs *CachedStatic) Inner() *StaticORAM { return cs.inner }
+
+// Cache returns the client cache (for hit-rate inspection).
+func (cs *CachedStatic) Cache() *cache.LRU { return cs.lru }
+
+// Access serves one block: from the cache if resident (no server traffic),
+// otherwise by fetching its whole superblock and installing all members.
+func (cs *CachedStatic) Access(op oram.Op, id oram.BlockID, data []byte) ([]byte, error) {
+	if e, ok := cs.lru.Get(uint64(id)); ok {
+		return cs.serveCached(e, op, data)
+	}
+	var victims []*cache.Victim
+	err := cs.inner.AccessGroup(id, func(m oram.BlockID, payload []byte) []byte {
+		var cp []byte
+		if payload != nil {
+			cp = make([]byte, len(payload))
+			copy(cp, payload)
+		}
+		if victim := cs.lru.Put(uint64(m), cp, false); victim != nil {
+			victims = append(victims, victim)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Write dirty victims back through their own superblocks, after the
+	// fetching access completes.
+	for _, v := range victims {
+		if err := cs.writeback(v); err != nil {
+			return nil, err
+		}
+	}
+	e, ok := cs.lru.Get(uint64(id))
+	if !ok {
+		// Possible only when the group spans more blocks than the cache
+		// holds; treat as a configuration error.
+		return nil, fmt.Errorf("superblock: cache too small for one superblock")
+	}
+	return cs.serveCached(e, op, data)
+}
+
+func (cs *CachedStatic) serveCached(e *cache.Entry, op oram.Op, data []byte) ([]byte, error) {
+	switch op {
+	case oram.OpRead:
+		if e.Payload == nil {
+			return nil, nil
+		}
+		out := make([]byte, len(e.Payload))
+		copy(out, e.Payload)
+		return out, nil
+	case oram.OpWrite:
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		e.Payload = cp
+		e.Dirty = true
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("superblock: unknown op %v", op)
+	}
+}
+
+// Flush writes every dirty cached entry back through the ORAM; call at the
+// end of a run so server state reflects all writes.
+func (cs *CachedStatic) Flush() error {
+	for _, v := range cs.lru.FlushDirty() {
+		if err := cs.writeback(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (cs *CachedStatic) writeback(v *cache.Victim) error {
+	_, err := cs.inner.Access(oram.OpWrite, oram.BlockID(v.ID), v.Payload)
+	return err
+}

@@ -1,0 +1,349 @@
+package superblock
+
+import (
+	"fmt"
+
+	"repro/internal/oram"
+)
+
+// StaticORAM is the PrORAM static-superblock baseline (§II-D): every n
+// consecutive block IDs form one permanent superblock sharing a path, on
+// the premise that spatial locality exists across nearby blocks.
+//
+// It composes the PathORAM primitives: an access reads the group's shared
+// path once, serves the requested block, remaps the whole group to one
+// fresh uniform leaf, and writes the path back.
+type StaticORAM struct {
+	base *oram.Client
+	s    int
+}
+
+// NewStaticORAM wraps a PathORAM client with static superblocks of size s.
+// Call LoadGrouped (not Client.Load) so groups start co-located.
+func NewStaticORAM(base *oram.Client, s int) (*StaticORAM, error) {
+	if s < 1 {
+		return nil, fmt.Errorf("superblock: static size must be >= 1, got %d", s)
+	}
+	return &StaticORAM{base: base, s: s}, nil
+}
+
+// Base returns the wrapped PathORAM client.
+func (so *StaticORAM) Base() *oram.Client { return so.base }
+
+// GroupOf returns the superblock index of a block.
+func (so *StaticORAM) GroupOf(id oram.BlockID) uint64 { return uint64(id) / uint64(so.s) }
+
+// members returns the block IDs of a group, clipped to the table size.
+func (so *StaticORAM) members(group uint64) []oram.BlockID {
+	lo := group * uint64(so.s)
+	hi := lo + uint64(so.s)
+	if max := so.base.PosMap().Len(); hi > max {
+		hi = max
+	}
+	out := make([]oram.BlockID, 0, so.s)
+	for i := lo; i < hi; i++ {
+		out = append(out, oram.BlockID(i))
+	}
+	return out
+}
+
+// LoadGrouped populates the tree with n blocks, each group placed on one
+// shared random leaf — the static-superblock invariant.
+func (so *StaticORAM) LoadGrouped(n uint64, payload func(oram.BlockID) []byte) error {
+	groupLeaf := make(map[uint64]oram.Leaf)
+	leafOf := func(id oram.BlockID) oram.Leaf {
+		grp := so.GroupOf(id)
+		l, ok := groupLeaf[grp]
+		if !ok {
+			l = so.base.RandomLeaf()
+			groupLeaf[grp] = l
+		}
+		return l
+	}
+	return so.base.Load(n, leafOf, payload)
+}
+
+// AccessGroup fetches the entire superblock containing id with a single
+// path read, calls visit for every member while the group is resident in
+// trusted memory, remaps the group to one fresh uniform leaf, and writes
+// the path back. visit may return a replacement payload (or nil to keep).
+// This is the primitive PrORAM's n/S gain comes from: callers that consume
+// several members per fetch (a client cache, a batch) amortise the path.
+func (so *StaticORAM) AccessGroup(id oram.BlockID, visit func(m oram.BlockID, payload []byte) []byte) error {
+	if uint64(id) >= so.base.PosMap().Len() {
+		return fmt.Errorf("superblock: block %d out of range", id)
+	}
+	st := so.base.StatsMut()
+	members := so.members(so.GroupOf(id))
+
+	// All members share a leaf (the static invariant); members already in
+	// the stash carry the group's pending leaf.
+	leaf := oram.NoLeaf
+	for _, m := range members {
+		if !so.base.Stash().Contains(m) {
+			leaf = so.base.PosMap().Get(m)
+			break
+		}
+	}
+	if leaf != oram.NoLeaf {
+		if err := so.base.ReadPath(leaf); err != nil {
+			return err
+		}
+		st.PathReads++
+	} else {
+		st.StashHits++
+	}
+	// Remap the whole group to one fresh uniform leaf.
+	newLeaf := so.base.RandomLeaf()
+	for _, m := range members {
+		if !so.base.Stash().Contains(m) {
+			return fmt.Errorf("superblock: member %d missing from shared path %d", m, leaf)
+		}
+		so.base.PosMap().Set(m, newLeaf)
+		so.base.Stash().SetLeaf(m, newLeaf)
+		st.Remaps++
+	}
+	if visit != nil {
+		for _, m := range members {
+			p, _ := so.base.Stash().Payload(m)
+			if np := visit(m, p); np != nil {
+				so.base.Stash().SetPayload(m, np)
+			}
+		}
+	}
+	if leaf != oram.NoLeaf {
+		if err := so.base.WriteBackPath(leaf); err != nil {
+			return err
+		}
+		st.PathWrites++
+	}
+	if _, err := so.base.MaybeEvict(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Access serves one block through its superblock: one path read covers the
+// whole group, the group is remapped to a single fresh leaf, one path
+// write-back follows.
+func (so *StaticORAM) Access(op oram.Op, id oram.BlockID, data []byte) ([]byte, error) {
+	st := so.base.StatsMut()
+	st.Accesses++
+	var out []byte
+	var serveErr error
+	err := so.AccessGroup(id, func(m oram.BlockID, payload []byte) []byte {
+		if m != id {
+			return nil
+		}
+		switch op {
+		case oram.OpRead:
+			if payload != nil {
+				out = make([]byte, len(payload))
+				copy(out, payload)
+			}
+			return nil
+		case oram.OpWrite:
+			cp := make([]byte, len(data))
+			copy(cp, data)
+			return cp
+		default:
+			serveErr = fmt.Errorf("superblock: unknown op %v", op)
+			return nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, serveErr
+}
+
+// DynamicConfig tunes the PrORAM dynamic-superblock baseline.
+type DynamicConfig struct {
+	// S is the (maximum) superblock size: aligned groups of S consecutive
+	// IDs are merge candidates.
+	S int
+	// MergeThreshold is the locality-counter value at which a group is
+	// promoted to a superblock.
+	MergeThreshold int
+	// SplitThreshold is the counter value at which a superblock is broken
+	// back into individual blocks.
+	SplitThreshold int
+}
+
+// DefaultDynamicConfig mirrors PrORAM's spirit: promote after a short run
+// of spatially adjacent accesses, demote when locality disappears.
+func DefaultDynamicConfig(s int) DynamicConfig {
+	return DynamicConfig{S: s, MergeThreshold: 3, SplitThreshold: 0}
+}
+
+// DynamicORAM is the PrORAM dynamic-superblock baseline (§II-D): a spatial
+// locality counter per aligned group of S consecutive blocks; consecutive
+// accesses within the same group raise the counter, strays lower it; above
+// MergeThreshold the group is fused into a superblock, below SplitThreshold
+// it is dissolved.
+//
+// On the paper's embedding workloads the counters never climb (Fig. 2:
+// "most accesses are random"), so DynamicORAM degenerates to PathORAM —
+// exactly the observation that motivates LAORAM ("In the absence of good
+// predictability, PrORAM performs similarly to the PathORAM").
+type DynamicORAM struct {
+	base    *oram.Client
+	cfg     DynamicConfig
+	counter map[uint64]int
+	merged  map[uint64]bool
+	last    uint64 // group of the previous access
+	primed  bool
+
+	// MergeEvents / SplitEvents expose promotion activity to tests and
+	// the harness.
+	MergeEvents uint64
+	SplitEvents uint64
+}
+
+// NewDynamicORAM wraps a PathORAM client with dynamic superblocks.
+func NewDynamicORAM(base *oram.Client, cfg DynamicConfig) (*DynamicORAM, error) {
+	if cfg.S < 2 {
+		return nil, fmt.Errorf("superblock: dynamic S must be >= 2, got %d", cfg.S)
+	}
+	if cfg.SplitThreshold >= cfg.MergeThreshold {
+		return nil, fmt.Errorf("superblock: SplitThreshold %d must be < MergeThreshold %d", cfg.SplitThreshold, cfg.MergeThreshold)
+	}
+	return &DynamicORAM{
+		base:    base,
+		cfg:     cfg,
+		counter: make(map[uint64]int),
+		merged:  make(map[uint64]bool),
+	}, nil
+}
+
+// Base returns the wrapped PathORAM client.
+func (d *DynamicORAM) Base() *oram.Client { return d.base }
+
+// MergedGroups returns the number of groups currently fused.
+func (d *DynamicORAM) MergedGroups() int { return len(d.merged) }
+
+func (d *DynamicORAM) groupOf(id oram.BlockID) uint64 { return uint64(id) / uint64(d.cfg.S) }
+
+func (d *DynamicORAM) members(group uint64) []oram.BlockID {
+	lo := group * uint64(d.cfg.S)
+	hi := lo + uint64(d.cfg.S)
+	if max := d.base.PosMap().Len(); hi > max {
+		hi = max
+	}
+	out := make([]oram.BlockID, 0, d.cfg.S)
+	for i := lo; i < hi; i++ {
+		out = append(out, oram.BlockID(i))
+	}
+	return out
+}
+
+// Access serves one block, updating the locality counters and using a fused
+// group's shared path when available.
+func (d *DynamicORAM) Access(op oram.Op, id oram.BlockID, data []byte) ([]byte, error) {
+	if uint64(id) >= d.base.PosMap().Len() {
+		return nil, fmt.Errorf("superblock: block %d out of range", id)
+	}
+	g := d.groupOf(id)
+	d.bumpCounters(g)
+
+	if !d.merged[g] {
+		// Plain PathORAM access for an unfused block.
+		return d.base.Access(op, id, data)
+	}
+	return d.superblockAccess(op, g, id, data)
+}
+
+func (d *DynamicORAM) bumpCounters(g uint64) {
+	if d.primed && d.last == g {
+		d.counter[g]++
+		if d.counter[g] >= d.cfg.MergeThreshold && !d.merged[g] {
+			d.merged[g] = true
+			d.MergeEvents++
+		}
+	} else if d.primed {
+		d.counter[d.last]--
+		if d.counter[d.last] <= d.cfg.SplitThreshold && d.merged[d.last] {
+			delete(d.merged, d.last)
+			d.SplitEvents++
+		}
+		if d.counter[d.last] < d.cfg.SplitThreshold {
+			d.counter[d.last] = d.cfg.SplitThreshold
+		}
+	}
+	d.last = g
+	d.primed = true
+}
+
+// superblockAccess fetches every member of a fused group (their paths may
+// still be scattered right after promotion), assigns all of them one fresh
+// shared leaf, and writes the fetched paths back.
+func (d *DynamicORAM) superblockAccess(op oram.Op, g uint64, id oram.BlockID, data []byte) ([]byte, error) {
+	st := d.base.StatsMut()
+	st.Accesses++
+	members := d.members(g)
+
+	var readLeaves []oram.Leaf
+	seen := make(map[oram.Leaf]bool)
+	for _, m := range members {
+		if d.base.Stash().Contains(m) {
+			continue
+		}
+		l := d.base.PosMap().Get(m)
+		if l == oram.NoLeaf {
+			return nil, fmt.Errorf("superblock: member %d not loaded", m)
+		}
+		if !seen[l] {
+			seen[l] = true
+			readLeaves = append(readLeaves, l)
+		}
+	}
+	if len(readLeaves) == 0 {
+		st.StashHits++
+	}
+	for _, l := range readLeaves {
+		if err := d.base.ReadPath(l); err != nil {
+			return nil, err
+		}
+		st.PathReads++
+	}
+	newLeaf := d.base.RandomLeaf()
+	for _, m := range members {
+		if !d.base.Stash().Contains(m) {
+			return nil, fmt.Errorf("superblock: member %d missing after path reads", m)
+		}
+		d.base.PosMap().Set(m, newLeaf)
+		d.base.Stash().SetLeaf(m, newLeaf)
+		st.Remaps++
+	}
+	var out []byte
+	switch op {
+	case oram.OpRead:
+		p, ok := d.base.Stash().Payload(id)
+		if !ok {
+			return nil, fmt.Errorf("superblock: block %d not in stash", id)
+		}
+		out = make([]byte, len(p))
+		copy(out, p)
+		if p == nil {
+			out = nil
+		}
+	case oram.OpWrite:
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		if !d.base.Stash().SetPayload(id, cp) {
+			return nil, fmt.Errorf("superblock: block %d not in stash", id)
+		}
+	default:
+		return nil, fmt.Errorf("superblock: unknown op %v", op)
+	}
+	// Joint write-back: the fetched paths overlap at least at the root,
+	// so they must be written as one plan (see oram.WriteBackPaths).
+	if err := d.base.WriteBackPaths(readLeaves); err != nil {
+		return nil, err
+	}
+	st.PathWrites += uint64(len(readLeaves))
+	if _, err := d.base.MaybeEvict(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,197 @@
+package superblock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/oram"
+)
+
+// TestQuickPlanInvariants: for random streams and superblock sizes, the
+// plan must (1) cover every stream element in order, (2) never exceed S
+// unique members per bin, (3) keep per-block queues strictly increasing,
+// (4) draw every bin leaf within range.
+func TestQuickPlanInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(streamRaw []uint16, sRaw uint8, seed int64) bool {
+		if len(streamRaw) == 0 {
+			return true
+		}
+		s := 1 + int(sRaw%8)
+		const leaves = 256
+		stream := make([]uint64, len(streamRaw))
+		for i, v := range streamRaw {
+			stream[i] = uint64(v % 512)
+		}
+		p, err := NewPlan(stream, PlanConfig{
+			S: s, Leaves: leaves, Rand: rand.New(rand.NewSource(seed)),
+		})
+		if err != nil {
+			return false
+		}
+		// (2) bin sizes and member uniqueness; (4) leaf ranges.
+		totalMembers := 0
+		for i := 0; i < p.Len(); i++ {
+			b := p.Bin(i)
+			if b.Index != i {
+				return false
+			}
+			if len(b.Blocks) == 0 || len(b.Blocks) > s {
+				return false
+			}
+			if uint64(b.Leaf) >= leaves {
+				return false
+			}
+			seen := map[oram.BlockID]bool{}
+			for _, id := range b.Blocks {
+				if seen[id] {
+					return false
+				}
+				seen[id] = true
+			}
+			totalMembers += len(b.Blocks)
+		}
+		// Only full bins except possibly the last.
+		for i := 0; i < p.Len()-1; i++ {
+			if len(p.Bin(i).Blocks) != s {
+				return false
+			}
+		}
+		// (3) queues strictly increasing and consistent with bins.
+		queued := 0
+		for id, q := range p.queues {
+			prev := int32(-1)
+			for _, bi := range q {
+				if bi <= prev {
+					return false
+				}
+				prev = bi
+				found := false
+				for _, m := range p.bins[bi].Blocks {
+					if m == id {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+			queued += len(q)
+		}
+		if queued != totalMembers {
+			return false
+		}
+		// (1) replaying the stream against a cursor: every access is
+		// served by the current or an already-executed bin.
+		cur := NewCursor(p)
+		executed := map[oram.BlockID]bool{}
+		si := 0
+		for !cur.Done() {
+			bin, _, err := cur.Advance()
+			if err != nil {
+				return false
+			}
+			for _, id := range bin.Blocks {
+				executed[id] = true
+			}
+			// Consume stream entries servable so far.
+			for si < len(stream) && executed[oram.BlockID(stream[si])] {
+				si++
+			}
+			// Reset visibility: a block's cached copy only survives
+			// until re-binned; for this invariant it is enough that
+			// the bin containing stream[si] is executed in order.
+			if si < len(stream) {
+				// The next unserved access must belong to a future bin.
+				q := p.BinsOf(oram.BlockID(stream[si]))
+				future := false
+				for _, bi := range q {
+					if int(bi) >= bin.Index {
+						future = true
+						break
+					}
+				}
+				if !future {
+					return false
+				}
+			}
+		}
+		return si == len(stream)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCursorNextLeafConsistency: the leaf handed out on Advance for a
+// block equals the leaf of the block's next bin (or NoLeaf at horizon end).
+func TestQuickCursorNextLeafConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	f := func(streamRaw []uint8, seed int64) bool {
+		if len(streamRaw) < 4 {
+			return true
+		}
+		stream := make([]uint64, len(streamRaw))
+		for i, v := range streamRaw {
+			stream[i] = uint64(v % 32)
+		}
+		p, err := NewPlan(stream, PlanConfig{
+			S: 3, Leaves: 64, Rand: rand.New(rand.NewSource(seed)),
+		})
+		if err != nil {
+			return false
+		}
+		cur := NewCursor(p)
+		pos := map[oram.BlockID]int{}
+		for !cur.Done() {
+			bin, next, err := cur.Advance()
+			if err != nil {
+				return false
+			}
+			for i, id := range bin.Blocks {
+				q := p.BinsOf(id)
+				k := pos[id]
+				if k >= len(q) || q[k] != int32(bin.Index) {
+					return false
+				}
+				pos[id] = k + 1
+				if k+1 < len(q) {
+					if next[i] != p.Bin(int(q[k+1])).Leaf {
+						return false
+					}
+				} else if next[i] != oram.NoLeaf {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMetadataBytes: metadata size is exactly 8·(bins + members).
+func TestQuickMetadataBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func(streamRaw []uint8) bool {
+		stream := make([]uint64, len(streamRaw))
+		for i, v := range streamRaw {
+			stream[i] = uint64(v)
+		}
+		p, err := NewPlan(stream, PlanConfig{S: 4, Leaves: 32, Rand: rand.New(rand.NewSource(1))})
+		if err != nil {
+			return false
+		}
+		members := 0
+		for i := 0; i < p.Len(); i++ {
+			members += len(p.Bin(i).Blocks)
+		}
+		return p.MetadataBytes() == int64(8*(p.Len()+members))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

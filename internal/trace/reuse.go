@@ -1,0 +1,74 @@
+package trace
+
+import "sort"
+
+// ReuseDistance analysis: for each access, how many accesses ago was the
+// same address last touched? This is the quantity that dictates LAORAM's
+// look-ahead window (DESIGN.md abl-window): a window shorter than the
+// typical reuse distance forces blocks out of the horizon with uniform
+// paths, splintering superblocks.
+
+// ReuseDistances returns, for every access that revisits an address, the
+// distance (in accesses) since its previous occurrence. First touches
+// contribute nothing.
+func ReuseDistances(stream []uint64) []int {
+	last := make(map[uint64]int, len(stream))
+	var out []int
+	for i, a := range stream {
+		if j, ok := last[a]; ok {
+			out = append(out, i-j)
+		}
+		last[a] = i
+	}
+	return out
+}
+
+// ReuseSummary characterises a stream's reuse behaviour.
+type ReuseSummary struct {
+	// Accesses is the stream length.
+	Accesses int
+	// Revisits is how many accesses had a prior occurrence.
+	Revisits int
+	// Median, P90 and Max of the reuse distances (0 when no revisits).
+	Median int
+	P90    int
+	Max    int
+	// WindowFor returns below.
+	distances []int
+}
+
+// AnalyzeReuse computes the summary.
+func AnalyzeReuse(stream []uint64) ReuseSummary {
+	d := ReuseDistances(stream)
+	s := ReuseSummary{Accesses: len(stream), Revisits: len(d), distances: d}
+	if len(d) == 0 {
+		return s
+	}
+	sorted := make([]int, len(d))
+	copy(sorted, d)
+	sort.Ints(sorted)
+	s.Median = sorted[len(sorted)/2]
+	s.P90 = sorted[len(sorted)*9/10]
+	s.Max = sorted[len(sorted)-1]
+	return s
+}
+
+// WindowFor returns the smallest look-ahead window (in accesses) that
+// covers the given fraction of revisits — the principled way to size
+// LAORAM's preprocessing horizon for a workload.
+func (s ReuseSummary) WindowFor(fraction float64) int {
+	if len(s.distances) == 0 || fraction <= 0 {
+		return 0
+	}
+	if fraction >= 1 {
+		return s.Max
+	}
+	sorted := make([]int, len(s.distances))
+	copy(sorted, s.distances)
+	sort.Ints(sorted)
+	idx := int(fraction * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

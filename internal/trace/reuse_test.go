@@ -1,0 +1,79 @@
+package trace
+
+import "testing"
+
+func TestReuseDistances(t *testing.T) {
+	d := ReuseDistances([]uint64{1, 2, 1, 3, 2, 1})
+	// 1@2 (dist 2), 2@4 (dist 3), 1@5 (dist 3).
+	want := []int{2, 3, 3}
+	if len(d) != len(want) {
+		t.Fatalf("distances = %v", d)
+	}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("d[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+	if len(ReuseDistances([]uint64{1, 2, 3})) != 0 {
+		t.Error("no-revisit stream produced distances")
+	}
+	if len(ReuseDistances(nil)) != 0 {
+		t.Error("empty stream produced distances")
+	}
+}
+
+func TestAnalyzeReuse(t *testing.T) {
+	s := AnalyzeReuse([]uint64{1, 2, 1, 3, 2, 1})
+	if s.Accesses != 6 || s.Revisits != 3 {
+		t.Errorf("summary %+v", s)
+	}
+	if s.Median != 3 || s.Max != 3 {
+		t.Errorf("median %d max %d", s.Median, s.Max)
+	}
+	empty := AnalyzeReuse([]uint64{1, 2, 3})
+	if empty.Revisits != 0 || empty.Median != 0 || empty.WindowFor(0.9) != 0 {
+		t.Errorf("empty summary %+v", empty)
+	}
+}
+
+// TestPermutationReuseMatchesEpochs: for back-to-back permutations, reuse
+// distances live in [1, 2N-1] with mean ≈ N — the analytical basis for
+// "the look-ahead window must span an epoch".
+func TestPermutationReuseMatchesEpochs(t *testing.T) {
+	const n = 512
+	stream := PermutationEpochs(NewRNG(7), n, 3*n)
+	s := AnalyzeReuse(stream)
+	if s.Revisits != 2*n {
+		t.Fatalf("revisits = %d, want %d", s.Revisits, 2*n)
+	}
+	if s.Max >= 2*n {
+		t.Errorf("max reuse distance %d >= 2N", s.Max)
+	}
+	if s.Median < n/2 || s.Median > 3*n/2 {
+		t.Errorf("median %d implausible for N=%d", s.Median, n)
+	}
+	// Sizing the window for 100% of revisits must cover an epoch.
+	if w := s.WindowFor(1.0); w < n/2 {
+		t.Errorf("full-coverage window %d too small", w)
+	}
+	if w := s.WindowFor(0.5); w > s.WindowFor(1.0) {
+		t.Errorf("window not monotone in fraction: %d > %d", w, s.WindowFor(1.0))
+	}
+}
+
+// TestZipfReuseIsShort: NLP token streams revisit hot tokens quickly, so
+// modest windows already capture most reuse — why Fig. 7f's gains are so
+// large.
+func TestZipfReuseIsShort(t *testing.T) {
+	stream := XNLILike(NewRNG(8), 1<<16, 20000, 1.1)
+	s := AnalyzeReuse(stream)
+	if s.Revisits == 0 {
+		t.Fatal("no revisits in Zipf stream")
+	}
+	if s.Median > 200 {
+		t.Errorf("median reuse distance %d too long for Zipf(1.1)", s.Median)
+	}
+	if s.WindowFor(0.5) > s.WindowFor(0.9) {
+		t.Error("window not monotone")
+	}
+}

@@ -1,0 +1,456 @@
+// Package laoram is the public API of this LAORAM reproduction: an
+// oblivious block store for embedding-table training that hides the access
+// pattern from the storage server (the paper's server_storage), built on
+// PathORAM with the paper's two contributions layered on top:
+//
+//   - Look-ahead superblocks (§IV): when the upcoming access stream is
+//     known — as it is in ML training — Preprocess groups future co-accessed
+//     blocks into superblock bins on shared paths, and a Session serves each
+//     bin with (ideally) a single path fetch.
+//   - Fat trees (§V): wider buckets near the root absorb superblock
+//     write-back pressure, cutting background evictions.
+//
+// Typical use:
+//
+//	db, _ := laoram.New(laoram.Options{Entries: 1 << 20, BlockSize: 128})
+//	db.Load(1<<20, initRow)                  // bulk-load the table
+//	db.Write(42, row)                        // ad-hoc oblivious access
+//	row, _ := db.Read(42)
+//
+//	plan, _ := db.Preprocess(upcomingIndices, 4)   // look-ahead training
+//	db.LoadForPlan(plan, initRow)                  // (fresh instance)
+//	s, _ := db.NewSession(plan)
+//	s.Run(func(id uint64, row []byte) []byte { return update(row) })
+//
+// Everything here wraps the internal packages; see DESIGN.md for the
+// paper-to-module map.
+package laoram
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/integrity"
+	"repro/internal/memsim"
+	"repro/internal/oram"
+	"repro/internal/remote"
+	"repro/internal/superblock"
+	"repro/internal/trace"
+)
+
+// Options configures an ORAM instance.
+type Options struct {
+	// Entries is the number of blocks (embedding rows), IDs 0..Entries-1.
+	Entries uint64
+	// BlockSize is the payload size in bytes (e.g. 128 for DLRM rows,
+	// 4096 for XLM-R rows). Required unless MetadataOnly.
+	BlockSize int
+	// BucketSize is the leaf bucket capacity Z (default 4, the paper's).
+	BucketSize int
+	// FatTree selects the §V fat tree (root buckets 2× leaf, linear
+	// decay).
+	FatTree bool
+	// MetadataOnly simulates payloads (16 B/slot server state), allowing
+	// paper-scale trees; Read returns nil payloads.
+	MetadataOnly bool
+	// Encrypt seals payloads with AES-CTR+HMAC before they reach server
+	// storage (the §III threat model's "content of the memory itself is
+	// considered encrypted"). Ignored with MetadataOnly.
+	Encrypt bool
+	// Key is the optional 32-byte sealing key; nil generates a random
+	// one.
+	Key []byte
+	// EvictHigh/EvictLow are the background-eviction watermarks
+	// (§VIII-E; defaults 500/50). Set EvictHigh = -1 to disable.
+	EvictHigh, EvictLow int
+	// Seed makes all randomized behaviour reproducible (leaf choices,
+	// bin paths).
+	Seed int64
+	// RemoteAddr, when set, uses a laoramserve instance at this address
+	// as server storage instead of in-process memory. Entries must match
+	// the server's tree capacity; BlockSize/BucketSize/FatTree are taken
+	// from the server.
+	RemoteAddr string
+	// Measure attaches a deterministic DDR4 timing model; SimTime then
+	// reports simulated time.
+	Measure bool
+	// Verify adds Merkle authentication over server storage: every
+	// bucket read is checked against a trusted root digest, detecting
+	// tampering and rollback by an actively malicious server (an
+	// extension beyond the paper's honest-but-curious model; see
+	// internal/integrity). Adds hashing plus authentication-path reads.
+	Verify bool
+	// RecursivePosMap stores the position map itself in smaller ORAMs
+	// (the original PathORAM recursion), shrinking trusted client state
+	// from O(N) to O(log N) at the cost of extra oblivious accesses per
+	// lookup. Loads become substantially slower; intended for the
+	// client-memory ablation, not the paper's default setting.
+	RecursivePosMap bool
+}
+
+func (o Options) evict() (oram.EvictConfig, error) {
+	if o.EvictHigh < 0 {
+		return oram.EvictConfig{}, nil
+	}
+	if o.EvictHigh == 0 {
+		return oram.PaperEvict, nil
+	}
+	if o.EvictLow < 0 || o.EvictLow > o.EvictHigh {
+		return oram.EvictConfig{}, fmt.Errorf("laoram: invalid eviction watermarks %d/%d", o.EvictHigh, o.EvictLow)
+	}
+	return oram.EvictConfig{Enabled: true, High: o.EvictHigh, Low: o.EvictLow}, nil
+}
+
+// ORAM is an oblivious block store.
+type ORAM struct {
+	opts   Options
+	base   *oram.Client
+	store  *oram.CountingStore
+	meter  *memsim.Meter
+	remote *remote.Client
+}
+
+// Stats summarises client activity and server traffic.
+type Stats struct {
+	Accesses       uint64
+	PathReads      uint64
+	PathWrites     uint64
+	DummyReads     uint64
+	StashHits      uint64
+	StashSize      int
+	StashPeak      int
+	BytesMoved     uint64
+	ServerBytes    int64
+	PositionBytes  int64
+	SimTimeSeconds float64
+}
+
+// New builds an ORAM instance.
+func New(opts Options) (*ORAM, error) {
+	if opts.Entries == 0 {
+		return nil, fmt.Errorf("laoram: Options.Entries must be > 0")
+	}
+	evict, err := opts.evict()
+	if err != nil {
+		return nil, err
+	}
+	o := &ORAM{opts: opts}
+
+	var inner oram.Store
+	if opts.RemoteAddr != "" {
+		rc, err := remote.Dial(opts.RemoteAddr)
+		if err != nil {
+			return nil, err
+		}
+		o.remote = rc
+		g := rc.Geometry()
+		if g.Leaves() < opts.Entries/uint64(g.BucketSize(g.LeafBits())) {
+			rc.Close()
+			return nil, fmt.Errorf("laoram: remote tree (%s) too small for %d entries", g, opts.Entries)
+		}
+		inner = rc
+	} else {
+		z := opts.BucketSize
+		if z == 0 {
+			z = 4
+		}
+		gc := oram.GeometryConfig{
+			LeafBits:  oram.LeafBitsFor(opts.Entries),
+			LeafZ:     z,
+			BlockSize: opts.BlockSize,
+		}
+		if opts.FatTree {
+			gc.RootZ = 2 * z
+			gc.Profile = oram.ProfileLinear
+		}
+		g, err := oram.NewGeometry(gc)
+		if err != nil {
+			return nil, err
+		}
+		if opts.MetadataOnly {
+			inner = oram.NewMetaStore(g)
+		} else {
+			if opts.BlockSize <= 0 {
+				return nil, fmt.Errorf("laoram: BlockSize required unless MetadataOnly")
+			}
+			var sealer oram.Sealer
+			if opts.Encrypt {
+				var s *crypto.Sealer
+				var err error
+				if opts.Key != nil {
+					s, err = crypto.NewSealer(opts.Key)
+				} else {
+					s, err = crypto.NewRandomSealer()
+				}
+				if err != nil {
+					return nil, err
+				}
+				sealer = s
+			}
+			ps, err := oram.NewPayloadStore(g, sealer)
+			if err != nil {
+				return nil, err
+			}
+			inner = ps
+		}
+	}
+	if opts.Measure {
+		o.meter = memsim.NewMeter(memsim.DDR4Default())
+	}
+	o.store = oram.NewCountingStore(inner, tickerOrNil(o.meter))
+	var clientStore oram.Store = o.store
+	if opts.Verify {
+		vs, err := integrity.NewVerifiedStore(o.store)
+		if err != nil {
+			if o.remote != nil {
+				o.remote.Close()
+			}
+			return nil, err
+		}
+		clientStore = vs
+	}
+	var posMap oram.PositionMap
+	if opts.RecursivePosMap {
+		rm, err := oram.NewRecursiveMap(oram.RecursiveConfig{
+			Blocks: opts.Entries,
+			Rand:   trace.NewRNG(opts.Seed + 2),
+		})
+		if err != nil {
+			if o.remote != nil {
+				o.remote.Close()
+			}
+			return nil, err
+		}
+		posMap = rm
+	}
+	base, err := oram.NewClient(oram.ClientConfig{
+		Store:     clientStore,
+		Rand:      trace.NewRNG(opts.Seed),
+		Evict:     evict,
+		Timer:     timerOrNil(o.meter),
+		StashHits: true,
+		Blocks:    opts.Entries,
+		PosMap:    posMap,
+	})
+	if err != nil {
+		if o.remote != nil {
+			o.remote.Close()
+		}
+		return nil, err
+	}
+	o.base = base
+	return o, nil
+}
+
+func tickerOrNil(m *memsim.Meter) oram.Ticker {
+	if m == nil {
+		return nil
+	}
+	return m
+}
+
+func timerOrNil(m *memsim.Meter) oram.Timer {
+	if m == nil {
+		return nil
+	}
+	return m
+}
+
+// Close releases resources (the remote connection, if any).
+func (o *ORAM) Close() error {
+	if o.remote != nil {
+		return o.remote.Close()
+	}
+	return nil
+}
+
+// Entries returns the configured number of blocks.
+func (o *ORAM) Entries() uint64 { return o.opts.Entries }
+
+// ServerBytes returns the server-storage requirement of the tree — the
+// paper's Table I metric.
+func (o *ORAM) ServerBytes() int64 { return o.base.Geometry().ServerBytes() }
+
+// Describe returns a one-line description of the server tree.
+func (o *ORAM) Describe() string { return o.base.Geometry().String() }
+
+// Load bulk-initialises blocks 0..n-1 with random placement. payload may
+// be nil (zero/simulated content). Call once, before accesses.
+func (o *ORAM) Load(n uint64, payload func(id uint64) []byte) error {
+	return o.base.Load(n, nil, wrapPayload(payload))
+}
+
+// LoadForPlan bulk-initialises with look-ahead pre-placement: blocks start
+// on the path of their first superblock bin, the converged steady state of
+// §IV-B (equivalent to running a warm-up epoch).
+func (o *ORAM) LoadForPlan(p *Plan, payload func(id uint64) []byte) error {
+	if p == nil {
+		return fmt.Errorf("laoram: nil plan")
+	}
+	return o.base.Load(o.opts.Entries, func(id oram.BlockID) oram.Leaf {
+		if l := p.plan.FirstLeaf(id); l != oram.NoLeaf {
+			return l
+		}
+		return o.base.RandomLeaf()
+	}, wrapPayload(payload))
+}
+
+func wrapPayload(payload func(id uint64) []byte) func(oram.BlockID) []byte {
+	if payload == nil {
+		return nil
+	}
+	return func(id oram.BlockID) []byte { return payload(uint64(id)) }
+}
+
+// Read obliviously fetches a block (PathORAM access, §II-C). Returns nil
+// under MetadataOnly.
+func (o *ORAM) Read(id uint64) ([]byte, error) {
+	return o.base.Read(oram.BlockID(id))
+}
+
+// Write obliviously updates (or creates) a block.
+func (o *ORAM) Write(id uint64, data []byte) error {
+	return o.base.Write(oram.BlockID(id), data)
+}
+
+// Stats returns a snapshot of activity counters.
+func (o *ORAM) Stats() Stats {
+	st := o.base.Stats()
+	c := o.store.Counters()
+	out := Stats{
+		Accesses:      st.Accesses,
+		PathReads:     st.PathReads,
+		PathWrites:    st.PathWrites,
+		DummyReads:    st.DummyReads,
+		StashHits:     st.StashHits,
+		StashSize:     o.base.Stash().Len(),
+		StashPeak:     o.base.Stash().Peak(),
+		BytesMoved:    c.BytesRead + c.BytesWritten,
+		ServerBytes:   o.base.Geometry().ServerBytes(),
+		PositionBytes: o.base.PosMap().Bytes(),
+	}
+	if o.meter != nil {
+		out.SimTimeSeconds = o.meter.Now().Seconds()
+	}
+	return out
+}
+
+// ResetStats zeroes activity counters (typically after Load).
+func (o *ORAM) ResetStats() {
+	o.base.ResetStats()
+	o.store.ResetCounters()
+	o.base.Stash().ResetPeak()
+	if o.meter != nil {
+		o.meter.Reset()
+	}
+}
+
+// Plan is the preprocessor output: superblock bins with assigned paths
+// (§IV-B), ready for a Session.
+type Plan struct {
+	plan *superblock.Plan
+}
+
+// Bins returns the number of superblock bins.
+func (p *Plan) Bins() int { return p.plan.Len() }
+
+// UniqueBlocks returns the number of distinct blocks in the plan.
+func (p *Plan) UniqueBlocks() int { return p.plan.UniqueBlocks() }
+
+// MetadataBytes returns the size of the (superblock → future path)
+// metadata the preprocessor ships to the trainer.
+func (p *Plan) MetadataBytes() int64 { return p.plan.MetadataBytes() }
+
+// Preprocess runs the §IV-B preprocessing over the upcoming access stream:
+// the dataset scan bins the next s unique indices together and assigns each
+// bin a uniformly random path.
+func (o *ORAM) Preprocess(stream []uint64, s int) (*Plan, error) {
+	p, err := superblock.NewPlan(stream, superblock.PlanConfig{
+		S:      s,
+		Leaves: o.base.Geometry().Leaves(),
+		Rand:   trace.NewRNG(o.opts.Seed + 1),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{plan: p}, nil
+}
+
+// Session executes a Plan bin by bin: the LAORAM client of §IV-A.
+type Session struct {
+	la *core.LAORAM
+}
+
+// NewSession starts executing plan on this ORAM. The instance should have
+// been loaded with LoadForPlan (or warmed up) for steady-state behaviour.
+func (o *ORAM) NewSession(p *Plan) (*Session, error) {
+	if p == nil {
+		return nil, fmt.Errorf("laoram: nil plan")
+	}
+	la, err := core.New(core.Config{Base: o.base, Plan: p.plan})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{la: la}, nil
+}
+
+// Visit is invoked for each block of a bin while it is resident in trusted
+// memory; returning non-nil replaces the block's payload (the training
+// update). payload is nil under MetadataOnly.
+type Visit func(id uint64, payload []byte) []byte
+
+func wrapVisit(v Visit) core.Visit {
+	if v == nil {
+		return nil
+	}
+	return func(id oram.BlockID, payload []byte) []byte { return v(uint64(id), payload) }
+}
+
+// Step executes the next superblock bin, returning false when the plan is
+// exhausted.
+func (s *Session) Step(v Visit) (bool, error) {
+	if s.la.Done() {
+		return false, nil
+	}
+	if _, err := s.la.StepBin(wrapVisit(v)); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Run executes the remaining plan.
+func (s *Session) Run(v Visit) error { return s.la.Run(wrapVisit(v)) }
+
+// StepBatch executes up to k superblock bins in one batched server round
+// trip, reading and writing buckets shared between the batch's paths only
+// once (the paper's per-training-batch fetch, §IV-A). Returns the number
+// of bins executed.
+func (s *Session) StepBatch(k int, v Visit) (int, error) {
+	return s.la.StepBatch(k, wrapVisit(v))
+}
+
+// RunBatched executes the remaining plan in batches of k bins.
+func (s *Session) RunBatched(k int, v Visit) error { return s.la.RunBatched(k, wrapVisit(v)) }
+
+// Done reports whether the plan is exhausted.
+func (s *Session) Done() bool { return s.la.Done() }
+
+// SessionStats exposes the LAORAM-level counters of §IV.
+type SessionStats struct {
+	Bins            uint64
+	ColdPathReads   uint64
+	LookaheadRemaps uint64
+	UniformRemaps   uint64
+}
+
+// Stats returns the session's counters.
+func (s *Session) Stats() SessionStats {
+	st := s.la.Stats()
+	return SessionStats{
+		Bins:            st.Bins,
+		ColdPathReads:   st.ColdPathReads,
+		LookaheadRemaps: st.LookaheadRemaps,
+		UniformRemaps:   st.UniformRemaps,
+	}
+}

@@ -1,0 +1,312 @@
+package laoram
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/oram"
+	"repro/internal/remote"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("zero options accepted")
+	}
+	if _, err := New(Options{Entries: 8}); err == nil {
+		t.Error("missing BlockSize accepted")
+	}
+	if _, err := New(Options{Entries: 8, BlockSize: 16, EvictHigh: 10, EvictLow: 20}); err == nil {
+		t.Error("inverted watermarks accepted")
+	}
+	if _, err := New(Options{Entries: 8, BlockSize: 16, Encrypt: true, Key: []byte("short")}); err == nil {
+		t.Error("short key accepted")
+	}
+	if _, err := New(Options{Entries: 8, RemoteAddr: "127.0.0.1:1"}); err == nil {
+		t.Error("dead remote accepted")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	db, err := New(Options{Entries: 256, BlockSize: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	want := bytes.Repeat([]byte{0xEE}, 32)
+	if err := db.Write(5, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Read(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("round trip mismatch")
+	}
+	if _, err := db.Read(6); err == nil {
+		t.Error("read of unwritten block succeeded")
+	}
+	st := db.Stats()
+	if st.Accesses != 3 || st.ServerBytes <= 0 || st.PositionBytes <= 0 {
+		t.Errorf("stats wrong: %+v", st)
+	}
+}
+
+func TestEncryptedStore(t *testing.T) {
+	key := bytes.Repeat([]byte{7}, 32)
+	db, err := New(Options{Entries: 64, BlockSize: 64, Encrypt: true, Key: key, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	secret := bytes.Repeat([]byte("secret!!"), 8)
+	if err := db.Write(3, secret); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Error("encrypted round trip failed")
+	}
+}
+
+func TestMetadataOnlyMode(t *testing.T) {
+	db, err := New(Options{Entries: 1 << 12, MetadataOnly: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Load(1<<12, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Read(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Errorf("metadata-only read returned payload %v", got)
+	}
+}
+
+func TestFatTreeOption(t *testing.T) {
+	normal, err := New(Options{Entries: 1 << 10, BlockSize: 128, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer normal.Close()
+	fat, err := New(Options{Entries: 1 << 10, BlockSize: 128, FatTree: true, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fat.Close()
+	if fat.ServerBytes() <= normal.ServerBytes() {
+		t.Errorf("fat tree (%d B) should use more server storage than normal (%d B)",
+			fat.ServerBytes(), normal.ServerBytes())
+	}
+	if fat.Describe() == normal.Describe() {
+		t.Error("descriptions should differ")
+	}
+}
+
+func TestPreprocessAndSession(t *testing.T) {
+	const entries = 1 << 10
+	db, err := New(Options{Entries: entries, BlockSize: 16, Seed: 5, Measure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	stream, err := GenerateTrace(TraceConfig{Kind: TracePermutation, N: entries, Count: 2048, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := db.Preprocess(stream, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Bins() != 512 {
+		t.Errorf("bins = %d, want 512", plan.Bins())
+	}
+	if plan.UniqueBlocks() != entries {
+		t.Errorf("unique blocks = %d", plan.UniqueBlocks())
+	}
+	if plan.MetadataBytes() <= 0 {
+		t.Error("metadata bytes missing")
+	}
+	if err := db.LoadForPlan(plan, func(id uint64) []byte { return make([]byte, 16) }); err != nil {
+		t.Fatal(err)
+	}
+	db.ResetStats()
+	s, err := db.NewSession(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Done() {
+		t.Error("fresh session done")
+	}
+	visits := 0
+	more, err := s.Step(func(id uint64, payload []byte) []byte {
+		visits++
+		out := make([]byte, len(payload))
+		out[0] = 0xAB
+		return out
+	})
+	if err != nil || !more {
+		t.Fatalf("Step = %v, %v", more, err)
+	}
+	if visits != 4 {
+		t.Errorf("first bin visited %d blocks", visits)
+	}
+	if err := s.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Done() {
+		t.Error("session not done after Run")
+	}
+	more, err = s.Step(nil)
+	if err != nil || more {
+		t.Errorf("Step past end = %v, %v", more, err)
+	}
+	ss := s.Stats()
+	if ss.Bins != 512 {
+		t.Errorf("session bins = %d", ss.Bins)
+	}
+	st := db.Stats()
+	if st.Accesses == 0 || st.SimTimeSeconds <= 0 {
+		t.Errorf("stats missing: %+v", st)
+	}
+	// Steady state: 1 path read per bin.
+	if st.PathReads > ss.Bins {
+		t.Errorf("path reads %d > bins %d in steady state", st.PathReads, ss.Bins)
+	}
+	// The payload mutation from the first bin persisted.
+	first := stream[0]
+	got, err := db.Read(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xAB {
+		t.Error("visit mutation lost")
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	db, err := New(Options{Entries: 16, BlockSize: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.NewSession(nil); err == nil {
+		t.Error("nil plan accepted")
+	}
+	if err := db.LoadForPlan(nil, nil); err == nil {
+		t.Error("LoadForPlan with nil plan accepted")
+	}
+	if _, err := db.Preprocess([]uint64{1}, 0); err == nil {
+		t.Error("S=0 accepted")
+	}
+}
+
+func TestRemoteOption(t *testing.T) {
+	g := oram.MustGeometry(oram.GeometryConfig{LeafBits: 8, LeafZ: 4, BlockSize: 16})
+	ps, err := oram.NewPayloadStore(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := remote.NewServer(ps, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	db, err := New(Options{Entries: 256, RemoteAddr: addr, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	want := bytes.Repeat([]byte{9}, 16)
+	if err := db.Write(1, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("remote round trip failed")
+	}
+	// Entries exceeding the remote tree are rejected.
+	if _, err := New(Options{Entries: 1 << 20, RemoteAddr: addr}); err == nil {
+		t.Error("oversized Entries accepted for small remote tree")
+	}
+}
+
+func TestEvictDisabled(t *testing.T) {
+	db, err := New(Options{Entries: 128, BlockSize: 8, EvictHigh: -1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Load(128, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 128; i++ {
+		if _, err := db.Read(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Stats().DummyReads != 0 {
+		t.Error("dummy reads despite disabled eviction")
+	}
+}
+
+func TestTableHelpers(t *testing.T) {
+	d := DLRMTable(0)
+	if d.Rows != 10131227 || d.RowBytes() != 128 {
+		t.Errorf("DLRMTable = %+v", d)
+	}
+	x := XLMRTable(100)
+	if x.Rows != 100 || x.RowBytes() != 4096 {
+		t.Errorf("XLMRTable = %+v", x)
+	}
+	cfg := TableConfig{Rows: 10, Dim: 4}
+	row := InitRow(cfg, 3)
+	enc := InitRowBytes(cfg)(3)
+	dec, err := DecodeRow(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range row {
+		if dec[i] != row[i] {
+			t.Fatal("InitRowBytes disagrees with InitRow")
+		}
+	}
+	re := EncodeRow(row)
+	if !bytes.Equal(re, enc) {
+		t.Error("EncodeRow mismatch")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	db, err := New(Options{Entries: 64, BlockSize: 8, Seed: 10, Measure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Write(1, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().Accesses == 0 {
+		t.Fatal("no accesses counted")
+	}
+	db.ResetStats()
+	st := db.Stats()
+	if st.Accesses != 0 || st.BytesMoved != 0 || st.SimTimeSeconds != 0 {
+		t.Errorf("reset incomplete: %+v", st)
+	}
+	if db.Entries() != 64 {
+		t.Errorf("Entries = %d", db.Entries())
+	}
+}
