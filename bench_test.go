@@ -317,6 +317,22 @@ func BenchmarkAblationBatchFetch(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationShards sweeps the shard count (abl-shards) and reports
+// each configuration's simulated batch-throughput speedup over one shard.
+func BenchmarkAblationShards(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.ShardSweep(benchScale(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range res.Rows {
+				b.ReportMetric(row.Speedup, fmt.Sprintf("x-speedup@shards%d", row.Shards))
+			}
+		}
+	}
+}
+
 // BenchmarkAblationTimingModel checks speedup robustness across memory
 // models.
 func BenchmarkAblationTimingModel(b *testing.B) {
@@ -438,6 +454,39 @@ func BenchmarkLAORAMBin(b *testing.B) {
 		}
 	}
 	b.ReportMetric(S, "accesses/op")
+}
+
+// BenchmarkShardedReadBatch measures a 64-access oblivious batch through
+// the public API across shard counts (wall clock; per-shard worker
+// goroutines, so multicore hosts see near-linear scaling on top of the
+// shallower per-shard trees).
+func BenchmarkShardedReadBatch(b *testing.B) {
+	const entries = 1 << 16
+	const batch = 64
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			db, err := New(Options{Entries: entries, BlockSize: 128, Shards: shards, Seed: 11})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			if err := db.Load(entries, nil); err != nil {
+				b.Fatal(err)
+			}
+			rng := trace.NewRNG(12)
+			ids := make([]uint64, batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range ids {
+					ids[j] = uint64(rng.Int63n(entries))
+				}
+				if _, err := db.ReadBatch(ids); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(batch, "accesses/op")
+		})
+	}
 }
 
 // BenchmarkPreprocessorScan measures raw preprocessing throughput

@@ -1,0 +1,150 @@
+package batch
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/oram"
+	"repro/internal/shard"
+)
+
+// ShardedPipelineConfig drives one two-stage pipeline per shard lane.
+type ShardedPipelineConfig struct {
+	// Stream is the full upcoming access stream in global block IDs; it
+	// is partitioned across shards before the lanes start.
+	Stream []uint64
+	// S is the superblock size.
+	S int
+	// WindowAccesses is the per-lane look-ahead horizon (accesses of the
+	// lane's local stream per preprocessed window).
+	WindowAccesses int
+	// Depth is how many preprocessed windows may queue ahead of each
+	// lane's trainer.
+	Depth int
+	// Seed derives per-lane, per-window plan RNGs: lane i uses
+	// shard.SeedFor(Seed, i).
+	Seed int64
+	// PrePlace starts each lane in the converged steady state of its
+	// first window (Pipeline.PrePlaceFirstWindow per shard). When false,
+	// the engine must have been bulk-loaded already (Engine.Load).
+	PrePlace bool
+	// NewVisit, if non-nil, builds one trainer callback per lane
+	// (global-ID space); lanes run concurrently, so state must stay
+	// lane-local.
+	NewVisit shard.NewVisit
+}
+
+// LaneStats is one shard lane's pipeline outcome.
+type LaneStats struct {
+	Shard int
+	Stats Stats
+}
+
+// ShardedStats aggregates the per-lane pipelines. Stage times are summed
+// across lanes (total CPU spent in each stage); WallTime is the elapsed
+// time of the whole fan-out — with balanced lanes it approaches the
+// single-lane time divided by the shard count on parallel hardware.
+type ShardedStats struct {
+	Lanes          []LaneStats
+	Windows        int
+	Bins           uint64
+	Accesses       uint64
+	PreprocessTime time.Duration
+	TrainTime      time.Duration
+	TrainerStalled time.Duration
+	WallTime       time.Duration
+}
+
+// RunSharded partitions cfg.Stream across the engine's shards and runs one
+// two-stage preprocessor/trainer pipeline (§VIII-A) per shard lane, all
+// lanes concurrent. Lanes whose slice of the stream is empty are skipped.
+func RunSharded(e *shard.Engine, cfg ShardedPipelineConfig) (ShardedStats, error) {
+	var out ShardedStats
+	if e == nil {
+		return out, fmt.Errorf("batch: nil engine")
+	}
+	if len(cfg.Stream) == 0 {
+		return out, fmt.Errorf("batch: empty stream")
+	}
+	n := e.Shards()
+	locals := shard.SplitStream(cfg.Stream, n)
+	lanes := make([]Stats, n)
+	errs := make([]error, n)
+	active := make([]bool, n)
+
+	wallStart := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if len(locals[i]) == 0 {
+			continue
+		}
+		active[i] = true
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = runLane(e, cfg, i, locals[i], &lanes[i])
+		}(i)
+	}
+	wg.Wait()
+	out.WallTime = time.Since(wallStart)
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return out, fmt.Errorf("batch: shard %d: %w", i, errs[i])
+		}
+		if !active[i] {
+			continue
+		}
+		out.Lanes = append(out.Lanes, LaneStats{Shard: i, Stats: lanes[i]})
+		out.Windows += lanes[i].Windows
+		out.Bins += lanes[i].Bins
+		out.Accesses += lanes[i].Accesses
+		out.PreprocessTime += lanes[i].PreprocessTime
+		out.TrainTime += lanes[i].TrainTime
+		out.TrainerStalled += lanes[i].TrainerStalled
+	}
+	return out, nil
+}
+
+// runLane executes shard i's pipeline over its local stream.
+func runLane(e *shard.Engine, cfg ShardedPipelineConfig, i int, local []uint64, dst *Stats) error {
+	window := cfg.WindowAccesses
+	if window > len(local) {
+		window = len(local)
+	}
+	if window < cfg.S {
+		window = cfg.S
+	}
+	p, err := NewPipeline(PipelineConfig{
+		Stream:         local,
+		S:              cfg.S,
+		WindowAccesses: window,
+		Depth:          cfg.Depth,
+		Seed:           shard.SeedFor(cfg.Seed, i),
+	})
+	if err != nil {
+		return err
+	}
+	client := e.Sub(i).Client
+	if cfg.PrePlace {
+		if err := p.PrePlaceFirstWindow(client, shard.LoadCount(e.Entries(), i, e.Shards()), nil); err != nil {
+			return err
+		}
+	}
+	var visit core.Visit
+	if cfg.NewVisit != nil {
+		if v := cfg.NewVisit(i); v != nil {
+			visit = func(lid oram.BlockID, payload []byte) []byte {
+				return v(shard.GlobalID(uint64(lid), i, e.Shards()), payload)
+			}
+		}
+	}
+	st, err := p.Run(client, visit)
+	if err != nil {
+		return err
+	}
+	*dst = st
+	return nil
+}

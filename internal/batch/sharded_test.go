@@ -1,0 +1,149 @@
+package batch
+
+import (
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/oram"
+	"repro/internal/shard"
+	"repro/internal/trace"
+)
+
+func metaEngine(t *testing.T, n int, entries uint64, seed int64) *shard.Engine {
+	t.Helper()
+	e, err := shard.New(shard.Config{
+		Shards:  n,
+		Entries: entries,
+		Seed:    seed,
+		Build: func(s int, per uint64, sd int64) (shard.Sub, error) {
+			g, err := oram.NewGeometry(oram.GeometryConfig{
+				LeafBits: oram.LeafBitsFor(per), LeafZ: 4,
+			})
+			if err != nil {
+				return shard.Sub{}, err
+			}
+			meter := memsim.NewMeter(memsim.DDR4Default())
+			cs := oram.NewCountingStore(oram.NewMetaStore(g), meter)
+			client, err := oram.NewClient(oram.ClientConfig{
+				Store: cs, Rand: trace.NewRNG(sd), Evict: oram.PaperEvict,
+				Timer: meter, StashHits: true, Blocks: per,
+			})
+			if err != nil {
+				return shard.Sub{}, err
+			}
+			return shard.Sub{Client: client, Store: cs, Meter: meter}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestRunSharded drives per-shard pipeline lanes end to end and checks the
+// lane accounting is consistent and deterministic across runs.
+func TestRunSharded(t *testing.T) {
+	const entries = 1 << 11
+	stream, err := trace.Generate(trace.Config{Kind: trace.KindKaggle, N: entries, Count: 6000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() ShardedStats {
+		e := metaEngine(t, 4, entries, 9)
+		st, err := RunSharded(e, ShardedPipelineConfig{
+			Stream:         stream,
+			S:              4,
+			WindowAccesses: 1000,
+			Depth:          2,
+			Seed:           9,
+			PrePlace:       true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	st := run()
+	if len(st.Lanes) != 4 {
+		t.Fatalf("expected 4 active lanes, got %d", len(st.Lanes))
+	}
+	var bins, accesses uint64
+	windows := 0
+	for _, lane := range st.Lanes {
+		if lane.Stats.Windows == 0 || lane.Stats.Bins == 0 {
+			t.Errorf("lane %d idle: %+v", lane.Shard, lane.Stats)
+		}
+		bins += lane.Stats.Bins
+		accesses += lane.Stats.Accesses
+		windows += lane.Stats.Windows
+	}
+	if bins != st.Bins || accesses != st.Accesses || windows != st.Windows {
+		t.Errorf("aggregation mismatch: lanes (%d,%d,%d) vs totals (%d,%d,%d)",
+			bins, accesses, windows, st.Bins, st.Accesses, st.Windows)
+	}
+	if st.Accesses == 0 || st.TrainTime == 0 {
+		t.Errorf("empty totals: %+v", st)
+	}
+	// Deterministic bin/access accounting across runs (wall times vary).
+	st2 := run()
+	if st2.Bins != st.Bins || st2.Accesses != st.Accesses || st2.Windows != st.Windows {
+		t.Errorf("second run diverged: (%d,%d,%d) vs (%d,%d,%d)",
+			st2.Bins, st2.Accesses, st2.Windows, st.Bins, st.Accesses, st.Windows)
+	}
+}
+
+// TestRunShardedSingleLaneMatchesPipeline checks the 1-shard sharded
+// pipeline produces exactly the single Pipeline's accounting.
+func TestRunShardedSingleLaneMatchesPipeline(t *testing.T) {
+	const entries = 1 << 10
+	stream, err := trace.Generate(trace.Config{Kind: trace.KindGaussian, N: entries, Count: 3000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const S = 4
+	const window = 600
+	const depth = 2
+	const seed = 21
+
+	e := metaEngine(t, 1, entries, seed)
+	shardedSt, err := RunSharded(e, ShardedPipelineConfig{
+		Stream: stream, S: S, WindowAccesses: window, Depth: depth, Seed: seed, PrePlace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := metaEngine(t, 1, entries, seed)
+	p, err := NewPipeline(PipelineConfig{
+		Stream: stream, S: S, WindowAccesses: window, Depth: depth, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PrePlaceFirstWindow(ref.Sub(0).Client, entries, nil); err != nil {
+		t.Fatal(err)
+	}
+	refSt, err := p.Run(ref.Sub(0).Client, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shardedSt.Bins != refSt.Bins || shardedSt.Accesses != refSt.Accesses || shardedSt.Windows != refSt.Windows {
+		t.Errorf("1-lane sharded (%d,%d,%d) != pipeline (%d,%d,%d)",
+			shardedSt.Bins, shardedSt.Accesses, shardedSt.Windows,
+			refSt.Bins, refSt.Accesses, refSt.Windows)
+	}
+}
+
+// TestRunShardedValidation pins error paths.
+func TestRunShardedValidation(t *testing.T) {
+	if _, err := RunSharded(nil, ShardedPipelineConfig{Stream: []uint64{1}}); err == nil {
+		t.Error("nil engine accepted")
+	}
+	e := metaEngine(t, 2, 64, 1)
+	if _, err := RunSharded(e, ShardedPipelineConfig{}); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := RunSharded(e, ShardedPipelineConfig{Stream: []uint64{1, 2}, S: 0, WindowAccesses: 4, Depth: 1}); err == nil {
+		t.Error("S=0 accepted")
+	}
+}

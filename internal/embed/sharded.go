@@ -1,0 +1,123 @@
+package embed
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/shard"
+)
+
+// ShardedTrainerConfig assembles a ShardedTrainer.
+type ShardedTrainerConfig struct {
+	// Table is the row shape (all rows of a MultiTable concatenation
+	// share it — NewMultiTable enforces one dimension).
+	Table TableConfig
+	// Session is the sharded plan under execution; the trainer drives
+	// every shard lane concurrently.
+	Session *shard.Session
+	// Grad computes per-row gradients; nil selects SyntheticGradient.
+	Grad Gradient
+	// Opt is the optimiser (zero value = SGD with LR 0 → no-op updates).
+	Opt SGD
+}
+
+// ShardedTrainer trains an embedding table through a sharded LAORAM
+// session: one trainer lane per shard, each with its own decode/gradient
+// scratch, all lanes running concurrently (internal/shard's scheduler).
+// Rows are disjoint across lanes, so updates never conflict.
+//
+// Unlike Trainer — whose Gradient step argument is the executed-bin index
+// — a lane cannot observe bin boundaries from inside the visit callback,
+// so here step is the lane-local row counter. Both are deterministic
+// schedules; reference replays must use the matching convention (see
+// ReplayShardedPlan).
+type ShardedTrainer struct {
+	cfg  ShardedTrainerConfig
+	rows atomic.Uint64
+}
+
+// NewShardedTrainer validates cfg.
+func NewShardedTrainer(cfg ShardedTrainerConfig) (*ShardedTrainer, error) {
+	if err := cfg.Table.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Session == nil {
+		return nil, fmt.Errorf("embed: ShardedTrainerConfig.Session is required")
+	}
+	if bs := cfg.Session.Lane(0).Base().Geometry().BlockSize(); bs != cfg.Table.RowBytes() {
+		return nil, fmt.Errorf("embed: ORAM block size %d != row bytes %d", bs, cfg.Table.RowBytes())
+	}
+	if cfg.Grad == nil {
+		cfg.Grad = SyntheticGradient()
+	}
+	return &ShardedTrainer{cfg: cfg}, nil
+}
+
+// RowsTouched returns the number of row updates applied across all lanes.
+func (t *ShardedTrainer) RowsTouched() uint64 { return t.rows.Load() }
+
+// Train drives every shard lane to completion concurrently.
+func (t *ShardedTrainer) Train() error {
+	return t.cfg.Session.Run(t.laneVisit)
+}
+
+// TrainBatched is Train with k bins per server round trip within each lane.
+func (t *ShardedTrainer) TrainBatched(k int) error {
+	return t.cfg.Session.RunBatched(k, t.laneVisit)
+}
+
+// laneVisit builds one visit closure per shard lane, with lane-local
+// scratch buffers and step counter (shard.NewVisit contract).
+func (t *ShardedTrainer) laneVisit(lane int) shard.Visit {
+	row := make([]float32, t.cfg.Table.Dim)
+	grad := make([]float32, t.cfg.Table.Dim)
+	var step uint64
+	return func(id uint64, payload []byte) []byte {
+		defer func() { step++ }()
+		if payload == nil {
+			// Metadata-only store: the data path is simulated; still
+			// count the touch.
+			t.rows.Add(1)
+			return nil
+		}
+		if derr := DecodeRowInto(row, payload); derr != nil {
+			panic(fmt.Sprintf("embed: row %d: %v", id, derr))
+		}
+		t.cfg.Grad(step, id, row, grad)
+		t.cfg.Opt.Apply(row, grad)
+		out := make([]byte, len(payload))
+		if eerr := EncodeRowInto(out, row); eerr != nil {
+			panic(fmt.Sprintf("embed: row %d: %v", id, eerr))
+		}
+		t.rows.Add(1)
+		return out
+	}
+}
+
+// ReplayShardedPlan applies the exact update schedule a ShardedTrainer
+// executes to a plain in-memory table: for every shard lane, walk its bins
+// in plan order with a lane-local row counter as the gradient step. rows
+// is indexed by global ID. It defines ground truth for the sharded
+// training-equivalence test (integration invariant #5, DESIGN.md).
+func ReplayShardedPlan(p *shard.Plan, rows [][]float32, grad Gradient, opt SGD) {
+	if grad == nil {
+		grad = SyntheticGradient()
+	}
+	for lane := 0; lane < p.Shards(); lane++ {
+		sp := p.ShardPlan(lane)
+		var step uint64
+		var scratch []float32
+		for b := 0; b < sp.Len(); b++ {
+			for _, local := range sp.Bin(b).Blocks {
+				id := shard.GlobalID(uint64(local), lane, p.Shards())
+				row := rows[id]
+				if scratch == nil {
+					scratch = make([]float32, len(row))
+				}
+				grad(step, id, row, scratch)
+				opt.Apply(row, scratch)
+				step++
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package embed
+
+import (
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/oram"
+	"repro/internal/shard"
+	"repro/internal/trace"
+)
+
+func testEngine(t *testing.T, n int, entries uint64, blockSize int, seed int64) *shard.Engine {
+	t.Helper()
+	e, err := shard.New(shard.Config{
+		Shards:  n,
+		Entries: entries,
+		Seed:    seed,
+		Build: func(s int, per uint64, sd int64) (shard.Sub, error) {
+			g, err := oram.NewGeometry(oram.GeometryConfig{
+				LeafBits: oram.LeafBitsFor(per), LeafZ: 4, BlockSize: blockSize,
+			})
+			if err != nil {
+				return shard.Sub{}, err
+			}
+			ps, err := oram.NewPayloadStore(g, nil)
+			if err != nil {
+				return shard.Sub{}, err
+			}
+			meter := memsim.NewMeter(memsim.DDR4Default())
+			cs := oram.NewCountingStore(ps, meter)
+			client, err := oram.NewClient(oram.ClientConfig{
+				Store: cs, Rand: trace.NewRNG(sd), Evict: oram.PaperEvict,
+				Timer: meter, StashHits: true, Blocks: per,
+			})
+			if err != nil {
+				return shard.Sub{}, err
+			}
+			return shard.Sub{Client: client, Store: cs, Meter: meter}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestShardedMultiTableTraining is the sharded flavour of the training
+// equivalence invariant (#5, DESIGN.md): a DLRM-style multi-table stream
+// trained concurrently over a 4-shard engine must produce bit-identical
+// rows to the plain in-memory replay of the same per-lane schedule.
+func TestShardedMultiTableTraining(t *testing.T) {
+	const dim = 8
+	mt, err := NewMultiTable([]TableConfig{
+		{Rows: 400, Dim: dim},
+		{Rows: 300, Dim: dim},
+		{Rows: 324, Dim: dim},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := mt.TotalRows()
+	e := testEngine(t, 4, entries, mt.RowBytes(), 42)
+
+	// DLRM-style samples: one row per table per sample.
+	rng := trace.NewRNG(7)
+	samples := make([]Sample, 600)
+	for i := range samples {
+		s := make(Sample, mt.Tables())
+		s[0] = uint64(rng.Int63n(400))
+		s[1] = uint64(rng.Int63n(300))
+		s[2] = uint64(rng.Int63n(324))
+		samples[i] = s
+	}
+	stream, err := mt.FlattenSamples(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := e.Preprocess(stream, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadForPlan(plan, func(id uint64) []byte {
+		p, err := mt.InitBlock(id)
+		if err != nil {
+			t.Fatalf("init block %d: %v", id, err)
+		}
+		return p
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := e.NewSession(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := SGD{LR: 0.05}
+	tr, err := NewShardedTrainer(ShardedTrainerConfig{
+		Table:   TableConfig{Rows: entries, Dim: dim},
+		Session: sess,
+		Opt:     opt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.RowsTouched() == 0 {
+		t.Fatal("no rows trained")
+	}
+	if got, want := tr.RowsTouched(), sess.Stats().Accesses; got != want {
+		t.Errorf("RowsTouched %d != session accesses %d", got, want)
+	}
+
+	// Ground truth: the same schedule over a plain in-memory table.
+	truth := make([][]float32, entries)
+	for id := uint64(0); id < entries; id++ {
+		p, err := mt.InitBlock(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row, err := DecodeRow(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth[id] = row
+	}
+	ReplayShardedPlan(plan, truth, nil, opt)
+
+	uniq := map[uint64]bool{}
+	for _, id := range stream {
+		uniq[id] = true
+	}
+	checked := 0
+	for id := range uniq {
+		p, err := e.Read(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeRow(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != truth[id][i] {
+				tbl, row, _ := mt.TableOf(id)
+				t.Fatalf("block %d (table %d row %d) dim %d: oram %v != truth %v", id, tbl, row, i, got[i], truth[id][i])
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("nothing compared")
+	}
+}
+
+// TestShardedTrainerValidation pins config errors.
+func TestShardedTrainerValidation(t *testing.T) {
+	if _, err := NewShardedTrainer(ShardedTrainerConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := NewShardedTrainer(ShardedTrainerConfig{Table: TableConfig{Rows: 8, Dim: 4}}); err == nil {
+		t.Error("nil session accepted")
+	}
+	e := testEngine(t, 2, 64, 16, 1)
+	plan, err := e.Preprocess([]uint64{1, 2, 3, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := e.NewSession(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block size 16 != 4*8 row bytes.
+	if _, err := NewShardedTrainer(ShardedTrainerConfig{
+		Table: TableConfig{Rows: 64, Dim: 8}, Session: sess,
+	}); err == nil {
+		t.Error("row/block size mismatch accepted")
+	}
+}

@@ -1,0 +1,40 @@
+package harness
+
+import "testing"
+
+// TestShardSweep runs abl-shards at CI scale and pins the headline claim:
+// 4 shards deliver >1.5x the 1-shard batch throughput (in practice ~4x:
+// independent channels plus shallower per-shard trees).
+func TestShardSweep(t *testing.T) {
+	res, err := ShardSweep(CIScale(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("expected 4 rows, got %d", len(res.Rows))
+	}
+	byShards := map[int]ShardRow{}
+	for _, row := range res.Rows {
+		byShards[row.Shards] = row
+		if row.SimTime <= 0 || row.Throughput <= 0 {
+			t.Errorf("shards=%d: empty measurement %+v", row.Shards, row)
+		}
+		if row.StashPeakMax > row.StashPeakSum {
+			t.Errorf("shards=%d: stash peak max %d > sum %d", row.Shards, row.StashPeakMax, row.StashPeakSum)
+		}
+	}
+	if sp := byShards[4].Speedup; sp < 1.5 {
+		t.Errorf("4-shard speedup %.2fx, want > 1.5x", sp)
+	}
+	if byShards[1].Speedup != 1.0 {
+		t.Errorf("1-shard speedup %.2fx, want 1.0x", byShards[1].Speedup)
+	}
+	// More shards must never slow the simulated critical lane down at
+	// these scales.
+	if byShards[8].SimTime >= byShards[1].SimTime {
+		t.Errorf("8-shard sim time %v not below 1-shard %v", byShards[8].SimTime, byShards[1].SimTime)
+	}
+	if r := res.Render(); len(r) == 0 {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,123 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/oram"
+	"repro/internal/superblock"
+	"repro/internal/trace"
+)
+
+// Plan is the sharded preprocessor output: one superblock plan (§IV-B)
+// per shard, each built over the shard's slice of the global access
+// stream in local-ID space. Because the §IV-B scan is a left-to-right
+// pass that only groups co-accessed indices, splitting the stream by
+// shard first and scanning each slice independently preserves the
+// look-ahead property within every shard — a bin's members are still the
+// next S unique indices that shard will serve.
+type Plan struct {
+	n     int
+	plans []*superblock.Plan
+}
+
+// Shards returns the partition count the plan was built for.
+func (p *Plan) Shards() int { return p.n }
+
+// ShardPlan returns shard s's superblock plan (local-ID space).
+func (p *Plan) ShardPlan(s int) *superblock.Plan { return p.plans[s] }
+
+// Bins returns the total bin count across shards.
+func (p *Plan) Bins() int {
+	total := 0
+	for _, sp := range p.plans {
+		total += sp.Len()
+	}
+	return total
+}
+
+// UniqueBlocks returns the number of distinct global blocks in the plan
+// (partitions are disjoint, so the per-shard counts sum exactly).
+func (p *Plan) UniqueBlocks() int {
+	total := 0
+	for _, sp := range p.plans {
+		total += sp.UniqueBlocks()
+	}
+	return total
+}
+
+// MetadataBytes sums the per-shard (superblock → future path) metadata.
+func (p *Plan) MetadataBytes() int64 {
+	var total int64
+	for _, sp := range p.plans {
+		total += sp.MetadataBytes()
+	}
+	return total
+}
+
+// SplitStream partitions a global access stream into per-shard local-ID
+// streams, preserving relative order within each shard. With one shard the
+// split is the identity, so the returned slice aliases stream rather than
+// copying it (multi-million-access streams pass through unduplicated).
+func SplitStream(stream []uint64, n int) [][]uint64 {
+	if n == 1 {
+		return [][]uint64{stream}
+	}
+	out := make([][]uint64, n)
+	for _, id := range stream {
+		s := ShardOf(id, n)
+		out[s] = append(out[s], LocalID(id, n))
+	}
+	return out
+}
+
+// Preprocess runs the §IV-B scan per shard, concurrently: shard s bins its
+// local stream with superblock size sblk and draws bin paths from its own
+// tree's leaves with the deterministic seed SeedFor(seed, s)+1 (for a
+// 1-shard engine this is the seed the unsharded preprocessor uses).
+func (e *Engine) Preprocess(stream []uint64, sblk int) (*Plan, error) {
+	for _, id := range stream {
+		if err := e.check(id); err != nil {
+			return nil, err
+		}
+	}
+	locals := SplitStream(stream, e.n)
+	p := &Plan{n: e.n, plans: make([]*superblock.Plan, e.n)}
+	err := e.fanOut(func(s int) error {
+		// A shard absent from the stream gets an empty plan (zero bins).
+		sp, err := superblock.NewPlan(locals[s], superblock.PlanConfig{
+			S:      sblk,
+			Leaves: e.subs[s].Client.Geometry().Leaves(),
+			Rand:   trace.NewRNG(SeedFor(e.seed, s) + 1),
+		})
+		p.plans[s] = sp
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// LoadForPlan bulk-initialises every shard concurrently with look-ahead
+// pre-placement: each block starts on the path of its first superblock bin
+// in its shard's plan (the converged steady state of §IV-B), everything
+// else uniformly.
+func (e *Engine) LoadForPlan(p *Plan, payload func(id uint64) []byte) error {
+	if p == nil {
+		return fmt.Errorf("shard: nil plan")
+	}
+	if p.n != e.n {
+		return fmt.Errorf("shard: plan built for %d shards, engine has %d", p.n, e.n)
+	}
+	leafOf := make([]func(oram.BlockID) oram.Leaf, e.n)
+	for s := 0; s < e.n; s++ {
+		sp, client := p.plans[s], e.subs[s].Client
+		leafOf[s] = func(local oram.BlockID) oram.Leaf {
+			if l := sp.FirstLeaf(local); l != oram.NoLeaf {
+				return l
+			}
+			return client.RandomLeaf()
+		}
+	}
+	return e.load(e.entries, leafOf, payload)
+}

@@ -1,0 +1,99 @@
+package shard
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/oram"
+)
+
+// fanOut runs f(s) for every shard, one worker goroutine per shard, and
+// returns the lowest-shard error. The single-shard case runs inline on the
+// calling goroutine, so a 1-shard engine consumes randomness and advances
+// clocks in exactly the order the unsharded engine would — the property
+// behind the byte-identical Shards=1 guarantee.
+//
+// Shards never share mutable state (each worker touches only its own
+// client, store and meter), so no locking is needed beyond the join.
+func (e *Engine) fanOut(f func(shard int) error) error {
+	if e.n == 1 {
+		return f(0)
+	}
+	errs := make([]error, e.n)
+	var wg sync.WaitGroup
+	wg.Add(e.n)
+	for s := 0; s < e.n; s++ {
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = f(s)
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats aggregates the whole engine's counters. Additive quantities
+// (accesses, path I/O, traffic, stash occupancy, position-map bytes) are
+// summed across shards; SimTime is the maximum over the per-shard meters,
+// because the shards model independent memory channels running in
+// parallel — elapsed time is the slowest lane, not the sum.
+type Stats struct {
+	Access      oram.AccessStats
+	Counters    oram.Counters
+	StashLen    int
+	StashPeak   int
+	ServerBytes int64
+	PosBytes    int64
+	SimTime     time.Duration
+}
+
+// Stats sums the per-shard snapshots (see type Stats for the SimTime
+// semantics).
+func (e *Engine) Stats() Stats {
+	var out Stats
+	for _, sub := range e.subs {
+		st := sub.Client.Stats()
+		out.Access.Accesses += st.Accesses
+		out.Access.StashHits += st.StashHits
+		out.Access.PathReads += st.PathReads
+		out.Access.PathWrites += st.PathWrites
+		out.Access.DummyReads += st.DummyReads
+		out.Access.Remaps += st.Remaps
+		out.StashLen += sub.Client.Stash().Len()
+		out.StashPeak += sub.Client.Stash().Peak()
+		out.ServerBytes += sub.Client.Geometry().ServerBytes()
+		out.PosBytes += sub.Client.PosMap().Bytes()
+		if sub.Store != nil {
+			c := sub.Store.Counters()
+			out.Counters.BucketReads += c.BucketReads
+			out.Counters.BucketWrites += c.BucketWrites
+			out.Counters.SlotReads += c.SlotReads
+			out.Counters.SlotWrites += c.SlotWrites
+			out.Counters.BytesRead += c.BytesRead
+			out.Counters.BytesWritten += c.BytesWritten
+		}
+		if sub.Meter != nil && sub.Meter.Now() > out.SimTime {
+			out.SimTime = sub.Meter.Now()
+		}
+	}
+	return out
+}
+
+// ResetStats zeroes every shard's counters, stash peaks and meters.
+func (e *Engine) ResetStats() {
+	for _, sub := range e.subs {
+		sub.Client.ResetStats()
+		sub.Client.Stash().ResetPeak()
+		if sub.Store != nil {
+			sub.Store.ResetCounters()
+		}
+		if sub.Meter != nil {
+			sub.Meter.Reset()
+		}
+	}
+}

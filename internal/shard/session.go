@@ -1,0 +1,163 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/oram"
+)
+
+// Visit is invoked for each block of a bin while it is resident in trusted
+// memory; ids are global. Returning non-nil replaces the payload. During
+// Run/RunBatched, visit is called concurrently from different shard
+// lanes — never concurrently for the same id (a block lives in exactly one
+// shard) — so implementations need per-lane scratch or no shared state;
+// NewVisit builds one visitor per lane for that purpose.
+type Visit func(id uint64, payload []byte) []byte
+
+// NewVisit returns a fresh Visit per shard lane, letting callers keep
+// mutable scratch (decode buffers, optimiser state) lane-local during
+// concurrent execution. Either may be nil.
+type NewVisit func(shard int) Visit
+
+// Session executes a sharded Plan: one core.LAORAM lane per shard, each
+// consuming its shard's bins in plan order. Step/StepBatch serve lanes
+// round-robin on the calling goroutine; Run/RunBatched drive every lane
+// concurrently.
+type Session struct {
+	e   *Engine
+	las []*core.LAORAM
+	rr  int // next lane Step considers (round-robin)
+}
+
+// NewSession builds the per-shard LAORAM lanes for plan p.
+func (e *Engine) NewSession(p *Plan) (*Session, error) {
+	if p == nil {
+		return nil, fmt.Errorf("shard: nil plan")
+	}
+	if p.n != e.n {
+		return nil, fmt.Errorf("shard: plan built for %d shards, engine has %d", p.n, e.n)
+	}
+	s := &Session{e: e, las: make([]*core.LAORAM, e.n)}
+	for i := 0; i < e.n; i++ {
+		la, err := core.New(core.Config{Base: e.subs[i].Client, Plan: p.plans[i]})
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.las[i] = la
+	}
+	return s, nil
+}
+
+// wrap translates a global-ID visitor to shard i's local-ID space.
+func (s *Session) wrap(i int, v Visit) core.Visit {
+	if v == nil {
+		return nil
+	}
+	n := s.e.n
+	return func(local oram.BlockID, payload []byte) []byte {
+		return v(GlobalID(uint64(local), i, n), payload)
+	}
+}
+
+// Done reports whether every lane's plan is exhausted.
+func (s *Session) Done() bool {
+	for _, la := range s.las {
+		if !la.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// next returns the round-robin next lane with work, or -1 when done.
+func (s *Session) next() int {
+	for k := 0; k < len(s.las); k++ {
+		i := (s.rr + k) % len(s.las)
+		if !s.las[i].Done() {
+			s.rr = (i + 1) % len(s.las)
+			return i
+		}
+	}
+	return -1
+}
+
+// Step executes one superblock bin on the next lane that has work
+// (round-robin across shards, inline on the calling goroutine). Returns
+// false when every lane is exhausted.
+func (s *Session) Step(v Visit) (bool, error) {
+	i := s.next()
+	if i < 0 {
+		return false, nil
+	}
+	if _, err := s.las[i].StepBin(s.wrap(i, v)); err != nil {
+		return false, fmt.Errorf("shard %d: %w", i, err)
+	}
+	return true, nil
+}
+
+// StepBatch executes up to k bins in one batched round trip on the next
+// lane with work, returning the number of bins executed (0 when done).
+func (s *Session) StepBatch(k int, v Visit) (int, error) {
+	i := s.next()
+	if i < 0 {
+		return 0, nil
+	}
+	done, err := s.las[i].StepBatch(k, s.wrap(i, v))
+	if err != nil {
+		return done, fmt.Errorf("shard %d: %w", i, err)
+	}
+	return done, nil
+}
+
+// Run drives every lane to completion concurrently. nv (may be nil) builds
+// one visitor per lane; use it to keep scratch state lane-local.
+func (s *Session) Run(nv NewVisit) error {
+	return s.e.fanOut(func(i int) error {
+		var v Visit
+		if nv != nil {
+			v = nv(i)
+		}
+		if err := s.las[i].Run(s.wrap(i, v)); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		return nil
+	})
+}
+
+// RunBatched drives every lane to completion concurrently, k bins per
+// server round trip (§IV-A's per-training-batch fetch within each shard).
+func (s *Session) RunBatched(k int, nv NewVisit) error {
+	return s.e.fanOut(func(i int) error {
+		var v Visit
+		if nv != nil {
+			v = nv(i)
+		}
+		if err := s.las[i].RunBatched(k, s.wrap(i, v)); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		return nil
+	})
+}
+
+// Lane exposes shard i's LAORAM executor (stats, manual stepping).
+func (s *Session) Lane(i int) *core.LAORAM { return s.las[i] }
+
+// Stats sums the per-lane LAORAM counters (base AccessStats included).
+func (s *Session) Stats() core.Stats {
+	var out core.Stats
+	for _, la := range s.las {
+		st := la.Stats()
+		out.Accesses += st.Accesses
+		out.StashHits += st.StashHits
+		out.PathReads += st.PathReads
+		out.PathWrites += st.PathWrites
+		out.DummyReads += st.DummyReads
+		out.Remaps += st.Remaps
+		out.Bins += st.Bins
+		out.ColdPathReads += st.ColdPathReads
+		out.LookaheadRemaps += st.LookaheadRemaps
+		out.UniformRemaps += st.UniformRemaps
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+// Package shard implements the sharded concurrent ORAM engine: the
+// embedding table is hash-partitioned across N independent LAORAM
+// instances, each with its own position map, stash, server tree and
+// superblock preprocessor, and a concurrent scheduler fans batches of
+// accesses out to per-shard worker goroutines and merges the results.
+//
+// Sharding is the scaling move DLRM-style deployments already make for
+// plaintext embedding tables (state is split across many tables/hosts);
+// here each partition is a complete, self-contained ORAM. The security
+// argument is unchanged per shard: within a shard every fetched path was
+// drawn uniformly (§VI of the paper), and the shard an access routes to
+// depends only on the public block ID stream the §IV-B preprocessor
+// already scans, so the server learns nothing beyond what the
+// single-instance design leaks. What sharding buys is parallelism: the N
+// trees are independent, so path fetches, evictions and plan execution
+// proceed concurrently — on real hardware over N memory channels or
+// hosts, in simulation over N independent memsim meters (elapsed time is
+// the slowest shard's clock, see Stats).
+//
+// The partition is the modulo split
+//
+//	shard(id)  = id mod N
+//	local(id)  = id div N
+//
+// which is deterministic, trivially invertible (both properties the
+// position-map translation needs: each shard's map stays dense over
+// 0..ceil(Entries/N)-1) and balanced to within one block for the dense ID
+// spaces embedding tables use. A mixing hash would destroy the dense
+// local ID space without changing the security argument, since shard
+// routing is public either way.
+//
+// See DESIGN.md ("Sharded engine") for the paper-to-module map and the
+// abl-shards experiment measuring throughput vs shard count.
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+	"repro/internal/oram"
+)
+
+// SeedStride separates the deterministic RNG seed domains of neighbouring
+// shards: shard i derives its client seed as base + i*SeedStride and its
+// per-window plan seeds from the slots in between. Shard 0 therefore uses
+// exactly the seeds the single-instance engine uses, which is what makes a
+// 1-shard engine byte-identical to the unsharded path.
+const SeedStride = 1_000_003
+
+// SeedFor returns the base RNG seed of a shard.
+func SeedFor(base int64, shard int) int64 { return base + int64(shard)*SeedStride }
+
+// ShardOf routes a global block ID to its shard (the partition function).
+func ShardOf(id uint64, n int) int { return int(id % uint64(n)) }
+
+// LocalID translates a global block ID to the dense per-shard ID space.
+func LocalID(id uint64, n int) uint64 { return id / uint64(n) }
+
+// GlobalID inverts (ShardOf, LocalID).
+func GlobalID(local uint64, shard, n int) uint64 { return local*uint64(n) + uint64(shard) }
+
+// PerShardEntries returns the per-shard position-map capacity for a table
+// of entries blocks split n ways (every shard gets the same capacity; the
+// last partial stripe leaves at most one slack slot per shard).
+func PerShardEntries(entries uint64, n int) uint64 {
+	return (entries + uint64(n) - 1) / uint64(n)
+}
+
+// Sub is one shard's engine stack. Client is required; Store and Meter are
+// optional observability wrappers the caller may have threaded under the
+// client (traffic counters, simulated clock).
+type Sub struct {
+	Client *oram.Client
+	Store  *oram.CountingStore
+	Meter  *memsim.Meter
+}
+
+// Config assembles an Engine.
+type Config struct {
+	// Shards is the number of partitions N (>= 1).
+	Shards int
+	// Entries is the global block count; shard capacity is
+	// PerShardEntries(Entries, Shards).
+	Entries uint64
+	// Seed is the base RNG seed; shard i is built around
+	// SeedFor(Seed, i).
+	Seed int64
+	// Build constructs one shard's stack. entries is the per-shard
+	// capacity and seed the shard's base seed (already strided). The
+	// returned Client must be configured with Blocks = entries.
+	Build func(shard int, entries uint64, seed int64) (Sub, error)
+}
+
+// Engine is the sharded ORAM: N independent instances behind one flat
+// block-ID space. Single accesses route inline on the calling goroutine
+// (so a 1-shard engine behaves exactly like an unsharded client);
+// batch operations, loads, preprocessing and session execution fan out to
+// one worker goroutine per shard.
+//
+// The Engine itself is not safe for concurrent use by multiple
+// goroutines; concurrency happens inside batch calls, across shards.
+type Engine struct {
+	n       int
+	entries uint64
+	seed    int64
+	subs    []Sub
+}
+
+// New builds the N shard stacks via cfg.Build.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: Config.Shards must be >= 1, got %d", cfg.Shards)
+	}
+	if cfg.Entries == 0 {
+		return nil, fmt.Errorf("shard: Config.Entries must be > 0")
+	}
+	if cfg.Build == nil {
+		return nil, fmt.Errorf("shard: Config.Build is required")
+	}
+	if uint64(cfg.Shards) > cfg.Entries {
+		return nil, fmt.Errorf("shard: %d shards over %d entries leaves empty shards", cfg.Shards, cfg.Entries)
+	}
+	e := &Engine{n: cfg.Shards, entries: cfg.Entries, seed: cfg.Seed}
+	per := PerShardEntries(cfg.Entries, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		sub, err := cfg.Build(i, per, SeedFor(cfg.Seed, i))
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if sub.Client == nil {
+			return nil, fmt.Errorf("shard %d: Build returned nil Client", i)
+		}
+		if got := sub.Client.PosMap().Len(); got < per {
+			return nil, fmt.Errorf("shard %d: client holds %d blocks, need %d", i, got, per)
+		}
+		e.subs = append(e.subs, sub)
+	}
+	return e, nil
+}
+
+// Shards returns the partition count N.
+func (e *Engine) Shards() int { return e.n }
+
+// Entries returns the global block count.
+func (e *Engine) Entries() uint64 { return e.entries }
+
+// Sub exposes shard i's stack (read-only use: stats, geometry).
+func (e *Engine) Sub(i int) Sub { return e.subs[i] }
+
+func (e *Engine) check(id uint64) error {
+	if id >= e.entries {
+		return fmt.Errorf("shard: block %d out of range (have %d)", id, e.entries)
+	}
+	return nil
+}
+
+// Read obliviously fetches one block, routing inline to its shard.
+func (e *Engine) Read(id uint64) ([]byte, error) {
+	if err := e.check(id); err != nil {
+		return nil, err
+	}
+	return e.subs[ShardOf(id, e.n)].Client.Read(oram.BlockID(LocalID(id, e.n)))
+}
+
+// Write obliviously updates (or creates) one block.
+func (e *Engine) Write(id uint64, data []byte) error {
+	if err := e.check(id); err != nil {
+		return err
+	}
+	return e.subs[ShardOf(id, e.n)].Client.Write(oram.BlockID(LocalID(id, e.n)), data)
+}
+
+// ReadBatch fans ids out to per-shard workers and merges the payloads back
+// in request order. Within a shard, accesses execute in batch order, so
+// results are deterministic for a fixed seed regardless of scheduling.
+func (e *Engine) ReadBatch(ids []uint64) ([][]byte, error) {
+	out := make([][]byte, len(ids))
+	lanes, err := e.split(ids)
+	if err != nil {
+		return nil, err
+	}
+	err = e.fanOut(func(s int) error {
+		c := e.subs[s].Client
+		for _, j := range lanes[s] {
+			p, err := c.Read(oram.BlockID(LocalID(ids[j], e.n)))
+			if err != nil {
+				return err
+			}
+			out[j] = p
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteBatch fans (ids[i], data[i]) pairs out to per-shard workers.
+func (e *Engine) WriteBatch(ids []uint64, data [][]byte) error {
+	if len(ids) != len(data) {
+		return fmt.Errorf("shard: WriteBatch got %d ids, %d payloads", len(ids), len(data))
+	}
+	lanes, err := e.split(ids)
+	if err != nil {
+		return err
+	}
+	return e.fanOut(func(s int) error {
+		c := e.subs[s].Client
+		for _, j := range lanes[s] {
+			if err := c.Write(oram.BlockID(LocalID(ids[j], e.n)), data[j]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// split groups batch positions by owning shard, preserving batch order
+// within each lane.
+func (e *Engine) split(ids []uint64) ([][]int, error) {
+	lanes := make([][]int, e.n)
+	for j, id := range ids {
+		if err := e.check(id); err != nil {
+			return nil, err
+		}
+		s := ShardOf(id, e.n)
+		lanes[s] = append(lanes[s], j)
+	}
+	return lanes, nil
+}
+
+// LoadCount is |{id < n : id ≡ s (mod N)}|: how many of the first n global
+// IDs shard s owns (its bulk-load count).
+func LoadCount(n uint64, s, shards int) uint64 {
+	if uint64(s) >= n {
+		return 0
+	}
+	return (n-uint64(s)-1)/uint64(shards) + 1
+}
+
+// Load bulk-initialises blocks 0..n-1 of the global space with random
+// placement, each shard loading its partition concurrently. payload (may
+// be nil) receives global IDs.
+func (e *Engine) Load(n uint64, payload func(id uint64) []byte) error {
+	return e.load(n, nil, payload)
+}
+
+func (e *Engine) load(n uint64, leafOf []func(oram.BlockID) oram.Leaf, payload func(id uint64) []byte) error {
+	if n > e.entries {
+		return fmt.Errorf("shard: Load of %d blocks exceeds configured %d", n, e.entries)
+	}
+	return e.fanOut(func(s int) error {
+		cnt := LoadCount(n, s, e.n)
+		if cnt == 0 {
+			return nil
+		}
+		var pl func(oram.BlockID) []byte
+		if payload != nil {
+			pl = func(local oram.BlockID) []byte {
+				return payload(GlobalID(uint64(local), s, e.n))
+			}
+		}
+		var lf func(oram.BlockID) oram.Leaf
+		if leafOf != nil {
+			lf = leafOf[s]
+		}
+		return e.subs[s].Client.Load(cnt, lf, pl)
+	})
+}

@@ -10,6 +10,12 @@
 //   - Fat trees (§V): wider buckets near the root absorb superblock
 //     write-back pressure, cutting background evictions.
 //
+// Beyond the paper, Options.Shards partitions the table across N
+// independent ORAM instances (internal/shard): each shard has its own
+// position map, stash, server tree and preprocessor, and batch operations
+// plus Session execution fan out to per-shard worker goroutines. Shards=1
+// (the default) is byte-identical to the unsharded engine.
+//
 // Typical use:
 //
 //	db, _ := laoram.New(laoram.Options{Entries: 1 << 20, BlockSize: 128})
@@ -23,19 +29,18 @@
 //	s.Run(func(id uint64, row []byte) []byte { return update(row) })
 //
 // Everything here wraps the internal packages; see DESIGN.md for the
-// paper-to-module map.
+// paper-to-module map and README.md for a walkthrough.
 package laoram
 
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/crypto"
 	"repro/internal/integrity"
 	"repro/internal/memsim"
 	"repro/internal/oram"
 	"repro/internal/remote"
-	"repro/internal/superblock"
+	"repro/internal/shard"
 	"repro/internal/trace"
 )
 
@@ -65,15 +70,24 @@ type Options struct {
 	// (§VIII-E; defaults 500/50). Set EvictHigh = -1 to disable.
 	EvictHigh, EvictLow int
 	// Seed makes all randomized behaviour reproducible (leaf choices,
-	// bin paths).
+	// bin paths). Shard i derives its seeds as shard.SeedFor(Seed, i).
 	Seed int64
+	// Shards partitions the table across this many independent ORAM
+	// instances (internal/shard), each with its own position map, stash,
+	// tree and preprocessor. 0 or 1 (the default) keeps today's
+	// single-instance behaviour; batch operations and Sessions then fan
+	// out to per-shard worker goroutines. Incompatible with RemoteAddr
+	// when > 1.
+	Shards int
 	// RemoteAddr, when set, uses a laoramserve instance at this address
 	// as server storage instead of in-process memory. Entries must match
 	// the server's tree capacity; BlockSize/BucketSize/FatTree are taken
 	// from the server.
 	RemoteAddr string
 	// Measure attaches a deterministic DDR4 timing model; SimTime then
-	// reports simulated time.
+	// reports simulated time. With Shards > 1 every shard gets its own
+	// meter (independent memory channels) and SimTime reports the
+	// slowest shard's clock.
 	Measure bool
 	// Verify adds Merkle authentication over server storage: every
 	// bucket read is checked against a trusted root digest, detecting
@@ -102,16 +116,24 @@ func (o Options) evict() (oram.EvictConfig, error) {
 	return oram.EvictConfig{Enabled: true, High: o.EvictHigh, Low: o.EvictLow}, nil
 }
 
-// ORAM is an oblivious block store.
+func (o Options) shards() int {
+	if o.Shards < 1 {
+		return 1
+	}
+	return o.Shards
+}
+
+// ORAM is an oblivious block store, possibly sharded (Options.Shards).
 type ORAM struct {
 	opts   Options
-	base   *oram.Client
-	store  *oram.CountingStore
-	meter  *memsim.Meter
+	eng    *shard.Engine
 	remote *remote.Client
 }
 
-// Stats summarises client activity and server traffic.
+// Stats summarises client activity and server traffic. With Shards > 1,
+// additive quantities (accesses, traffic, stash occupancy, trusted bytes)
+// are summed across shards and SimTimeSeconds is the slowest shard's
+// simulated clock (shards model independent memory channels).
 type Stats struct {
 	Accesses       uint64
 	PathReads      uint64
@@ -126,7 +148,8 @@ type Stats struct {
 	SimTimeSeconds float64
 }
 
-// New builds an ORAM instance.
+// New builds an ORAM instance: Options.Shards independent PathORAM stacks
+// (trees, stashes, position maps) behind one flat block-ID space.
 func New(opts Options) (*ORAM, error) {
 	if opts.Entries == 0 {
 		return nil, fmt.Errorf("laoram: Options.Entries must be > 0")
@@ -135,19 +158,46 @@ func New(opts Options) (*ORAM, error) {
 	if err != nil {
 		return nil, err
 	}
+	n := opts.shards()
+	if n > 1 && opts.RemoteAddr != "" {
+		return nil, fmt.Errorf("laoram: Shards > 1 over a remote store is not supported (run one laoramserve per shard instead)")
+	}
 	o := &ORAM{opts: opts}
+	eng, err := shard.New(shard.Config{
+		Shards:  n,
+		Entries: opts.Entries,
+		Seed:    opts.Seed,
+		Build: func(i int, per uint64, seed int64) (shard.Sub, error) {
+			return o.buildSub(per, seed, evict)
+		},
+	})
+	if err != nil {
+		if o.remote != nil {
+			o.remote.Close()
+		}
+		return nil, err
+	}
+	o.eng = eng
+	return o, nil
+}
 
+// buildSub assembles one shard's stack — server store (in-memory,
+// metadata-only, encrypted or remote), traffic counters, optional timing
+// meter and Merkle verification, then the PathORAM client — for per blocks
+// seeded with seed. With Shards <= 1 this is exactly the unsharded
+// construction.
+func (o *ORAM) buildSub(per uint64, seed int64, evict oram.EvictConfig) (shard.Sub, error) {
+	opts := o.opts
 	var inner oram.Store
 	if opts.RemoteAddr != "" {
 		rc, err := remote.Dial(opts.RemoteAddr)
 		if err != nil {
-			return nil, err
+			return shard.Sub{}, err
 		}
 		o.remote = rc
 		g := rc.Geometry()
-		if g.Leaves() < opts.Entries/uint64(g.BucketSize(g.LeafBits())) {
-			rc.Close()
-			return nil, fmt.Errorf("laoram: remote tree (%s) too small for %d entries", g, opts.Entries)
+		if g.Leaves() < per/uint64(g.BucketSize(g.LeafBits())) {
+			return shard.Sub{}, fmt.Errorf("laoram: remote tree (%s) too small for %d entries", g, per)
 		}
 		inner = rc
 	} else {
@@ -156,7 +206,7 @@ func New(opts Options) (*ORAM, error) {
 			z = 4
 		}
 		gc := oram.GeometryConfig{
-			LeafBits:  oram.LeafBitsFor(opts.Entries),
+			LeafBits:  oram.LeafBitsFor(per),
 			LeafZ:     z,
 			BlockSize: opts.BlockSize,
 		}
@@ -166,13 +216,13 @@ func New(opts Options) (*ORAM, error) {
 		}
 		g, err := oram.NewGeometry(gc)
 		if err != nil {
-			return nil, err
+			return shard.Sub{}, err
 		}
 		if opts.MetadataOnly {
 			inner = oram.NewMetaStore(g)
 		} else {
 			if opts.BlockSize <= 0 {
-				return nil, fmt.Errorf("laoram: BlockSize required unless MetadataOnly")
+				return shard.Sub{}, fmt.Errorf("laoram: BlockSize required unless MetadataOnly")
 			}
 			var sealer oram.Sealer
 			if opts.Encrypt {
@@ -184,63 +234,54 @@ func New(opts Options) (*ORAM, error) {
 					s, err = crypto.NewRandomSealer()
 				}
 				if err != nil {
-					return nil, err
+					return shard.Sub{}, err
 				}
 				sealer = s
 			}
 			ps, err := oram.NewPayloadStore(g, sealer)
 			if err != nil {
-				return nil, err
+				return shard.Sub{}, err
 			}
 			inner = ps
 		}
 	}
+	var meter *memsim.Meter
 	if opts.Measure {
-		o.meter = memsim.NewMeter(memsim.DDR4Default())
+		meter = memsim.NewMeter(memsim.DDR4Default())
 	}
-	o.store = oram.NewCountingStore(inner, tickerOrNil(o.meter))
-	var clientStore oram.Store = o.store
+	cs := oram.NewCountingStore(inner, tickerOrNil(meter))
+	var clientStore oram.Store = cs
 	if opts.Verify {
-		vs, err := integrity.NewVerifiedStore(o.store)
+		vs, err := integrity.NewVerifiedStore(cs)
 		if err != nil {
-			if o.remote != nil {
-				o.remote.Close()
-			}
-			return nil, err
+			return shard.Sub{}, err
 		}
 		clientStore = vs
 	}
 	var posMap oram.PositionMap
 	if opts.RecursivePosMap {
 		rm, err := oram.NewRecursiveMap(oram.RecursiveConfig{
-			Blocks: opts.Entries,
-			Rand:   trace.NewRNG(opts.Seed + 2),
+			Blocks: per,
+			Rand:   trace.NewRNG(seed + 2),
 		})
 		if err != nil {
-			if o.remote != nil {
-				o.remote.Close()
-			}
-			return nil, err
+			return shard.Sub{}, err
 		}
 		posMap = rm
 	}
-	base, err := oram.NewClient(oram.ClientConfig{
+	client, err := oram.NewClient(oram.ClientConfig{
 		Store:     clientStore,
-		Rand:      trace.NewRNG(opts.Seed),
+		Rand:      trace.NewRNG(seed),
 		Evict:     evict,
-		Timer:     timerOrNil(o.meter),
+		Timer:     timerOrNil(meter),
 		StashHits: true,
-		Blocks:    opts.Entries,
+		Blocks:    per,
 		PosMap:    posMap,
 	})
 	if err != nil {
-		if o.remote != nil {
-			o.remote.Close()
-		}
-		return nil, err
+		return shard.Sub{}, err
 	}
-	o.base = base
-	return o, nil
+	return shard.Sub{Client: client, Store: cs, Meter: meter}, nil
 }
 
 func tickerOrNil(m *memsim.Meter) oram.Ticker {
@@ -268,17 +309,33 @@ func (o *ORAM) Close() error {
 // Entries returns the configured number of blocks.
 func (o *ORAM) Entries() uint64 { return o.opts.Entries }
 
-// ServerBytes returns the server-storage requirement of the tree — the
-// paper's Table I metric.
-func (o *ORAM) ServerBytes() int64 { return o.base.Geometry().ServerBytes() }
+// Shards returns the partition count (1 when unsharded).
+func (o *ORAM) Shards() int { return o.eng.Shards() }
 
-// Describe returns a one-line description of the server tree.
-func (o *ORAM) Describe() string { return o.base.Geometry().String() }
+// ServerBytes returns the server-storage requirement across all shard
+// trees — the paper's Table I metric.
+func (o *ORAM) ServerBytes() int64 {
+	var total int64
+	for i := 0; i < o.eng.Shards(); i++ {
+		total += o.eng.Sub(i).Client.Geometry().ServerBytes()
+	}
+	return total
+}
 
-// Load bulk-initialises blocks 0..n-1 with random placement. payload may
-// be nil (zero/simulated content). Call once, before accesses.
+// Describe returns a one-line description of the server tree(s).
+func (o *ORAM) Describe() string {
+	g := o.eng.Sub(0).Client.Geometry().String()
+	if n := o.eng.Shards(); n > 1 {
+		return fmt.Sprintf("%d×[%s]", n, g)
+	}
+	return g
+}
+
+// Load bulk-initialises blocks 0..n-1 with random placement, each shard
+// loading its partition concurrently. payload may be nil (zero/simulated
+// content). Call once, before accesses.
 func (o *ORAM) Load(n uint64, payload func(id uint64) []byte) error {
-	return o.base.Load(n, nil, wrapPayload(payload))
+	return o.eng.Load(n, payload)
 }
 
 // LoadForPlan bulk-initialises with look-ahead pre-placement: blocks start
@@ -288,72 +345,64 @@ func (o *ORAM) LoadForPlan(p *Plan, payload func(id uint64) []byte) error {
 	if p == nil {
 		return fmt.Errorf("laoram: nil plan")
 	}
-	return o.base.Load(o.opts.Entries, func(id oram.BlockID) oram.Leaf {
-		if l := p.plan.FirstLeaf(id); l != oram.NoLeaf {
-			return l
-		}
-		return o.base.RandomLeaf()
-	}, wrapPayload(payload))
-}
-
-func wrapPayload(payload func(id uint64) []byte) func(oram.BlockID) []byte {
-	if payload == nil {
-		return nil
-	}
-	return func(id oram.BlockID) []byte { return payload(uint64(id)) }
+	return o.eng.LoadForPlan(p.plan, payload)
 }
 
 // Read obliviously fetches a block (PathORAM access, §II-C). Returns nil
 // under MetadataOnly.
 func (o *ORAM) Read(id uint64) ([]byte, error) {
-	return o.base.Read(oram.BlockID(id))
+	return o.eng.Read(id)
 }
 
 // Write obliviously updates (or creates) a block.
 func (o *ORAM) Write(id uint64, data []byte) error {
-	return o.base.Write(oram.BlockID(id), data)
+	return o.eng.Write(id, data)
 }
 
-// Stats returns a snapshot of activity counters.
+// ReadBatch obliviously fetches a batch of blocks, fanning the requests
+// out to per-shard worker goroutines and merging the payloads back in
+// request order (with one shard, the batch runs sequentially inline).
+func (o *ORAM) ReadBatch(ids []uint64) ([][]byte, error) {
+	return o.eng.ReadBatch(ids)
+}
+
+// WriteBatch obliviously updates a batch of blocks; data[i] is written to
+// ids[i]. Like ReadBatch, requests fan out across shards.
+func (o *ORAM) WriteBatch(ids []uint64, data [][]byte) error {
+	return o.eng.WriteBatch(ids, data)
+}
+
+// Stats returns a snapshot of activity counters (summed across shards; see
+// type Stats for the SimTimeSeconds semantics).
 func (o *ORAM) Stats() Stats {
-	st := o.base.Stats()
-	c := o.store.Counters()
-	out := Stats{
-		Accesses:      st.Accesses,
-		PathReads:     st.PathReads,
-		PathWrites:    st.PathWrites,
-		DummyReads:    st.DummyReads,
-		StashHits:     st.StashHits,
-		StashSize:     o.base.Stash().Len(),
-		StashPeak:     o.base.Stash().Peak(),
-		BytesMoved:    c.BytesRead + c.BytesWritten,
-		ServerBytes:   o.base.Geometry().ServerBytes(),
-		PositionBytes: o.base.PosMap().Bytes(),
+	st := o.eng.Stats()
+	return Stats{
+		Accesses:       st.Access.Accesses,
+		PathReads:      st.Access.PathReads,
+		PathWrites:     st.Access.PathWrites,
+		DummyReads:     st.Access.DummyReads,
+		StashHits:      st.Access.StashHits,
+		StashSize:      st.StashLen,
+		StashPeak:      st.StashPeak,
+		BytesMoved:     st.Counters.BytesRead + st.Counters.BytesWritten,
+		ServerBytes:    st.ServerBytes,
+		PositionBytes:  st.PosBytes,
+		SimTimeSeconds: st.SimTime.Seconds(),
 	}
-	if o.meter != nil {
-		out.SimTimeSeconds = o.meter.Now().Seconds()
-	}
-	return out
 }
 
 // ResetStats zeroes activity counters (typically after Load).
-func (o *ORAM) ResetStats() {
-	o.base.ResetStats()
-	o.store.ResetCounters()
-	o.base.Stash().ResetPeak()
-	if o.meter != nil {
-		o.meter.Reset()
-	}
-}
+func (o *ORAM) ResetStats() { o.eng.ResetStats() }
 
 // Plan is the preprocessor output: superblock bins with assigned paths
-// (§IV-B), ready for a Session.
+// (§IV-B), ready for a Session. With Shards > 1 it holds one plan per
+// shard, built over the shard's slice of the access stream.
 type Plan struct {
-	plan *superblock.Plan
+	plan *shard.Plan
 }
 
-// Bins returns the number of superblock bins.
-func (p *Plan) Bins() int { return p.plan.Len() }
+// Bins returns the number of superblock bins (summed across shards).
+func (p *Plan) Bins() int { return p.plan.Bins() }
 
 // UniqueBlocks returns the number of distinct blocks in the plan.
 func (p *Plan) UniqueBlocks() int { return p.plan.UniqueBlocks() }
@@ -364,22 +413,20 @@ func (p *Plan) MetadataBytes() int64 { return p.plan.MetadataBytes() }
 
 // Preprocess runs the §IV-B preprocessing over the upcoming access stream:
 // the dataset scan bins the next s unique indices together and assigns each
-// bin a uniformly random path.
+// bin a uniformly random path. With Shards > 1 the stream is partitioned
+// first and each shard's slice is scanned concurrently.
 func (o *ORAM) Preprocess(stream []uint64, s int) (*Plan, error) {
-	p, err := superblock.NewPlan(stream, superblock.PlanConfig{
-		S:      s,
-		Leaves: o.base.Geometry().Leaves(),
-		Rand:   trace.NewRNG(o.opts.Seed + 1),
-	})
+	p, err := o.eng.Preprocess(stream, s)
 	if err != nil {
 		return nil, err
 	}
 	return &Plan{plan: p}, nil
 }
 
-// Session executes a Plan bin by bin: the LAORAM client of §IV-A.
+// Session executes a Plan bin by bin: the LAORAM client of §IV-A. With
+// Shards > 1 it drives one executor lane per shard.
 type Session struct {
-	la *core.LAORAM
+	s *shard.Session
 }
 
 // NewSession starts executing plan on this ORAM. The instance should have
@@ -388,55 +435,75 @@ func (o *ORAM) NewSession(p *Plan) (*Session, error) {
 	if p == nil {
 		return nil, fmt.Errorf("laoram: nil plan")
 	}
-	la, err := core.New(core.Config{Base: o.base, Plan: p.plan})
+	s, err := o.eng.NewSession(p.plan)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{la: la}, nil
+	return &Session{s: s}, nil
 }
 
 // Visit is invoked for each block of a bin while it is resident in trusted
 // memory; returning non-nil replaces the block's payload (the training
 // update). payload is nil under MetadataOnly.
+//
+// With Shards > 1, Run and RunBatched call visit concurrently from
+// different shard lanes (never concurrently for the same id); visit must
+// therefore avoid shared mutable state, or use the per-lane form of
+// Session.RunPerLane.
 type Visit func(id uint64, payload []byte) []byte
 
-func wrapVisit(v Visit) core.Visit {
+func wrapVisit(v Visit) shard.Visit {
 	if v == nil {
 		return nil
 	}
-	return func(id oram.BlockID, payload []byte) []byte { return v(uint64(id), payload) }
+	return shard.Visit(v)
 }
 
-// Step executes the next superblock bin, returning false when the plan is
-// exhausted.
+func fanVisit(v Visit) shard.NewVisit {
+	if v == nil {
+		return nil
+	}
+	return func(int) shard.Visit { return shard.Visit(v) }
+}
+
+// Step executes the next superblock bin (round-robin across shard lanes),
+// returning false when the plan is exhausted.
 func (s *Session) Step(v Visit) (bool, error) {
-	if s.la.Done() {
-		return false, nil
-	}
-	if _, err := s.la.StepBin(wrapVisit(v)); err != nil {
-		return false, err
-	}
-	return true, nil
+	return s.s.Step(wrapVisit(v))
 }
 
-// Run executes the remaining plan.
-func (s *Session) Run(v Visit) error { return s.la.Run(wrapVisit(v)) }
+// Run executes the remaining plan; shard lanes run concurrently.
+func (s *Session) Run(v Visit) error { return s.s.Run(fanVisit(v)) }
+
+// RunPerLane is Run with one visitor per shard lane: newVisit(lane) is
+// called once per lane before execution, letting trainers keep scratch
+// buffers and optimiser state lane-local during concurrent execution.
+func (s *Session) RunPerLane(newVisit func(lane int) Visit) error {
+	if newVisit == nil {
+		return s.s.Run(nil)
+	}
+	return s.s.Run(func(lane int) shard.Visit { return wrapVisit(newVisit(lane)) })
+}
 
 // StepBatch executes up to k superblock bins in one batched server round
-// trip, reading and writing buckets shared between the batch's paths only
-// once (the paper's per-training-batch fetch, §IV-A). Returns the number
-// of bins executed.
+// trip on the next lane with work, reading and writing buckets shared
+// between the batch's paths only once (the paper's per-training-batch
+// fetch, §IV-A). Returns the number of bins executed.
 func (s *Session) StepBatch(k int, v Visit) (int, error) {
-	return s.la.StepBatch(k, wrapVisit(v))
+	return s.s.StepBatch(k, wrapVisit(v))
 }
 
-// RunBatched executes the remaining plan in batches of k bins.
-func (s *Session) RunBatched(k int, v Visit) error { return s.la.RunBatched(k, wrapVisit(v)) }
+// RunBatched executes the remaining plan in batches of k bins; shard lanes
+// run concurrently.
+func (s *Session) RunBatched(k int, v Visit) error {
+	return s.s.RunBatched(k, fanVisit(v))
+}
 
 // Done reports whether the plan is exhausted.
-func (s *Session) Done() bool { return s.la.Done() }
+func (s *Session) Done() bool { return s.s.Done() }
 
-// SessionStats exposes the LAORAM-level counters of §IV.
+// SessionStats exposes the LAORAM-level counters of §IV (summed across
+// shard lanes).
 type SessionStats struct {
 	Bins            uint64
 	ColdPathReads   uint64
@@ -446,7 +513,7 @@ type SessionStats struct {
 
 // Stats returns the session's counters.
 func (s *Session) Stats() SessionStats {
-	st := s.la.Stats()
+	st := s.s.Stats()
 	return SessionStats{
 		Bins:            st.Bins,
 		ColdPathReads:   st.ColdPathReads,
