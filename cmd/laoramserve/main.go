@@ -1,12 +1,20 @@
 // Command laoramserve runs the paper's server_storage component as a TCP
 // service (§III, Fig. 5): the untrusted CPU-DRAM side of LAORAM holding the
-// ORAM tree. Clients (examples/remote, or any oram client over
-// remote.Dial) connect and issue bucket-granularity requests; the address
-// stream on this socket is exactly what the paper's adversary observes.
+// ORAM tree(s). Clients (examples/remote, or any oram client over
+// remote.Dial) connect and issue bucket-, path- or batch-granularity
+// requests; the address stream on this socket is exactly what the paper's
+// adversary observes.
+//
+// With -shards N the table is served as N independent shard trees (one
+// backing store per shard, the partition rules of internal/shard), matching
+// a client started with laoram.Options{Shards: N, RemoteAddr: ...}. Many
+// clients may connect concurrently; requests are multiplexed per
+// connection and dispatched to a bounded worker pool with per-shard
+// locking.
 //
 // Usage:
 //
-//	laoramserve -addr :7312 -entries 1048576 -block 128 -fat
+//	laoramserve -addr :7312 -entries 1048576 -block 128 -fat -shards 4
 package main
 
 import (
@@ -18,20 +26,27 @@ import (
 
 	"repro/internal/oram"
 	"repro/internal/remote"
+	"repro/internal/shard"
 )
 
 func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:7312", "listen address")
-		entries = flag.Uint64("entries", 1<<20, "embedding table entries (sizes the tree)")
+		entries = flag.Uint64("entries", 1<<20, "embedding table entries across all shards (sizes the trees)")
 		block   = flag.Int("block", 128, "block (embedding row) size in bytes; 0 = metadata-only")
 		leafZ   = flag.Int("z", 4, "leaf bucket size")
 		fat     = flag.Bool("fat", false, "use the fat-tree (root 2x leaf, linear decay)")
+		shards  = flag.Int("shards", 1, "number of shard stores (match the client's Options.Shards)")
+		workers = flag.Int("workers", 0, "request worker pool size (0 = one per CPU)")
 	)
 	flag.Parse()
 
+	if *shards < 1 {
+		log.Fatalf("laoramserve: -shards must be >= 1")
+	}
+	per := shard.PerShardEntries(*entries, *shards)
 	cfg := oram.GeometryConfig{
-		LeafBits:  oram.LeafBitsFor(*entries),
+		LeafBits:  oram.LeafBitsFor(per),
 		LeafZ:     *leafZ,
 		BlockSize: *block,
 	}
@@ -44,32 +59,49 @@ func main() {
 		log.Fatalf("laoramserve: %v", err)
 	}
 
-	var inner oram.Store
-	if *block > 0 {
-		ps, err := oram.NewPayloadStore(g, nil)
-		if err != nil {
-			log.Fatalf("laoramserve: %v (hint: -block 0 for metadata-only at large scales)", err)
+	stores := make([]oram.Store, *shards)
+	counters := make([]*oram.CountingStore, *shards)
+	for i := range stores {
+		var inner oram.Store
+		if *block > 0 {
+			ps, err := oram.NewPayloadStore(g, nil)
+			if err != nil {
+				log.Fatalf("laoramserve: %v (hint: -block 0 for metadata-only at large scales)", err)
+			}
+			inner = ps
+		} else {
+			inner = oram.NewMetaStore(g)
 		}
-		inner = ps
-	} else {
-		inner = oram.NewMetaStore(g)
+		counters[i] = oram.NewCountingStore(inner, nil)
+		stores[i] = counters[i]
 	}
-	cs := oram.NewCountingStore(inner, nil)
 
-	srv, bound, err := remote.ListenAndLog(cs, *addr)
+	srv, err := remote.NewSharded(stores, *workers, log.Printf)
 	if err != nil {
 		log.Fatalf("laoramserve: %v", err)
 	}
-	fmt.Printf("laoramserve: serving %s (%s, %d entries, server bytes %.2f GB) on %s\n",
-		g.String(), storeKind(*block), *entries, float64(g.ServerBytes())/(1<<30), bound)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("laoramserve: %v", err)
+	}
+	fmt.Printf("laoramserve: serving %d×[%s] (%s, %d entries, server bytes %.2f GB) on %s\n",
+		*shards, g.String(), storeKind(*block), *entries,
+		float64(int64(*shards)*g.ServerBytes())/(1<<30), bound)
 	fmt.Println("laoramserve: Ctrl-C to stop")
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
 	<-ch
-	c := cs.Counters()
+	var total oram.Counters
+	for _, cs := range counters {
+		c := cs.Counters()
+		total.BucketReads += c.BucketReads
+		total.BucketWrites += c.BucketWrites
+		total.BytesRead += c.BytesRead
+		total.BytesWritten += c.BytesWritten
+	}
 	fmt.Printf("\nlaoramserve: shutting down — served %d bucket reads, %d bucket writes, %.2f MB moved\n",
-		c.BucketReads, c.BucketWrites, float64(c.BytesRead+c.BytesWritten)/(1<<20))
+		total.BucketReads, total.BucketWrites, float64(total.BytesRead+total.BytesWritten)/(1<<20))
 	if err := srv.Close(); err != nil {
 		log.Printf("laoramserve: close: %v", err)
 	}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package harness
+
+// raceEnabled reports whether the binary was built with the race detector,
+// whose instrumentation overhead distorts wall-clock measurements (the
+// serve experiment's throughput assertions relax under it).
+const raceEnabled = false

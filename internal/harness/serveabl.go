@@ -1,0 +1,252 @@
+package harness
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/oram"
+	"repro/internal/remote"
+	"repro/internal/trace"
+)
+
+// ServeRow is one configuration of the serve experiment.
+type ServeRow struct {
+	// Config names the protocol mode: "sync" is the v1 behaviour (one
+	// bucket per round trip, one outstanding request), "pipelined" moves
+	// whole paths per frame, "mux" additionally shares one multiplexed
+	// connection across all client lanes.
+	Config string
+	// Clients is the number of concurrent clients (one ORAM lane per
+	// shard store each).
+	Clients int
+	// Accesses is the total logical ORAM accesses across all clients.
+	Accesses int
+	// Wall is the host wall-clock for the measured phase.
+	Wall time.Duration
+	// Throughput is Accesses per wall-clock second, aggregated.
+	Throughput float64
+	// P50/P95/P99 are per-access latency percentiles across all clients.
+	P50, P95, P99 time.Duration
+	// Speedup is Throughput over the sync/1 baseline row.
+	Speedup float64
+}
+
+// ServeResult is the serve experiment: real TCP serving-path throughput
+// and latency of the pipelined/batched v2 protocol against the old
+// synchronous one-bucket-per-round-trip behaviour, at 1 and N concurrent
+// clients. Unlike the simulation experiments this measures wall-clock on a
+// real loopback socket — the quantity under test is protocol round-trip
+// structure, not memory timing.
+type ServeResult struct {
+	EntriesPerShard uint64
+	BlockSize       int
+	Rows            []ServeRow
+}
+
+// serveSpec fixes one measured configuration.
+type serveSpec struct {
+	config  string
+	clients int
+	sync    bool // v1 bucket-granularity store views
+	mux     bool // all lanes share one connection
+}
+
+// runServe measures one configuration: a fresh sharded server (one payload
+// store per client), then `clients` concurrent ORAM lanes doing a
+// write/read mix, each access timed individually.
+func runServe(spec serveSpec, perShard uint64, blockSize, opsPer int, seed int64) (ServeRow, error) {
+	row := ServeRow{Config: spec.config, Clients: spec.clients, Accesses: spec.clients * opsPer}
+	g, err := oram.NewGeometry(oram.GeometryConfig{
+		LeafBits: oram.LeafBitsFor(perShard), LeafZ: 4, BlockSize: blockSize,
+	})
+	if err != nil {
+		return row, err
+	}
+	stores := make([]oram.Store, spec.clients)
+	for i := range stores {
+		ps, err := oram.NewPayloadStore(g, nil)
+		if err != nil {
+			return row, err
+		}
+		stores[i] = ps
+	}
+	srv, err := remote.NewSharded(stores, 0, nil)
+	if err != nil {
+		return row, err
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return row, err
+	}
+	defer srv.Close()
+
+	var shared *remote.Client
+	if spec.mux {
+		shared, err = remote.Dial(addr)
+		if err != nil {
+			return row, err
+		}
+		defer shared.Close()
+	}
+
+	lats := make([][]time.Duration, spec.clients)
+	errs := make([]error, spec.clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < spec.clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			errs[ci] = func() error {
+				cl := shared
+				if cl == nil {
+					var err error
+					cl, err = remote.Dial(addr)
+					if err != nil {
+						return err
+					}
+					defer cl.Close()
+				}
+				var st oram.Store
+				var err error
+				if spec.sync {
+					st, err = cl.SyncStore(ci)
+				} else {
+					st, err = cl.Store(ci)
+				}
+				if err != nil {
+					return err
+				}
+				client, err := oram.NewClient(oram.ClientConfig{
+					Store: st, Rand: trace.NewRNG(seed + int64(ci)),
+					Evict: oram.PaperEvict, StashHits: true, Blocks: perShard,
+				})
+				if err != nil {
+					return err
+				}
+				rng := trace.NewRNG(seed + 1000 + int64(ci))
+				written := make([]bool, perShard)
+				pay := make([]byte, blockSize)
+				lat := make([]time.Duration, 0, opsPer)
+				for k := 0; k < opsPer; k++ {
+					id := oram.BlockID(rng.Int63n(int64(perShard)))
+					t0 := time.Now()
+					if written[id] && rng.Intn(2) == 0 {
+						if _, err := client.Read(id); err != nil {
+							return fmt.Errorf("client %d access %d: %w", ci, k, err)
+						}
+					} else {
+						binary.LittleEndian.PutUint64(pay, uint64(id)^rng.Uint64())
+						if err := client.Write(id, pay); err != nil {
+							return fmt.Errorf("client %d access %d: %w", ci, k, err)
+						}
+						written[id] = true
+					}
+					lat = append(lat, time.Since(t0))
+				}
+				lats[ci] = lat
+				return nil
+			}()
+		}(ci)
+	}
+	wg.Wait()
+	row.Wall = time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return row, err
+		}
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	row.P50, row.P95, row.P99 = pct(0.50), pct(0.95), pct(0.99)
+	if row.Wall > 0 {
+		row.Throughput = float64(row.Accesses) / row.Wall.Seconds()
+	}
+	return row, nil
+}
+
+// Serve runs the serving-path benchmark: sync vs pipelined protocol, 1 vs
+// N concurrent clients, per-connection and shared-connection multiplexing.
+func Serve(sc Scale, seed int64) (*ServeResult, error) {
+	const perShard = 1 << 10
+	const blockSize = 64
+	const clients = 8
+	opsPer := sc.Accesses / 20
+	if opsPer < 50 {
+		opsPer = 50
+	}
+	if opsPer > 2000 {
+		opsPer = 2000
+	}
+	res := &ServeResult{EntriesPerShard: perShard, BlockSize: blockSize}
+	specs := []serveSpec{
+		{config: "sync", clients: 1, sync: true},
+		{config: "pipelined", clients: 1},
+		{config: "sync", clients: clients, sync: true},
+		{config: "pipelined", clients: clients},
+		{config: "mux", clients: clients, mux: true},
+	}
+	var base float64
+	for _, spec := range specs {
+		row, err := runServe(spec, perShard, blockSize, opsPer, seed)
+		if err != nil {
+			return nil, fmt.Errorf("serve %s/%d: %w", spec.config, spec.clients, err)
+		}
+		if spec.config == "sync" && spec.clients == 1 {
+			base = row.Throughput
+		}
+		if base > 0 {
+			row.Speedup = row.Throughput / base
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Row returns the row for (config, clients), or nil.
+func (r *ServeResult) Row(config string, clients int) *ServeRow {
+	for i := range r.Rows {
+		if r.Rows[i].Config == config && r.Rows[i].Clients == clients {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Render formats the serving benchmark.
+func (r *ServeResult) Render() string {
+	t := Table{
+		Title: fmt.Sprintf("Serve — remote serving path over loopback TCP (%d entries/shard, %d B blocks)",
+			r.EntriesPerShard, r.BlockSize),
+		Headers: []string{"protocol", "clients", "accesses", "wall", "acc/s", "p50", "p95", "p99", "speedup"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Config,
+			fmt.Sprintf("%d", row.Clients),
+			fmt.Sprintf("%d", row.Accesses),
+			row.Wall.Round(time.Millisecond).String(),
+			f2(row.Throughput),
+			row.P50.Round(time.Microsecond).String(),
+			row.P95.Round(time.Microsecond).String(),
+			row.P99.Round(time.Microsecond).String(),
+			f2(row.Speedup)+"x",
+		)
+	}
+	t.AddNote("sync = v1 protocol shape (one bucket per round trip, one outstanding request per client)")
+	t.AddNote("pipelined = v2 path/batch opcodes, one connection per client; mux = all clients multiplexed on one connection")
+	t.AddNote("wall-clock on a real socket — measures protocol round-trip structure, not memsim memory timing")
+	return t.Render()
+}

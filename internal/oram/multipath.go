@@ -5,13 +5,35 @@ import (
 	"sort"
 )
 
+// pathUnion collects the deduplicated buckets of a set of paths, level by
+// level from the root, preserving the leaves' order within a level. This is
+// the canonical bucket order both ReadPaths branches (batched and
+// per-bucket) iterate, so results are independent of the transport.
+func pathUnion(g *Geometry, leaves []Leaf) []BucketRef {
+	seen := make(map[BucketRef]bool, len(leaves)*g.Levels())
+	refs := make([]BucketRef, 0, len(leaves)*g.Levels())
+	for lvl := 0; lvl < g.Levels(); lvl++ {
+		for _, l := range leaves {
+			b := BucketRef{Level: lvl, Node: g.NodeAt(l, lvl)}
+			if seen[b] {
+				continue
+			}
+			seen[b] = true
+			refs = append(refs, b)
+		}
+	}
+	return refs
+}
+
 // ReadPaths fetches the union of buckets across several paths in one
 // operation, reading each shared bucket exactly once (paths overlap at
 // least at the root, and batched fetches of nearby leaves share long
 // prefixes). All real blocks land in the stash. This is the paper's
 // batch-granularity fetch: "The GPU then issues read request to all the
 // paths associated with the embedding entries in the upcoming training
-// batch and caches them locally" (§IV-A).
+// batch and caches them locally" (§IV-A). When the store implements
+// BatchStore, the whole deduplicated union moves in a single store
+// operation — one network frame on a remote store.
 func (c *Client) ReadPaths(leaves []Leaf) error {
 	switch len(leaves) {
 	case 0:
@@ -25,32 +47,34 @@ func (c *Client) ReadPaths(leaves []Leaf) error {
 			return fmt.Errorf("oram: ReadPaths: invalid leaf %d", l)
 		}
 	}
-	type bucket struct {
-		lvl  int
-		node uint64
-	}
-	seen := make(map[bucket]bool, len(leaves)*g.Levels())
+	refs := pathUnion(g, leaves)
 	moved := 0
-	for lvl := 0; lvl < g.Levels(); lvl++ {
-		for _, l := range leaves {
-			b := bucket{lvl, g.NodeAt(l, lvl)}
-			if seen[b] {
-				continue
+	if bs, ok := c.store.(BatchStore); ok && batchWorthwhile(c.store) {
+		bufs := make([][]Slot, len(refs))
+		for i, r := range refs {
+			bufs[i] = make([]Slot, g.BucketSize(r.Level))
+		}
+		if err := bs.ReadBuckets(refs, bufs); err != nil {
+			return fmt.Errorf("oram: ReadPaths: %w", err)
+		}
+		for _, buf := range bufs {
+			n, err := c.ingestBucket(buf)
+			if err != nil {
+				return err
 			}
-			seen[b] = true
-			buf := c.bucketBufs[lvl]
-			if err := c.store.ReadBucket(lvl, b.node, buf); err != nil {
-				return fmt.Errorf("oram: ReadPaths level %d node %d: %w", lvl, b.node, err)
+			moved += n
+		}
+	} else {
+		for _, r := range refs {
+			buf := c.bucketBufs[r.Level]
+			if err := c.store.ReadBucket(r.Level, r.Node, buf); err != nil {
+				return fmt.Errorf("oram: ReadPaths level %d node %d: %w", r.Level, r.Node, err)
 			}
-			for i := range buf {
-				if buf[i].Dummy() {
-					continue
-				}
-				if err := c.stash.Put(buf[i].ID, buf[i].Leaf, buf[i].Payload); err != nil {
-					return err
-				}
-				moved++
+			n, err := c.ingestBucket(buf)
+			if err != nil {
+				return err
 			}
+			moved += n
 		}
 	}
 	if c.timer != nil {
@@ -68,7 +92,8 @@ func (c *Client) ReadPaths(leaves []Leaf) error {
 // operation. Paths overlap (every path shares at least the root bucket), so
 // writing them back one at a time would let a later path's write-back
 // clobber blocks the earlier one just placed in a shared bucket. The joint
-// plan writes every bucket in the union exactly once.
+// plan writes every bucket in the union exactly once; with a BatchStore the
+// whole union ships in a single store operation.
 //
 // Superblock clients need this whenever a single logical access fetches
 // more than one path: LAORAM bins with cold members (§IV-A) and PrORAM
@@ -93,34 +118,30 @@ func (c *Client) WriteBackPaths(leaves []Leaf) error {
 
 	// The union of buckets, deepest level first; within a level, sorted
 	// by node for determinism. Duplicates (shared prefixes) collapse.
-	type bucket struct {
-		lvl  int
-		node uint64
-	}
-	seen := make(map[bucket]bool, len(leaves)*g.Levels())
-	var buckets []bucket
+	seen := make(map[BucketRef]bool, len(leaves)*g.Levels())
+	var buckets []BucketRef
 	for lvl := g.Levels() - 1; lvl >= 0; lvl-- {
 		start := len(buckets)
 		for _, l := range leaves {
-			b := bucket{lvl, g.NodeAt(l, lvl)}
+			b := BucketRef{Level: lvl, Node: g.NodeAt(l, lvl)}
 			if !seen[b] {
 				seen[b] = true
 				buckets = append(buckets, b)
 			}
 		}
 		lvlBuckets := buckets[start:]
-		sort.Slice(lvlBuckets, func(i, j int) bool { return lvlBuckets[i].node < lvlBuckets[j].node })
+		sort.Slice(lvlBuckets, func(i, j int) bool { return lvlBuckets[i].Node < lvlBuckets[j].Node })
 	}
 
 	// Stable stash snapshot for deterministic placement.
 	ids := c.stash.IDs()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 
+	// place fills buf with the deepest-eligible stash blocks for bucket b
+	// (padding with dummies) and returns how many real blocks it placed.
 	placed := make(map[BlockID]bool, len(ids))
-	moved := 0
-	for _, b := range buckets {
-		z := g.BucketSize(b.lvl)
-		buf := c.writeBuf[:z]
+	place := func(b BucketRef, buf []Slot) int {
+		z := g.BucketSize(b.Level)
 		n := 0
 		for _, id := range ids {
 			if n == z {
@@ -133,7 +154,7 @@ func (c *Client) WriteBackPaths(leaves []Leaf) error {
 			if !ok {
 				continue
 			}
-			if g.NodeAt(bl, b.lvl) != b.node {
+			if g.NodeAt(bl, b.Level) != b.Node {
 				continue
 			}
 			p, _ := c.stash.Payload(id)
@@ -141,12 +162,30 @@ func (c *Client) WriteBackPaths(leaves []Leaf) error {
 			placed[id] = true
 			n++
 		}
-		moved += n
+		real := n
 		for ; n < z; n++ {
 			buf[n] = DummySlot()
 		}
-		if err := c.store.WriteBucket(b.lvl, b.node, buf); err != nil {
-			return fmt.Errorf("oram: WriteBackPaths level %d node %d: %w", b.lvl, b.node, err)
+		return real
+	}
+
+	moved := 0
+	if bs, ok := c.store.(BatchStore); ok && batchWorthwhile(c.store) {
+		bufs := make([][]Slot, len(buckets))
+		for i, b := range buckets {
+			bufs[i] = make([]Slot, g.BucketSize(b.Level))
+			moved += place(b, bufs[i])
+		}
+		if err := bs.WriteBuckets(buckets, bufs); err != nil {
+			return fmt.Errorf("oram: WriteBackPaths: %w", err)
+		}
+	} else {
+		for _, b := range buckets {
+			buf := c.writeBuf[:g.BucketSize(b.Level)]
+			moved += place(b, buf)
+			if err := c.store.WriteBucket(b.Level, b.Node, buf); err != nil {
+				return fmt.Errorf("oram: WriteBackPaths level %d node %d: %w", b.Level, b.Node, err)
+			}
 		}
 	}
 	for id := range placed {

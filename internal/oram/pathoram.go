@@ -108,6 +108,9 @@ type Client struct {
 	bucketBufs [][]Slot
 	// writeBuf is a reusable write buffer sized to the largest bucket.
 	writeBuf []Slot
+	// pathWriteBufs[level] are reusable write buffers for single-round-trip
+	// path write-backs (PathStore stores), allocated on first use.
+	pathWriteBufs [][]Slot
 }
 
 // NewClient validates cfg and builds a client. The tree starts empty; call
@@ -123,7 +126,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		return nil, fmt.Errorf("oram: ClientConfig.Blocks must be > 0")
 	}
 	g := cfg.Store.Geometry()
-	if g.Leaves() < cfg.Blocks/uint64(g.BucketSize(g.LeafBits())) {
+	if z := uint64(g.BucketSize(g.LeafBits())); g.Leaves() < (cfg.Blocks+z-1)/z {
 		return nil, fmt.Errorf("oram: tree too small: %d leaves for %d blocks", g.Leaves(), cfg.Blocks)
 	}
 	if cfg.Evict.Enabled {
@@ -196,7 +199,10 @@ func (c *Client) RandomLeaf() Leaf {
 // ReadPath fetches every bucket on the path to leaf, moving all real blocks
 // into the stash (§II-C step 2); dummies are dropped. It performs no
 // statistics accounting beyond timing: callers decide whether the read was
-// a real access or a dummy.
+// a real access or a dummy. When the store implements PathStore the whole
+// path moves in one store operation (one network round trip on a remote
+// store); slot processing order — and therefore every downstream decision —
+// is identical either way.
 func (c *Client) ReadPath(leaf Leaf) error {
 	if !c.geom.ValidLeaf(leaf) {
 		return fmt.Errorf("oram: ReadPath: invalid leaf %d", leaf)
@@ -205,20 +211,29 @@ func (c *Client) ReadPath(leaf Leaf) error {
 		c.timer.OnPathRequest()
 	}
 	moved := 0
-	for lvl := 0; lvl < c.geom.Levels(); lvl++ {
-		node := c.geom.NodeAt(leaf, lvl)
-		buf := c.bucketBufs[lvl]
-		if err := c.store.ReadBucket(lvl, node, buf); err != nil {
-			return fmt.Errorf("oram: ReadPath level %d: %w", lvl, err)
+	if ps, ok := c.store.(PathStore); ok {
+		if err := ps.ReadPath(leaf, c.bucketBufs); err != nil {
+			return fmt.Errorf("oram: ReadPath: %w", err)
 		}
-		for i := range buf {
-			if buf[i].Dummy() {
-				continue
-			}
-			if err := c.stash.Put(buf[i].ID, buf[i].Leaf, buf[i].Payload); err != nil {
+		for lvl := range c.bucketBufs {
+			n, err := c.ingestBucket(c.bucketBufs[lvl])
+			if err != nil {
 				return err
 			}
-			moved++
+			moved += n
+		}
+	} else {
+		for lvl := 0; lvl < c.geom.Levels(); lvl++ {
+			node := c.geom.NodeAt(leaf, lvl)
+			buf := c.bucketBufs[lvl]
+			if err := c.store.ReadBucket(lvl, node, buf); err != nil {
+				return fmt.Errorf("oram: ReadPath level %d: %w", lvl, err)
+			}
+			n, err := c.ingestBucket(buf)
+			if err != nil {
+				return err
+			}
+			moved += n
 		}
 	}
 	if c.timer != nil && moved > 0 {
@@ -227,9 +242,29 @@ func (c *Client) ReadPath(leaf Leaf) error {
 	return nil
 }
 
+// ingestBucket moves every real slot of buf into the stash (§II-C step 2;
+// dummies are dropped), returning how many blocks moved. Both the
+// path-granularity and bucket-granularity read paths funnel through here,
+// so stash-ingestion semantics live in one place.
+func (c *Client) ingestBucket(buf []Slot) (int, error) {
+	moved := 0
+	for i := range buf {
+		if buf[i].Dummy() {
+			continue
+		}
+		if err := c.stash.Put(buf[i].ID, buf[i].Leaf, buf[i].Payload); err != nil {
+			return moved, err
+		}
+		moved++
+	}
+	return moved, nil
+}
+
 // WriteBackPath greedily writes stashed blocks into the path to leaf
 // (§II-C step 5), as deep as each block's assigned leaf allows, filling
 // remaining slots with dummies. Blocks written are removed from the stash.
+// When the store implements PathStore the whole path is written back in one
+// store operation; placement is identical either way.
 func (c *Client) WriteBackPath(leaf Leaf) error {
 	if !c.geom.ValidLeaf(leaf) {
 		return fmt.Errorf("oram: WriteBackPath: invalid leaf %d", leaf)
@@ -239,26 +274,57 @@ func (c *Client) WriteBackPath(leaf Leaf) error {
 	}
 	plan := c.stash.evictPlan(c.geom, leaf)
 	moved := 0
-	for lvl := 0; lvl < c.geom.Levels(); lvl++ {
-		node := c.geom.NodeAt(leaf, lvl)
-		z := c.geom.BucketSize(lvl)
-		buf := c.writeBuf[:z]
-		i := 0
-		for _, id := range plan[lvl] {
-			l, _ := c.stash.Leaf(id)
-			p, _ := c.stash.Payload(id)
-			buf[i] = Slot{ID: id, Leaf: l, Payload: p}
-			i++
+	if ps, ok := c.store.(PathStore); ok {
+		if c.pathWriteBufs == nil {
+			c.pathWriteBufs = make([][]Slot, c.geom.Levels())
+			for lvl := range c.pathWriteBufs {
+				c.pathWriteBufs[lvl] = make([]Slot, c.geom.BucketSize(lvl))
+			}
 		}
-		moved += i
-		for ; i < z; i++ {
-			buf[i] = DummySlot()
+		for lvl := 0; lvl < c.geom.Levels(); lvl++ {
+			buf := c.pathWriteBufs[lvl]
+			i := 0
+			for _, id := range plan[lvl] {
+				l, _ := c.stash.Leaf(id)
+				p, _ := c.stash.Payload(id)
+				buf[i] = Slot{ID: id, Leaf: l, Payload: p}
+				i++
+			}
+			moved += i
+			for ; i < len(buf); i++ {
+				buf[i] = DummySlot()
+			}
 		}
-		if err := c.store.WriteBucket(lvl, node, buf); err != nil {
-			return fmt.Errorf("oram: WriteBackPath level %d: %w", lvl, err)
+		if err := ps.WritePath(leaf, c.pathWriteBufs); err != nil {
+			return fmt.Errorf("oram: WriteBackPath: %w", err)
 		}
-		for _, id := range plan[lvl] {
-			c.stash.Remove(id)
+		for lvl := range plan {
+			for _, id := range plan[lvl] {
+				c.stash.Remove(id)
+			}
+		}
+	} else {
+		for lvl := 0; lvl < c.geom.Levels(); lvl++ {
+			node := c.geom.NodeAt(leaf, lvl)
+			z := c.geom.BucketSize(lvl)
+			buf := c.writeBuf[:z]
+			i := 0
+			for _, id := range plan[lvl] {
+				l, _ := c.stash.Leaf(id)
+				p, _ := c.stash.Payload(id)
+				buf[i] = Slot{ID: id, Leaf: l, Payload: p}
+				i++
+			}
+			moved += i
+			for ; i < z; i++ {
+				buf[i] = DummySlot()
+			}
+			if err := c.store.WriteBucket(lvl, node, buf); err != nil {
+				return fmt.Errorf("oram: WriteBackPath level %d: %w", lvl, err)
+			}
+			for _, id := range plan[lvl] {
+				c.stash.Remove(id)
+			}
 		}
 	}
 	if c.timer != nil && moved > 0 {

@@ -1,0 +1,166 @@
+package oram
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// pathCapableStore wraps a PayloadStore with PathStore/BatchStore
+// implementations that delegate bucket by bucket — the shape a remote
+// store has, without the network. It lets the tests below force the
+// client's fast paths and compare them against the bucket-granularity
+// reference.
+type pathCapableStore struct {
+	*PayloadStore
+}
+
+func (s *pathCapableStore) ReadPath(leaf Leaf, dst [][]Slot) error {
+	g := s.Geometry()
+	for lvl := range dst {
+		if err := s.ReadBucket(lvl, g.NodeAt(leaf, lvl), dst[lvl]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *pathCapableStore) WritePath(leaf Leaf, src [][]Slot) error {
+	g := s.Geometry()
+	for lvl := range src {
+		if err := s.WriteBucket(lvl, g.NodeAt(leaf, lvl), src[lvl]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *pathCapableStore) ReadBuckets(refs []BucketRef, dst [][]Slot) error {
+	for i, r := range refs {
+		if err := s.ReadBucket(r.Level, r.Node, dst[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *pathCapableStore) WriteBuckets(refs []BucketRef, src [][]Slot) error {
+	for i, r := range refs {
+		if err := s.WriteBucket(r.Level, r.Node, src[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bucketOnlyStore hides any PathStore/BatchStore methods of the wrapped
+// store, forcing the client's per-bucket slow path.
+type bucketOnlyStore struct {
+	inner Store
+}
+
+func (s *bucketOnlyStore) Geometry() *Geometry { return s.inner.Geometry() }
+func (s *bucketOnlyStore) ReadBucket(level int, node uint64, dst []Slot) error {
+	return s.inner.ReadBucket(level, node, dst)
+}
+func (s *bucketOnlyStore) WriteBucket(level int, node uint64, src []Slot) error {
+	return s.inner.WriteBucket(level, node, src)
+}
+func (s *bucketOnlyStore) ReadSlot(level int, node uint64, slot int, dst *Slot) error {
+	return s.inner.ReadSlot(level, node, slot, dst)
+}
+func (s *bucketOnlyStore) WriteSlot(level int, node uint64, slot int, src Slot) error {
+	return s.inner.WriteSlot(level, node, slot, src)
+}
+
+// TestPathStoreFastPathEquivalence: a client over a PathStore/BatchStore-
+// capable store must behave byte-identically — same payloads, same stats,
+// same traffic counters — to a client over the same store with the fast
+// paths hidden. This is the foundation of the remote protocol's
+// transparency: opReadPath/opWritePath/opBatch change framing, not
+// semantics.
+func TestPathStoreFastPathEquivalence(t *testing.T) {
+	const blocks = 96
+	const seed = 31
+	build := func(fast bool) (*Client, *CountingStore) {
+		g := MustGeometry(GeometryConfig{LeafBits: 5, LeafZ: 4, BlockSize: 16})
+		ps, err := NewPayloadStore(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var inner Store = &pathCapableStore{ps}
+		cs := NewCountingStore(inner, nil)
+		var top Store = cs
+		if !fast {
+			top = &bucketOnlyStore{cs}
+		}
+		c, err := NewClient(ClientConfig{
+			Store: top, Rand: rand.New(rand.NewSource(seed)),
+			Evict: PaperEvict, StashHits: true, Blocks: blocks,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, cs
+	}
+	fast, fastCS := build(true)
+	slow, slowCS := build(false)
+
+	rng := rand.New(rand.NewSource(97))
+	for i := 0; i < 400; i++ {
+		id := BlockID(rng.Intn(blocks))
+		if rng.Intn(3) == 0 {
+			v := make([]byte, 16)
+			binary.LittleEndian.PutUint64(v, rng.Uint64())
+			if err := fast.Write(id, v); err != nil {
+				t.Fatal(err)
+			}
+			if err := slow.Write(id, v); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			a, errA := fast.Read(id)
+			b, errB := slow.Read(id)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("op %d: error divergence: %v vs %v", i, errA, errB)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("op %d block %d: payload divergence", i, id)
+			}
+		}
+	}
+	// Occasionally exercise the multipath (batched) entry points too.
+	leaves := []Leaf{1, 5, 9, 5}
+	if err := fast.ReadPaths(leaves); err != nil {
+		t.Fatal(err)
+	}
+	if err := slow.ReadPaths(leaves); err != nil {
+		t.Fatal(err)
+	}
+	if err := fast.WriteBackPaths(leaves); err != nil {
+		t.Fatal(err)
+	}
+	if err := slow.WriteBackPaths(leaves); err != nil {
+		t.Fatal(err)
+	}
+
+	if fast.Stats() != slow.Stats() {
+		t.Errorf("access stats diverge: fast %+v, slow %+v", fast.Stats(), slow.Stats())
+	}
+	if fast.Stash().Len() != slow.Stash().Len() || fast.Stash().Peak() != slow.Stash().Peak() {
+		t.Errorf("stash divergence: fast %d/%d, slow %d/%d",
+			fast.Stash().Len(), fast.Stash().Peak(), slow.Stash().Len(), slow.Stash().Peak())
+	}
+	if fastCS.Counters() != slowCS.Counters() {
+		t.Errorf("traffic counters diverge: fast %+v, slow %+v", fastCS.Counters(), slowCS.Counters())
+	}
+	// Final tree contents must agree block for block.
+	for id := uint64(0); id < blocks; id++ {
+		a, errA := fast.Read(BlockID(id))
+		b, errB := slow.Read(BlockID(id))
+		if (errA == nil) != (errB == nil) || !bytes.Equal(a, b) {
+			t.Fatalf("block %d: final state divergence", id)
+		}
+	}
+}

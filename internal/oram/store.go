@@ -37,6 +37,55 @@ type Store interface {
 	WriteSlot(level int, node uint64, slot int, src Slot) error
 }
 
+// BucketRef names one bucket of the tree for batched operations.
+type BucketRef struct {
+	Level int
+	Node  uint64
+}
+
+// PathStore is an optional Store extension: move a whole root→leaf path in
+// one operation. Remote stores implement it so a path costs one network
+// round trip instead of Levels() bucket round trips; the PathORAM client
+// uses it transparently when available. dst/src are indexed by level and
+// each entry must have length BucketSize(level).
+type PathStore interface {
+	// ReadPath reads every bucket on the path to leaf into dst.
+	ReadPath(leaf Leaf, dst [][]Slot) error
+	// WritePath overwrites every bucket on the path to leaf from src.
+	WritePath(leaf Leaf, src [][]Slot) error
+}
+
+// BatchStore is an optional Store extension: execute several bucket
+// operations in one server round trip. The multipath client (batched
+// superblock fetch, §IV-A) uses it so the deduplicated bucket union of a
+// whole training batch moves in one frame.
+type BatchStore interface {
+	// ReadBuckets reads refs[i] into dst[i] (len BucketSize(refs[i].Level)).
+	ReadBuckets(refs []BucketRef, dst [][]Slot) error
+	// WriteBuckets overwrites refs[i] from src[i].
+	WriteBuckets(refs []BucketRef, src [][]Slot) error
+}
+
+// BatchNative is implemented by forwarding wrappers (CountingStore) to
+// report whether batched operations reach a store that natively benefits
+// (a remote transport) or are merely unrolled per bucket locally. The
+// multipath client skips the batch branch — and its per-call buffer
+// allocations — when batching buys nothing underneath. A BatchStore that
+// does not implement this probe is presumed native.
+type BatchNative interface {
+	BatchNative() bool
+}
+
+// batchWorthwhile reports whether st's BatchStore implementation reaches a
+// native batching transport.
+func batchWorthwhile(st Store) bool {
+	if bn, ok := st.(BatchNative); ok {
+		return bn.BatchNative()
+	}
+	_, ok := st.(BatchStore)
+	return ok
+}
+
 // bucketRange validates bucket coordinates against g.
 func bucketRange(g *Geometry, level int, node uint64) error {
 	if level < 0 || level >= g.Levels() {
@@ -428,6 +477,115 @@ func (cs *CountingStore) WriteBucket(level int, node uint64, src []Slot) error {
 		return err
 	}
 	cs.charge(false, true, len(src), len(src)*cs.Geometry().BlockSize())
+	return nil
+}
+
+// ReadPath implements PathStore: delegate when the inner store can move a
+// whole path at once, fall back to per-bucket reads otherwise. Counter
+// charges are identical either way (one bucket read per level), so the
+// traffic ledger does not depend on which transport is underneath.
+func (cs *CountingStore) ReadPath(leaf Leaf, dst [][]Slot) error {
+	g := cs.Geometry()
+	if len(dst) != g.Levels() {
+		return fmt.Errorf("oram: ReadPath dst has %d levels, tree has %d", len(dst), g.Levels())
+	}
+	if ps, ok := cs.inner.(PathStore); ok {
+		if err := ps.ReadPath(leaf, dst); err != nil {
+			return err
+		}
+		bs := g.BlockSize()
+		for _, b := range dst {
+			cs.charge(true, true, len(b), len(b)*bs)
+		}
+		return nil
+	}
+	if !g.ValidLeaf(leaf) {
+		return fmt.Errorf("oram: ReadPath: invalid leaf %d", leaf)
+	}
+	for lvl := range dst {
+		if err := cs.ReadBucket(lvl, g.NodeAt(leaf, lvl), dst[lvl]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePath implements PathStore (see ReadPath for the delegation rule).
+func (cs *CountingStore) WritePath(leaf Leaf, src [][]Slot) error {
+	g := cs.Geometry()
+	if len(src) != g.Levels() {
+		return fmt.Errorf("oram: WritePath src has %d levels, tree has %d", len(src), g.Levels())
+	}
+	if ps, ok := cs.inner.(PathStore); ok {
+		if err := ps.WritePath(leaf, src); err != nil {
+			return err
+		}
+		bs := g.BlockSize()
+		for _, b := range src {
+			cs.charge(false, true, len(b), len(b)*bs)
+		}
+		return nil
+	}
+	if !g.ValidLeaf(leaf) {
+		return fmt.Errorf("oram: WritePath: invalid leaf %d", leaf)
+	}
+	for lvl := range src {
+		if err := cs.WriteBucket(lvl, g.NodeAt(leaf, lvl), src[lvl]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BatchNative implements the BatchNative probe: batching is worthwhile
+// exactly when the wrapped store batches natively.
+func (cs *CountingStore) BatchNative() bool {
+	return batchWorthwhile(cs.inner)
+}
+
+// ReadBuckets implements BatchStore.
+func (cs *CountingStore) ReadBuckets(refs []BucketRef, dst [][]Slot) error {
+	if len(refs) != len(dst) {
+		return fmt.Errorf("oram: ReadBuckets got %d refs, %d buffers", len(refs), len(dst))
+	}
+	if bs, ok := cs.inner.(BatchStore); ok {
+		if err := bs.ReadBuckets(refs, dst); err != nil {
+			return err
+		}
+		blockSize := cs.Geometry().BlockSize()
+		for _, b := range dst {
+			cs.charge(true, true, len(b), len(b)*blockSize)
+		}
+		return nil
+	}
+	for i, r := range refs {
+		if err := cs.ReadBucket(r.Level, r.Node, dst[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteBuckets implements BatchStore.
+func (cs *CountingStore) WriteBuckets(refs []BucketRef, src [][]Slot) error {
+	if len(refs) != len(src) {
+		return fmt.Errorf("oram: WriteBuckets got %d refs, %d buffers", len(refs), len(src))
+	}
+	if bs, ok := cs.inner.(BatchStore); ok {
+		if err := bs.WriteBuckets(refs, src); err != nil {
+			return err
+		}
+		blockSize := cs.Geometry().BlockSize()
+		for _, b := range src {
+			cs.charge(false, true, len(b), len(b)*blockSize)
+		}
+		return nil
+	}
+	for i, r := range refs {
+		if err := cs.WriteBucket(r.Level, r.Node, src[i]); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

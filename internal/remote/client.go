@@ -3,21 +3,49 @@ package remote
 import (
 	"fmt"
 	"net"
+	"sync"
 
 	"repro/internal/oram"
 )
 
-// Client is the client-side Store adapter: it satisfies oram.Store over a
-// TCP connection to a Server, so every ORAM client in this repository
-// (PathORAM, LAORAM, PrORAM wrappers) can run against remote server_storage
-// unchanged. Requests are synchronous, matching the sequential ORAM client.
+// Client is the client side of the v2 protocol: one TCP connection with
+// request-ID multiplexing, safe for concurrent use by many goroutines.
+// Calls from different goroutines pipeline on the wire — each caller blocks
+// only on its own response, so N concurrent ORAM lanes (per-shard workers,
+// multiple trainers) overlap their round trips instead of serialising.
+//
+// Client itself satisfies oram.Store (and the PathStore/BatchStore
+// extensions) for shard 0, so single-shard callers keep the old "the
+// connection is the store" shape; Store(i) returns the view onto shard i
+// of a sharded server.
 type Client struct {
-	conn net.Conn
-	geom *oram.Geometry
-	wbuf []byte
+	conn   net.Conn
+	geom   *oram.Geometry
+	shards int
+	s0     *ShardStore
+
+	// wmu serialises frame writes; a frame is written atomically but many
+	// may be in flight awaiting responses.
+	wmu sync.Mutex
+
+	// mu guards the multiplexing state below.
+	mu      sync.Mutex
+	pending map[uint64]chan rpcResult
+	nextID  uint64
+	connErr error
+	closed  bool
 }
 
-var _ oram.Store = (*Client)(nil)
+type rpcResult struct {
+	body []byte
+	err  error
+}
+
+var (
+	_ oram.Store      = (*Client)(nil)
+	_ oram.PathStore  = (*Client)(nil)
+	_ oram.BatchStore = (*Client)(nil)
+)
 
 // Dial connects to a Server and performs the geometry handshake.
 func Dial(addr string) (*Client, error) {
@@ -25,87 +53,467 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
 	}
-	c := &Client{conn: conn}
-	resp, err := c.roundTrip(appendReqHeader(nil, opHello, 0, 0, 0))
+	c := &Client{conn: conn, pending: make(map[uint64]chan rpcResult)}
+	go c.readLoop()
+	resp, err := c.call(opHello, 0, nil)
 	if err != nil {
-		conn.Close()
+		c.Close()
 		return nil, err
 	}
-	gw, err := parseGeometryWire(resp)
+	shards, rest, err := parseU32(resp)
 	if err != nil {
-		conn.Close()
+		c.Close()
+		return nil, fmt.Errorf("remote: bad hello response: %w", err)
+	}
+	gw, err := parseGeometryWire(rest)
+	if err != nil {
+		c.Close()
 		return nil, err
 	}
 	g, err := gw.build()
 	if err != nil {
-		conn.Close()
+		c.Close()
 		return nil, fmt.Errorf("remote: bad server geometry: %w", err)
 	}
+	if shards == 0 {
+		c.Close()
+		return nil, fmt.Errorf("remote: server reports zero shards")
+	}
 	c.geom = g
+	c.shards = int(shards)
+	c.s0 = &ShardStore{c: c, shard: 0}
 	return c, nil
 }
 
-// Close shuts the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close shuts the connection; in-flight calls fail with a connection error.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
 
-// Geometry implements oram.Store.
+// Geometry implements oram.Store. All shard stores of one server share a
+// geometry (enforced server-side).
 func (c *Client) Geometry() *oram.Geometry { return c.geom }
 
-func (c *Client) roundTrip(req []byte) ([]byte, error) {
-	if err := writeFrame(c.conn, req); err != nil {
+// Shards returns the number of shard stores the server exposes.
+func (c *Client) Shards() int { return c.shards }
+
+// Store returns the oram.Store view onto one shard of the server. The view
+// implements PathStore and BatchStore, so ORAM clients above it move whole
+// paths (and batched bucket unions) in single frames.
+func (c *Client) Store(shard int) (*ShardStore, error) {
+	if shard < 0 || shard >= c.shards {
+		return nil, fmt.Errorf("remote: shard %d out of range (server has %d)", shard, c.shards)
+	}
+	return &ShardStore{c: c, shard: uint32(shard)}, nil
+}
+
+// SyncStore returns a bucket-granularity Store view of one shard that uses
+// only the v1 opcodes — one bucket per round trip, no path or batch
+// framing. It exists for the serve experiment's baseline (the old
+// synchronous protocol's behaviour); production callers want Store.
+func (c *Client) SyncStore(shard int) (oram.Store, error) {
+	st, err := c.Store(shard)
+	if err != nil {
+		return nil, err
+	}
+	return &syncStore{s: st}, nil
+}
+
+// readLoop routes response frames to their waiting callers by request ID.
+func (c *Client) readLoop() {
+	for {
+		frame, err := readFrame(c.conn)
+		if err != nil {
+			c.fail(fmt.Errorf("remote: recv: %w", err))
+			return
+		}
+		id, status, body, err := parseRespHeader(frame)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		var res rpcResult
+		if status == statusOK {
+			res.body = body
+		} else {
+			res.err = fmt.Errorf("remote: server: %s", string(body))
+		}
+		c.mu.Lock()
+		ch := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- res
+		}
+	}
+}
+
+// fail marks the connection broken and releases every in-flight caller.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.connErr == nil {
+		c.connErr = err
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- rpcResult{err: c.connErr}
+	}
+	c.mu.Unlock()
+}
+
+// call performs one request/response exchange. Many calls may be in flight
+// concurrently; each blocks only on its own response channel.
+func (c *Client) call(op byte, shard uint32, body []byte) ([]byte, error) {
+	ch := make(chan rpcResult, 1)
+	c.mu.Lock()
+	if c.connErr != nil {
+		err := c.connErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("remote: client closed")
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	req := make([]byte, 0, reqHeaderLen+len(body))
+	req = appendReqHeader(req, id, op, shard)
+	req = append(req, body...)
+	c.wmu.Lock()
+	err := writeFrame(c.conn, req)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
 		return nil, fmt.Errorf("remote: send: %w", err)
 	}
-	resp, err := readFrame(c.conn)
-	if err != nil {
-		return nil, fmt.Errorf("remote: recv: %w", err)
-	}
-	return parseResponse(resp)
+	res := <-ch
+	return res.body, res.err
 }
+
+// Shard-0 convenience delegations, keeping Client itself usable as the
+// store of a single-shard server (the original deployment shape).
 
 // ReadBucket implements oram.Store.
 func (c *Client) ReadBucket(level int, node uint64, dst []Slot) error {
-	resp, err := c.roundTrip(appendReqHeader(c.wbuf[:0], opReadBucket, level, node, 0))
-	if err != nil {
-		return err
-	}
+	return c.s0.ReadBucket(level, node, dst)
+}
+
+// WriteBucket implements oram.Store.
+func (c *Client) WriteBucket(level int, node uint64, src []Slot) error {
+	return c.s0.WriteBucket(level, node, src)
+}
+
+// ReadSlot implements oram.Store.
+func (c *Client) ReadSlot(level int, node uint64, slot int, dst *Slot) error {
+	return c.s0.ReadSlot(level, node, slot, dst)
+}
+
+// WriteSlot implements oram.Store.
+func (c *Client) WriteSlot(level int, node uint64, slot int, src Slot) error {
+	return c.s0.WriteSlot(level, node, slot, src)
+}
+
+// ReadPath implements oram.PathStore.
+func (c *Client) ReadPath(leaf Leaf, dst [][]Slot) error { return c.s0.ReadPath(leaf, dst) }
+
+// WritePath implements oram.PathStore.
+func (c *Client) WritePath(leaf Leaf, src [][]Slot) error { return c.s0.WritePath(leaf, src) }
+
+// ReadBuckets implements oram.BatchStore.
+func (c *Client) ReadBuckets(refs []oram.BucketRef, dst [][]Slot) error {
+	return c.s0.ReadBuckets(refs, dst)
+}
+
+// WriteBuckets implements oram.BatchStore.
+func (c *Client) WriteBuckets(refs []oram.BucketRef, src [][]Slot) error {
+	return c.s0.WriteBuckets(refs, src)
+}
+
+// ShardStore is the oram.Store view onto one shard of a sharded server,
+// sharing the underlying multiplexed connection. Safe for concurrent use;
+// typically each per-shard ORAM lane owns one ShardStore and their
+// requests pipeline on the shared connection.
+type ShardStore struct {
+	c     *Client
+	shard uint32
+}
+
+var (
+	_ oram.Store      = (*ShardStore)(nil)
+	_ oram.PathStore  = (*ShardStore)(nil)
+	_ oram.BatchStore = (*ShardStore)(nil)
+)
+
+// Geometry implements oram.Store.
+func (s *ShardStore) Geometry() *oram.Geometry { return s.c.geom }
+
+// Shard returns the shard index this view addresses.
+func (s *ShardStore) Shard() int { return int(s.shard) }
+
+// parseSlots fills dst from resp, requiring an exact fit.
+func parseSlots(resp []byte, dst []Slot) error {
+	var err error
 	for i := range dst {
 		resp, err = parseSlot(resp, &dst[i])
 		if err != nil {
 			return err
 		}
 	}
+	if len(resp) != 0 {
+		return fmt.Errorf("remote: %d trailing bytes after slots", len(resp))
+	}
 	return nil
 }
 
-// WriteBucket implements oram.Store.
-func (c *Client) WriteBucket(level int, node uint64, src []Slot) error {
-	req := appendReqHeader(c.wbuf[:0], opWriteBucket, level, node, 0)
-	for i := range src {
-		req = appendSlot(req, &src[i])
+// ReadBucket implements oram.Store.
+func (s *ShardStore) ReadBucket(level int, node uint64, dst []Slot) error {
+	resp, err := s.c.call(opReadBucket, s.shard, appendBucketRef(nil, level, node))
+	if err != nil {
+		return err
 	}
-	_, err := c.roundTrip(req)
-	c.wbuf = req[:0]
+	return parseSlots(resp, dst)
+}
+
+// WriteBucket implements oram.Store.
+func (s *ShardStore) WriteBucket(level int, node uint64, src []Slot) error {
+	body := appendBucketRef(nil, level, node)
+	for i := range src {
+		body = appendSlot(body, &src[i])
+	}
+	_, err := s.c.call(opWriteBucket, s.shard, body)
 	return err
 }
 
 // ReadSlot implements oram.Store.
-func (c *Client) ReadSlot(level int, node uint64, slot int, dst *Slot) error {
-	resp, err := c.roundTrip(appendReqHeader(c.wbuf[:0], opReadSlot, level, node, slot))
+func (s *ShardStore) ReadSlot(level int, node uint64, slot int, dst *Slot) error {
+	resp, err := s.c.call(opReadSlot, s.shard, appendSlotRef(nil, level, node, slot))
 	if err != nil {
 		return err
 	}
-	_, err = parseSlot(resp, dst)
-	return err
+	rest, err := parseSlot(resp, dst)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("remote: %d trailing bytes after slot", len(rest))
+	}
+	return nil
 }
 
 // WriteSlot implements oram.Store.
-func (c *Client) WriteSlot(level int, node uint64, slot int, src Slot) error {
-	req := appendReqHeader(c.wbuf[:0], opWriteSlot, level, node, slot)
-	req = appendSlot(req, &src)
-	_, err := c.roundTrip(req)
-	c.wbuf = req[:0]
+func (s *ShardStore) WriteSlot(level int, node uint64, slot int, src Slot) error {
+	body := appendSlotRef(nil, level, node, slot)
+	body = appendSlot(body, &src)
+	_, err := s.c.call(opWriteSlot, s.shard, body)
 	return err
+}
+
+// checkPathBufs validates that bufs matches the tree shape, so a response
+// parse cannot silently desynchronise.
+func (s *ShardStore) checkPathBufs(bufs [][]Slot) error {
+	g := s.c.geom
+	if len(bufs) != g.Levels() {
+		return fmt.Errorf("remote: path buffer has %d levels, tree has %d", len(bufs), g.Levels())
+	}
+	for lvl := range bufs {
+		if len(bufs[lvl]) != g.BucketSize(lvl) {
+			return fmt.Errorf("remote: level %d buffer holds %d slots, bucket size is %d",
+				lvl, len(bufs[lvl]), g.BucketSize(lvl))
+		}
+	}
+	return nil
+}
+
+// ReadPath implements oram.PathStore: the whole root→leaf path in one
+// frame.
+func (s *ShardStore) ReadPath(leaf Leaf, dst [][]Slot) error {
+	if err := s.checkPathBufs(dst); err != nil {
+		return err
+	}
+	resp, err := s.c.call(opReadPath, s.shard, appendLeaf(nil, leaf))
+	if err != nil {
+		return err
+	}
+	for lvl := range dst {
+		for i := range dst[lvl] {
+			resp, err = parseSlot(resp, &dst[lvl][i])
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if len(resp) != 0 {
+		return fmt.Errorf("remote: %d trailing bytes after path", len(resp))
+	}
+	return nil
+}
+
+// WritePath implements oram.PathStore.
+func (s *ShardStore) WritePath(leaf Leaf, src [][]Slot) error {
+	if err := s.checkPathBufs(src); err != nil {
+		return err
+	}
+	body := appendLeaf(nil, leaf)
+	for lvl := range src {
+		for i := range src[lvl] {
+			body = appendSlot(body, &src[lvl][i])
+		}
+	}
+	_, err := s.c.call(opWritePath, s.shard, body)
+	return err
+}
+
+// batchFrameBudget bounds the estimated request/response bytes of one
+// opBatch frame; larger batches are split across several frames so a
+// legitimately huge bucket union can never produce a frame the peer must
+// refuse. A var so tests can force the chunking path cheaply.
+var batchFrameBudget = maxFrame / 2
+
+// bucketWireCost over-estimates the on-wire bytes of one bucket in either
+// direction (sub framing + per-slot header + payload). Out-of-range levels
+// — rejected by the server anyway — are priced as the widest bucket so the
+// estimator never trusts caller input.
+func (s *ShardStore) bucketWireCost(level int) int {
+	g := s.c.geom
+	if level < 0 || level >= g.Levels() {
+		level = 0 // the root is never narrower than any other bucket
+	}
+	return 32 + g.BucketSize(level)*(20+g.BlockSize())
+}
+
+// chunkRefs yields maximal ref ranges whose estimated frame size stays
+// within batchFrameBudget (always at least one ref per chunk).
+func (s *ShardStore) chunkRefs(refs []oram.BucketRef, visit func(lo, hi int) error) error {
+	lo, cost := 0, 0
+	for i, r := range refs {
+		c := s.bucketWireCost(r.Level)
+		if i > lo && (cost+c > batchFrameBudget || i-lo >= maxBatchOps) {
+			if err := visit(lo, i); err != nil {
+				return err
+			}
+			lo, cost = i, 0
+		}
+		cost += c
+	}
+	if lo < len(refs) {
+		return visit(lo, len(refs))
+	}
+	return nil
+}
+
+// ReadBuckets implements oram.BatchStore: the deduplicated bucket union of
+// a batched fetch in one opBatch frame (or a handful, when the union
+// exceeds the frame budget).
+func (s *ShardStore) ReadBuckets(refs []oram.BucketRef, dst [][]Slot) error {
+	if len(refs) != len(dst) {
+		return fmt.Errorf("remote: ReadBuckets got %d refs, %d buffers", len(refs), len(dst))
+	}
+	return s.chunkRefs(refs, func(lo, hi int) error {
+		body := appendU32(nil, uint32(hi-lo))
+		for _, r := range refs[lo:hi] {
+			body = appendBatchSub(body, opReadBucket, s.shard, appendBucketRef(nil, r.Level, r.Node))
+		}
+		resp, err := s.c.call(opBatch, s.shard, body)
+		if err != nil {
+			return err
+		}
+		return s.parseBatchResp(resp, hi-lo, func(i int, sub []byte) error {
+			return parseSlots(sub, dst[lo+i])
+		})
+	})
+}
+
+// WriteBuckets implements oram.BatchStore.
+func (s *ShardStore) WriteBuckets(refs []oram.BucketRef, src [][]Slot) error {
+	if len(refs) != len(src) {
+		return fmt.Errorf("remote: WriteBuckets got %d refs, %d buffers", len(refs), len(src))
+	}
+	return s.chunkRefs(refs, func(lo, hi int) error {
+		body := appendU32(nil, uint32(hi-lo))
+		for i, r := range refs[lo:hi] {
+			sub := appendBucketRef(nil, r.Level, r.Node)
+			for j := range src[lo+i] {
+				sub = appendSlot(sub, &src[lo+i][j])
+			}
+			body = appendBatchSub(body, opWriteBucket, s.shard, sub)
+		}
+		resp, err := s.c.call(opBatch, s.shard, body)
+		if err != nil {
+			return err
+		}
+		return s.parseBatchResp(resp, hi-lo, nil)
+	})
+}
+
+// parseBatchResp walks an opBatch response, surfacing the first sub-error
+// and handing OK sub-bodies to visit (which may be nil).
+func (s *ShardStore) parseBatchResp(resp []byte, want int, visit func(i int, body []byte) error) error {
+	count, rest, err := parseU32(resp)
+	if err != nil {
+		return err
+	}
+	if int(count) != want {
+		return fmt.Errorf("remote: batch response has %d entries, want %d", count, want)
+	}
+	for i := 0; i < want; i++ {
+		status, body, r, err := parseBatchSubResp(rest)
+		if err != nil {
+			return err
+		}
+		rest = r
+		if status != statusOK {
+			return fmt.Errorf("remote: server: %s", string(body))
+		}
+		if visit != nil {
+			if err := visit(i, body); err != nil {
+				return err
+			}
+		}
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("remote: %d trailing bytes after batch response", len(rest))
+	}
+	return nil
+}
+
+// syncStore exposes only the four bucket/slot operations of a ShardStore:
+// the v1 synchronous protocol surface, kept as the serve experiment's
+// baseline.
+type syncStore struct {
+	s *ShardStore
+}
+
+var _ oram.Store = (*syncStore)(nil)
+
+func (b *syncStore) Geometry() *oram.Geometry { return b.s.Geometry() }
+func (b *syncStore) ReadBucket(level int, node uint64, dst []Slot) error {
+	return b.s.ReadBucket(level, node, dst)
+}
+func (b *syncStore) WriteBucket(level int, node uint64, src []Slot) error {
+	return b.s.WriteBucket(level, node, src)
+}
+func (b *syncStore) ReadSlot(level int, node uint64, slot int, dst *Slot) error {
+	return b.s.ReadSlot(level, node, slot, dst)
+}
+func (b *syncStore) WriteSlot(level int, node uint64, slot int, src Slot) error {
+	return b.s.WriteSlot(level, node, slot, src)
 }
 
 // Slot aliases oram.Slot for the Store method signatures.
 type Slot = oram.Slot
+
+// Leaf aliases oram.Leaf for the PathStore method signatures.
+type Leaf = oram.Leaf

@@ -1,31 +1,57 @@
 // Package remote implements the paper's deployment split (§III, Fig. 5):
-// server_storage as a network service holding the ORAM tree, and a client-
-// side Store adapter the trainer uses. The TCP link is the red line of
-// Fig. 5 — the insecure channel on which the adversary observes exactly the
-// bucket addresses the ORAM protocol was designed to make oblivious. Block
-// contents should be sealed by the client (internal/crypto) before they
-// reach this layer.
+// server_storage as a network service holding the ORAM tree(s), and a
+// client-side Store adapter the trainer uses. The TCP link is the red line
+// of Fig. 5 — the insecure channel on which the adversary observes exactly
+// the bucket addresses the ORAM protocol was designed to make oblivious.
+// Block contents should be sealed by the client (internal/crypto) before
+// they reach this layer.
 //
-// Wire format: 4-byte big-endian length-prefixed frames. Requests carry a
-// 1-byte opcode followed by fixed-width fields; slots are serialised as
-// (id u64, leaf u64, payloadLen u32, payload). All integers big-endian.
+// Wire format (protocol v2): 4-byte big-endian length-prefixed frames.
+// Every request carries a client-chosen request ID so many requests can be
+// in flight on one connection and responses may return out of order; the
+// client multiplexes by ID. Layouts (all integers big-endian):
+//
+//	request  frame: id u64 · opcode u8 · shard u32 · body
+//	response frame: id u64 · status u8 · body (error text when status=1)
+//
+// Opcode bodies:
+//
+//	opHello       → resp: shards u32 · geometry (17 B)
+//	opReadBucket  req: level u32 · node u64            → resp: Z slots
+//	opWriteBucket req: level u32 · node u64 · Z slots  → resp: empty
+//	opReadSlot    req: level u32 · node u64 · slot u32 → resp: 1 slot
+//	opWriteSlot   req: level u32 · node u64 · slot u32 · slot → resp: empty
+//	opReadPath    req: leaf u64                        → resp: per-level slots
+//	opWritePath   req: leaf u64 · per-level slots      → resp: empty
+//	opBatch       req: count u32 · count×(op u8 · shard u32 · len u32 · body)
+//	              → resp: count u32 · count×(status u8 · len u32 · body)
+//
+// Slots are serialised as (id u64, leaf u64, payloadLen u32, payload).
+// The path and batch opcodes are what make the serving path fast: a whole
+// root→leaf path (or the deduplicated bucket union of a training batch)
+// moves in one frame instead of one frame per bucket.
 package remote
 
 import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"net"
 
 	"repro/internal/oram"
 )
 
-// Opcodes.
+// Opcodes. 1–5 are the original synchronous protocol's operations; 6–8 are
+// the v2 pipelining additions.
 const (
 	opHello       = 1
 	opReadBucket  = 2
 	opWriteBucket = 3
 	opReadSlot    = 4
 	opWriteSlot   = 5
+	opReadPath    = 6
+	opWritePath   = 7
+	opBatch       = 8
 )
 
 // Response status codes.
@@ -34,20 +60,32 @@ const (
 	statusErr = 1
 )
 
-// maxFrame bounds a frame to something generous but finite: a bucket of
-// 4 KB blocks with headroom.
-const maxFrame = 16 << 20
+// maxFrame bounds a frame to something generous but finite: a batched
+// bucket union of 4 KB blocks with headroom.
+const maxFrame = 32 << 20
+
+// maxBatchOps bounds the sub-operations of one opBatch frame, so a
+// malformed count field cannot make the server loop unboundedly.
+const maxBatchOps = 1 << 14
+
+// reqHeaderLen is id u64 + opcode u8 + shard u32.
+const reqHeaderLen = 13
+
+// respHeaderLen is id u64 + status u8.
+const respHeaderLen = 9
 
 func writeFrame(w io.Writer, payload []byte) error {
-	var hdr [4]byte
 	if len(payload) > maxFrame {
 		return fmt.Errorf("remote: frame too large (%d bytes)", len(payload))
 	}
+	// writev via net.Buffers: header and payload leave in one syscall (and
+	// one TCP segment under TCP_NODELAY, Go's default) without copying the
+	// payload into a prefixed buffer. On non-socket writers this degrades
+	// to sequential writes, which only tests exercise.
+	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	bufs := net.Buffers{hdr[:], payload}
+	_, err := bufs.WriteTo(w)
 	return err
 }
 
@@ -65,6 +103,50 @@ func readFrame(r io.Reader) ([]byte, error) {
 		return nil, err
 	}
 	return buf, nil
+}
+
+// appendReqHeader starts a request frame payload.
+func appendReqHeader(buf []byte, id uint64, op byte, shard uint32) []byte {
+	var tmp [reqHeaderLen]byte
+	binary.BigEndian.PutUint64(tmp[0:], id)
+	tmp[8] = op
+	binary.BigEndian.PutUint32(tmp[9:], shard)
+	return append(buf, tmp[:]...)
+}
+
+// parseReqHeader splits a request frame into header fields and body.
+func parseReqHeader(frame []byte) (id uint64, op byte, shard uint32, body []byte, err error) {
+	if len(frame) < reqHeaderLen {
+		return 0, 0, 0, nil, fmt.Errorf("remote: truncated request header (%d bytes)", len(frame))
+	}
+	id = binary.BigEndian.Uint64(frame[0:])
+	op = frame[8]
+	shard = binary.BigEndian.Uint32(frame[9:])
+	return id, op, shard, frame[reqHeaderLen:], nil
+}
+
+// appendRespHeader starts a response frame payload.
+func appendRespHeader(buf []byte, id uint64, status byte) []byte {
+	var tmp [respHeaderLen]byte
+	binary.BigEndian.PutUint64(tmp[0:], id)
+	tmp[8] = status
+	return append(buf, tmp[:]...)
+}
+
+// errResponse builds a whole error-response frame payload.
+func errResponse(id uint64, err error) []byte {
+	msg := err.Error()
+	out := make([]byte, 0, respHeaderLen+len(msg))
+	out = appendRespHeader(out, id, statusErr)
+	return append(out, msg...)
+}
+
+// parseRespHeader splits a response frame into id, status and body.
+func parseRespHeader(frame []byte) (id uint64, status byte, body []byte, err error) {
+	if len(frame) < respHeaderLen {
+		return 0, 0, nil, fmt.Errorf("remote: truncated response header (%d bytes)", len(frame))
+	}
+	return binary.BigEndian.Uint64(frame[0:]), frame[8], frame[respHeaderLen:], nil
 }
 
 // appendSlot serialises one slot.
@@ -86,7 +168,7 @@ func parseSlot(buf []byte, s *oram.Slot) ([]byte, error) {
 	s.Leaf = oram.Leaf(binary.BigEndian.Uint64(buf[8:]))
 	n := binary.BigEndian.Uint32(buf[16:])
 	buf = buf[20:]
-	if uint32(len(buf)) < n {
+	if uint64(len(buf)) < uint64(n) {
 		return nil, fmt.Errorf("remote: truncated slot payload (%d < %d)", len(buf), n)
 	}
 	if n == 0 {
@@ -96,6 +178,118 @@ func parseSlot(buf []byte, s *oram.Slot) ([]byte, error) {
 		copy(s.Payload, buf[:n])
 	}
 	return buf[n:], nil
+}
+
+// appendBucketRef serialises a (level, node) bucket address.
+func appendBucketRef(buf []byte, level int, node uint64) []byte {
+	var tmp [12]byte
+	binary.BigEndian.PutUint32(tmp[0:], uint32(level))
+	binary.BigEndian.PutUint64(tmp[4:], node)
+	return append(buf, tmp[:]...)
+}
+
+func parseBucketRef(buf []byte) (level int, node uint64, rest []byte, err error) {
+	if len(buf) < 12 {
+		return 0, 0, nil, fmt.Errorf("remote: truncated bucket address")
+	}
+	level = int(int32(binary.BigEndian.Uint32(buf[0:])))
+	node = binary.BigEndian.Uint64(buf[4:])
+	return level, node, buf[12:], nil
+}
+
+// appendSlotRef serialises a (level, node, slot) slot address.
+func appendSlotRef(buf []byte, level int, node uint64, slot int) []byte {
+	buf = appendBucketRef(buf, level, node)
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], uint32(slot))
+	return append(buf, tmp[:]...)
+}
+
+func parseSlotRef(buf []byte) (level int, node uint64, slot int, rest []byte, err error) {
+	level, node, rest, err = parseBucketRef(buf)
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	if len(rest) < 4 {
+		return 0, 0, 0, nil, fmt.Errorf("remote: truncated slot address")
+	}
+	slot = int(int32(binary.BigEndian.Uint32(rest)))
+	return level, node, slot, rest[4:], nil
+}
+
+// appendLeaf serialises a path address.
+func appendLeaf(buf []byte, leaf oram.Leaf) []byte {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], uint64(leaf))
+	return append(buf, tmp[:]...)
+}
+
+func parseLeaf(buf []byte) (leaf oram.Leaf, rest []byte, err error) {
+	if len(buf) < 8 {
+		return 0, nil, fmt.Errorf("remote: truncated leaf address")
+	}
+	return oram.Leaf(binary.BigEndian.Uint64(buf)), buf[8:], nil
+}
+
+// appendBatchSub serialises one opBatch sub-request.
+func appendBatchSub(buf []byte, op byte, shard uint32, body []byte) []byte {
+	buf = append(buf, op)
+	var tmp [8]byte
+	binary.BigEndian.PutUint32(tmp[0:], shard)
+	binary.BigEndian.PutUint32(tmp[4:], uint32(len(body)))
+	buf = append(buf, tmp[:]...)
+	return append(buf, body...)
+}
+
+func parseBatchSub(buf []byte) (op byte, shard uint32, body []byte, rest []byte, err error) {
+	if len(buf) < 9 {
+		return 0, 0, nil, nil, fmt.Errorf("remote: truncated batch sub-request")
+	}
+	op = buf[0]
+	shard = binary.BigEndian.Uint32(buf[1:])
+	n := binary.BigEndian.Uint32(buf[5:])
+	buf = buf[9:]
+	if uint64(len(buf)) < uint64(n) {
+		return 0, 0, nil, nil, fmt.Errorf("remote: truncated batch sub-body (%d < %d)", len(buf), n)
+	}
+	return op, shard, buf[:n], buf[n:], nil
+}
+
+// appendBatchSubResp serialises one opBatch sub-response.
+func appendBatchSubResp(buf []byte, status byte, body []byte) []byte {
+	buf = append(buf, status)
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], uint32(len(body)))
+	buf = append(buf, tmp[:]...)
+	return append(buf, body...)
+}
+
+func parseBatchSubResp(buf []byte) (status byte, body []byte, rest []byte, err error) {
+	if len(buf) < 5 {
+		return 0, nil, nil, fmt.Errorf("remote: truncated batch sub-response")
+	}
+	status = buf[0]
+	n := binary.BigEndian.Uint32(buf[1:])
+	buf = buf[5:]
+	if uint64(len(buf)) < uint64(n) {
+		return 0, nil, nil, fmt.Errorf("remote: truncated batch sub-response body (%d < %d)", len(buf), n)
+	}
+	return status, buf[:n], buf[n:], nil
+}
+
+// appendU32 / parseU32 are the count fields of batch frames and the shard
+// count of the Hello response.
+func appendU32(buf []byte, v uint32) []byte {
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], v)
+	return append(buf, tmp[:]...)
+}
+
+func parseU32(buf []byte) (v uint32, rest []byte, err error) {
+	if len(buf) < 4 {
+		return 0, nil, fmt.Errorf("remote: truncated count field")
+	}
+	return binary.BigEndian.Uint32(buf), buf[4:], nil
 }
 
 // geometryWire carries the fields needed to reconstruct the Geometry on the
@@ -149,44 +343,4 @@ func parseGeometryWire(buf []byte) (geometryWire, error) {
 		Profile:   buf[12],
 		BlockSize: int32(binary.BigEndian.Uint32(buf[13:])),
 	}, nil
-}
-
-// request header layout after the opcode: level u32, node u64, slot u32.
-func appendReqHeader(buf []byte, op byte, level int, node uint64, slot int) []byte {
-	var tmp [17]byte
-	tmp[0] = op
-	binary.BigEndian.PutUint32(tmp[1:], uint32(level))
-	binary.BigEndian.PutUint64(tmp[5:], node)
-	binary.BigEndian.PutUint32(tmp[13:], uint32(slot))
-	return append(buf, tmp[:]...)
-}
-
-func parseReqHeader(buf []byte) (op byte, level int, node uint64, slot int, rest []byte, err error) {
-	if len(buf) < 17 {
-		return 0, 0, 0, 0, nil, fmt.Errorf("remote: truncated request")
-	}
-	op = buf[0]
-	level = int(int32(binary.BigEndian.Uint32(buf[1:])))
-	node = binary.BigEndian.Uint64(buf[5:])
-	slot = int(int32(binary.BigEndian.Uint32(buf[13:])))
-	return op, level, node, slot, buf[17:], nil
-}
-
-func okResponse(buf []byte) []byte { return append(buf, statusOK) }
-
-func errResponse(err error) []byte {
-	msg := err.Error()
-	out := make([]byte, 0, 1+len(msg))
-	out = append(out, statusErr)
-	return append(out, msg...)
-}
-
-func parseResponse(buf []byte) ([]byte, error) {
-	if len(buf) < 1 {
-		return nil, fmt.Errorf("remote: empty response")
-	}
-	if buf[0] == statusErr {
-		return nil, fmt.Errorf("remote: server: %s", string(buf[1:]))
-	}
-	return buf[1:], nil
 }

@@ -1,0 +1,140 @@
+package remote
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/oram"
+)
+
+// TestQuickReqHeaderRoundTrip: the request framing round-trips every
+// (id, opcode, shard, body) combination — old opcodes and new alike.
+func TestQuickReqHeaderRoundTrip(t *testing.T) {
+	f := func(id uint64, op byte, shard uint32, body []byte) bool {
+		frame := append(appendReqHeader(nil, id, op, shard), body...)
+		gid, gop, gshard, gbody, err := parseReqHeader(frame)
+		return err == nil && gid == id && gop == op && gshard == shard && bytes.Equal(gbody, body)
+	}
+	cfg := &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(51))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRespHeaderRoundTrip: response framing round-trips.
+func TestQuickRespHeaderRoundTrip(t *testing.T) {
+	f := func(id uint64, status byte, body []byte) bool {
+		frame := append(appendRespHeader(nil, id, status), body...)
+		gid, gstatus, gbody, err := parseRespHeader(frame)
+		return err == nil && gid == id && gstatus == status && bytes.Equal(gbody, body)
+	}
+	cfg := &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(52))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAddressCodecs: bucket/slot/leaf address bodies round-trip
+// (the bodies of opReadBucket/opWriteBucket/opReadSlot/opWriteSlot/
+// opReadPath/opWritePath).
+func TestQuickAddressCodecs(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(53))}
+	bucket := func(level int32, node uint64, tail []byte) bool {
+		buf := append(appendBucketRef(nil, int(level), node), tail...)
+		l, n, rest, err := parseBucketRef(buf)
+		return err == nil && l == int(level) && n == node && bytes.Equal(rest, tail)
+	}
+	if err := quick.Check(bucket, cfg); err != nil {
+		t.Error(err)
+	}
+	slotRef := func(level int32, node uint64, slot int32, tail []byte) bool {
+		buf := append(appendSlotRef(nil, int(level), node, int(slot)), tail...)
+		l, n, s, rest, err := parseSlotRef(buf)
+		return err == nil && l == int(level) && n == node && s == int(slot) && bytes.Equal(rest, tail)
+	}
+	if err := quick.Check(slotRef, cfg); err != nil {
+		t.Error(err)
+	}
+	leaf := func(lf uint64, tail []byte) bool {
+		buf := append(appendLeaf(nil, oram.Leaf(lf)), tail...)
+		got, rest, err := parseLeaf(buf)
+		return err == nil && got == oram.Leaf(lf) && bytes.Equal(rest, tail)
+	}
+	if err := quick.Check(leaf, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBatchSubRoundTrip: opBatch sub-requests and sub-responses
+// round-trip with arbitrary bodies and trailing data.
+func TestQuickBatchSubRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(54))}
+	sub := func(op byte, shard uint32, body, tail []byte) bool {
+		buf := append(appendBatchSub(nil, op, shard, body), tail...)
+		gop, gshard, gbody, rest, err := parseBatchSub(buf)
+		return err == nil && gop == op && gshard == shard &&
+			bytes.Equal(gbody, body) && bytes.Equal(rest, tail)
+	}
+	if err := quick.Check(sub, cfg); err != nil {
+		t.Error(err)
+	}
+	subResp := func(status byte, body, tail []byte) bool {
+		buf := append(appendBatchSubResp(nil, status, body), tail...)
+		gstatus, gbody, rest, err := parseBatchSubResp(buf)
+		return err == nil && gstatus == status &&
+			bytes.Equal(gbody, body) && bytes.Equal(rest, tail)
+	}
+	if err := quick.Check(subResp, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGeometryWireRoundTrip: the handshake geometry encoding
+// round-trips arbitrary field values.
+func TestQuickGeometryWireRoundTrip(t *testing.T) {
+	f := func(leafBits, leafZ, rootZ int32, profile uint8, blockSize int32) bool {
+		in := geometryWire{LeafBits: leafBits, LeafZ: leafZ, RootZ: rootZ, Profile: profile, BlockSize: blockSize}
+		out, err := parseGeometryWire(in.append(nil))
+		return err == nil && out == in
+	}
+	cfg := &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(55))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOversizedFrameRejected: frames beyond maxFrame are refused on both
+// the write and the read side without allocation bombs.
+func TestOversizedFrameRejected(t *testing.T) {
+	var sink bytes.Buffer
+	if err := writeFrame(&sink, make([]byte, maxFrame+1)); err == nil {
+		t.Error("oversized frame written")
+	}
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := readFrame(bytes.NewReader(hdr)); err == nil {
+		t.Error("oversized frame length accepted")
+	}
+}
+
+// TestBatchCountBounds: a batch frame claiming more sub-ops than the limit
+// is rejected outright, and one claiming more than it carries errors
+// cleanly.
+func TestBatchCountBounds(t *testing.T) {
+	g := fuzzGeom()
+	srv, err := NewSharded([]oram.Store{oram.NewMetaStore(g)}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := appendU32(nil, maxBatchOps+1)
+	resp := srv.handle(append(appendReqHeader(nil, 9, opBatch, 0), over...))
+	if _, status, _, err := parseRespHeader(resp); err != nil || status != statusErr {
+		t.Errorf("oversized batch count not rejected: status=%d err=%v", status, err)
+	}
+	lying := appendU32(nil, 5) // claims 5 sub-ops, carries none
+	resp = srv.handle(append(appendReqHeader(nil, 10, opBatch, 0), lying...))
+	if _, status, _, err := parseRespHeader(resp); err != nil || status != statusErr {
+		t.Errorf("truncated batch not rejected: status=%d err=%v", status, err)
+	}
+}

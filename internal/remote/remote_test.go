@@ -3,6 +3,7 @@ package remote
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -233,11 +234,15 @@ func TestSlotCodecTruncation(t *testing.T) {
 	if _, err := parseGeometryWire([]byte{1}); err == nil {
 		t.Error("truncated geometry accepted")
 	}
-	if _, err := parseResponse(nil); err == nil {
+	if _, _, _, err := parseRespHeader(nil); err == nil {
 		t.Error("empty response accepted")
 	}
-	if _, err := parseResponse([]byte{statusErr, 'x'}); err == nil {
-		t.Error("error response not surfaced")
+	if _, _, _, err := parseRespHeader([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated response header accepted")
+	}
+	if _, status, body, err := parseRespHeader(errResponse(7, fmt.Errorf("boom"))); err != nil ||
+		status != statusErr || string(body) != "boom" {
+		t.Error("error response did not round-trip")
 	}
 }
 

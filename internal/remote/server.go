@@ -6,33 +6,118 @@ import (
 	"io"
 	"log"
 	"net"
+	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/oram"
 )
 
-// Server exposes a Store over TCP: the paper's server_storage component.
-// It is intentionally "dumb" — it answers bucket/slot requests at the
-// addresses the client names and never learns which logical block is meant;
-// all obliviousness lives client-side.
+// Server exposes one or more shard Stores over TCP: the paper's
+// server_storage component, scaled to the serving path. It is intentionally
+// "dumb" — it answers bucket/path requests at the addresses the client
+// names and never learns which logical block is meant; all obliviousness
+// lives client-side.
+//
+// Concurrency model: every connection gets a reader and a writer goroutine;
+// parsed requests are dispatched to a bounded worker pool shared across
+// connections, and each worker serialises storage access per shard (one
+// mutex per shard store), so requests for different shards execute in
+// parallel while a single shard's tree stays consistent. Responses carry
+// the request ID and may return out of order; clients multiplex by ID.
 type Server struct {
-	store oram.Store
-	ln    net.Listener
-	mu    sync.Mutex // serialises store access across connections
+	stores  []oram.Store
+	locks   []sync.Mutex
+	geom    *oram.Geometry
+	workers int
 
 	logf func(format string, args ...any)
 
+	ln    net.Listener
+	tasks chan task
+
 	wg     sync.WaitGroup
 	closed chan struct{}
+
+	connMu sync.Mutex
+	conns  map[*serverConn]struct{}
 }
 
-// NewServer wraps store; logf may be nil (silent).
+// serverConn is the per-connection state shared by the reader, the writer
+// and any workers holding responses for it.
+type serverConn struct {
+	conn net.Conn
+	out  chan []byte   // response frame payloads awaiting the writer
+	done chan struct{} // closed when the connection is torn down
+	once sync.Once
+}
+
+func (sc *serverConn) close() {
+	sc.once.Do(func() {
+		close(sc.done)
+		sc.conn.Close()
+	})
+}
+
+type task struct {
+	sc    *serverConn
+	frame []byte
+}
+
+// NewServer wraps a single store (a 1-shard server); logf may be nil
+// (silent).
 func NewServer(store oram.Store, logf func(string, ...any)) *Server {
+	srv, err := NewSharded([]oram.Store{store}, 0, logf)
+	if err != nil {
+		// A single non-nil store cannot fail validation.
+		panic(err)
+	}
+	return srv
+}
+
+// NewSharded wraps one backing store per shard. All stores must share one
+// tree geometry (clients learn it once in the handshake). workers bounds
+// the dispatch pool; <= 0 picks a default sized to the host.
+func NewSharded(stores []oram.Store, workers int, logf func(string, ...any)) (*Server, error) {
+	if len(stores) == 0 {
+		return nil, fmt.Errorf("remote: NewSharded needs at least one store")
+	}
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{store: store, logf: logf, closed: make(chan struct{})}
+	var geom *oram.Geometry
+	for i, st := range stores {
+		if st == nil {
+			return nil, fmt.Errorf("remote: shard %d store is nil", i)
+		}
+		g := st.Geometry()
+		if i == 0 {
+			geom = g
+			continue
+		}
+		if geometryToWire(g) != geometryToWire(geom) {
+			return nil, fmt.Errorf("remote: shard %d geometry %s differs from shard 0 (%s)", i, g, geom)
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers < 2 {
+			workers = 2
+		}
+	}
+	return &Server{
+		stores:  stores,
+		locks:   make([]sync.Mutex, len(stores)),
+		geom:    geom,
+		workers: workers,
+		logf:    logf,
+		closed:  make(chan struct{}),
+		conns:   make(map[*serverConn]struct{}),
+	}, nil
 }
+
+// Shards returns the number of shard stores served.
+func (s *Server) Shards() int { return len(s.stores) }
 
 // Listen starts accepting on addr ("host:port"; ":0" picks a free port) and
 // returns the bound address. Serving happens on background goroutines.
@@ -42,18 +127,29 @@ func (s *Server) Listen(addr string) (string, error) {
 		return "", fmt.Errorf("remote: listen: %w", err)
 	}
 	s.ln = ln
+	s.tasks = make(chan task, s.workers)
+	for i := 0; i < s.workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return ln.Addr().String(), nil
 }
 
-// Close stops accepting and waits for in-flight connections to finish.
+// Close stops accepting, tears down live connections and waits for the
+// reader/writer/worker goroutines to finish.
 func (s *Server) Close() error {
 	close(s.closed)
 	var err error
 	if s.ln != nil {
 		err = s.ln.Close()
 	}
+	s.connMu.Lock()
+	for sc := range s.conns {
+		sc.close()
+	}
+	s.connMu.Unlock()
 	s.wg.Wait()
 	return err
 }
@@ -65,94 +161,304 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			select {
 			case <-s.closed:
+			default:
+				s.logf("remote: accept: %v", err)
+			}
+			return
+		}
+		sc := &serverConn{conn: conn, out: make(chan []byte, 128), done: make(chan struct{})}
+		s.connMu.Lock()
+		s.conns[sc] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(2)
+		go s.readLoop(sc)
+		go s.writeLoop(sc)
+	}
+}
+
+// readLoop pulls frames off the socket and hands them to the worker pool.
+// Frame order on the wire does not constrain response order.
+func (s *Server) readLoop(sc *serverConn) {
+	defer s.wg.Done()
+	defer func() {
+		sc.close()
+		s.connMu.Lock()
+		delete(s.conns, sc)
+		s.connMu.Unlock()
+	}()
+	for {
+		frame, err := readFrame(sc.conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !isClosedConn(err) {
+				s.logf("remote: conn %v: %v", sc.conn.RemoteAddr(), err)
+			}
+			return
+		}
+		select {
+		case s.tasks <- task{sc: sc, frame: frame}:
+		case <-sc.done:
+			return
+		case <-s.closed:
+			return
+		}
+	}
+}
+
+// writeLoop serialises response frames onto the socket.
+func (s *Server) writeLoop(sc *serverConn) {
+	defer s.wg.Done()
+	for {
+		select {
+		case resp := <-sc.out:
+			if err := writeFrame(sc.conn, resp); err != nil {
+				sc.close()
+				return
+			}
+		case <-sc.done:
+			return
+		}
+	}
+}
+
+// slowConnTimeout bounds how long a worker will wait to enqueue a response
+// on one connection's outbound queue. A client that pipelines requests but
+// stops draining responses would otherwise wedge every pool worker on its
+// full queue and starve all other connections; after the timeout the
+// stalled connection is torn down and the pool moves on.
+const slowConnTimeout = 10 * time.Second
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case t := <-s.tasks:
+			resp := s.handle(t.frame)
+			select {
+			case t.sc.out <- resp:
+				continue
+			case <-t.sc.done:
+				continue
+			case <-s.closed:
 				return
 			default:
 			}
-			s.logf("remote: accept: %v", err)
+			// Slow path: the connection's queue is full. Wait a bounded
+			// time, then declare the consumer dead.
+			timer := time.NewTimer(slowConnTimeout)
+			select {
+			case t.sc.out <- resp:
+			case <-t.sc.done:
+			case <-s.closed:
+				timer.Stop()
+				return
+			case <-timer.C:
+				s.logf("remote: conn %v: response queue stalled for %v, dropping connection",
+					t.sc.conn.RemoteAddr(), slowConnTimeout)
+				t.sc.close()
+			}
+			timer.Stop()
+		case <-s.closed:
 			return
 		}
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer conn.Close()
-			if err := s.handleConn(conn); err != nil && !errors.Is(err, io.EOF) {
-				s.logf("remote: conn %v: %v", conn.RemoteAddr(), err)
-			}
-		}()
 	}
 }
 
-func (s *Server) handleConn(conn net.Conn) error {
-	for {
-		req, err := readFrame(conn)
-		if err != nil {
-			return err
-		}
-		resp := s.dispatch(req)
-		if err := writeFrame(conn, resp); err != nil {
-			return err
-		}
-	}
-}
-
-func (s *Server) dispatch(req []byte) []byte {
-	op, level, node, slot, rest, err := parseReqHeader(req)
+// handle turns one request frame into one response frame payload. A frame
+// too mangled to carry a request ID is answered with ID 0 so the connection
+// survives garbage (the sender of a malformed frame can never match it
+// anyway).
+func (s *Server) handle(frame []byte) []byte {
+	id, op, shard, body, err := parseReqHeader(frame)
 	if err != nil {
-		return errResponse(err)
+		return errResponse(0, err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	g := s.store.Geometry()
+	respBody, err := s.dispatch(op, shard, body, true)
+	if err != nil {
+		return errResponse(id, err)
+	}
+	out := appendRespHeader(make([]byte, 0, respHeaderLen+len(respBody)), id, statusOK)
+	return append(out, respBody...)
+}
+
+// dispatch executes one operation against its shard store and returns the
+// response body. allowBatch guards against nested opBatch frames.
+func (s *Server) dispatch(op byte, shard uint32, body []byte, allowBatch bool) ([]byte, error) {
+	g := s.geom
+	if op == opHello {
+		out := appendU32(nil, uint32(len(s.stores)))
+		return geometryToWire(g).append(out), nil
+	}
+	if shard >= uint32(len(s.stores)) {
+		return nil, fmt.Errorf("shard %d out of range (server has %d)", shard, len(s.stores))
+	}
+	store := s.stores[shard]
+	lock := &s.locks[shard]
 	switch op {
-	case opHello:
-		return geometryToWire(g).append(okResponse(nil))
 	case opReadBucket:
+		level, node, _, err := parseBucketRef(body)
+		if err != nil {
+			return nil, err
+		}
 		if level < 0 || level >= g.Levels() {
-			return errResponse(fmt.Errorf("level %d out of range", level))
+			return nil, fmt.Errorf("level %d out of range", level)
 		}
 		buf := make([]oram.Slot, g.BucketSize(level))
-		if err := s.store.ReadBucket(level, node, buf); err != nil {
-			return errResponse(err)
+		lock.Lock()
+		err = store.ReadBucket(level, node, buf)
+		lock.Unlock()
+		if err != nil {
+			return nil, err
 		}
-		out := okResponse(nil)
+		var out []byte
 		for i := range buf {
 			out = appendSlot(out, &buf[i])
 		}
-		return out
+		return out, nil
 	case opWriteBucket:
+		level, node, rest, err := parseBucketRef(body)
+		if err != nil {
+			return nil, err
+		}
 		if level < 0 || level >= g.Levels() {
-			return errResponse(fmt.Errorf("level %d out of range", level))
+			return nil, fmt.Errorf("level %d out of range", level)
 		}
 		z := g.BucketSize(level)
 		slots := make([]oram.Slot, z)
 		for i := 0; i < z; i++ {
 			rest, err = parseSlot(rest, &slots[i])
 			if err != nil {
-				return errResponse(err)
+				return nil, err
 			}
 		}
-		if err := s.store.WriteBucket(level, node, slots); err != nil {
-			return errResponse(err)
-		}
-		return okResponse(nil)
+		lock.Lock()
+		err = store.WriteBucket(level, node, slots)
+		lock.Unlock()
+		return nil, err
 	case opReadSlot:
-		var sl oram.Slot
-		if err := s.store.ReadSlot(level, node, slot, &sl); err != nil {
-			return errResponse(err)
+		level, node, slot, _, err := parseSlotRef(body)
+		if err != nil {
+			return nil, err
 		}
-		return appendSlot(okResponse(nil), &sl)
+		var sl oram.Slot
+		lock.Lock()
+		err = store.ReadSlot(level, node, slot, &sl)
+		lock.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return appendSlot(nil, &sl), nil
 	case opWriteSlot:
+		level, node, slot, rest, err := parseSlotRef(body)
+		if err != nil {
+			return nil, err
+		}
 		var sl oram.Slot
 		if _, err := parseSlot(rest, &sl); err != nil {
-			return errResponse(err)
+			return nil, err
 		}
-		if err := s.store.WriteSlot(level, node, slot, sl); err != nil {
-			return errResponse(err)
+		lock.Lock()
+		err = store.WriteSlot(level, node, slot, sl)
+		lock.Unlock()
+		return nil, err
+	case opReadPath:
+		leaf, _, err := parseLeaf(body)
+		if err != nil {
+			return nil, err
 		}
-		return okResponse(nil)
+		if !g.ValidLeaf(leaf) {
+			return nil, fmt.Errorf("leaf %d out of range", leaf)
+		}
+		var out []byte
+		lock.Lock()
+		for lvl := 0; lvl < g.Levels(); lvl++ {
+			buf := make([]oram.Slot, g.BucketSize(lvl))
+			if err := store.ReadBucket(lvl, g.NodeAt(leaf, lvl), buf); err != nil {
+				lock.Unlock()
+				return nil, err
+			}
+			for i := range buf {
+				out = appendSlot(out, &buf[i])
+			}
+		}
+		lock.Unlock()
+		return out, nil
+	case opWritePath:
+		leaf, rest, err := parseLeaf(body)
+		if err != nil {
+			return nil, err
+		}
+		if !g.ValidLeaf(leaf) {
+			return nil, fmt.Errorf("leaf %d out of range", leaf)
+		}
+		// Parse the whole path before touching the store, so a truncated
+		// frame cannot leave a half-written path behind.
+		levels := g.Levels()
+		slots := make([][]oram.Slot, levels)
+		for lvl := 0; lvl < levels; lvl++ {
+			z := g.BucketSize(lvl)
+			slots[lvl] = make([]oram.Slot, z)
+			for i := 0; i < z; i++ {
+				rest, err = parseSlot(rest, &slots[lvl][i])
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		lock.Lock()
+		for lvl := 0; lvl < levels; lvl++ {
+			if err := store.WriteBucket(lvl, g.NodeAt(leaf, lvl), slots[lvl]); err != nil {
+				lock.Unlock()
+				return nil, err
+			}
+		}
+		lock.Unlock()
+		return nil, nil
+	case opBatch:
+		if !allowBatch {
+			return nil, fmt.Errorf("nested batch request")
+		}
+		count, rest, err := parseU32(body)
+		if err != nil {
+			return nil, err
+		}
+		if count > maxBatchOps {
+			return nil, fmt.Errorf("batch of %d ops exceeds limit %d", count, maxBatchOps)
+		}
+		out := appendU32(nil, count)
+		for i := uint32(0); i < count; i++ {
+			subOp, subShard, subBody, r, err := parseBatchSub(rest)
+			if err != nil {
+				return nil, fmt.Errorf("batch op %d: %w", i, err)
+			}
+			rest = r
+			if subOp == opBatch || subOp == opHello {
+				out = appendBatchSubResp(out, statusErr, []byte(fmt.Sprintf("opcode %d not allowed in batch", subOp)))
+				continue
+			}
+			subResp, err := s.dispatch(subOp, subShard, subBody, false)
+			if err != nil {
+				out = appendBatchSubResp(out, statusErr, []byte(err.Error()))
+			} else {
+				out = appendBatchSubResp(out, statusOK, subResp)
+			}
+			// An over-large aggregate response must fail this one request
+			// with a clean error, not kill the connection when the
+			// unsendable frame hits writeFrame (well-behaved clients chunk
+			// batches below batchFrameBudget; see client.go).
+			if len(out) > maxFrame-respHeaderLen {
+				return nil, fmt.Errorf("batch response exceeds frame limit after %d of %d ops; split the batch", i+1, count)
+			}
+		}
+		return out, nil
 	default:
-		return errResponse(fmt.Errorf("unknown opcode %d", op))
+		return nil, fmt.Errorf("unknown opcode %d", op)
 	}
+}
+
+// isClosedConn reports the "use of closed network connection" error that
+// tearing down a connection from our own side produces.
+func isClosedConn(err error) bool {
+	return errors.Is(err, net.ErrClosed)
 }
 
 // ListenAndLog is a convenience for cmd/laoramserve: listen and log with the

@@ -76,8 +76,10 @@ type Options struct {
 	// instances (internal/shard), each with its own position map, stash,
 	// tree and preprocessor. 0 or 1 (the default) keeps today's
 	// single-instance behaviour; batch operations and Sessions then fan
-	// out to per-shard worker goroutines. Incompatible with RemoteAddr
-	// when > 1.
+	// out to per-shard worker goroutines. Composes with RemoteAddr: the
+	// server must expose exactly Shards shard stores (laoramserve
+	// -shards N), and every shard lane then pipelines its requests on
+	// one multiplexed connection.
 	Shards int
 	// RemoteAddr, when set, uses a laoramserve instance at this address
 	// as server storage instead of in-process memory. Entries must match
@@ -159,16 +161,25 @@ func New(opts Options) (*ORAM, error) {
 		return nil, err
 	}
 	n := opts.shards()
-	if n > 1 && opts.RemoteAddr != "" {
-		return nil, fmt.Errorf("laoram: Shards > 1 over a remote store is not supported (run one laoramserve per shard instead)")
-	}
 	o := &ORAM{opts: opts}
+	if opts.RemoteAddr != "" {
+		rc, err := remote.Dial(opts.RemoteAddr)
+		if err != nil {
+			return nil, err
+		}
+		if rc.Shards() != n {
+			rc.Close()
+			return nil, fmt.Errorf("laoram: server at %s exposes %d shard stores, Options.Shards wants %d (start laoramserve with -shards %d)",
+				opts.RemoteAddr, rc.Shards(), n, n)
+		}
+		o.remote = rc
+	}
 	eng, err := shard.New(shard.Config{
 		Shards:  n,
 		Entries: opts.Entries,
 		Seed:    opts.Seed,
 		Build: func(i int, per uint64, seed int64) (shard.Sub, error) {
-			return o.buildSub(per, seed, evict)
+			return o.buildSub(i, per, seed, evict)
 		},
 	})
 	if err != nil {
@@ -181,25 +192,26 @@ func New(opts Options) (*ORAM, error) {
 	return o, nil
 }
 
-// buildSub assembles one shard's stack — server store (in-memory,
+// buildSub assembles shard idx's stack — server store (in-memory,
 // metadata-only, encrypted or remote), traffic counters, optional timing
 // meter and Merkle verification, then the PathORAM client — for per blocks
 // seeded with seed. With Shards <= 1 this is exactly the unsharded
-// construction.
-func (o *ORAM) buildSub(per uint64, seed int64, evict oram.EvictConfig) (shard.Sub, error) {
+// construction. Remote shards share one multiplexed connection (o.remote),
+// each addressing its own shard store on the server.
+func (o *ORAM) buildSub(idx int, per uint64, seed int64, evict oram.EvictConfig) (shard.Sub, error) {
 	opts := o.opts
 	var inner oram.Store
-	if opts.RemoteAddr != "" {
-		rc, err := remote.Dial(opts.RemoteAddr)
+	if o.remote != nil {
+		st, err := o.remote.Store(idx)
 		if err != nil {
 			return shard.Sub{}, err
 		}
-		o.remote = rc
-		g := rc.Geometry()
-		if g.Leaves() < per/uint64(g.BucketSize(g.LeafBits())) {
+		g := st.Geometry()
+		z := uint64(g.BucketSize(g.LeafBits()))
+		if g.Leaves() < (per+z-1)/z {
 			return shard.Sub{}, fmt.Errorf("laoram: remote tree (%s) too small for %d entries", g, per)
 		}
-		inner = rc
+		inner = st
 	} else {
 		z := opts.BucketSize
 		if z == 0 {
