@@ -6,6 +6,14 @@
 //	laorambench -exp fig7e -scale full   # one experiment at paper scale
 //	laorambench -exp fig8 -csv out/      # also write CSV series
 //	laorambench -list                    # list experiment IDs
+//	laorambench -json BENCH_engine.json  # engine microbench trajectory
+//	laorambench -exp fig7e -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// -json runs the engine microbenchmarks (steady-state access, write-back,
+// sealed access, seal/open) plus the Fig. 7e simulated speedups and writes
+// a machine-readable trajectory — ns/op, B/op, allocs/op and the pinned
+// pre-refactor baseline — to the given file. -cpuprofile/-memprofile wrap
+// the whole run with runtime/pprof for hot-path inspection.
 //
 // Experiment IDs follow DESIGN.md's experiment index: fig2, fig7a..fig7f,
 // fig8, fig9, table1, table2, memneutral, preproc, ring, security, serve,
@@ -18,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -70,24 +80,63 @@ func experiments() []experiment {
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		scaleFlag = flag.String("scale", "default", "scale preset: ci, default, full")
-		seedFlag  = flag.Int64("seed", 42, "deterministic experiment seed")
-		csvDir    = flag.String("csv", "", "directory to also write CSV output into")
-		listFlag  = flag.Bool("list", false, "list experiment ids and exit")
+		expFlag    = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scaleFlag  = flag.String("scale", "default", "scale preset: ci, default, full")
+		seedFlag   = flag.Int64("seed", 42, "deterministic experiment seed")
+		csvDir     = flag.String("csv", "", "directory to also write CSV output into")
+		listFlag   = flag.Bool("list", false, "list experiment ids and exit")
+		jsonFlag   = flag.String("json", "", "run engine microbenchmarks and write the JSON trajectory to this file (skips -exp)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	)
 	flag.Parse()
+	// All error paths return through run() rather than os.Exit so the
+	// deferred profile writers always flush (a truncated CPU profile is
+	// unreadable by pprof).
+	os.Exit(run(*expFlag, *scaleFlag, *seedFlag, *csvDir, *listFlag, *jsonFlag, *cpuProfile, *memProfile))
+}
+
+func run(expFlag, scaleFlag string, seed int64, csvDir string, list bool, jsonPath, cpuProfile, memProfile string) (code int) {
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "laorambench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "laorambench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memProfile != "" {
+		defer func() {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "laorambench: memprofile: %v\n", err)
+				code = 1
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "laorambench: memprofile: %v\n", err)
+				code = 1
+			}
+		}()
+	}
 
 	exps := experiments()
-	if *listFlag {
+	if list {
 		for _, e := range exps {
 			fmt.Printf("%-12s %s\n", e.id, e.desc)
 		}
-		return
+		return 0
 	}
 
 	var sc harness.Scale
-	switch *scaleFlag {
+	switch scaleFlag {
 	case "ci":
 		sc = harness.CIScale()
 	case "default":
@@ -95,14 +144,35 @@ func main() {
 	case "full":
 		sc = harness.FullScale()
 	default:
-		fmt.Fprintf(os.Stderr, "laorambench: unknown scale %q (ci|default|full)\n", *scaleFlag)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "laorambench: unknown scale %q (ci|default|full)\n", scaleFlag)
+		return 2
+	}
+
+	if jsonPath != "" {
+		start := time.Now()
+		res, err := harness.EngineBench(sc, seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "laorambench: engine bench: %v\n", err)
+			return 1
+		}
+		data, err := res.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "laorambench: engine bench: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "laorambench: engine bench: %v\n", err)
+			return 1
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("[engine bench completed in %v; wrote %s]\n", time.Since(start).Round(time.Millisecond), jsonPath)
+		return 0
 	}
 
 	wanted := map[string]bool{}
-	runAll := *expFlag == "all"
+	runAll := expFlag == "all"
 	if !runAll {
-		for _, id := range strings.Split(*expFlag, ",") {
+		for _, id := range strings.Split(expFlag, ",") {
 			wanted[strings.TrimSpace(id)] = true
 		}
 		known := map[string]bool{}
@@ -118,30 +188,31 @@ func main() {
 		if len(unknown) > 0 {
 			sort.Strings(unknown)
 			fmt.Fprintf(os.Stderr, "laorambench: unknown experiment(s): %s (try -list)\n", strings.Join(unknown, ", "))
-			os.Exit(2)
+			return 2
 		}
 	}
 
-	fmt.Printf("LAORAM reproduction harness — scale=%s seed=%d\n\n", sc.Name, *seedFlag)
+	fmt.Printf("LAORAM reproduction harness — scale=%s seed=%d\n\n", sc.Name, seed)
 	for _, e := range exps {
 		if !runAll && !wanted[e.id] {
 			continue
 		}
 		start := time.Now()
-		res, err := e.run(sc, *seedFlag)
+		res, err := e.run(sc, seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "laorambench: %s: %v\n", e.id, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(res.Render())
 		fmt.Printf("[%s completed in %v]\n\n", e.id, time.Since(start).Round(time.Millisecond))
-		if *csvDir != "" {
-			if err := writeCSV(*csvDir, e.id, res); err != nil {
+		if csvDir != "" {
+			if err := writeCSV(csvDir, e.id, res); err != nil {
 				fmt.Fprintf(os.Stderr, "laorambench: csv %s: %v\n", e.id, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
+	return 0
 }
 
 func writeCSV(dir, id string, res renderer) error {

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/oram"
+	"repro/internal/trace"
+)
+
+// TestStepBinAllocs gates the LAORAM bin cycle (ISSUE 3): with a
+// metadata-only store and pre-placed blocks, the steady-state superblock
+// step — plan consumption, path fetch, per-member remap, joint write-back,
+// background eviction — must not allocate. This is the end-to-end proof
+// that the slab stash, the reusable evict planner and the cursor scratch
+// compose across the oram and superblock layers.
+func TestStepBinAllocs(t *testing.T) {
+	const blocks = 1 << 11
+	stream, err := trace.Generate(trace.Config{
+		Kind: trace.KindPermutation, N: blocks, Count: 16 * blocks, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := newFixture(t, fixtureConfig{
+		leafBits: 10, blocks: blocks, s: 4,
+		evict: oram.PaperEvict, stream: stream, prePlace: true, seed: 32,
+	})
+	// Warm up executor scratch (readLeaves, planner, cursor, stash slab).
+	for i := 0; i < 1024; i++ {
+		if _, err := fx.laoram.StepBin(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := fx.laoram.StepBin(nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("StepBin allocates %.2f objects/op in steady state, want 0", allocs)
+	}
+}

@@ -25,9 +25,7 @@ func (l *LAORAM) StepBatch(k int, visit Visit) (int, error) {
 
 	// Peek at the batch's bins and gather the distinct leaves to fetch.
 	l.readLeaves = l.readLeaves[:0]
-	for key := range l.leafSeen {
-		delete(l.leafSeen, key)
-	}
+	clear(l.leafSeen)
 	bins := 0
 	for i := 0; i < k; i++ {
 		bin := l.cursor.PeekBin(i)

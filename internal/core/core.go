@@ -152,9 +152,7 @@ func (l *LAORAM) StepBin(visit Visit) (*superblock.Bin, error) {
 	// every member already sits on bin.Leaf (or in the stash) and this
 	// is exactly one path.
 	l.readLeaves = l.readLeaves[:0]
-	for k := range l.leafSeen {
-		delete(l.leafSeen, k)
-	}
+	clear(l.leafSeen)
 	for _, id := range bin.Blocks {
 		if uint64(id) >= l.base.PosMap().Len() {
 			return nil, fmt.Errorf("core: bin %d references block %d beyond table size %d", bin.Index, id, l.base.PosMap().Len())

@@ -1,0 +1,27 @@
+package crypto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// BenchmarkSealOpen measures one seal + open round trip of a 128 B payload
+// (a DLRM row) through the allocating API.
+func BenchmarkSealOpen(b *testing.B) {
+	s, err := NewSealer(testKey())
+	if err != nil {
+		b.Fatal(err)
+	}
+	plain := bytes.Repeat([]byte{0x42}, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sealed, err := s.Seal(plain)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Open(sealed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package crypto
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"math/rand"
+	"testing"
+)
+
+// TestCTRMatchesStdlib pins the hand-rolled allocation-free CTR against
+// crypto/cipher's reference implementation for a spread of lengths
+// (including non-block-multiples and >1 counter-block carries).
+func TestCTRMatchesStdlib(t *testing.T) {
+	s, err := NewSealer(testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, err := aes.NewCipher(testKey()[:16])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{0, 1, 15, 16, 17, 31, 32, 33, 128, 4096} {
+		src := make([]byte, n)
+		rng.Read(src)
+		iv := make([]byte, aes.BlockSize)
+		rng.Read(iv)
+		// Force counter carries: an IV ending in 0xFF.. exercises the
+		// multi-byte increment.
+		if n == 128 {
+			for i := 8; i < aes.BlockSize; i++ {
+				iv[i] = 0xFF
+			}
+		}
+		got := make([]byte, n)
+		s.xorKeyStream(got, src, iv)
+		want := make([]byte, n)
+		cipher.NewCTR(blk, iv).XORKeyStream(want, src)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("len %d: manual CTR diverges from cipher.NewCTR", n)
+		}
+	}
+}
+
+// TestSealToOpenToRoundTrip covers the in-place variants, including reuse
+// of the same dst buffers across calls (the hot-path pattern).
+func TestSealToOpenToRoundTrip(t *testing.T) {
+	s, err := NewSealer(testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed := make([]byte, s.SealedSize(128))
+	opened := make([]byte, 128)
+	for trial := 0; trial < 32; trial++ {
+		plain := bytes.Repeat([]byte{byte(trial)}, 128)
+		if err := s.SealTo(sealed, plain); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.OpenTo(opened, sealed); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(opened, plain) {
+			t.Fatalf("trial %d: round trip mismatch", trial)
+		}
+	}
+	// Cross-API: SealTo output opens via Open, Seal output via OpenTo.
+	plain := []byte("cross-api-payload-0123456789abcd")
+	if err := s.SealTo(sealed[:s.SealedSize(len(plain))], plain); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Open(sealed[:s.SealedSize(len(plain))])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, plain) {
+		t.Fatal("SealTo → Open mismatch")
+	}
+	blob, err := s.Seal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.OpenTo(opened[:len(plain)], blob); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(opened[:len(plain)], plain) {
+		t.Fatal("Seal → OpenTo mismatch")
+	}
+}
+
+func TestSealToSizeValidation(t *testing.T) {
+	s, err := NewSealer(testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SealTo(make([]byte, 10), make([]byte, 16)); err == nil {
+		t.Error("undersized SealTo dst accepted")
+	}
+	if err := s.OpenTo(make([]byte, 3), make([]byte, Overhead+16)); err == nil {
+		t.Error("wrong-size OpenTo dst accepted")
+	}
+	if err := s.OpenTo(make([]byte, 0), make([]byte, Overhead-1)); err == nil {
+		t.Error("truncated blob accepted by OpenTo")
+	}
+}
+
+// TestSealerIVsUnique: counter-derived IVs never repeat within a Sealer.
+func TestSealerIVsUnique(t *testing.T) {
+	s, err := NewSealer(testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := make([]byte, 32)
+	seen := make(map[string]bool)
+	buf := make([]byte, s.SealedSize(len(plain)))
+	for i := 0; i < 1000; i++ {
+		if err := s.SealTo(buf, plain); err != nil {
+			t.Fatal(err)
+		}
+		iv := string(buf[:ivSize])
+		if seen[iv] {
+			t.Fatalf("IV repeated at seal %d", i)
+		}
+		seen[iv] = true
+	}
+}
+
+// TestNoKeystreamReuse: consecutive seals of multi-block payloads must not
+// share any CTR counter block — a shared block would be a two-time pad
+// (XOR of two ciphertexts reveals the XOR of the plaintexts). Sealing
+// all-zero payloads exposes the keystream directly in the ciphertext, so
+// any 16-byte keystream block appearing twice across seals is reuse.
+func TestNoKeystreamReuse(t *testing.T) {
+	s, err := NewSealer(testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[[16]byte]int)
+	for _, size := range []int{128, 130, 16, 20, 1, 4096, 128} {
+		zeros := make([]byte, size)
+		sealed, err := s.Seal(zeros)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := sealed[ivSize : len(sealed)-tagSize]
+		for off := 0; off+16 <= len(ct); off += 16 {
+			var blk [16]byte
+			copy(blk[:], ct[off:])
+			if prev, dup := seen[blk]; dup {
+				t.Fatalf("keystream block reused (size %d, offset %d, first seen at seal %d)", size, off, prev)
+			}
+			seen[blk] = size
+		}
+	}
+}
+
+// TestSealOpenToAllocFree gates the in-place hot path at zero allocations
+// in steady state (the warm-up call inside AllocsPerRun absorbs the HMAC's
+// one-time state marshal).
+func TestSealOpenToAllocFree(t *testing.T) {
+	s, err := NewSealer(testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := bytes.Repeat([]byte{0x42}, 128)
+	sealed := make([]byte, s.SealedSize(len(plain)))
+	opened := make([]byte, len(plain))
+	if err := s.SealTo(sealed, plain); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := s.SealTo(sealed, plain); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.OpenTo(opened, sealed); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("SealTo+OpenTo allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -4,8 +4,21 @@
 // insecure channel to server storage and opens it on return, so the
 // adversary observes only addresses — never plaintext.
 //
-// Construction: AES-128-CTR with a fresh random IV per seal, authenticated
-// with HMAC-SHA-256 truncated to 16 bytes (encrypt-then-MAC). Stdlib only.
+// Construction: AES-128-CTR with a counter-derived IV, authenticated with
+// HMAC-SHA-256 truncated to 16 bytes (encrypt-then-MAC). Stdlib only.
+//
+// IV/keystream uniqueness: each Sealer draws one 8-byte random prefix from
+// crypto/rand at construction; the per-seal IV is prefix ‖ counter where
+// counter is a strictly increasing 64-bit block sequence number. CTR mode
+// consumes one counter block per 16 bytes of plaintext, so each seal
+// *reserves* ⌈len/16⌉ counter values (at least one): the next seal's IV
+// starts past everything the previous seal's keystream touched. Within one
+// Sealer no counter block — hence no keystream block — is ever reused (the
+// 64-bit space cannot wrap in any realistic lifetime), and two Sealers
+// sharing a key collide only if their random prefixes collide (2⁻⁶⁴ per
+// pair) and their counter ranges overlap — the same birthday bound the
+// previous fresh-random-IV-per-seal scheme had, now at one entropy syscall
+// per Sealer instead of per slot.
 package crypto
 
 import (
@@ -17,6 +30,7 @@ import (
 	"crypto/subtle"
 	"encoding/binary"
 	"fmt"
+	"hash"
 )
 
 const (
@@ -27,16 +41,26 @@ const (
 )
 
 // Sealer encrypts and authenticates fixed-size block payloads. It
-// implements the oram.Sealer interface. A Sealer is safe for sequential
-// use by a single client goroutine (matching the ORAM client's model).
+// implements the oram.Sealer interface (and its in-place extension,
+// oram.InplaceSealer). A Sealer is safe for sequential use by a single
+// client goroutine (matching the ORAM client's model); the HMAC instance,
+// keystream scratch and IV counter are deliberately reused across calls so
+// that SealTo/OpenTo allocate nothing in steady state.
 type Sealer struct {
-	block   cipher.Block
-	macKey  [32]byte
-	counter uint64 // mixed into IVs to guarantee uniqueness
+	block    cipher.Block
+	macKey   [32]byte
+	ivPrefix [8]byte // single crypto/rand read, at construction
+	counter  uint64  // strictly increasing; IV = ivPrefix ‖ counter
+
+	mac hash.Hash           // reusable HMAC-SHA-256 (Reset between uses)
+	sum [sha256.Size]byte   // mac.Sum scratch
+	ctr [aes.BlockSize]byte // CTR counter-block scratch
+	ks  [aes.BlockSize]byte // keystream scratch
 }
 
 // NewSealer derives a sealer from a 32-byte master key: the first 16 bytes
-// key AES, the full key is stretched into the MAC key.
+// key AES, the full key is stretched into the MAC key. The IV prefix is
+// the only randomness drawn — one crypto/rand read per Sealer lifetime.
 func NewSealer(master []byte) (*Sealer, error) {
 	if len(master) != 32 {
 		return nil, fmt.Errorf("crypto: master key must be 32 bytes, got %d", len(master))
@@ -47,6 +71,10 @@ func NewSealer(master []byte) (*Sealer, error) {
 	}
 	s := &Sealer{block: blk}
 	s.macKey = sha256.Sum256(append([]byte("laoram-mac-v1:"), master...))
+	s.mac = hmac.New(sha256.New, s.macKey[:])
+	if _, err := cryptorand.Read(s.ivPrefix[:]); err != nil {
+		return nil, fmt.Errorf("crypto: generating IV prefix: %w", err)
+	}
 	return s, nil
 }
 
@@ -62,25 +90,62 @@ func NewRandomSealer() (*Sealer, error) {
 // SealedSize implements oram.Sealer.
 func (s *Sealer) SealedSize(plain int) int { return plain + Overhead }
 
-// Seal encrypts plain into a fresh slice laid out as [IV | ciphertext | tag].
-func (s *Sealer) Seal(plain []byte) ([]byte, error) {
-	out := make([]byte, ivSize+len(plain)+tagSize)
-	iv := out[:ivSize]
-	if _, err := cryptorand.Read(iv[:8]); err != nil {
-		return nil, fmt.Errorf("crypto: generating IV: %w", err)
+// SealTo encrypts plain into dst, laid out as [IV | ciphertext | tag].
+// dst must have length SealedSize(len(plain)) and must not overlap plain.
+// Allocation-free in steady state.
+func (s *Sealer) SealTo(dst, plain []byte) error {
+	if len(dst) != s.SealedSize(len(plain)) {
+		return fmt.Errorf("crypto: SealTo dst len %d, want %d", len(dst), s.SealedSize(len(plain)))
 	}
-	// Mix a monotonic counter into the low half so IVs never repeat even
-	// under a weak entropy source.
+	iv := dst[:ivSize]
+	copy(iv[:8], s.ivPrefix[:])
 	s.counter++
 	binary.BigEndian.PutUint64(iv[8:], s.counter)
+	// Reserve every counter block this seal's keystream will consume —
+	// CTR increments the counter once per 16 plaintext bytes — so the
+	// next seal's IV starts past them and no keystream block is ever
+	// reused under the key.
+	if blocks := (len(plain) + aes.BlockSize - 1) / aes.BlockSize; blocks > 1 {
+		s.counter += uint64(blocks - 1)
+	}
 
-	ct := out[ivSize : ivSize+len(plain)]
-	cipher.NewCTR(s.block, iv).XORKeyStream(ct, plain)
+	s.xorKeyStream(dst[ivSize:ivSize+len(plain)], plain, iv)
 
-	mac := hmac.New(sha256.New, s.macKey[:])
-	mac.Write(out[:ivSize+len(plain)])
-	sum := mac.Sum(nil)
-	copy(out[ivSize+len(plain):], sum[:tagSize])
+	s.mac.Reset()
+	s.mac.Write(dst[:ivSize+len(plain)])
+	sum := s.mac.Sum(s.sum[:0])
+	copy(dst[ivSize+len(plain):], sum[:tagSize])
+	return nil
+}
+
+// OpenTo authenticates sealed and decrypts it into dst, which must have
+// length len(sealed)-Overhead and must not overlap sealed. Allocation-free
+// in steady state.
+func (s *Sealer) OpenTo(dst, sealed []byte) error {
+	if len(sealed) < Overhead {
+		return fmt.Errorf("crypto: sealed blob too short (%d bytes)", len(sealed))
+	}
+	if len(dst) != len(sealed)-Overhead {
+		return fmt.Errorf("crypto: OpenTo dst len %d, want %d", len(dst), len(sealed)-Overhead)
+	}
+	body := sealed[:len(sealed)-tagSize]
+	tag := sealed[len(sealed)-tagSize:]
+	s.mac.Reset()
+	s.mac.Write(body)
+	sum := s.mac.Sum(s.sum[:0])
+	if subtle.ConstantTimeCompare(tag, sum[:tagSize]) != 1 {
+		return fmt.Errorf("crypto: authentication failed")
+	}
+	s.xorKeyStream(dst, body[ivSize:], sealed[:ivSize])
+	return nil
+}
+
+// Seal encrypts plain into a fresh slice laid out as [IV | ciphertext | tag].
+func (s *Sealer) Seal(plain []byte) ([]byte, error) {
+	out := make([]byte, s.SealedSize(len(plain)))
+	if err := s.SealTo(out, plain); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -90,16 +155,31 @@ func (s *Sealer) Open(sealed []byte) ([]byte, error) {
 	if len(sealed) < Overhead {
 		return nil, fmt.Errorf("crypto: sealed blob too short (%d bytes)", len(sealed))
 	}
-	body := sealed[:len(sealed)-tagSize]
-	tag := sealed[len(sealed)-tagSize:]
-	mac := hmac.New(sha256.New, s.macKey[:])
-	mac.Write(body)
-	sum := mac.Sum(nil)
-	if subtle.ConstantTimeCompare(tag, sum[:tagSize]) != 1 {
-		return nil, fmt.Errorf("crypto: authentication failed")
-	}
-	iv := sealed[:ivSize]
 	plain := make([]byte, len(sealed)-Overhead)
-	cipher.NewCTR(s.block, iv).XORKeyStream(plain, body[ivSize:])
+	if err := s.OpenTo(plain, sealed); err != nil {
+		return nil, err
+	}
 	return plain, nil
+}
+
+// xorKeyStream is AES-CTR over src into dst with the given initial counter
+// block, bit-identical to cipher.NewCTR (big-endian increment over the full
+// 16-byte block) but without the per-call stream-object allocation —
+// sealing sits inside every slot write of the ORAM hot path.
+func (s *Sealer) xorKeyStream(dst, src, iv []byte) {
+	copy(s.ctr[:], iv)
+	for off := 0; off < len(src); off += aes.BlockSize {
+		s.block.Encrypt(s.ks[:], s.ctr[:])
+		n := len(src) - off
+		if n > aes.BlockSize {
+			n = aes.BlockSize
+		}
+		subtle.XORBytes(dst[off:off+n], src[off:off+n], s.ks[:n])
+		for i := aes.BlockSize - 1; i >= 0; i-- {
+			s.ctr[i]++
+			if s.ctr[i] != 0 {
+				break
+			}
+		}
+	}
 }

@@ -3,7 +3,7 @@ package harness
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -163,7 +163,7 @@ func runServe(spec serveSpec, perShard uint64, blockSize, opsPer int, seed int64
 	for _, l := range lats {
 		all = append(all, l...)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	slices.Sort(all)
 	pct := func(p float64) time.Duration {
 		if len(all) == 0 {
 			return 0

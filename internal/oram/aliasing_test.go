@@ -1,0 +1,110 @@
+package oram
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// aliasing_test.go pins the payload-ownership contract at the Access level
+// (ISSUE 3 satellite): Access(OpRead) hands back "a copy owned by the
+// caller" while Stash.Payload returns the live slab slice — so a caller
+// scribbling over a read result must never change what a later read (or
+// the server tree) sees.
+
+func TestAccessReadResultIsCallerOwned(t *testing.T) {
+	g := MustGeometry(GeometryConfig{LeafBits: 6, LeafZ: 4, BlockSize: 32})
+	ps, err := NewPayloadStore(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(ClientConfig{
+		Store:     NewCountingStore(ps, nil),
+		Rand:      rand.New(rand.NewSource(21)),
+		Evict:     PaperEvict,
+		StashHits: true,
+		Blocks:    64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]byte, 64)
+	for i := range want {
+		want[i] = bytes.Repeat([]byte{byte(i + 1)}, 32)
+	}
+	if err := c.Load(64, nil, func(id BlockID) []byte { return want[id] }); err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 3; round++ {
+		for id := BlockID(0); id < 64; id++ {
+			out, err := c.Access(OpRead, id, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out, want[id]) {
+				t.Fatalf("round %d: block %d = %x, want %x", round, id, out, want[id])
+			}
+			// Scribble over the returned buffer. If Access leaked the live
+			// stash slab (or a buffer the store recycles), a later read of
+			// this or any other block would observe the damage.
+			for j := range out {
+				out[j] = 0xFF
+			}
+		}
+	}
+
+	// The stash-hit fast path must make the same guarantee: force a block
+	// into the stash, then read it twice through the stash-hit branch.
+	if err := c.Write(5, want[5]); err != nil {
+		t.Fatal(err)
+	}
+	first, err := c.Access(OpRead, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range first {
+		first[j] = 0xEE
+	}
+	second, err := c.Access(OpRead, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(second, want[5]) {
+		t.Fatalf("stash-hit read after caller scribble = %x, want %x", second, want[5])
+	}
+}
+
+// TestWriteBufferIsCopiedIn: mutating a buffer after Access(OpWrite) must
+// not change the stored block (the stash copies on write).
+func TestWriteBufferIsCopiedIn(t *testing.T) {
+	g := MustGeometry(GeometryConfig{LeafBits: 5, LeafZ: 4, BlockSize: 16})
+	ps, err := NewPayloadStore(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(ClientConfig{
+		Store:     NewCountingStore(ps, nil),
+		Rand:      rand.New(rand.NewSource(22)),
+		Evict:     PaperEvict,
+		StashHits: true,
+		Blocks:    32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := bytes.Repeat([]byte{7}, 16)
+	if err := c.Write(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	for j := range buf {
+		buf[j] = 0
+	}
+	got, err := c.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bytes.Repeat([]byte{7}, 16)) {
+		t.Fatalf("stored block follows the caller's buffer: %x", got)
+	}
+}

@@ -1,0 +1,152 @@
+package oram
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/crypto"
+)
+
+// alloc_test.go gates the allocation-free hot path (the PR's tentpole):
+// after warm-up, a PathORAM access over the local MetaStore path must not
+// allocate at all — the stash slab, the reusable evict planner and the
+// recycled read/write buffers absorb every step of the cycle.
+
+func allocTestClient(t *testing.T) *Client {
+	t.Helper()
+	g := MustGeometry(GeometryConfig{LeafBits: 10, LeafZ: 4, BlockSize: 0})
+	c, err := NewClient(ClientConfig{
+		Store:     NewCountingStore(NewMetaStore(g), nil),
+		Rand:      rand.New(rand.NewSource(11)),
+		Evict:     PaperEvict,
+		StashHits: true,
+		Blocks:    1 << 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Load(1<<11, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Warm up stash slab, planner scratch and map capacities.
+	for i := 0; i < 2048; i++ {
+		if _, err := c.Access(OpRead, BlockID(uint64(i)%(1<<11)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// TestAccessAllocs: a steady-state access (path read, remap, greedy
+// write-back, background eviction) on the MetaStore path has an allocation
+// budget of zero.
+func TestAccessAllocs(t *testing.T) {
+	c := allocTestClient(t)
+	rng := rand.New(rand.NewSource(12))
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := c.Access(OpRead, BlockID(uint64(rng.Int63n(1<<11))), nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("Access allocates %.2f objects/op in steady state, want 0", allocs)
+	}
+}
+
+// TestWriteBackAllocs: the eviction half in isolation (plan + write) with
+// the stash refilled by a path read each round — budget zero.
+func TestWriteBackAllocs(t *testing.T) {
+	c := allocTestClient(t)
+	rng := rand.New(rand.NewSource(13))
+	leaves := int64(c.Geometry().Leaves())
+	allocs := testing.AllocsPerRun(500, func() {
+		leaf := Leaf(rng.Int63n(leaves))
+		if err := c.ReadPath(leaf); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.WriteBackPath(leaf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("ReadPath+WriteBackPath allocates %.2f objects/op in steady state, want 0", allocs)
+	}
+}
+
+// TestWriteBackPathsAllocs: the multi-path joint write-back (the LAORAM
+// bin primitive) also runs allocation-free once its scratch has warmed up.
+func TestWriteBackPathsAllocs(t *testing.T) {
+	c := allocTestClient(t)
+	rng := rand.New(rand.NewSource(14))
+	leaves := int64(c.Geometry().Leaves())
+	pair := make([]Leaf, 2)
+	round := func() {
+		pair[0] = Leaf(rng.Int63n(leaves))
+		pair[1] = Leaf(rng.Int63n(leaves))
+		if pair[0] == pair[1] {
+			pair[1] = (pair[1] + 1) % Leaf(leaves)
+		}
+		if err := c.ReadPaths(pair); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.WriteBackPaths(pair); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		round() // warm the multi-path scratch
+	}
+	allocs := testing.AllocsPerRun(300, round)
+	if allocs > 0 {
+		t.Errorf("ReadPaths+WriteBackPaths allocates %.2f objects/op in steady state, want 0", allocs)
+	}
+}
+
+// TestAccessSealedAllocBudget: with a payload-bearing sealed store the only
+// remaining steady-state allocation is the caller-owned copy an OpRead
+// returns — budget exactly one object per read.
+func TestAccessSealedAllocBudget(t *testing.T) {
+	g := MustGeometry(GeometryConfig{LeafBits: 8, LeafZ: 4, BlockSize: 64})
+	key := make([]byte, 32)
+	sealer, err := crypto.NewSealer(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := NewPayloadStore(g, sealer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := uint64(1) << 9
+	c, err := NewClient(ClientConfig{
+		Store:     NewCountingStore(ps, nil),
+		Rand:      rand.New(rand.NewSource(15)),
+		Evict:     PaperEvict,
+		StashHits: true,
+		Blocks:    blocks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]byte, 64)
+	if err := c.Load(blocks, nil, func(BlockID) []byte { return row }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1024; i++ {
+		if _, err := c.Access(OpRead, BlockID(uint64(i)%blocks), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(16))
+	allocs := testing.AllocsPerRun(300, func() {
+		out, err := c.Access(OpRead, BlockID(uint64(rng.Int63n(int64(blocks)))), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 64 {
+			t.Fatalf("read returned %d bytes", len(out))
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("sealed Access allocates %.2f objects/op in steady state, want <= 1 (the returned copy)", allocs)
+	}
+}

@@ -1,0 +1,134 @@
+package oram
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/crypto"
+)
+
+// benchSealer builds a deterministic-key sealer for the sealed benchmarks.
+func benchSealer(b *testing.B) Sealer {
+	b.Helper()
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i * 3)
+	}
+	s, err := crypto.NewSealer(key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// hotpath_bench_test.go measures the per-access engine cost the paper's
+// argument rests on (look-ahead only pays off if the client CPU path is not
+// the bottleneck): one full PathORAM access cycle, one write-back, and the
+// raw eviction planning, all in steady state. Run with -benchmem; the
+// companion alloc gates live in alloc_test.go.
+
+// benchClient builds a loaded steady-state client over a MetaStore.
+func benchClient(b *testing.B, leafBits int) *Client {
+	b.Helper()
+	g := MustGeometry(GeometryConfig{LeafBits: leafBits, LeafZ: 4, BlockSize: 0})
+	cs := NewCountingStore(NewMetaStore(g), nil)
+	blocks := uint64(1) << uint(leafBits+1)
+	c, err := NewClient(ClientConfig{
+		Store:     cs,
+		Rand:      rand.New(rand.NewSource(1)),
+		Evict:     PaperEvict,
+		StashHits: true,
+		Blocks:    blocks,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Load(blocks, nil, nil); err != nil {
+		b.Fatal(err)
+	}
+	// Warm up: let stash, scratch and buffers reach steady state.
+	for i := 0; i < 512; i++ {
+		if _, err := c.Access(OpRead, BlockID(uint64(i)%blocks), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c.ResetStats()
+	return c
+}
+
+// BenchmarkAccessSteadyState is one full PathORAM access (stash lookup,
+// path read, remap, greedy write-back, background eviction) on a
+// metadata-only store: the pure client-CPU cost with server I/O reduced to
+// array copies.
+func BenchmarkAccessSteadyState(b *testing.B) {
+	c := benchClient(b, 12)
+	blocks := c.PosMap().Len()
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Access(OpRead, BlockID(uint64(rng.Int63n(int64(blocks)))), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteBackPath isolates the eviction half of the cycle: plan the
+// greedy write-back for one path and execute it (the read refills the stash
+// so the planner always has work).
+func BenchmarkWriteBackPath(b *testing.B) {
+	c := benchClient(b, 12)
+	rng := rand.New(rand.NewSource(3))
+	leaves := c.Geometry().Leaves()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		leaf := Leaf(rng.Int63n(int64(leaves)))
+		if err := c.ReadPath(leaf); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.WriteBackPath(leaf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAccessSealed is the same access cycle over a payload-bearing
+// store with AES-CTR+HMAC sealing at the storage boundary — the §III threat
+// model's full data path (decrypt on read, encrypt on write-back).
+func BenchmarkAccessSealed(b *testing.B) {
+	g := MustGeometry(GeometryConfig{LeafBits: 10, LeafZ: 4, BlockSize: 128})
+	sealer := benchSealer(b)
+	ps, err := NewPayloadStore(g, sealer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blocks := uint64(1) << 11
+	c, err := NewClient(ClientConfig{
+		Store:     NewCountingStore(ps, nil),
+		Rand:      rand.New(rand.NewSource(4)),
+		Evict:     PaperEvict,
+		StashHits: true,
+		Blocks:    blocks,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := make([]byte, 128)
+	if err := c.Load(blocks, nil, func(id BlockID) []byte { return row }); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		if _, err := c.Access(OpRead, BlockID(uint64(i)%blocks), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Access(OpRead, BlockID(uint64(rng.Int63n(int64(blocks)))), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,27 +2,89 @@ package oram
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
+
+// multiScratch is the reusable state of the multi-path operations. A
+// client executes one ReadPaths/WriteBackPaths at a time (single-goroutine
+// model), so one scratch set per client suffices and the superblock hot
+// path — one bin = one ReadPaths + one WriteBackPaths — allocates nothing
+// in steady state.
+type multiScratch struct {
+	seen   map[BucketRef]bool
+	refs   []BucketRef // bucket union (read order or write order)
+	ids    []BlockID   // sorted stash snapshot for deterministic placement
+	placed map[BlockID]bool
+	bufs   [][]Slot   // batch-transport buffers, grown on demand
+	arena  [][][]byte // payload backing re-armed into bufs (blockSize > 0)
+}
+
+func (m *multiScratch) resetRefs() {
+	if m.seen == nil {
+		m.seen = make(map[BucketRef]bool, 64)
+		m.placed = make(map[BlockID]bool, 64)
+	}
+	clear(m.seen)
+	m.refs = m.refs[:0]
+}
+
+// batchBufs returns n slot buffers with bufs[i] sized to size(i), reusing
+// prior capacity. Slots are zeroed and their payloads re-armed from a
+// private arena (the same discipline as Client.rearmBucket): stale payload
+// pointers from a previous write-back would alias live stash slabs, which
+// a store honouring the decrypt-into-capacity contract must never be
+// handed, while arena-backed slices let such a store read into recycled
+// client memory instead of allocating.
+func (m *multiScratch) batchBufs(n, blockSize int, size func(int) int) [][]Slot {
+	if cap(m.bufs) < n {
+		m.bufs = append(m.bufs[:cap(m.bufs)], make([][]Slot, n-cap(m.bufs))...)
+		m.arena = append(m.arena[:cap(m.arena)], make([][][]byte, n-cap(m.arena))...)
+	}
+	m.bufs = m.bufs[:n]
+	m.arena = m.arena[:n]
+	for i := 0; i < n; i++ {
+		z := size(i)
+		if cap(m.bufs[i]) < z {
+			m.bufs[i] = make([]Slot, z)
+		}
+		m.bufs[i] = m.bufs[i][:z]
+		clear(m.bufs[i])
+		if blockSize > 0 {
+			if cap(m.arena[i]) < z {
+				m.arena[i] = append(m.arena[i][:cap(m.arena[i])], make([][]byte, z-cap(m.arena[i]))...)
+			}
+			m.arena[i] = m.arena[i][:z]
+			for j := 0; j < z; j++ {
+				if m.arena[i][j] == nil {
+					m.arena[i][j] = make([]byte, blockSize)
+				}
+				m.bufs[i][j].Payload = m.arena[i][j]
+			}
+		}
+	}
+	return m.bufs
+}
 
 // pathUnion collects the deduplicated buckets of a set of paths, level by
 // level from the root, preserving the leaves' order within a level. This is
 // the canonical bucket order both ReadPaths branches (batched and
-// per-bucket) iterate, so results are independent of the transport.
-func pathUnion(g *Geometry, leaves []Leaf) []BucketRef {
-	seen := make(map[BucketRef]bool, len(leaves)*g.Levels())
-	refs := make([]BucketRef, 0, len(leaves)*g.Levels())
+// per-bucket) iterate, so results are independent of the transport. The
+// returned slice aliases the client's scratch.
+func (c *Client) pathUnion(leaves []Leaf) []BucketRef {
+	g := c.geom
+	m := &c.multi
+	m.resetRefs()
 	for lvl := 0; lvl < g.Levels(); lvl++ {
 		for _, l := range leaves {
 			b := BucketRef{Level: lvl, Node: g.NodeAt(l, lvl)}
-			if seen[b] {
+			if m.seen[b] {
 				continue
 			}
-			seen[b] = true
-			refs = append(refs, b)
+			m.seen[b] = true
+			m.refs = append(m.refs, b)
 		}
 	}
-	return refs
+	return m.refs
 }
 
 // ReadPaths fetches the union of buckets across several paths in one
@@ -47,13 +109,10 @@ func (c *Client) ReadPaths(leaves []Leaf) error {
 			return fmt.Errorf("oram: ReadPaths: invalid leaf %d", l)
 		}
 	}
-	refs := pathUnion(g, leaves)
+	refs := c.pathUnion(leaves)
 	moved := 0
 	if bs, ok := c.store.(BatchStore); ok && batchWorthwhile(c.store) {
-		bufs := make([][]Slot, len(refs))
-		for i, r := range refs {
-			bufs[i] = make([]Slot, g.BucketSize(r.Level))
-		}
+		bufs := c.multi.batchBufs(len(refs), g.BlockSize(), func(i int) int { return g.BucketSize(refs[i].Level) })
 		if err := bs.ReadBuckets(refs, bufs); err != nil {
 			return fmt.Errorf("oram: ReadPaths: %w", err)
 		}
@@ -66,6 +125,7 @@ func (c *Client) ReadPaths(leaves []Leaf) error {
 		}
 	} else {
 		for _, r := range refs {
+			c.rearmBucket(r.Level)
 			buf := c.bucketBufs[r.Level]
 			if err := c.store.ReadBucket(r.Level, r.Node, buf); err != nil {
 				return fmt.Errorf("oram: ReadPaths level %d node %d: %w", r.Level, r.Node, err)
@@ -118,28 +178,41 @@ func (c *Client) WriteBackPaths(leaves []Leaf) error {
 
 	// The union of buckets, deepest level first; within a level, sorted
 	// by node for determinism. Duplicates (shared prefixes) collapse.
-	seen := make(map[BucketRef]bool, len(leaves)*g.Levels())
-	var buckets []BucketRef
+	m := &c.multi
+	m.resetRefs()
+	buckets := m.refs
 	for lvl := g.Levels() - 1; lvl >= 0; lvl-- {
 		start := len(buckets)
 		for _, l := range leaves {
 			b := BucketRef{Level: lvl, Node: g.NodeAt(l, lvl)}
-			if !seen[b] {
-				seen[b] = true
+			if !m.seen[b] {
+				m.seen[b] = true
 				buckets = append(buckets, b)
 			}
 		}
 		lvlBuckets := buckets[start:]
-		sort.Slice(lvlBuckets, func(i, j int) bool { return lvlBuckets[i].Node < lvlBuckets[j].Node })
+		slices.SortFunc(lvlBuckets, func(a, b BucketRef) int {
+			switch {
+			case a.Node < b.Node:
+				return -1
+			case a.Node > b.Node:
+				return 1
+			default:
+				return 0
+			}
+		})
 	}
+	m.refs = buckets
 
 	// Stable stash snapshot for deterministic placement.
-	ids := c.stash.IDs()
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	m.ids = c.stash.AppendIDs(m.ids[:0])
+	ids := m.ids
+	slices.Sort(ids)
 
 	// place fills buf with the deepest-eligible stash blocks for bucket b
 	// (padding with dummies) and returns how many real blocks it placed.
-	placed := make(map[BlockID]bool, len(ids))
+	clear(m.placed)
+	placed := m.placed
 	place := func(b BucketRef, buf []Slot) int {
 		z := g.BucketSize(b.Level)
 		n := 0
@@ -171,9 +244,8 @@ func (c *Client) WriteBackPaths(leaves []Leaf) error {
 
 	moved := 0
 	if bs, ok := c.store.(BatchStore); ok && batchWorthwhile(c.store) {
-		bufs := make([][]Slot, len(buckets))
+		bufs := m.batchBufs(len(buckets), 0, func(i int) int { return g.BucketSize(buckets[i].Level) })
 		for i, b := range buckets {
-			bufs[i] = make([]Slot, g.BucketSize(b.Level))
 			moved += place(b, bufs[i])
 		}
 		if err := bs.WriteBuckets(buckets, bufs); err != nil {

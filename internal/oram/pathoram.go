@@ -106,11 +106,23 @@ type Client struct {
 	// bucketBufs[level] is a reusable read buffer sized to the level's
 	// bucket capacity.
 	bucketBufs [][]Slot
+	// slotBacking[level][slot] is the payload buffer re-armed into
+	// bucketBufs before every read, so payload-bearing stores can decrypt
+	// into client-owned memory instead of allocating (nil when the
+	// geometry has no payloads). The stash copies on Put, so recycling
+	// these buffers across reads is safe.
+	slotBacking [][][]byte
 	// writeBuf is a reusable write buffer sized to the largest bucket.
 	writeBuf []Slot
 	// pathWriteBufs[level] are reusable write buffers for single-round-trip
 	// path write-backs (PathStore stores), allocated on first use.
 	pathWriteBufs [][]Slot
+	// planner is the reusable greedy write-back planner: WriteBackPath
+	// allocates nothing in steady state.
+	planner evictPlanner
+	// multi holds the scratch of the multi-path operations (ReadPaths /
+	// WriteBackPaths); see multipath.go.
+	multi multiScratch
 }
 
 // NewClient validates cfg and builds a client. The tree starts empty; call
@@ -161,7 +173,41 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		}
 	}
 	c.writeBuf = make([]Slot, maxZ)
+	if bs := g.BlockSize(); bs > 0 {
+		// One arena, sliced per path slot, backs every read buffer.
+		total := 0
+		for lvl := 0; lvl < g.Levels(); lvl++ {
+			total += g.BucketSize(lvl)
+		}
+		arena := make([]byte, total*bs)
+		c.slotBacking = make([][][]byte, g.Levels())
+		off := 0
+		for lvl := 0; lvl < g.Levels(); lvl++ {
+			z := g.BucketSize(lvl)
+			c.slotBacking[lvl] = make([][]byte, z)
+			for i := 0; i < z; i++ {
+				c.slotBacking[lvl][i] = arena[off : off+bs : off+bs]
+				off += bs
+			}
+		}
+	}
 	return c, nil
+}
+
+// rearmBucket points the read buffer's payload slices back at the client's
+// recycled backing arena before a store read. Stores overwrite (or, for
+// payload-bearing local stores, decrypt into) these buffers; whatever the
+// store leaves behind is re-armed before the next read, so nothing the
+// client retains can alias them — the stash copies on Put.
+func (c *Client) rearmBucket(lvl int) {
+	if c.slotBacking == nil {
+		return
+	}
+	buf := c.bucketBufs[lvl]
+	backing := c.slotBacking[lvl]
+	for i := range buf {
+		buf[i].Payload = backing[i]
+	}
 }
 
 // Geometry returns the tree shape.
@@ -212,6 +258,9 @@ func (c *Client) ReadPath(leaf Leaf) error {
 	}
 	moved := 0
 	if ps, ok := c.store.(PathStore); ok {
+		for lvl := range c.bucketBufs {
+			c.rearmBucket(lvl)
+		}
 		if err := ps.ReadPath(leaf, c.bucketBufs); err != nil {
 			return fmt.Errorf("oram: ReadPath: %w", err)
 		}
@@ -225,6 +274,7 @@ func (c *Client) ReadPath(leaf Leaf) error {
 	} else {
 		for lvl := 0; lvl < c.geom.Levels(); lvl++ {
 			node := c.geom.NodeAt(leaf, lvl)
+			c.rearmBucket(lvl)
 			buf := c.bucketBufs[lvl]
 			if err := c.store.ReadBucket(lvl, node, buf); err != nil {
 				return fmt.Errorf("oram: ReadPath level %d: %w", lvl, err)
@@ -272,7 +322,7 @@ func (c *Client) WriteBackPath(leaf Leaf) error {
 	if c.timer != nil {
 		c.timer.OnPathRequest()
 	}
-	plan := c.stash.evictPlan(c.geom, leaf)
+	plan := c.stash.evictPlanInto(&c.planner, c.geom, leaf)
 	moved := 0
 	if ps, ok := c.store.(PathStore); ok {
 		if c.pathWriteBufs == nil {
@@ -401,7 +451,7 @@ func (c *Client) Access(op Op, id BlockID, data []byte) ([]byte, error) {
 		newLeaf := c.RandomLeaf()
 		c.pos.Set(id, newLeaf)
 		c.stats.Remaps++
-		if err := c.stash.Put(id, newLeaf, cloneBytes(data)); err != nil {
+		if err := c.stash.Put(id, newLeaf, data); err != nil {
 			return nil, err
 		}
 		// Obliviousness: the bus must still see one path read + write,
@@ -455,6 +505,10 @@ func (c *Client) Write(id BlockID, data []byte) error {
 	return err
 }
 
+// serveFromStash serves one operation against the stash-resident block.
+// Reads return a fresh copy (the stash's live slab bytes must never escape
+// to callers: they are recycled on Remove); writes are copied in by the
+// stash itself.
 func (c *Client) serveFromStash(op Op, id BlockID, data []byte) ([]byte, error) {
 	switch op {
 	case OpRead:
@@ -464,7 +518,7 @@ func (c *Client) serveFromStash(op Op, id BlockID, data []byte) ([]byte, error) 
 		}
 		return cloneBytes(p), nil
 	case OpWrite:
-		if !c.stash.SetPayload(id, cloneBytes(data)) {
+		if !c.stash.SetPayload(id, data) {
 			return nil, fmt.Errorf("oram: block %d vanished from stash", id)
 		}
 		return nil, nil

@@ -2,124 +2,216 @@ package oram
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Stash is the client-side buffer for blocks that could not be written back
 // into the tree (§II-E). It lives in trusted client memory (the trainer
 // GPU's HBM in the paper); its accesses are invisible to the adversary.
 //
+// Layout: a slab — one flat entry array indexed by a BlockID → slot map —
+// instead of a map of heap-allocated entries. Freed slots go on a free
+// list and keep their payload backing buffers, so in steady state the
+// read → stash → write-back cycle recycles memory instead of allocating:
+// Put and SetPayload copy the payload into the slot's recycled buffer (the
+// stash owns its bytes; callers keep ownership of what they pass in), and
+// Payload returns the live slab slice without copying.
+//
 // The stash tracks its own high-water mark because stash growth is the
 // paper's central scalability concern with superblocks (Fig. 8).
 type Stash struct {
-	blocks map[BlockID]*stashEntry
-	peak   int
+	entries []stashEntry
+	free    []int32 // indices of vacant slab slots
+	index   map[BlockID]int32
+	peak    int
 }
 
 type stashEntry struct {
 	id      BlockID
 	leaf    Leaf
-	payload []byte
+	payload []byte // nil, or buf[:n] — nil-ness is observable (metadata-only stores)
+	buf     []byte // recycled backing storage; survives Remove
+}
+
+// setPayload copies p into the entry's recycled buffer (or records nil).
+// Self-aliasing is fine: p may be the entry's own live payload slice.
+func (e *stashEntry) setPayload(p []byte) {
+	if p == nil {
+		e.payload = nil
+		return
+	}
+	if cap(e.buf) < len(p) {
+		e.buf = make([]byte, len(p))
+	}
+	b := e.buf[:len(p)]
+	copy(b, p)
+	e.payload = b
 }
 
 // NewStash returns an empty stash.
 func NewStash() *Stash {
-	return &Stash{blocks: make(map[BlockID]*stashEntry)}
+	return &Stash{index: make(map[BlockID]int32)}
 }
 
 // Len returns the number of blocks currently stashed.
-func (s *Stash) Len() int { return len(s.blocks) }
+func (s *Stash) Len() int { return len(s.index) }
 
 // Peak returns the high-water mark of Len over the stash's lifetime.
 func (s *Stash) Peak() int { return s.peak }
 
 // ResetPeak sets the high-water mark to the current size.
-func (s *Stash) ResetPeak() { s.peak = len(s.blocks) }
+func (s *Stash) ResetPeak() { s.peak = len(s.index) }
 
 // Contains reports whether id is stashed.
 func (s *Stash) Contains(id BlockID) bool {
-	_, ok := s.blocks[id]
+	_, ok := s.index[id]
 	return ok
 }
 
-// Put inserts or replaces a block. Dummy IDs are rejected: dummies are
-// dropped at path-read time, never stashed (§II-C step 2).
+// Put inserts or replaces a block, copying payload into stash-owned
+// (recycled) storage; the caller keeps ownership of payload. Dummy IDs are
+// rejected: dummies are dropped at path-read time, never stashed (§II-C
+// step 2).
 func (s *Stash) Put(id BlockID, leaf Leaf, payload []byte) error {
 	if id == DummyID {
 		return fmt.Errorf("oram: refusing to stash a dummy block")
 	}
-	e, ok := s.blocks[id]
-	if !ok {
-		e = &stashEntry{id: id}
-		s.blocks[id] = e
-		if len(s.blocks) > s.peak {
-			s.peak = len(s.blocks)
-		}
+	if i, ok := s.index[id]; ok {
+		e := &s.entries[i]
+		e.leaf = leaf
+		e.setPayload(payload)
+		return nil
 	}
+	var i int32
+	if n := len(s.free); n > 0 {
+		i = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.entries = append(s.entries, stashEntry{})
+		i = int32(len(s.entries) - 1)
+	}
+	e := &s.entries[i]
+	e.id = id
 	e.leaf = leaf
-	e.payload = payload
+	e.setPayload(payload)
+	s.index[id] = i
+	if len(s.index) > s.peak {
+		s.peak = len(s.index)
+	}
 	return nil
 }
 
 // Leaf returns the assigned leaf of a stashed block.
 func (s *Stash) Leaf(id BlockID) (Leaf, bool) {
-	e, ok := s.blocks[id]
+	i, ok := s.index[id]
 	if !ok {
 		return NoLeaf, false
 	}
-	return e.leaf, true
+	return s.entries[i].leaf, true
 }
 
 // SetLeaf reassigns the leaf of a stashed block.
 func (s *Stash) SetLeaf(id BlockID, leaf Leaf) bool {
-	e, ok := s.blocks[id]
+	i, ok := s.index[id]
 	if !ok {
 		return false
 	}
-	e.leaf = leaf
+	s.entries[i].leaf = leaf
 	return true
 }
 
-// Payload returns the stored payload of a stashed block (not a copy).
+// Payload returns the stored payload of a stashed block. The slice is the
+// live slab storage, not a copy: it is valid until the block is removed,
+// and mutating it mutates the stash (Client.Update relies on this; code
+// returning payloads to untrusted callers must copy — see
+// Client.serveFromStash).
 func (s *Stash) Payload(id BlockID) ([]byte, bool) {
-	e, ok := s.blocks[id]
+	i, ok := s.index[id]
 	if !ok {
 		return nil, false
 	}
-	return e.payload, true
+	return s.entries[i].payload, true
 }
 
-// SetPayload replaces the payload of a stashed block.
+// SetPayload replaces the payload of a stashed block, copying it into
+// stash-owned storage; the caller keeps ownership of payload.
 func (s *Stash) SetPayload(id BlockID, payload []byte) bool {
-	e, ok := s.blocks[id]
+	i, ok := s.index[id]
 	if !ok {
 		return false
 	}
-	e.payload = payload
+	s.entries[i].setPayload(payload)
 	return true
 }
 
-// Remove deletes a block from the stash.
-func (s *Stash) Remove(id BlockID) { delete(s.blocks, id) }
+// Remove deletes a block from the stash. The slab slot (and its payload
+// buffer) is recycled for future inserts.
+func (s *Stash) Remove(id BlockID) {
+	i, ok := s.index[id]
+	if !ok {
+		return
+	}
+	delete(s.index, id)
+	e := &s.entries[i]
+	e.id = DummyID
+	e.leaf = 0
+	e.payload = nil
+	s.free = append(s.free, i)
+}
 
 // ForEach calls fn for every stashed block, in unspecified order. fn must
 // not mutate the stash.
 func (s *Stash) ForEach(fn func(id BlockID, leaf Leaf)) {
-	for id, e := range s.blocks {
-		fn(id, e.leaf)
+	for id, i := range s.index {
+		fn(id, s.entries[i].leaf)
 	}
 }
 
 // IDs returns the stashed block IDs in unspecified order.
 func (s *Stash) IDs() []BlockID {
-	out := make([]BlockID, 0, len(s.blocks))
-	for id := range s.blocks {
-		out = append(out, id)
-	}
-	return out
+	return s.AppendIDs(make([]BlockID, 0, len(s.index)))
 }
 
-// evictPlan computes the greedy write-back for one path: which stashed
+// AppendIDs appends the stashed block IDs (unspecified order) to dst and
+// returns the extended slice — the allocation-free form of IDs.
+func (s *Stash) AppendIDs(dst []BlockID) []BlockID {
+	for id := range s.index {
+		dst = append(dst, id)
+	}
+	return dst
+}
+
+// evictPlanner holds the scratch state of the greedy write-back planner so
+// a client can plan every eviction without allocating: the per-level
+// candidate lists, the output plan and the spill list all keep their
+// capacity across calls.
+type evictPlanner struct {
+	byDeepest [][]BlockID
+	plan      [][]BlockID
+	spill     []BlockID
+}
+
+func (ep *evictPlanner) reset(levels int) {
+	if len(ep.byDeepest) != levels {
+		ep.byDeepest = make([][]BlockID, levels)
+		ep.plan = make([][]BlockID, levels)
+	}
+	for i := range ep.byDeepest {
+		ep.byDeepest[i] = ep.byDeepest[i][:0]
+		ep.plan[i] = nil
+	}
+	ep.spill = ep.spill[:0]
+}
+
+// evictPlan computes the greedy write-back for one path with a throwaway
+// planner; tests and one-shot callers use it. The hot path goes through
+// evictPlanInto with the client's reusable planner.
+func (s *Stash) evictPlan(g *Geometry, target Leaf) [][]BlockID {
+	var ep evictPlanner
+	return s.evictPlanInto(&ep, g, target)
+}
+
+// evictPlanInto computes the greedy write-back for one path: which stashed
 // blocks go into which level of the path to target. A stashed block with
 // assigned leaf b can be placed at any level <= CommonLevel(target, b); the
 // greedy policy (identical to the PathORAM reference implementation)
@@ -132,34 +224,37 @@ func (s *Stash) IDs() []BlockID {
 // exactly where the fat-tree (§V) earns its keep: wider buckets near the
 // root absorb the spill that a uniform tree would bounce back into the
 // stash.
-func (s *Stash) evictPlan(g *Geometry, target Leaf) [][]BlockID {
+//
+// The returned plan aliases ep's scratch and is valid until the next call
+// with the same planner. Zero allocations in steady state.
+func (s *Stash) evictPlanInto(ep *evictPlanner, g *Geometry, target Leaf) [][]BlockID {
 	L := g.LeafBits()
-	byDeepest := make([][]BlockID, L+1)
-	for id, e := range s.blocks {
-		d := g.CommonLevel(target, e.leaf)
-		byDeepest[d] = append(byDeepest[d], id)
+	ep.reset(L + 1)
+	for id, i := range s.index {
+		d := g.CommonLevel(target, s.entries[i].leaf)
+		ep.byDeepest[d] = append(ep.byDeepest[d], id)
 	}
 	// Map iteration order is randomised; sort so experiments are
 	// bit-reproducible under a fixed seed.
-	for _, ids := range byDeepest {
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, ids := range ep.byDeepest {
+		slices.Sort(ids)
 	}
-	plan := make([][]BlockID, L+1)
-	var spill []BlockID
 	for lvl := L; lvl >= 0; lvl-- {
-		cand := byDeepest[lvl]
-		if len(spill) > 0 {
-			cand = append(cand, spill...)
-			spill = spill[:0]
+		cand := ep.byDeepest[lvl]
+		if len(ep.spill) > 0 {
+			// Grow through the scratch slot so the capacity is kept.
+			ep.byDeepest[lvl] = append(ep.byDeepest[lvl], ep.spill...)
+			cand = ep.byDeepest[lvl]
+			ep.spill = ep.spill[:0]
 		}
 		z := g.BucketSize(lvl)
 		if len(cand) <= z {
-			plan[lvl] = cand
+			ep.plan[lvl] = cand
 			continue
 		}
-		plan[lvl] = cand[:z]
-		spill = append(spill, cand[z:]...)
+		ep.plan[lvl] = cand[:z]
+		ep.spill = append(ep.spill, cand[z:]...)
 	}
 	// Whatever is left in spill stays in the stash.
-	return plan
+	return ep.plan
 }

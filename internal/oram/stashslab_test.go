@@ -1,0 +1,171 @@
+package oram
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// stashslab_test.go checks the slab-backed stash against a trivially
+// correct reference (a plain map of copied values) over randomised op
+// sequences, and pins the payload-ownership contract: the stash copies on
+// Put/SetPayload, so no buffer a caller hands in — or mutates afterwards —
+// can change stash contents, and slab-slot recycling never bleeds one
+// block's bytes into another's.
+
+// refStash is the obviously-correct model the slab must match.
+type refStash struct {
+	leaf    map[BlockID]Leaf
+	payload map[BlockID][]byte
+}
+
+func newRefStash() *refStash {
+	return &refStash{leaf: make(map[BlockID]Leaf), payload: make(map[BlockID][]byte)}
+}
+
+func (r *refStash) put(id BlockID, leaf Leaf, p []byte) {
+	r.leaf[id] = leaf
+	if p == nil {
+		r.payload[id] = nil
+	} else {
+		r.payload[id] = append([]byte(nil), p...)
+	}
+}
+
+func (r *refStash) remove(id BlockID) {
+	delete(r.leaf, id)
+	delete(r.payload, id)
+}
+
+// TestQuickSlabMatchesMapStash drives both implementations with the same
+// random op sequence (put / set-leaf / set-payload / remove, with payload
+// buffers deliberately mutated after each call) and compares full contents.
+func TestQuickSlabMatchesMapStash(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStash()
+		ref := newRefStash()
+		scratch := make([]byte, 32)
+		n := int(steps) + 32
+		for i := 0; i < n; i++ {
+			id := BlockID(rng.Intn(24)) // small ID space forces collisions & reuse
+			leaf := Leaf(rng.Intn(64))
+			var p []byte
+			if rng.Intn(4) > 0 {
+				p = scratch[:1+rng.Intn(31)]
+				rng.Read(p)
+			}
+			switch rng.Intn(5) {
+			case 0, 1:
+				if err := s.Put(id, leaf, p); err != nil {
+					return false
+				}
+				ref.put(id, leaf, p)
+			case 2:
+				ok := s.SetLeaf(id, leaf)
+				if _, exists := ref.leaf[id]; exists != ok {
+					return false
+				}
+				if ok {
+					ref.leaf[id] = leaf
+				}
+			case 3:
+				ok := s.SetPayload(id, p)
+				if _, exists := ref.leaf[id]; exists != ok {
+					return false
+				}
+				if ok {
+					if p == nil {
+						ref.payload[id] = nil
+					} else {
+						ref.payload[id] = append([]byte(nil), p...)
+					}
+				}
+			case 4:
+				s.Remove(id)
+				ref.remove(id)
+			}
+			// The caller's buffer is scribbled over after every op: if the
+			// stash aliased it instead of copying, contents would drift.
+			rng.Read(scratch)
+		}
+		if s.Len() != len(ref.leaf) {
+			return false
+		}
+		for id, wantLeaf := range ref.leaf {
+			gotLeaf, ok := s.Leaf(id)
+			if !ok || gotLeaf != wantLeaf {
+				return false
+			}
+			gotP, ok := s.Payload(id)
+			if !ok || !bytes.Equal(gotP, ref.payload[id]) {
+				return false
+			}
+			if (gotP == nil) != (ref.payload[id] == nil) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(41))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStashSlabRecycling: Remove + re-Put cycles reuse slab slots without
+// the recycled buffer leaking a previous block's payload.
+func TestStashSlabRecycling(t *testing.T) {
+	s := NewStash()
+	big := bytes.Repeat([]byte{0xAA}, 64)
+	if err := s.Put(1, 0, big); err != nil {
+		t.Fatal(err)
+	}
+	s.Remove(1)
+	small := []byte{0x01, 0x02}
+	if err := s.Put(2, 0, small); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := s.Payload(2)
+	if !ok || !bytes.Equal(p, small) {
+		t.Fatalf("recycled payload = %x, want %x", p, small)
+	}
+	if len(s.entries) != 1 {
+		t.Errorf("slab grew to %d entries for serial reuse, want 1", len(s.entries))
+	}
+	// nil payload after a buffered one must read back as nil.
+	if !s.SetPayload(2, nil) {
+		t.Fatal("SetPayload failed")
+	}
+	if p, ok := s.Payload(2); !ok || p != nil {
+		t.Errorf("nil payload read back as %v", p)
+	}
+}
+
+// TestStashPutCopies is the aliasing regression the refactor is pinned by:
+// mutating the buffer passed to Put/SetPayload after the call must not
+// change what the stash returns.
+func TestStashPutCopies(t *testing.T) {
+	s := NewStash()
+	buf := []byte{1, 2, 3, 4}
+	if err := s.Put(7, 3, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99
+	if p, _ := s.Payload(7); p[0] != 1 {
+		t.Errorf("stash aliased the Put buffer: got %v", p)
+	}
+	buf2 := []byte{5, 6, 7, 8}
+	s.SetPayload(7, buf2)
+	buf2[3] = 42
+	if p, _ := s.Payload(7); p[3] != 8 {
+		t.Errorf("stash aliased the SetPayload buffer: got %v", p)
+	}
+	// Self-aliasing: writing a block's own live payload back is a no-op.
+	p, _ := s.Payload(7)
+	s.SetPayload(7, p)
+	if got, _ := s.Payload(7); !bytes.Equal(got, []byte{5, 6, 7, 8}) {
+		t.Errorf("self-aliased SetPayload corrupted payload: %v", got)
+	}
+}

@@ -21,8 +21,12 @@ type Store interface {
 	Geometry() *Geometry
 
 	// ReadBucket reads all slots of the bucket (level, node) into dst,
-	// which must have length BucketSize(level). Payloads are copies the
-	// caller owns (or nil for metadata-only stores).
+	// which must have length BucketSize(level). Payloads do not alias
+	// server storage (or are nil for metadata-only stores); a store MAY
+	// read/decrypt a payload into the capacity of the dst slot's existing
+	// Payload slice instead of allocating, so callers that retain payload
+	// bytes beyond the next read of the same buffer must copy them (the
+	// client's stash copies on Put).
 	ReadBucket(level int, node uint64, dst []Slot) error
 
 	// WriteBucket overwrites all slots of the bucket (level, node) from
@@ -206,6 +210,20 @@ type Sealer interface {
 	Open(sealed []byte) ([]byte, error)
 }
 
+// InplaceSealer is an optional Sealer extension: seal/open into
+// caller-provided buffers. PayloadStore uses it to encrypt directly into
+// its ciphertext arena and decrypt directly into the client's read buffers,
+// removing the make-per-slot from the hot path. crypto.Sealer implements
+// it.
+type InplaceSealer interface {
+	Sealer
+	// SealTo encrypts plain into dst (len SealedSize(len(plain))).
+	SealTo(dst, plain []byte) error
+	// OpenTo authenticates and decrypts sealed into dst
+	// (len(sealed) - overhead bytes).
+	OpenTo(dst, sealed []byte) error
+}
+
 // PayloadStore is a payload-bearing in-memory server storage. Slot metadata
 // (ID, leaf) is kept alongside a byte arena holding fixed-size payloads.
 // With a Sealer installed the arena holds ciphertext and payloads are
@@ -218,6 +236,13 @@ type PayloadStore struct {
 	arena  []byte
 	stride int // bytes per slot in the arena
 	sealer Sealer
+	// inplace is sealer's in-place fast path, probed once at construction:
+	// seal straight into the arena, open straight into the caller's
+	// buffer.
+	inplace InplaceSealer
+	// zero is the reusable zero payload written for real blocks loaded
+	// with a nil payload ("zero-filled row").
+	zero []byte
 }
 
 var _ Store = (*PayloadStore)(nil)
@@ -245,6 +270,10 @@ func NewPayloadStore(g *Geometry, sealer Sealer) (*PayloadStore, error) {
 		arena:  make([]byte, bytes),
 		stride: stride,
 		sealer: sealer,
+		zero:   make([]byte, g.BlockSize()),
+	}
+	if is, ok := sealer.(InplaceSealer); ok {
+		st.inplace = is
 	}
 	for i := range st.ids {
 		st.ids[i] = uint64(DummyID)
@@ -259,6 +288,16 @@ func (st *PayloadStore) slotBytes(i int64) []byte {
 	return st.arena[i*int64(st.stride) : (i+1)*int64(st.stride)]
 }
 
+// payloadDst returns a write target of exactly blockSize bytes, reusing
+// the capacity of the caller's existing Payload slice when it is big
+// enough (the ReadBucket contract) and allocating otherwise.
+func payloadDst(dst *Slot, blockSize int) []byte {
+	if cap(dst.Payload) >= blockSize {
+		return dst.Payload[:blockSize]
+	}
+	return make([]byte, blockSize)
+}
+
 func (st *PayloadStore) readSlotAt(i int64, dst *Slot) error {
 	dst.ID = BlockID(st.ids[i])
 	dst.Leaf = Leaf(st.leaf[i])
@@ -267,6 +306,15 @@ func (st *PayloadStore) readSlotAt(i int64, dst *Slot) error {
 		return nil
 	}
 	raw := st.slotBytes(i)
+	bs := st.geom.BlockSize()
+	if st.inplace != nil {
+		out := payloadDst(dst, bs)
+		if err := st.inplace.OpenTo(out, raw); err != nil {
+			return fmt.Errorf("oram: open slot %d: %w", i, err)
+		}
+		dst.Payload = out
+		return nil
+	}
 	if st.sealer != nil {
 		plain, err := st.sealer.Open(raw)
 		if err != nil {
@@ -275,8 +323,9 @@ func (st *PayloadStore) readSlotAt(i int64, dst *Slot) error {
 		dst.Payload = plain
 		return nil
 	}
-	dst.Payload = make([]byte, st.geom.BlockSize())
-	copy(dst.Payload, raw)
+	out := payloadDst(dst, bs)
+	copy(out, raw)
+	dst.Payload = out
 	return nil
 }
 
@@ -296,10 +345,16 @@ func (st *PayloadStore) writeSlotAt(i int64, src Slot) error {
 	if src.Payload == nil {
 		// A real block with no payload means "zero-filled row" (e.g.
 		// bulk loads that only care about placement).
-		src.Payload = make([]byte, st.geom.BlockSize())
+		src.Payload = st.zero
 	}
 	if len(src.Payload) != st.geom.BlockSize() {
 		return fmt.Errorf("oram: payload len %d != block size %d", len(src.Payload), st.geom.BlockSize())
+	}
+	if st.inplace != nil {
+		if err := st.inplace.SealTo(raw, src.Payload); err != nil {
+			return fmt.Errorf("oram: seal slot %d: %w", i, err)
+		}
+		return nil
 	}
 	if st.sealer != nil {
 		sealed, err := st.sealer.Seal(src.Payload)

@@ -218,6 +218,7 @@ func (lr *LAORing) findMemberSlot(level int, node uint64, remaining map[oram.Blo
 	if len(remaining) == 0 {
 		return -1, oram.DummyID, nil
 	}
+	clearPayloads(r.bucketBuf)
 	if err := r.store.ReadBucket(level, node, r.bucketBuf); err != nil {
 		return -1, oram.DummyID, err
 	}

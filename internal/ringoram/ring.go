@@ -208,11 +208,22 @@ func (r *Ring) Load(n uint64, payload func(oram.BlockID) []byte) error {
 	return nil
 }
 
+// clearPayloads drops stale payload references from a reused read buffer
+// before handing it to the store: stores may decrypt into the capacity of
+// dst payload slices (oram.InplaceSealer), and after an eviction these
+// buffers still alias live stash slabs.
+func clearPayloads(buf []oram.Slot) {
+	for i := range buf {
+		buf[i].Payload = nil
+	}
+}
+
 // findSlot scans a bucket's stored metadata for an unread slot holding id
 // (or, with id == DummyID, an unread dummy slot chosen at random). In real
 // RingORAM this information comes from the bucket's encrypted header; the
 // scan itself costs only header bytes, which we exclude from block traffic.
 func (r *Ring) findSlot(level int, node uint64, id oram.BlockID) (int, error) {
+	clearPayloads(r.bucketBuf)
 	if err := r.store.ReadBucket(level, node, r.bucketBuf); err != nil {
 		return -1, err
 	}
@@ -357,6 +368,7 @@ func (r *Ring) serve(op oram.Op, id oram.BlockID, data []byte) ([]byte, error) {
 // earlyReshuffle rewrites one bucket: surviving (unread) real blocks are
 // retained, consumed slots become fresh dummies, read marks reset.
 func (r *Ring) earlyReshuffle(level int, node uint64) error {
+	clearPayloads(r.slotBuf)
 	if err := r.store.ReadBucket(level, node, r.slotBuf); err != nil {
 		return err
 	}
@@ -398,6 +410,7 @@ func (r *Ring) evictPath() error {
 	// Pull surviving blocks into the stash.
 	for lvl := 0; lvl < r.geom.Levels(); lvl++ {
 		node := r.geom.NodeAt(leaf, lvl)
+		clearPayloads(r.slotBuf)
 		if err := r.store.ReadBucket(lvl, node, r.slotBuf); err != nil {
 			return err
 		}

@@ -1,0 +1,68 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/oram"
+	"repro/internal/trace"
+)
+
+// metaEngine builds an N-shard engine over metadata-only stores — the
+// configuration the zero-allocation budget applies to.
+func metaEngine(t testing.TB, n int, entries uint64, seed int64) *Engine {
+	t.Helper()
+	e, err := New(Config{
+		Shards:  n,
+		Entries: entries,
+		Seed:    seed,
+		Build: func(s int, per uint64, sd int64) (Sub, error) {
+			g, err := oram.NewGeometry(oram.GeometryConfig{
+				LeafBits: oram.LeafBitsFor(per), LeafZ: 4,
+			})
+			if err != nil {
+				return Sub{}, err
+			}
+			cs := oram.NewCountingStore(oram.NewMetaStore(g), nil)
+			client, err := oram.NewClient(oram.ClientConfig{
+				Store: cs, Rand: trace.NewRNG(sd), Evict: oram.PaperEvict,
+				StashHits: true, Blocks: per,
+			})
+			if err != nil {
+				return Sub{}, err
+			}
+			return Sub{Client: client, Store: cs}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestShardedReadAllocs: the allocation-free hot path must hold under
+// Options.Shards — Engine.Read routes inline to the owning shard's client,
+// whose slab stash, planner and buffers are per-shard, so a steady-state
+// metadata-only read allocates nothing for any shard count.
+func TestShardedReadAllocs(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		const entries = 1 << 12
+		e := metaEngine(t, shards, entries, 9)
+		if err := e.Load(entries, nil); err != nil {
+			t.Fatal(err)
+		}
+		rng := trace.NewRNG(10)
+		for i := 0; i < 4096; i++ {
+			if _, err := e.Read(uint64(rng.Int63n(entries))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(500, func() {
+			if _, err := e.Read(uint64(rng.Int63n(entries))); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 0 {
+			t.Errorf("shards=%d: Read allocates %.2f objects/op in steady state, want 0", shards, allocs)
+		}
+	}
+}

@@ -144,6 +144,9 @@ type Cursor struct {
 	plan *Plan
 	pos  map[oram.BlockID]int
 	next int
+	// leafScratch backs Advance's nextLeaf result, reused across bins so
+	// the steady-state executor loop allocates nothing.
+	leafScratch []oram.Leaf
 }
 
 // NewCursor starts consumption at bin 0.
@@ -179,12 +182,20 @@ func (c *Cursor) Done() bool { return c.next >= c.plan.Len() }
 // (nextLeaf=NoLeaf) if the block does not appear again within the plan's
 // horizon — the caller then draws a uniform leaf, preserving §VI
 // obliviousness.
+//
+// nextLeaf aliases the cursor's reusable scratch: it is valid until the
+// next Advance call, which every executor (consume one bin fully, then
+// move on) satisfies by construction.
 func (c *Cursor) Advance() (bin *Bin, nextLeaf []oram.Leaf, err error) {
 	if c.next >= c.plan.Len() {
 		return nil, nil, fmt.Errorf("superblock: plan exhausted")
 	}
 	bin = c.plan.Bin(c.next)
-	nextLeaf = make([]oram.Leaf, len(bin.Blocks))
+	if cap(c.leafScratch) < len(bin.Blocks) {
+		c.leafScratch = make([]oram.Leaf, len(bin.Blocks))
+	}
+	c.leafScratch = c.leafScratch[:len(bin.Blocks)]
+	nextLeaf = c.leafScratch
 	for i, id := range bin.Blocks {
 		q := c.plan.queues[id]
 		k := c.pos[id]

@@ -16,6 +16,9 @@ import (
 type StaticORAM struct {
 	base *oram.Client
 	s    int
+	// memberScratch backs members() across accesses (valid until the next
+	// call — every caller consumes it within one access).
+	memberScratch []oram.BlockID
 }
 
 // NewStaticORAM wraps a PathORAM client with static superblocks of size s.
@@ -33,18 +36,19 @@ func (so *StaticORAM) Base() *oram.Client { return so.base }
 // GroupOf returns the superblock index of a block.
 func (so *StaticORAM) GroupOf(id oram.BlockID) uint64 { return uint64(id) / uint64(so.s) }
 
-// members returns the block IDs of a group, clipped to the table size.
+// members returns the block IDs of a group, clipped to the table size. The
+// slice aliases reusable scratch, valid until the next call.
 func (so *StaticORAM) members(group uint64) []oram.BlockID {
 	lo := group * uint64(so.s)
 	hi := lo + uint64(so.s)
 	if max := so.base.PosMap().Len(); hi > max {
 		hi = max
 	}
-	out := make([]oram.BlockID, 0, so.s)
+	so.memberScratch = so.memberScratch[:0]
 	for i := lo; i < hi; i++ {
-		out = append(out, oram.BlockID(i))
+		so.memberScratch = append(so.memberScratch, oram.BlockID(i))
 	}
-	return out
+	return so.memberScratch
 }
 
 // LoadGrouped populates the tree with n blocks, each group placed on one
@@ -194,6 +198,11 @@ type DynamicORAM struct {
 	last    uint64 // group of the previous access
 	primed  bool
 
+	// scratch reused across superblock accesses
+	memberScratch []oram.BlockID
+	readLeaves    []oram.Leaf
+	leafSeen      map[oram.Leaf]bool
+
 	// MergeEvents / SplitEvents expose promotion activity to tests and
 	// the harness.
 	MergeEvents uint64
@@ -209,10 +218,11 @@ func NewDynamicORAM(base *oram.Client, cfg DynamicConfig) (*DynamicORAM, error) 
 		return nil, fmt.Errorf("superblock: SplitThreshold %d must be < MergeThreshold %d", cfg.SplitThreshold, cfg.MergeThreshold)
 	}
 	return &DynamicORAM{
-		base:    base,
-		cfg:     cfg,
-		counter: make(map[uint64]int),
-		merged:  make(map[uint64]bool),
+		base:     base,
+		cfg:      cfg,
+		counter:  make(map[uint64]int),
+		merged:   make(map[uint64]bool),
+		leafSeen: make(map[oram.Leaf]bool, 8),
 	}, nil
 }
 
@@ -230,11 +240,11 @@ func (d *DynamicORAM) members(group uint64) []oram.BlockID {
 	if max := d.base.PosMap().Len(); hi > max {
 		hi = max
 	}
-	out := make([]oram.BlockID, 0, d.cfg.S)
+	d.memberScratch = d.memberScratch[:0]
 	for i := lo; i < hi; i++ {
-		out = append(out, oram.BlockID(i))
+		d.memberScratch = append(d.memberScratch, oram.BlockID(i))
 	}
-	return out
+	return d.memberScratch
 }
 
 // Access serves one block, updating the locality counters and using a fused
@@ -282,8 +292,9 @@ func (d *DynamicORAM) superblockAccess(op oram.Op, g uint64, id oram.BlockID, da
 	st.Accesses++
 	members := d.members(g)
 
-	var readLeaves []oram.Leaf
-	seen := make(map[oram.Leaf]bool)
+	d.readLeaves = d.readLeaves[:0]
+	clear(d.leafSeen)
+	readLeaves := d.readLeaves
 	for _, m := range members {
 		if d.base.Stash().Contains(m) {
 			continue
@@ -292,11 +303,12 @@ func (d *DynamicORAM) superblockAccess(op oram.Op, g uint64, id oram.BlockID, da
 		if l == oram.NoLeaf {
 			return nil, fmt.Errorf("superblock: member %d not loaded", m)
 		}
-		if !seen[l] {
-			seen[l] = true
+		if !d.leafSeen[l] {
+			d.leafSeen[l] = true
 			readLeaves = append(readLeaves, l)
 		}
 	}
+	d.readLeaves = readLeaves
 	if len(readLeaves) == 0 {
 		st.StashHits++
 	}
