@@ -1,4 +1,4 @@
-package laoram
+package laoram_test
 
 // bench_test.go regenerates every table and figure of the paper's
 // evaluation as testing.B benchmarks (DESIGN.md's experiment index):
@@ -17,6 +17,7 @@ import (
 	"strings"
 	"testing"
 
+	laoram "repro"
 	"repro/internal/harness"
 	"repro/internal/oram"
 	"repro/internal/trace"
@@ -356,7 +357,7 @@ func BenchmarkAblationTimingModel(b *testing.B) {
 // table of 128 B rows.
 func BenchmarkPathORAMAccess(b *testing.B) {
 	const entries = 1 << 16
-	db, err := New(Options{Entries: entries, BlockSize: 128, Seed: 1})
+	db, err := laoram.New(laoram.Options{Entries: entries, BlockSize: 128, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -379,7 +380,7 @@ func BenchmarkPathORAMAccess(b *testing.B) {
 // BenchmarkPathORAMAccessEncrypted adds AES-CTR sealing to every slot.
 func BenchmarkPathORAMAccessEncrypted(b *testing.B) {
 	const entries = 1 << 14
-	db, err := New(Options{Entries: entries, BlockSize: 128, Encrypt: true, Seed: 3})
+	db, err := laoram.New(laoram.Options{Entries: entries, BlockSize: 128, Encrypt: true, Seed: 3})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -401,14 +402,14 @@ func BenchmarkPathORAMAccessEncrypted(b *testing.B) {
 func BenchmarkLAORAMBin(b *testing.B) {
 	const entries = 1 << 16
 	const S = 4
-	db, err := New(Options{Entries: entries, BlockSize: 128, FatTree: true, Seed: 5})
+	db, err := laoram.New(laoram.Options{Entries: entries, BlockSize: 128, FatTree: true, Seed: 5})
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer db.Close()
 	// A long permutation stream so the plan outlasts b.N bins.
-	stream, err := GenerateTrace(TraceConfig{
-		Kind: TracePermutation, N: entries, Count: 4 * entries, Seed: 6,
+	stream, err := laoram.GenerateTrace(laoram.TraceConfig{
+		Kind: laoram.TracePermutation, N: entries, Count: 4 * entries, Seed: 6,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -433,7 +434,7 @@ func BenchmarkLAORAMBin(b *testing.B) {
 		if !more {
 			b.StopTimer()
 			// Rebuild a fresh session when the plan runs dry.
-			db2, err := New(Options{Entries: entries, BlockSize: 128, FatTree: true, Seed: 5})
+			db2, err := laoram.New(laoram.Options{Entries: entries, BlockSize: 128, FatTree: true, Seed: 5})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -465,7 +466,7 @@ func BenchmarkShardedReadBatch(b *testing.B) {
 	const batch = 64
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			db, err := New(Options{Entries: entries, BlockSize: 128, Shards: shards, Seed: 11})
+			db, err := laoram.New(laoram.Options{Entries: entries, BlockSize: 128, Shards: shards, Seed: 11})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -493,13 +494,13 @@ func BenchmarkShardedReadBatch(b *testing.B) {
 // (accesses scanned per second) — the §VIII-A numerator.
 func BenchmarkPreprocessorScan(b *testing.B) {
 	const entries = 1 << 16
-	db, err := New(Options{Entries: entries, MetadataOnly: true, Seed: 7})
+	db, err := laoram.New(laoram.Options{Entries: entries, MetadataOnly: true, Seed: 7})
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer db.Close()
-	stream, err := GenerateTrace(TraceConfig{
-		Kind: TraceKaggle, N: entries, Count: 100000, Seed: 8,
+	stream, err := laoram.GenerateTrace(laoram.TraceConfig{
+		Kind: laoram.TraceKaggle, N: entries, Count: 100000, Seed: 8,
 	})
 	if err != nil {
 		b.Fatal(err)

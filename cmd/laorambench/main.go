@@ -17,8 +17,8 @@
 //
 // Experiment IDs follow DESIGN.md's experiment index: fig2, fig7a..fig7f,
 // fig8, fig9, table1, table2, memneutral, preproc, ring, security, serve,
-// and the ablations abl-window, abl-profile, abl-thresh, abl-z, abl-model,
-// abl-batch, abl-shards.
+// pipeline, and the ablations abl-window, abl-profile, abl-thresh, abl-z,
+// abl-model, abl-batch, abl-shards.
 package main
 
 import (
@@ -75,6 +75,7 @@ func experiments() []experiment {
 		{"abl-batch", "ablation: batch-granularity fetch", func(sc harness.Scale, seed int64) (renderer, error) { return harness.BatchSweep(sc, seed) }},
 		{"abl-shards", "ablation: shard count vs batch throughput", func(sc harness.Scale, seed int64) (renderer, error) { return harness.ShardSweep(sc, seed) }},
 		{"serve", "remote serving path: pipelined vs sync protocol over TCP", func(sc harness.Scale, seed int64) (renderer, error) { return harness.Serve(sc, seed) }},
+		{"pipeline", "§VIII-A overlap: streaming Trainer vs sequential plan-then-run", func(sc harness.Scale, seed int64) (renderer, error) { return harness.PipelineExp(sc, seed) }},
 	}
 }
 

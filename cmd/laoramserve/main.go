@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -89,9 +90,12 @@ func main() {
 		float64(int64(*shards)*g.ServerBytes())/(1<<30), bound)
 	fmt.Println("laoramserve: Ctrl-C to stop")
 
-	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt)
-	<-ch
+	// Serve until the process context is cancelled (Ctrl-C / SIGINT): the
+	// same cancellation idiom clients use — a cancelled laoram.NewContext
+	// closes its connection; a cancelled server drains and closes here.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	<-ctx.Done()
 	var total oram.Counters
 	for _, cs := range counters {
 		c := cs.Counters()

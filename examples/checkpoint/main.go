@@ -3,17 +3,21 @@
 // Embedding-table training runs for days; the ORAM client's trusted state
 // (position map + stash) must be checkpointed alongside the model, or every
 // block in the tree becomes unreachable after a crash. This example trains
-// half an epoch, checkpoints client and server state, simulates a crash,
-// restores into fresh objects, finishes the epoch, and verifies the data.
+// until the run is preempted (a cluster scheduler's cancellation, modelled
+// by a context cancelled mid-epoch — the executor stops cleanly at the
+// next superblock-bin boundary), checkpoints client and server state,
+// simulates the crash, restores into fresh objects, finishes the epoch,
+// and verifies the data.
 //
 //	go run ./examples/checkpoint
 package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"log"
-	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/oram"
@@ -38,7 +42,7 @@ func main() {
 		log.Fatal(err)
 	}
 	client, err := oram.NewClient(oram.ClientConfig{
-		Store: store, Rand: rand.New(rand.NewSource(1)),
+		Store: store, Rand: trace.NewRNG(1),
 		Evict: oram.PaperEvict, StashHits: true, Blocks: blocks,
 	})
 	if err != nil {
@@ -46,7 +50,7 @@ func main() {
 	}
 	stream := trace.PermutationEpochs(trace.NewRNG(2), blocks, accesses)
 	plan, err := superblock.NewPlan(stream, superblock.PlanConfig{
-		S: S, Leaves: g.Leaves(), Rand: rand.New(rand.NewSource(3)),
+		S: S, Leaves: g.Leaves(), Rand: trace.NewRNG(3),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -63,7 +67,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Train the first half of the plan: bump a counter in every visited row.
+	// Train until preempted: bump a counter in every visited row, and
+	// cancel the context halfway through the plan — the run stops at the
+	// next bin boundary with ctx.Err(), leaving client state consistent
+	// and checkpointable.
+	ctx, preempt := context.WithCancel(context.Background())
 	half := plan.Len() / 2
 	touch := func(id oram.BlockID, payload []byte) []byte {
 		out := make([]byte, len(payload))
@@ -71,10 +79,17 @@ func main() {
 		out[1]++ // visit counter
 		return out
 	}
-	if _, err := la.RunN(half, touch); err != nil {
-		log.Fatal(err)
+	err = la.RunContext(ctx, func(id oram.BlockID, payload []byte) []byte {
+		if int(la.Stats().Bins) >= half-1 {
+			preempt() // SIGTERM arrives mid-epoch
+		}
+		return touch(id, payload)
+	})
+	if !errors.Is(err, context.Canceled) {
+		log.Fatalf("expected preemption, got %v", err)
 	}
-	fmt.Printf("phase 1: trained %d of %d bins\n", half, plan.Len())
+	executed := int(la.Stats().Bins)
+	fmt.Printf("phase 1: preempted after %d of %d bins (clean bin boundary)\n", executed, plan.Len())
 
 	// --- Checkpoint ---
 	var clientSnap, storeSnap bytes.Buffer
@@ -99,7 +114,7 @@ func main() {
 		log.Fatal(err)
 	}
 	client2, err := oram.NewClient(oram.ClientConfig{
-		Store: store2, Rand: rand.New(rand.NewSource(99)), // fresh RNG is fine
+		Store: store2, Rand: trace.NewRNG(99), // fresh RNG is fine
 		Evict: oram.PaperEvict, StashHits: true, Blocks: blocks,
 	})
 	if err != nil {
@@ -113,9 +128,9 @@ func main() {
 	// first access of each block fetches it from its current (restored)
 	// position — a one-epoch warm-up of cold reads, after which look-
 	// ahead placement is converged again.
-	remaining := stream[half*S:]
+	remaining := stream[executed*S:]
 	plan2, err := superblock.NewPlan(remaining, superblock.PlanConfig{
-		S: S, Leaves: g.Leaves(), Rand: rand.New(rand.NewSource(4)),
+		S: S, Leaves: g.Leaves(), Rand: trace.NewRNG(4),
 	})
 	if err != nil {
 		log.Fatal(err)

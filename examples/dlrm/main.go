@@ -3,14 +3,18 @@
 // This is the paper's headline scenario (§VII-B): a DLRM recommendation
 // model whose categorical features index a large embedding table. Even with
 // encrypted rows, the *addresses* of the rows a user's sample touches leak
-// their behaviour — so the table lives in LAORAM. The training stream is
-// known ahead of time, the preprocessor bins future co-accessed rows into
-// superblocks, and each training step fetches one bin with one path read.
+// their behaviour — so the table lives in LAORAM. The sample pipeline
+// produces the upcoming training order incrementally (modelled here by a
+// dataloader goroutine feeding a channel); the streaming Trainer scans it
+// into look-ahead windows, planning window k+1 while window k trains — the
+// paper's §VIII-A two-stage pipeline — and each training step fetches one
+// superblock bin with one path read.
 //
 //	go run ./examples/dlrm
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -55,49 +59,56 @@ func main() {
 	defer db.Close()
 	fmt.Printf("server tree: %s (%.1f MB)\n", db.Describe(), float64(db.ServerBytes())/(1<<20))
 
-	// Preprocess the full training stream (the look-ahead window spans
-	// both epochs) and pre-place rows on their first superblock's path.
-	plan, err := db.Preprocess(stream, superblock)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("preprocessor: %d accesses → %d bins of %d (metadata %.1f KB)\n",
-		len(stream), plan.Bins(), superblock, float64(plan.MetadataBytes())/1024)
+	// The dataloader: a goroutine feeding sample indices epoch by epoch,
+	// the way a real input pipeline hands batches to the trainer. The
+	// Trainer consumes it through an IndexSource.
+	feed := make(chan uint64, 1024)
+	go func() {
+		defer close(feed)
+		for _, id := range stream {
+			feed <- id
+		}
+	}()
 
-	if err := db.LoadForPlan(plan, laoram.InitRowBytes(table)); err != nil {
-		log.Fatal(err)
-	}
-	db.ResetStats()
-
-	session, err := db.NewSession(plan)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// Train: each visit applies one SGD step to the row while it is
-	// resident in trusted memory. The "gradient" here is a deterministic
-	// stand-in — the ORAM doesn't care what the numbers mean, only that
-	// the row is read, modified and written back obliviously.
+	// Stream the epochs through the Trainer. The look-ahead window is
+	// left at 0 (the full stream) because the Kaggle trace's reuse
+	// distance is a whole epoch: any smaller horizon would let rows fall
+	// out of the plan between epochs and splinter superblock fetches
+	// into cold path reads (the abl-window ablation measures exactly
+	// that decay — use TrainOptions.Window for workloads whose locality
+	// is shorter, as examples/xlmr does). Each visit applies one SGD
+	// step to the row while it is resident in trusted memory. The
+	// "gradient" here is a deterministic stand-in — the ORAM doesn't
+	// care what the numbers mean, only that the row is read, modified
+	// and written back obliviously.
 	start := time.Now()
 	step := uint64(0)
 	updates := 0
-	err = session.Run(func(id uint64, payload []byte) []byte {
-		row, err := laoram.DecodeRow(payload)
-		if err != nil {
-			log.Fatal(err)
-		}
-		for i := range row {
-			g := (row[i] + 0.01) * float32(1+int(step+id)%3)
-			row[i] -= lr * g
-		}
-		step++
-		updates++
-		return laoram.EncodeRow(row)
+	ts, err := db.Train(context.Background(), laoram.TrainOptions{
+		Source:     laoram.FromChannel(feed),
+		Superblock: superblock,
+		PrePlace:   true,
+		Payload:    laoram.InitRowBytes(table),
+		Visit: func(id uint64, payload []byte) []byte {
+			row, err := laoram.DecodeRow(payload)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i := range row {
+				g := (row[i] + 0.01) * float32(1+int(step+id)%3)
+				row[i] -= lr * g
+			}
+			step++
+			updates++
+			return laoram.EncodeRow(row)
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	wall := time.Since(start)
+	fmt.Printf("preprocessor: %d accesses from the feed → %d bins of %d, scanned in %v\n",
+		ts.Accesses, ts.Session.Bins, superblock, ts.PlanTime.Round(time.Millisecond))
 
 	st := db.Stats()
 	fmt.Printf("\ntrained %d row-updates in %v wall (%.1f µs/update)\n",

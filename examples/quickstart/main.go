@@ -1,13 +1,14 @@
 // Quickstart: an oblivious block store in a few lines.
 //
 // This example stores encrypted 128-byte rows in a PathORAM tree, performs
-// some ad-hoc oblivious reads/writes, then runs a small look-ahead session
-// (the LAORAM fast path) and compares traffic.
+// some ad-hoc oblivious reads/writes, then trains through the streaming
+// look-ahead Trainer (the LAORAM fast path) and compares traffic.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,23 +58,21 @@ func main() {
 	fmt.Printf("2 accesses cost %d path reads + %d path writes (%0.1f KB moved)\n\n",
 		st.PathReads, st.PathWrites, float64(st.BytesMoved)/1024)
 
-	// Look-ahead mode: we know the next 4,096 accesses in advance (as a
-	// training loop does), so the preprocessor groups them into
-	// superblocks of 4 sharing a path.
-	stream, err := laoram.GenerateTrace(laoram.TraceConfig{
+	// Look-ahead mode: a training loop knows its upcoming accesses, so
+	// the Trainer ingests them through an IndexSource and scans them
+	// into superblocks of 4 sharing a path. The window is left at 0 —
+	// the look-ahead horizon spans the whole stream, which is what a
+	// one-off uniform stream needs for the full superblock win (set
+	// TrainOptions.Window to plan bounded windows ahead of execution on
+	// workloads with shorter reuse distances; examples/xlmr pipelines
+	// that way). A fresh instance pre-placed for the plan shows
+	// steady-state LAORAM.
+	source, err := laoram.FromTrace(laoram.TraceConfig{
 		Kind: laoram.TraceUniform, N: entries, Count: 4096, Seed: 7,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	plan, err := db.Preprocess(stream, 4)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("preprocessed %d accesses into %d superblock bins (%d B of metadata)\n",
-		len(stream), plan.Bins(), plan.MetadataBytes())
-
-	// A fresh instance pre-placed for the plan shows steady-state LAORAM.
 	fast, err := laoram.New(laoram.Options{
 		Entries: entries, BlockSize: blockSize, Encrypt: true, Seed: 2,
 	})
@@ -81,33 +80,27 @@ func main() {
 		log.Fatal(err)
 	}
 	defer fast.Close()
-	plan2, err := fast.Preprocess(stream, 4)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := fast.LoadForPlan(plan2, func(id uint64) []byte {
-		return make([]byte, blockSize)
-	}); err != nil {
-		log.Fatal(err)
-	}
-	fast.ResetStats()
-	session, err := fast.NewSession(plan2)
-	if err != nil {
-		log.Fatal(err)
-	}
 	touched := 0
-	if err := session.Run(func(id uint64, payload []byte) []byte {
-		touched++
-		return nil
-	}); err != nil {
+	ts, err := fast.Train(context.Background(), laoram.TrainOptions{
+		Source:     source,
+		Superblock: 4,
+		PrePlace:   true, // converged steady state
+		Visit: func(id uint64, payload []byte) []byte {
+			touched++
+			return nil
+		},
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("trained %d accesses in %d look-ahead window(s): %d superblock bins\n",
+		ts.Accesses, ts.Windows, ts.Session.Bins)
 	fst := fast.Stats()
 	fmt.Printf("LAORAM session: %d accesses served by %d path reads (%.2fx fewer than one-per-access)\n",
 		fst.Accesses, fst.PathReads, float64(fst.Accesses)/float64(fst.PathReads))
-	ss := session.Stats()
-	fmt.Printf("bins=%d coldReads=%d lookaheadRemaps=%d uniformRemaps=%d\n",
-		ss.Bins, ss.ColdPathReads, ss.LookaheadRemaps, ss.UniformRemaps)
+	ss := ts.Session
+	fmt.Printf("bins=%d coldReads=%d lookaheadRemaps=%d uniformRemaps=%d (visited %d rows)\n",
+		ss.Bins, ss.ColdPathReads, ss.LookaheadRemaps, ss.UniformRemaps, touched)
 }
 
 func pad(s string, n int) string {

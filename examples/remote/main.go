@@ -8,10 +8,15 @@
 // are sealed with AES-CTR before leaving the client, so the server holds
 // only ciphertext at addresses chosen uniformly at random.
 //
+// The client is built with NewContext: cancelling the context closes the
+// connection, which is how a trainer stalled on a dead server is unwound
+// (see the Train documentation).
+//
 //	go run ./examples/remote
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,7 +54,11 @@ func main() {
 	fmt.Printf("server_storage listening on %s — tree %s\n", addr, g)
 
 	// --- Client side (the trainer GPU of Fig. 5) ---
-	db, err := laoram.New(laoram.Options{
+	// The context governs the connection: cancel() would close it and
+	// fail every in-flight request, unblocking a stalled trainer.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	db, err := laoram.NewContext(ctx, laoram.Options{
 		Entries:    entries,
 		RemoteAddr: addr,
 		Seed:       9,
@@ -79,25 +88,23 @@ func main() {
 	}
 	fmt.Printf("read row 7 over TCP: %q\n", trimZero(row))
 
-	// A look-ahead session against the remote store.
-	stream, err := laoram.GenerateTrace(laoram.TraceConfig{
+	// A streaming look-ahead run against the remote store: windows are
+	// preprocessed client-side while earlier windows execute over the
+	// wire, and the whole run is cancellable through ctx.
+	source, err := laoram.FromTrace(laoram.TraceConfig{
 		Kind: laoram.TraceKaggle, N: entries, Count: 2048, Seed: 10,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	plan, err := db.Preprocess(stream, 4)
-	if err != nil {
-		log.Fatal(err)
-	}
-	session, err := db.NewSession(plan)
-	if err != nil {
-		log.Fatal(err)
-	}
 	touched := 0
-	if err := session.Run(func(id uint64, payload []byte) []byte {
-		touched++
-		return nil
+	if _, err := db.Train(ctx, laoram.TrainOptions{
+		Source:     source,
+		Superblock: 4,
+		Visit: func(id uint64, payload []byte) []byte {
+			touched++
+			return nil
+		},
 	}); err != nil {
 		log.Fatal(err)
 	}

@@ -4,15 +4,23 @@
 // 262,144 rows of 4 KB. Token IDs are Zipf-distributed, so the same hot
 // rows recur constantly; knowing which embedding row a sample touches
 // reveals which words a user typed. This example compares PathORAM-style
-// per-access cost against a look-ahead session on the same stream and
-// prints the speedup, the paper's Fig. 7f measurement.
+// per-access cost against the streaming look-ahead Trainer on the same
+// stream and prints the speedup, the paper's Fig. 7f measurement.
+//
+// Because Zipf reuse distances are short, the look-ahead horizon can be a
+// bounded window (a quarter of the stream here) without losing the
+// superblock win — so the Trainer preprocesses window k+1 while window k
+// trains, the §VIII-A pipeline, and never needs the whole token stream in
+// memory at once.
 //
 //	go run ./examples/xlmr
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	laoram "repro"
 )
@@ -57,7 +65,8 @@ func main() {
 	fmt.Printf("\nPathORAM baseline: %d accesses, %d path reads, sim time %.3f s\n",
 		bst.Accesses, bst.PathReads, bst.SimTimeSeconds)
 
-	// LAORAM: fat tree + superblocks of 8 (the paper's best XNLI config).
+	// LAORAM: fat tree + superblocks of 8 (the paper's best XNLI config),
+	// trained through the streaming pipeline in four look-ahead windows.
 	fast, err := laoram.New(laoram.Options{
 		Entries: table.Rows, BlockSize: table.RowBytes(),
 		MetadataOnly: true, FatTree: true, Seed: 6, Measure: true,
@@ -66,19 +75,14 @@ func main() {
 		log.Fatal(err)
 	}
 	defer fast.Close()
-	plan, err := fast.Preprocess(stream, superblock)
+	ts, err := fast.Train(context.Background(), laoram.TrainOptions{
+		Source:     laoram.FromSlice(stream),
+		Superblock: superblock,
+		Window:     tokens / 4,
+		Depth:      2,
+		PrePlace:   true,
+	})
 	if err != nil {
-		log.Fatal(err)
-	}
-	if err := fast.LoadForPlan(plan, nil); err != nil {
-		log.Fatal(err)
-	}
-	fast.ResetStats()
-	session, err := fast.NewSession(plan)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := session.Run(nil); err != nil {
 		log.Fatal(err)
 	}
 	fst := fast.Stats()
@@ -89,9 +93,9 @@ func main() {
 		fmt.Printf("\nspeedup: %.2fx (paper reports ~5.4x for XLM-R/XNLI at full scale)\n",
 			bst.SimTimeSeconds/fst.SimTimeSeconds)
 	}
-	ss := session.Stats()
-	fmt.Printf("lookahead remaps %d, uniform remaps %d, cold path reads %d\n",
-		ss.LookaheadRemaps, ss.UniformRemaps, ss.ColdPathReads)
+	ss := ts.Session
+	fmt.Printf("%d windows: lookahead remaps %d, uniform remaps %d, cold path reads %d; planning stalled training %v\n",
+		ts.Windows, ss.LookaheadRemaps, ss.UniformRemaps, ss.ColdPathReads, ts.TrainerStalled.Round(time.Millisecond))
 
 	// The Zipf head means many bin members are already in the stash
 	// (hot rows), pushing accesses-per-path-read above S.

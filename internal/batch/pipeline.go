@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/oram"
 	"repro/internal/superblock"
+	"repro/internal/trace"
 )
 
 // PipelineConfig drives a pipelined training run.
@@ -40,6 +41,21 @@ type PipelineConfig struct {
 	Depth int
 	// Seed derives the per-window plan RNGs.
 	Seed int64
+	// RNG builds the seeded random source for one window's plan. Nil
+	// selects the shared deterministic default, trace.NewRNG(Seed +
+	// window) — the injected-RNG convention every other randomized
+	// component follows, so windowed planning is reproducible under a
+	// single seed and tests can substitute instrumented sources.
+	RNG func(window int) *rand.Rand
+}
+
+// rng returns the plan RNG for one window, honouring the injected
+// constructor.
+func (c *PipelineConfig) rng(window int) *rand.Rand {
+	if c.RNG != nil {
+		return c.RNG(window)
+	}
+	return trace.NewRNG(c.Seed + int64(window))
 }
 
 func (c *PipelineConfig) validate() error {
@@ -114,7 +130,7 @@ func (p *Pipeline) PrePlaceFirstWindow(base *oram.Client, n uint64, payload func
 	plan, err := superblock.NewPlan(p.cfg.Stream[:end], superblock.PlanConfig{
 		S:      p.cfg.S,
 		Leaves: base.Geometry().Leaves(),
-		Rand:   rand.New(rand.NewSource(p.cfg.Seed)),
+		Rand:   p.cfg.rng(0),
 	})
 	if err != nil {
 		return err
@@ -149,7 +165,7 @@ func (p *Pipeline) Run(base *oram.Client, visit core.Visit) (Stats, error) {
 			plan, err := superblock.NewPlan(p.cfg.Stream[off:end], superblock.PlanConfig{
 				S:      p.cfg.S,
 				Leaves: base.Geometry().Leaves(),
-				Rand:   rand.New(rand.NewSource(p.cfg.Seed + int64(win))),
+				Rand:   p.cfg.rng(win),
 			})
 			st.PreprocessTime += time.Since(start)
 			ch <- planMsg{plan: plan, err: err}

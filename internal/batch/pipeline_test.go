@@ -77,6 +77,53 @@ func TestPipelineRunsWholeStream(t *testing.T) {
 	}
 }
 
+// TestPipelineInjectedRNG pins the injected-RNG contract: the pipeline
+// draws every window's plan paths from the supplied constructor (one call
+// per window, window 0 shared with PrePlaceFirstWindow), and the nil
+// default is byte-identical to trace.NewRNG(Seed + window).
+func TestPipelineInjectedRNG(t *testing.T) {
+	const blocks = 512
+	stream := trace.PermutationEpochs(trace.NewRNG(9), blocks, 2048)
+	run := func(rng func(window int) *rand.Rand) uint64 {
+		p, err := NewPipeline(PipelineConfig{
+			Stream: stream, S: 4, WindowAccesses: 512, Depth: 2, Seed: 21, RNG: rng,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := newBase(t, 9, blocks, 5)
+		if err := p.PrePlaceFirstWindow(base, blocks, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Run(base, nil); err != nil {
+			t.Fatal(err)
+		}
+		return base.Stats().PathReads
+	}
+
+	var calls []int
+	instrumented := func(window int) *rand.Rand {
+		calls = append(calls, window)
+		return trace.NewRNG(21 + int64(window))
+	}
+	injected := run(instrumented)
+	deflt := run(nil)
+	if injected != deflt {
+		t.Errorf("injected trace.NewRNG(Seed+window) diverged from the default: %d vs %d path reads", injected, deflt)
+	}
+	// PrePlaceFirstWindow re-derives window 0's RNG, then Run derives one
+	// per window: 0, 0, 1, 2, 3 for four windows.
+	want := []int{0, 0, 1, 2, 3}
+	if len(calls) != len(want) {
+		t.Fatalf("RNG constructor called for windows %v, want %v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("RNG constructor called for windows %v, want %v", calls, want)
+		}
+	}
+}
+
 // TestPreprocessingOffCriticalPath reproduces §VIII-A: per-access
 // preprocessing cost is far below per-access ORAM (training) cost, so the
 // pipeline's trainer is the bottleneck.

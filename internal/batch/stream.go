@@ -1,0 +1,233 @@
+package batch
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// stream.go is the streaming successor of the single-ORAM Pipeline: the
+// §VIII-A two-stage pipeline rebuilt on the sharded engine. A
+// shard.Planner scans an incremental index Source window by window and
+// queues per-shard Plans; the trainer stage executes each window through a
+// sharded Session, all shard lanes concurrent, while the planner works on
+// the next window. Everything is context-aware: cancelling ctx stops the
+// planner, drains the shard workers at the next bin boundary and returns
+// ctx.Err().
+
+// TrainConfig drives one streaming training run over a shard.Engine.
+type TrainConfig struct {
+	// S is the superblock size (default 4 when 0).
+	S int
+	// Window is the look-ahead horizon in global accesses per planning
+	// window; 0 plans the whole stream as one window (the one-shot
+	// shape, byte-identical to Preprocess + Session).
+	Window int
+	// Depth is the bounded plan queue (default 2 when 0 — double
+	// buffering: plan window k+1 while executing window k).
+	Depth int
+	// BatchBins > 0 executes each window in batched server round trips
+	// of that many bins (§IV-A per-training-batch fetch); 0 steps bin by
+	// bin.
+	BatchBins int
+	// PrePlace bulk-loads the engine before the first window executes,
+	// pre-placing every block of window 0 on its first bin's path (the
+	// converged steady state of §IV-B). When false the engine must
+	// already be loaded.
+	PrePlace bool
+	// Payload initialises rows during the PrePlace load (may be nil for
+	// zero/simulated content). Requires PrePlace.
+	Payload func(id uint64) []byte
+	// NewVisit builds one trainer callback per shard lane (may be nil).
+	NewVisit shard.NewVisit
+	// Sequential disables the §VIII-A overlap: every window is planned
+	// before the first one executes. This is the measurement baseline
+	// for the pipeline experiment — identical work, no concurrency
+	// between the stages — not a production mode.
+	Sequential bool
+}
+
+func (c *TrainConfig) fill() error {
+	if c.S == 0 {
+		c.S = 4
+	}
+	if c.Depth == 0 {
+		c.Depth = 2
+	}
+	if c.S < 1 {
+		return fmt.Errorf("batch: S must be >= 1, got %d", c.S)
+	}
+	if c.Window < 0 {
+		return fmt.Errorf("batch: Window must be >= 0, got %d", c.Window)
+	}
+	if c.Window > 0 && c.Window < c.S {
+		return fmt.Errorf("batch: Window %d must be >= S %d", c.Window, c.S)
+	}
+	if c.Depth < 1 {
+		return fmt.Errorf("batch: Depth must be >= 1, got %d", c.Depth)
+	}
+	if c.BatchBins < 0 {
+		return fmt.Errorf("batch: BatchBins must be >= 0, got %d", c.BatchBins)
+	}
+	if c.Payload != nil && !c.PrePlace {
+		return fmt.Errorf("batch: Payload requires PrePlace")
+	}
+	return nil
+}
+
+// TrainStats summarises a streaming run.
+type TrainStats struct {
+	// Windows is the number of planned-and-executed windows.
+	Windows int
+	// Accesses is the number of stream indices covered by fully executed
+	// windows (on a cancelled run the planner may have read further
+	// ahead of this).
+	Accesses uint64
+	// Bins / ColdPathReads / LookaheadRemaps / UniformRemaps aggregate
+	// the LAORAM session counters across windows and shard lanes.
+	Bins            uint64
+	ColdPathReads   uint64
+	LookaheadRemaps uint64
+	UniformRemaps   uint64
+	// PlanTime is the total wall time the planner stage spent scanning
+	// and binning (overlaps TrainTime unless Sequential).
+	PlanTime time.Duration
+	// TrainTime is the total wall time the trainer stage spent executing
+	// windows (ORAM work, all shard lanes).
+	TrainTime time.Duration
+	// Stalled is how long the trainer waited on the plan queue — near
+	// zero when preprocessing keeps ahead, the §VIII-A claim.
+	Stalled time.Duration
+	// Wall is the elapsed time of the whole run (excluding the PrePlace
+	// bulk load).
+	Wall time.Duration
+}
+
+// Train runs the streaming two-stage pipeline over e: plan windows from
+// src on a bounded queue, execute each through a sharded Session. Returns
+// ctx.Err() if the run was cancelled; the planner goroutine and all shard
+// workers have drained by the time Train returns.
+func Train(ctx context.Context, e *shard.Engine, src shard.Source, cfg TrainConfig) (TrainStats, error) {
+	var st TrainStats
+	if e == nil {
+		return st, fmt.Errorf("batch: nil engine")
+	}
+	if src == nil {
+		return st, fmt.Errorf("batch: nil source")
+	}
+	if err := cfg.fill(); err != nil {
+		return st, err
+	}
+	planner, err := e.NewPlanner(src, shard.PlannerConfig{S: cfg.S, Window: cfg.Window, Depth: cfg.Depth})
+	if err != nil {
+		return st, err
+	}
+	// A child context stops the planner if the trainer bails out early,
+	// so Train never leaks the planning goroutine.
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch, err := planner.Start(pctx)
+	if err != nil {
+		return st, err
+	}
+
+	wallStart := time.Now()
+	loaded := false
+	execute := func(w shard.PlannedWindow) error {
+		if cfg.PrePlace && !loaded {
+			// Pre-place window 0 (LoadForPlan leaves the rest of the
+			// table uniform). The load is excluded from Wall by shifting
+			// the clock origin: the one-shot flow loads before its
+			// session too.
+			loadStart := time.Now()
+			if err := e.LoadForPlanContext(ctx, w.Plan, cfg.Payload); err != nil {
+				return err
+			}
+			// Engine counters (and meters) describe the training run, not
+			// the bulk load — the LoadForPlan → ResetStats convention of
+			// the one-shot flow, applied internally.
+			e.ResetStats()
+			wallStart = wallStart.Add(time.Since(loadStart))
+			loaded = true
+		}
+		sess, err := e.NewSession(w.Plan)
+		if err != nil {
+			return err
+		}
+		runStart := time.Now()
+		if cfg.BatchBins > 0 {
+			err = sess.RunBatchedContext(ctx, cfg.BatchBins, cfg.NewVisit)
+		} else {
+			err = sess.RunContext(ctx, cfg.NewVisit)
+		}
+		st.TrainTime += time.Since(runStart)
+		ss := sess.Stats()
+		st.Bins += ss.Bins
+		st.ColdPathReads += ss.ColdPathReads
+		st.LookaheadRemaps += ss.LookaheadRemaps
+		st.UniformRemaps += ss.UniformRemaps
+		if err != nil {
+			// The session counters above still record the partial
+			// progress of the interrupted window.
+			return fmt.Errorf("batch: window %d: %w", w.Index, err)
+		}
+		st.Windows++
+		st.Accesses += uint64(w.Accesses)
+		st.PlanTime += w.PlanTime
+		return nil
+	}
+
+	fail := func(err error) (TrainStats, error) {
+		st.Wall = time.Since(wallStart)
+		// Wait for the planner to drain (cancel() above unblocks it),
+		// then prefer the context error when the run was cancelled.
+		cancel()
+		for range ch {
+		}
+		if ctx.Err() != nil {
+			return st, ctx.Err()
+		}
+		return st, err
+	}
+
+	if cfg.Sequential {
+		// Baseline: drain the planner completely, then execute.
+		var windows []shard.PlannedWindow
+		for w := range ch {
+			windows = append(windows, w)
+		}
+		if err := planner.Err(); err != nil {
+			return fail(err)
+		}
+		for _, w := range windows {
+			if err := execute(w); err != nil {
+				return fail(err)
+			}
+		}
+	} else {
+		for {
+			waitStart := time.Now()
+			w, ok := <-ch
+			st.Stalled += time.Since(waitStart)
+			if !ok {
+				break
+			}
+			if err := execute(w); err != nil {
+				return fail(err)
+			}
+		}
+		if err := planner.Err(); err != nil {
+			return fail(err)
+		}
+	}
+	st.Wall = time.Since(wallStart)
+	if ctx.Err() != nil {
+		return st, ctx.Err()
+	}
+	// A source that produces no indices is a successful no-op (zero
+	// windows), matching the one-shot flow's behaviour on an empty
+	// stream. Note PrePlace only triggers with at least one window.
+	return st, nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/oram"
@@ -111,7 +112,17 @@ func (l *LAORAM) StepBatch(k int, visit Visit) (int, error) {
 
 // RunBatched executes the remaining plan in batches of k bins.
 func (l *LAORAM) RunBatched(k int, visit Visit) error {
+	return l.RunBatchedContext(context.Background(), k, visit)
+}
+
+// RunBatchedContext is RunBatched with cooperative cancellation: ctx is
+// checked before every batch round trip (see RunContext for the
+// byte-identity contract).
+func (l *LAORAM) RunBatchedContext(ctx context.Context, k int, visit Visit) error {
 	for !l.cursor.Done() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if _, err := l.StepBatch(k, visit); err != nil {
 			return err
 		}

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/oram"
@@ -227,7 +228,18 @@ func (l *LAORAM) StepBin(visit Visit) (*superblock.Bin, error) {
 
 // Run executes the remaining plan to completion.
 func (l *LAORAM) Run(visit Visit) error {
+	return l.RunContext(context.Background(), visit)
+}
+
+// RunContext is Run with cooperative cancellation: ctx is checked before
+// every bin, so a cancelled context stops execution at the next bin
+// boundary and returns ctx.Err(). The check consumes no randomness — a run
+// that is never cancelled is byte-identical to Run.
+func (l *LAORAM) RunContext(ctx context.Context, visit Visit) error {
 	for !l.cursor.Done() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if _, err := l.StepBin(visit); err != nil {
 			return err
 		}

@@ -1,10 +1,11 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"repro/internal/batch"
+	laoram "repro"
 	"repro/internal/memsim"
 	"repro/internal/oram"
 	"repro/internal/trace"
@@ -13,6 +14,7 @@ import (
 // WindowRow is one point of the look-ahead-window ablation.
 type WindowRow struct {
 	WindowAccesses int
+	Windows        int
 	PathReads      uint64
 	ReadsPerAccess float64
 }
@@ -24,56 +26,61 @@ type WindowRow struct {
 type WindowSweepResult struct {
 	Entries uint64
 	S       int
+	Shards  int
 	Rows    []WindowRow
 }
 
-// WindowSweep runs the permutation workload through the pipeline at
-// decreasing look-ahead windows.
+// WindowSweep runs the permutation workload through the streaming Trainer
+// (TrainOptions.Window on the sharded engine) at decreasing look-ahead
+// windows. The full-stream point (Window = 0) is the one-shot flow's
+// behaviour; every smaller window trades planner memory and latency for
+// cold path reads.
 func WindowSweep(sc Scale, seed int64) (*WindowSweepResult, error) {
 	entries := sc.EntriesSmall
 	const S = 4
+	const shards = 4
 	accesses := sc.Accesses
 	stream, err := workloadStream(trace.KindPermutation, entries, accesses, seed)
 	if err != nil {
 		return nil, err
 	}
-	res := &WindowSweepResult{Entries: entries, S: S}
-	windows := []int{accesses, accesses / 2, accesses / 4, accesses / 16, accesses / 64}
+	res := &WindowSweepResult{Entries: entries, S: S, Shards: shards}
+	windows := []int{0, accesses / 2, accesses / 4, accesses / 16, accesses / 64}
 	for _, w := range windows {
-		if w < S {
+		if w != 0 && w < S {
 			continue
 		}
-		p, err := batch.NewPipeline(batch.PipelineConfig{
-			Stream: stream, S: S, WindowAccesses: w, Depth: 2, Seed: seed + 21,
+		db, err := laoram.New(laoram.Options{
+			Entries:      entries,
+			MetadataOnly: true,
+			Shards:       shards,
+			Seed:         seed + 22,
 		})
 		if err != nil {
 			return nil, err
 		}
-		g, err := oram.NewGeometry(oram.GeometryConfig{
-			LeafBits: oram.LeafBitsFor(entries), LeafZ: 4, BlockSize: 128,
+		st, err := db.Train(context.Background(), laoram.TrainOptions{
+			Source:     laoram.FromSlice(stream),
+			Superblock: S,
+			Window:     w,
+			Depth:      2,
+			PrePlace:   true,
 		})
 		if err != nil {
-			return nil, err
-		}
-		base, err := oram.NewClient(oram.ClientConfig{
-			Store: oram.NewCountingStore(oram.NewMetaStore(g), nil),
-			Rand:  trace.NewRNG(seed + 22), Evict: oram.PaperEvict,
-			StashHits: true, Blocks: entries,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if err := p.PrePlaceFirstWindow(base, entries, nil); err != nil {
-			return nil, err
-		}
-		if _, err := p.Run(base, nil); err != nil {
+			db.Close()
 			return nil, fmt.Errorf("window %d: %w", w, err)
 		}
-		st := base.Stats()
+		pub := db.Stats()
+		db.Close()
+		label := w
+		if w == 0 {
+			label = accesses
+		}
 		res.Rows = append(res.Rows, WindowRow{
-			WindowAccesses: w,
-			PathReads:      st.PathReads,
-			ReadsPerAccess: float64(st.PathReads) / float64(st.Accesses),
+			WindowAccesses: label,
+			Windows:        st.Windows,
+			PathReads:      pub.PathReads,
+			ReadsPerAccess: float64(pub.PathReads) / float64(pub.Accesses),
 		})
 	}
 	return res, nil
@@ -82,11 +89,12 @@ func WindowSweep(sc Scale, seed int64) (*WindowSweepResult, error) {
 // Render formats the window sweep.
 func (r *WindowSweepResult) Render() string {
 	t := Table{
-		Title:   fmt.Sprintf("Ablation — look-ahead window vs path reads (permutation, N=%d, S=%d)", r.Entries, r.S),
-		Headers: []string{"window (accesses)", "path reads", "reads/access"},
+		Title:   fmt.Sprintf("Ablation — look-ahead window vs path reads (permutation, N=%d, S=%d, %d shards)", r.Entries, r.S, r.Shards),
+		Headers: []string{"window (accesses)", "windows", "path reads", "reads/access"},
 	}
 	for _, row := range r.Rows {
-		t.AddRow(fmt.Sprintf("%d", row.WindowAccesses), fmt.Sprintf("%d", row.PathReads), f3(row.ReadsPerAccess))
+		t.AddRow(fmt.Sprintf("%d", row.WindowAccesses), fmt.Sprintf("%d", row.Windows),
+			fmt.Sprintf("%d", row.PathReads), f3(row.ReadsPerAccess))
 	}
 	t.AddNote("PathORAM would be 1.0 reads/access; perfect lookahead approaches 1/S = %.3f", 1.0/float64(r.S))
 	return t.Render()

@@ -39,6 +39,20 @@ var engineBaseline = []EngineBenchRow{
 	{Name: "SealOpen", NsPerOp: 1860, BytesPerOp: 2336, AllocsPerOp: 16},
 }
 
+// PipelineBench is the streaming-pipeline point of the trajectory: the
+// §VIII-A overlap speedup of the pipelined Trainer over the sequential
+// arrive-plan-run schedule (see PipelineExp).
+type PipelineBench struct {
+	SeqWallMs   float64 `json:"seq_wall_ms"`
+	PipeWallMs  float64 `json:"pipelined_wall_ms"`
+	PlanMs      float64 `json:"plan_ms"`
+	TrainMs     float64 `json:"train_ms"`
+	StalledMs   float64 `json:"stalled_ms"`
+	Windows     int     `json:"windows"`
+	FeedRate    int     `json:"feed_rate_idx_per_s"`
+	OverlapGain float64 `json:"overlap_speedup"`
+}
+
 // EngineBenchResult is the BENCH_engine.json document.
 type EngineBenchResult struct {
 	GoVersion string             `json:"go_version"`
@@ -49,6 +63,7 @@ type EngineBenchResult struct {
 	Rows      []EngineBenchRow   `json:"benchmarks"`
 	Baseline  []EngineBenchRow   `json:"baseline_pre_refactor"`
 	Speedups  map[string]float64 `json:"fig7e_sim_speedups"`
+	Pipeline  *PipelineBench     `json:"pipeline_overlap,omitempty"`
 }
 
 // JSON renders the document with stable indentation.
@@ -72,6 +87,10 @@ func (r *EngineBenchResult) Render() string {
 	}
 	for k, v := range r.Speedups {
 		sb.WriteString(fmt.Sprintf("fig7e %-24s %.2fx\n", k, v))
+	}
+	if p := r.Pipeline; p != nil {
+		sb.WriteString(fmt.Sprintf("pipeline overlap            %.2fx (seq %.0fms → pipelined %.0fms, %d windows)\n",
+			p.OverlapGain, p.SeqWallMs, p.PipeWallMs, p.Windows))
 	}
 	return sb.String()
 }
@@ -229,6 +248,23 @@ func EngineBench(sc Scale, seed int64) (*EngineBenchResult, error) {
 			continue
 		}
 		out.Speedups[row.Variant] = row.Speedup
+	}
+
+	// Streaming-pipeline overlap: the §VIII-A wall-clock win of planning
+	// window k+1 while window k trains (ISSUE 4's acceptance metric).
+	pr, err := PipelineExp(sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	out.Pipeline = &PipelineBench{
+		SeqWallMs:   float64(pr.SeqWall.Microseconds()) / 1000,
+		PipeWallMs:  float64(pr.PipeWall.Microseconds()) / 1000,
+		PlanMs:      float64(pr.PlanTime.Microseconds()) / 1000,
+		TrainMs:     float64(pr.TrainTime.Microseconds()) / 1000,
+		StalledMs:   float64(pr.Stalled.Microseconds()) / 1000,
+		Windows:     pr.Windows,
+		FeedRate:    pr.FeedRate,
+		OverlapGain: pr.Speedup,
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -34,6 +35,10 @@ type Client struct {
 	nextID  uint64
 	connErr error
 	closed  bool
+
+	// watchStop releases the context watcher goroutine installed by
+	// DialContext; closed exactly once, by Close.
+	watchStop chan struct{}
 }
 
 type rpcResult struct {
@@ -49,12 +54,33 @@ var (
 
 // Dial connects to a Server and performs the geometry handshake.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext is Dial with the context governing both the dial and the
+// connection's lifetime: when ctx is cancelled the connection closes,
+// which fails every in-flight and future call with a connection error —
+// the lever that makes a client stalled on a dead or slow server
+// cancellable. A client whose context never fires behaves exactly like
+// Dial; Close releases the watcher either way.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
 	}
 	c := &Client{conn: conn, pending: make(map[uint64]chan rpcResult)}
 	go c.readLoop()
+	if ctx.Done() != nil {
+		c.watchStop = make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				c.Close()
+			case <-c.watchStop:
+			}
+		}()
+	}
 	resp, err := c.call(opHello, 0, nil)
 	if err != nil {
 		c.Close()
@@ -93,6 +119,9 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
+	if c.watchStop != nil {
+		close(c.watchStop)
+	}
 	c.mu.Unlock()
 	return c.conn.Close()
 }

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/oram"
@@ -70,6 +71,21 @@ func SplitStream(stream []uint64, n int) [][]uint64 {
 	return out
 }
 
+// windowSeedStride separates the plan-RNG seed domains of consecutive
+// planner windows within one shard: window w of shard s draws its bin
+// paths with seed SeedFor(seed, s) + 1 + w*windowSeedStride. Window 0
+// therefore uses exactly the seed Preprocess uses — a full-stream window
+// is byte-identical to one-shot preprocessing — and later windows stay
+// clear of the other per-shard seed slots (client seed at +0, recursive
+// position map at +2).
+const windowSeedStride = 131
+
+// planSeed returns the deterministic bin-path seed of planner window win
+// on shard s (window 0 is the one-shot Preprocess seed).
+func (e *Engine) planSeed(s, win int) int64 {
+	return SeedFor(e.seed, s) + 1 + int64(win)*windowSeedStride
+}
+
 // Preprocess runs the §IV-B scan per shard, concurrently: shard s bins its
 // local stream with superblock size sblk and draws bin paths from its own
 // tree's leaves with the deterministic seed SeedFor(seed, s)+1 (for a
@@ -80,6 +96,14 @@ func (e *Engine) Preprocess(stream []uint64, sblk int) (*Plan, error) {
 			return nil, err
 		}
 	}
+	return e.preprocessWindow(stream, sblk, 0)
+}
+
+// preprocessWindow is the shared scan behind Preprocess (window 0) and the
+// incremental Planner (windows 1..): split the window's slice of the
+// global stream by shard, then bin every local slice concurrently with the
+// window's deterministic seed. Callers must have validated the ids.
+func (e *Engine) preprocessWindow(stream []uint64, sblk, win int) (*Plan, error) {
 	locals := SplitStream(stream, e.n)
 	p := &Plan{n: e.n, plans: make([]*superblock.Plan, e.n)}
 	err := e.fanOut(func(s int) error {
@@ -87,7 +111,7 @@ func (e *Engine) Preprocess(stream []uint64, sblk int) (*Plan, error) {
 		sp, err := superblock.NewPlan(locals[s], superblock.PlanConfig{
 			S:      sblk,
 			Leaves: e.subs[s].Client.Geometry().Leaves(),
-			Rand:   trace.NewRNG(SeedFor(e.seed, s) + 1),
+			Rand:   trace.NewRNG(e.planSeed(s, win)),
 		})
 		p.plans[s] = sp
 		return err
@@ -103,6 +127,12 @@ func (e *Engine) Preprocess(stream []uint64, sblk int) (*Plan, error) {
 // in its shard's plan (the converged steady state of §IV-B), everything
 // else uniformly.
 func (e *Engine) LoadForPlan(p *Plan, payload func(id uint64) []byte) error {
+	return e.LoadForPlanContext(context.Background(), p, payload)
+}
+
+// LoadForPlanContext is LoadForPlan with cooperative cancellation at shard
+// granularity (see LoadContext).
+func (e *Engine) LoadForPlanContext(ctx context.Context, p *Plan, payload func(id uint64) []byte) error {
 	if p == nil {
 		return fmt.Errorf("shard: nil plan")
 	}
@@ -119,5 +149,5 @@ func (e *Engine) LoadForPlan(p *Plan, payload func(id uint64) []byte) error {
 			return client.RandomLeaf()
 		}
 	}
-	return e.load(e.entries, leafOf, payload)
+	return e.load(ctx, e.entries, leafOf, payload)
 }

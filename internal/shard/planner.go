@@ -1,0 +1,193 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Source is a pull-based stream of upcoming embedding indices — the
+// incremental form of the []uint64 access stream the one-shot Preprocess
+// takes. Read fills dst with the next indices of the training order and
+// returns how many it wrote; it returns io.EOF (possibly alongside n > 0)
+// when the stream ends. Read must block until it can deliver at least one
+// index, the stream ends, or ctx is cancelled; blocking sources (channels,
+// sockets, dataset loaders) must honour ctx and return ctx.Err().
+//
+// The public package wraps this as laoram.IndexSource, with adapters for
+// slices, synthetic traces and channels.
+type Source interface {
+	Read(ctx context.Context, dst []uint64) (n int, err error)
+}
+
+// PlannerConfig drives the incremental preprocessor.
+type PlannerConfig struct {
+	// S is the superblock size (§IV-B).
+	S int
+	// Window is the look-ahead horizon in global accesses per planning
+	// window. 0 means one window spanning the entire stream — the
+	// one-shot Preprocess shape, byte-identical to it by construction.
+	// A positive Window must be >= S.
+	Window int
+	// Depth is the bounded plan queue: how many preprocessed windows may
+	// wait ahead of the consumer (>= 1). Depth 2 double-buffers — the
+	// planner works on window k+1 while the trainer executes window k.
+	Depth int
+}
+
+func (c PlannerConfig) validate() error {
+	if c.S < 1 {
+		return fmt.Errorf("shard: planner S must be >= 1, got %d", c.S)
+	}
+	if c.Window < 0 {
+		return fmt.Errorf("shard: planner Window must be >= 0, got %d", c.Window)
+	}
+	if c.Window > 0 && c.Window < c.S {
+		return fmt.Errorf("shard: planner Window %d must be >= S %d", c.Window, c.S)
+	}
+	if c.Depth < 1 {
+		return fmt.Errorf("shard: planner Depth must be >= 1, got %d", c.Depth)
+	}
+	return nil
+}
+
+// PlannedWindow is one preprocessed look-ahead window: a sharded Plan over
+// the window's slice of the stream, ready for a Session.
+type PlannedWindow struct {
+	// Index is the window's position in stream order (0-based).
+	Index int
+	// Accesses is how many stream indices the window covers.
+	Accesses int
+	// Plan is the per-shard superblock plan of the window.
+	Plan *Plan
+	// PlanTime is the wall time spent scanning and binning the window
+	// (the paper's stage-1 cost; it overlaps stage-2 execution).
+	PlanTime time.Duration
+}
+
+// Planner is the incremental §IV-B preprocessor: it scans a Source window
+// by window and emits per-shard Plans on a bounded queue, so planning of
+// window k+1 overlaps execution of window k (the paper's §VIII-A two-stage
+// pipeline, sharded). Plan building only reads engine geometry — never
+// client state — so it is safe to run concurrently with Session execution
+// on the same Engine.
+//
+// Window w of shard s draws its bin paths from the deterministic seed
+// planSeed(s, w); window 0 uses exactly the one-shot Preprocess seeds, so
+// a Planner with Window = 0 reproduces Engine.Preprocess byte-identically.
+type Planner struct {
+	e   *Engine
+	src Source
+	cfg PlannerConfig
+
+	ch      chan PlannedWindow
+	started bool
+	err     error // written before ch closes; read after it closes
+}
+
+// NewPlanner validates cfg and prepares a Planner over src.
+func (e *Engine) NewPlanner(src Source, cfg PlannerConfig) (*Planner, error) {
+	if src == nil {
+		return nil, fmt.Errorf("shard: planner Source is required")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Planner{e: e, src: src, cfg: cfg, ch: make(chan PlannedWindow, cfg.Depth)}, nil
+}
+
+// Start launches the planning goroutine and returns the bounded window
+// queue. The channel closes when the stream ends, the context is cancelled
+// or planning fails; call Err afterwards to distinguish. Start may be
+// called once.
+func (p *Planner) Start(ctx context.Context) (<-chan PlannedWindow, error) {
+	if p.started {
+		return nil, fmt.Errorf("shard: planner already started")
+	}
+	p.started = true
+	go p.run(ctx)
+	return p.ch, nil
+}
+
+// Err reports why the window queue closed: nil at end of stream, ctx.Err()
+// after cancellation, or the scan/source error. Valid only after the
+// channel returned by Start has closed.
+func (p *Planner) Err() error { return p.err }
+
+// readChunk is the Source fill granularity when windows are unbounded.
+const readChunk = 1 << 16
+
+// run scans the source window by window. The window buffer is reused: the
+// superblock scan copies ids into its own bin storage, so nothing built
+// from one window aliases the buffer by the time the next fill starts.
+func (p *Planner) run(ctx context.Context) {
+	defer close(p.ch)
+	var buf []uint64
+	if p.cfg.Window > 0 {
+		buf = make([]uint64, 0, p.cfg.Window)
+	}
+	for win := 0; ; win++ {
+		ids, eof, err := p.fillWindow(ctx, buf[:0])
+		if err != nil {
+			p.err = err
+			return
+		}
+		if len(ids) > 0 {
+			start := time.Now()
+			for _, id := range ids {
+				if err := p.e.check(id); err != nil {
+					p.err = fmt.Errorf("shard: planner window %d: %w", win, err)
+					return
+				}
+			}
+			plan, err := p.e.preprocessWindow(ids, p.cfg.S, win)
+			if err != nil {
+				p.err = fmt.Errorf("shard: planner window %d: %w", win, err)
+				return
+			}
+			w := PlannedWindow{Index: win, Accesses: len(ids), Plan: plan, PlanTime: time.Since(start)}
+			select {
+			case p.ch <- w:
+			case <-ctx.Done():
+				p.err = ctx.Err()
+				return
+			}
+		}
+		buf = ids
+		if eof {
+			return
+		}
+	}
+}
+
+// fillWindow reads up to one window of indices into dst (growing it for
+// unbounded windows), reporting whether the stream ended.
+func (p *Planner) fillWindow(ctx context.Context, dst []uint64) (ids []uint64, eof bool, err error) {
+	limit := p.cfg.Window
+	for limit == 0 || len(dst) < limit {
+		want := readChunk
+		if limit > 0 {
+			want = limit - len(dst)
+		}
+		if cap(dst) < len(dst)+want {
+			grown := make([]uint64, len(dst), max(2*cap(dst), len(dst)+want))
+			copy(grown, dst)
+			dst = grown
+		}
+		fill := dst[len(dst) : len(dst)+want]
+		n, err := p.src.Read(ctx, fill)
+		dst = dst[:len(dst)+n]
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return dst, true, nil
+			}
+			return dst, false, fmt.Errorf("shard: planner source: %w", err)
+		}
+		if err := ctx.Err(); err != nil {
+			return dst, false, err
+		}
+	}
+	return dst, false, nil
+}

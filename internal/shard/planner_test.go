@@ -1,0 +1,226 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// testSource streams a slice in fixed-size bites, so planner windows cross
+// Read boundaries.
+type testSource struct {
+	rest []uint64
+	bite int
+}
+
+func (s *testSource) Read(ctx context.Context, dst []uint64) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if len(s.rest) == 0 {
+		return 0, io.EOF
+	}
+	n := len(dst)
+	if n > s.bite {
+		n = s.bite
+	}
+	n = copy(dst[:n], s.rest)
+	s.rest = s.rest[n:]
+	if len(s.rest) == 0 {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func plannerEngine(t *testing.T, entries uint64, shards int, seed int64) *Engine {
+	t.Helper()
+	return payloadEngine(t, shards, entries, 16, seed)
+}
+
+// TestPlannerFullWindowMatchesPreprocess: a Planner with Window = 0 must
+// emit exactly one window whose plan is identical (bins, members, leaves)
+// to the one-shot Engine.Preprocess — the seed contract behind the
+// streaming-vs-oneshot byte-identity pin.
+func TestPlannerFullWindowMatchesPreprocess(t *testing.T) {
+	const entries = 1 << 9
+	for _, shards := range []int{1, 3} {
+		e := plannerEngine(t, entries, shards, 99)
+		stream := trace.PermutationEpochs(trace.NewRNG(5), entries, 2000)
+		want, err := e.Preprocess(stream, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := e.NewPlanner(&testSource{rest: stream, bite: 333}, PlannerConfig{S: 4, Window: 0, Depth: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := p.Start(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wins []PlannedWindow
+		for w := range ch {
+			wins = append(wins, w)
+		}
+		if err := p.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if len(wins) != 1 {
+			t.Fatalf("shards=%d: got %d windows, want 1", shards, len(wins))
+		}
+		got := wins[0].Plan
+		if got.Bins() != want.Bins() || got.UniqueBlocks() != want.UniqueBlocks() {
+			t.Fatalf("shards=%d: plan shape diverges: %d/%d bins, %d/%d blocks",
+				shards, got.Bins(), want.Bins(), got.UniqueBlocks(), want.UniqueBlocks())
+		}
+		for s := 0; s < shards; s++ {
+			gp, wp := got.ShardPlan(s), want.ShardPlan(s)
+			if gp.Len() != wp.Len() {
+				t.Fatalf("shard %d: %d bins vs %d", s, gp.Len(), wp.Len())
+			}
+			for i := 0; i < gp.Len(); i++ {
+				gb, wb := gp.Bin(i), wp.Bin(i)
+				if gb.Leaf != wb.Leaf || len(gb.Blocks) != len(wb.Blocks) {
+					t.Fatalf("shard %d bin %d diverges", s, i)
+				}
+				for j := range gb.Blocks {
+					if gb.Blocks[j] != wb.Blocks[j] {
+						t.Fatalf("shard %d bin %d member %d diverges", s, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlannerWindowing checks window boundaries and access accounting when
+// the source delivers in bites that do not divide the window size.
+func TestPlannerWindowing(t *testing.T) {
+	const entries = 256
+	e := plannerEngine(t, entries, 2, 7)
+	stream := trace.PermutationEpochs(trace.NewRNG(6), entries, 1000)
+	p, err := e.NewPlanner(&testSource{rest: stream, bite: 97}, PlannerConfig{S: 4, Window: 300, Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := p.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, windows int
+	for w := range ch {
+		if w.Index != windows {
+			t.Errorf("window %d has index %d", windows, w.Index)
+		}
+		if w.Accesses > 300 {
+			t.Errorf("window %d spans %d accesses, cap 300", w.Index, w.Accesses)
+		}
+		total += w.Accesses
+		windows++
+	}
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if total != len(stream) {
+		t.Errorf("windows cover %d accesses, stream has %d", total, len(stream))
+	}
+	if want := (len(stream) + 299) / 300; windows != want {
+		t.Errorf("got %d windows, want %d", windows, want)
+	}
+}
+
+// TestPlannerCancelWithFullQueue cancels while the planner is blocked
+// sending on a full queue: the channel must close promptly with
+// Err() == context.Canceled.
+func TestPlannerCancelWithFullQueue(t *testing.T) {
+	const entries = 256
+	e := plannerEngine(t, entries, 1, 3)
+	stream := trace.PermutationEpochs(trace.NewRNG(8), entries, 4096)
+	p, err := e.NewPlanner(&testSource{rest: stream, bite: 1 << 20}, PlannerConfig{S: 4, Window: 64, Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ch, err := p.Start(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ch // let it fill the queue and block on the next send
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				if err := p.Err(); !errors.Is(err, context.Canceled) {
+					t.Fatalf("Err() = %v, want context.Canceled", err)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("planner did not drain after cancel")
+		}
+	}
+}
+
+// TestPlannerRejectsBadInput pins id validation and source errors.
+func TestPlannerRejectsBadInput(t *testing.T) {
+	const entries = 64
+	e := plannerEngine(t, entries, 1, 2)
+	p, err := e.NewPlanner(&testSource{rest: []uint64{1, 2, 9999}, bite: 8}, PlannerConfig{S: 2, Window: 0, Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := p.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range ch {
+	}
+	if err := p.Err(); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+
+	srcErr := fmt.Errorf("dataloader exploded")
+	p2, err := e.NewPlanner(&errSource{err: srcErr}, PlannerConfig{S: 2, Window: 0, Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch2, err := p2.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range ch2 {
+	}
+	if err := p2.Err(); !errors.Is(err, srcErr) {
+		t.Errorf("Err() = %v, want wrapped %v", err, srcErr)
+	}
+
+	if _, err := e.NewPlanner(nil, PlannerConfig{S: 2, Depth: 1}); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := e.NewPlanner(&errSource{}, PlannerConfig{S: 0, Depth: 1}); err == nil {
+		t.Error("S=0 accepted")
+	}
+	if _, err := e.NewPlanner(&errSource{}, PlannerConfig{S: 4, Window: 2, Depth: 1}); err == nil {
+		t.Error("Window < S accepted")
+	}
+	if _, err := e.NewPlanner(&errSource{}, PlannerConfig{S: 4, Depth: 0}); err == nil {
+		t.Error("Depth=0 accepted")
+	}
+}
+
+type errSource struct{ err error }
+
+func (s *errSource) Read(ctx context.Context, dst []uint64) (int, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	return 0, io.EOF
+}

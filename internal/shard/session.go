@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -113,12 +114,20 @@ func (s *Session) StepBatch(k int, v Visit) (int, error) {
 // Run drives every lane to completion concurrently. nv (may be nil) builds
 // one visitor per lane; use it to keep scratch state lane-local.
 func (s *Session) Run(nv NewVisit) error {
+	return s.RunContext(context.Background(), nv)
+}
+
+// RunContext is Run with cooperative cancellation: every lane checks ctx at
+// each bin boundary, so a cancelled context drains all shard workers (the
+// fan-out always joins) and returns ctx.Err(). The check consumes no
+// randomness — an uncancelled run is byte-identical to Run.
+func (s *Session) RunContext(ctx context.Context, nv NewVisit) error {
 	return s.e.fanOut(func(i int) error {
 		var v Visit
 		if nv != nil {
 			v = nv(i)
 		}
-		if err := s.las[i].Run(s.wrap(i, v)); err != nil {
+		if err := s.las[i].RunContext(ctx, s.wrap(i, v)); err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
 		return nil
@@ -128,12 +137,18 @@ func (s *Session) Run(nv NewVisit) error {
 // RunBatched drives every lane to completion concurrently, k bins per
 // server round trip (§IV-A's per-training-batch fetch within each shard).
 func (s *Session) RunBatched(k int, nv NewVisit) error {
+	return s.RunBatchedContext(context.Background(), k, nv)
+}
+
+// RunBatchedContext is RunBatched with cooperative cancellation (ctx is
+// checked before every batch round trip in every lane).
+func (s *Session) RunBatchedContext(ctx context.Context, k int, nv NewVisit) error {
 	return s.e.fanOut(func(i int) error {
 		var v Visit
 		if nv != nil {
 			v = nv(i)
 		}
-		if err := s.las[i].RunBatched(k, s.wrap(i, v)); err != nil {
+		if err := s.las[i].RunBatchedContext(ctx, k, s.wrap(i, v)); err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
 		return nil

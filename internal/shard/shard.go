@@ -34,6 +34,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/memsim"
@@ -174,6 +175,15 @@ func (e *Engine) Write(id uint64, data []byte) error {
 // in request order. Within a shard, accesses execute in batch order, so
 // results are deterministic for a fixed seed regardless of scheduling.
 func (e *Engine) ReadBatch(ids []uint64) ([][]byte, error) {
+	return e.ReadBatchContext(context.Background(), ids)
+}
+
+// ReadBatchContext is ReadBatch with cooperative cancellation: every shard
+// worker checks ctx before each access, so a cancelled context drains the
+// fan-out at the next access boundary and returns ctx.Err(). The check
+// consumes no randomness — an uncancelled batch is byte-identical to
+// ReadBatch.
+func (e *Engine) ReadBatchContext(ctx context.Context, ids []uint64) ([][]byte, error) {
 	out := make([][]byte, len(ids))
 	lanes, err := e.split(ids)
 	if err != nil {
@@ -182,6 +192,9 @@ func (e *Engine) ReadBatch(ids []uint64) ([][]byte, error) {
 	err = e.fanOut(func(s int) error {
 		c := e.subs[s].Client
 		for _, j := range lanes[s] {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			p, err := c.Read(oram.BlockID(LocalID(ids[j], e.n)))
 			if err != nil {
 				return err
@@ -198,6 +211,12 @@ func (e *Engine) ReadBatch(ids []uint64) ([][]byte, error) {
 
 // WriteBatch fans (ids[i], data[i]) pairs out to per-shard workers.
 func (e *Engine) WriteBatch(ids []uint64, data [][]byte) error {
+	return e.WriteBatchContext(context.Background(), ids, data)
+}
+
+// WriteBatchContext is WriteBatch with cooperative cancellation (see
+// ReadBatchContext for the contract).
+func (e *Engine) WriteBatchContext(ctx context.Context, ids []uint64, data [][]byte) error {
 	if len(ids) != len(data) {
 		return fmt.Errorf("shard: WriteBatch got %d ids, %d payloads", len(ids), len(data))
 	}
@@ -208,6 +227,9 @@ func (e *Engine) WriteBatch(ids []uint64, data [][]byte) error {
 	return e.fanOut(func(s int) error {
 		c := e.subs[s].Client
 		for _, j := range lanes[s] {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := c.Write(oram.BlockID(LocalID(ids[j], e.n)), data[j]); err != nil {
 				return err
 			}
@@ -243,14 +265,24 @@ func LoadCount(n uint64, s, shards int) uint64 {
 // placement, each shard loading its partition concurrently. payload (may
 // be nil) receives global IDs.
 func (e *Engine) Load(n uint64, payload func(id uint64) []byte) error {
-	return e.load(n, nil, payload)
+	return e.load(context.Background(), n, nil, payload)
 }
 
-func (e *Engine) load(n uint64, leafOf []func(oram.BlockID) oram.Leaf, payload func(id uint64) []byte) error {
+// LoadContext is Load with cooperative cancellation at shard granularity:
+// ctx is checked before each shard starts its bulk load (a shard load in
+// flight runs to completion, keeping the tree consistent).
+func (e *Engine) LoadContext(ctx context.Context, n uint64, payload func(id uint64) []byte) error {
+	return e.load(ctx, n, nil, payload)
+}
+
+func (e *Engine) load(ctx context.Context, n uint64, leafOf []func(oram.BlockID) oram.Leaf, payload func(id uint64) []byte) error {
 	if n > e.entries {
 		return fmt.Errorf("shard: Load of %d blocks exceeds configured %d", n, e.entries)
 	}
 	return e.fanOut(func(s int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		cnt := LoadCount(n, s, e.n)
 		if cnt == 0 {
 			return nil

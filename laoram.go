@@ -23,7 +23,19 @@
 //	db.Write(42, row)                        // ad-hoc oblivious access
 //	row, _ := db.Read(42)
 //
-//	plan, _ := db.Preprocess(upcomingIndices, 4)   // look-ahead training
+//	st, _ := db.Train(ctx, laoram.TrainOptions{   // look-ahead training
+//	    Source:   laoram.FromSlice(upcomingIndices),
+//	    Window:   1 << 16,                        // plan 64k accesses ahead
+//	    PrePlace: true,
+//	    Visit:    func(id uint64, row []byte) []byte { return update(row) },
+//	})
+//
+// Train streams the upcoming indices through an incremental planner
+// (window k+1 is preprocessed while window k trains — the §VIII-A
+// two-stage pipeline) and is cancellable through its context. The
+// one-shot primitives it subsumes remain available and byte-identical:
+//
+//	plan, _ := db.Preprocess(upcomingIndices, 4)
 //	db.LoadForPlan(plan, initRow)                  // (fresh instance)
 //	s, _ := db.NewSession(plan)
 //	s.Run(func(id uint64, row []byte) []byte { return update(row) })
@@ -33,6 +45,7 @@
 package laoram
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/crypto"
@@ -153,6 +166,15 @@ type Stats struct {
 // New builds an ORAM instance: Options.Shards independent PathORAM stacks
 // (trees, stashes, position maps) behind one flat block-ID space.
 func New(opts Options) (*ORAM, error) {
+	return NewContext(context.Background(), opts)
+}
+
+// NewContext is New with a context governing construction and, for remote
+// instances, the connection's lifetime: cancelling ctx closes the server
+// connection, failing every in-flight and future remote call — the lever
+// that makes a client stalled on a dead server cancellable. Local
+// instances ignore ctx after construction.
+func NewContext(ctx context.Context, opts Options) (*ORAM, error) {
 	if opts.Entries == 0 {
 		return nil, fmt.Errorf("laoram: Options.Entries must be > 0")
 	}
@@ -163,7 +185,7 @@ func New(opts Options) (*ORAM, error) {
 	n := opts.shards()
 	o := &ORAM{opts: opts}
 	if opts.RemoteAddr != "" {
-		rc, err := remote.Dial(opts.RemoteAddr)
+		rc, err := remote.DialContext(ctx, opts.RemoteAddr)
 		if err != nil {
 			return nil, err
 		}
@@ -350,14 +372,26 @@ func (o *ORAM) Load(n uint64, payload func(id uint64) []byte) error {
 	return o.eng.Load(n, payload)
 }
 
+// LoadContext is Load with cooperative cancellation at shard granularity
+// (a shard load in flight completes, keeping its tree consistent).
+func (o *ORAM) LoadContext(ctx context.Context, n uint64, payload func(id uint64) []byte) error {
+	return o.eng.LoadContext(ctx, n, payload)
+}
+
 // LoadForPlan bulk-initialises with look-ahead pre-placement: blocks start
 // on the path of their first superblock bin, the converged steady state of
 // §IV-B (equivalent to running a warm-up epoch).
 func (o *ORAM) LoadForPlan(p *Plan, payload func(id uint64) []byte) error {
+	return o.LoadForPlanContext(context.Background(), p, payload)
+}
+
+// LoadForPlanContext is LoadForPlan with cooperative cancellation at shard
+// granularity (see LoadContext).
+func (o *ORAM) LoadForPlanContext(ctx context.Context, p *Plan, payload func(id uint64) []byte) error {
 	if p == nil {
 		return fmt.Errorf("laoram: nil plan")
 	}
-	return o.eng.LoadForPlan(p.plan, payload)
+	return o.eng.LoadForPlanContext(ctx, p.plan, payload)
 }
 
 // Read obliviously fetches a block (PathORAM access, §II-C). Returns nil
@@ -378,10 +412,25 @@ func (o *ORAM) ReadBatch(ids []uint64) ([][]byte, error) {
 	return o.eng.ReadBatch(ids)
 }
 
+// ReadBatchContext is ReadBatch with cooperative cancellation: every shard
+// worker checks ctx before each access, so a cancelled context drains the
+// fan-out at the next access boundary and returns ctx.Err(). The check
+// consumes no randomness — an uncancelled batch is byte-identical to
+// ReadBatch.
+func (o *ORAM) ReadBatchContext(ctx context.Context, ids []uint64) ([][]byte, error) {
+	return o.eng.ReadBatchContext(ctx, ids)
+}
+
 // WriteBatch obliviously updates a batch of blocks; data[i] is written to
 // ids[i]. Like ReadBatch, requests fan out across shards.
 func (o *ORAM) WriteBatch(ids []uint64, data [][]byte) error {
 	return o.eng.WriteBatch(ids, data)
+}
+
+// WriteBatchContext is WriteBatch with cooperative cancellation (see
+// ReadBatchContext).
+func (o *ORAM) WriteBatchContext(ctx context.Context, ids []uint64, data [][]byte) error {
+	return o.eng.WriteBatchContext(ctx, ids, data)
 }
 
 // Stats returns a snapshot of activity counters (summed across shards; see
@@ -487,14 +536,28 @@ func (s *Session) Step(v Visit) (bool, error) {
 // Run executes the remaining plan; shard lanes run concurrently.
 func (s *Session) Run(v Visit) error { return s.s.Run(fanVisit(v)) }
 
+// RunContext is Run with cooperative cancellation: every shard lane checks
+// ctx at each bin boundary, so a cancelled context drains all workers and
+// returns ctx.Err(). The check consumes no randomness — an uncancelled run
+// is byte-identical to Run.
+func (s *Session) RunContext(ctx context.Context, v Visit) error {
+	return s.s.RunContext(ctx, fanVisit(v))
+}
+
 // RunPerLane is Run with one visitor per shard lane: newVisit(lane) is
 // called once per lane before execution, letting trainers keep scratch
 // buffers and optimiser state lane-local during concurrent execution.
 func (s *Session) RunPerLane(newVisit func(lane int) Visit) error {
+	return s.RunPerLaneContext(context.Background(), newVisit)
+}
+
+// RunPerLaneContext is RunPerLane with cooperative cancellation (see
+// RunContext).
+func (s *Session) RunPerLaneContext(ctx context.Context, newVisit func(lane int) Visit) error {
 	if newVisit == nil {
-		return s.s.Run(nil)
+		return s.s.RunContext(ctx, nil)
 	}
-	return s.s.Run(func(lane int) shard.Visit { return wrapVisit(newVisit(lane)) })
+	return s.s.RunContext(ctx, func(lane int) shard.Visit { return wrapVisit(newVisit(lane)) })
 }
 
 // StepBatch executes up to k superblock bins in one batched server round
@@ -509,6 +572,12 @@ func (s *Session) StepBatch(k int, v Visit) (int, error) {
 // run concurrently.
 func (s *Session) RunBatched(k int, v Visit) error {
 	return s.s.RunBatched(k, fanVisit(v))
+}
+
+// RunBatchedContext is RunBatched with cooperative cancellation (ctx is
+// checked before every batch round trip in every lane).
+func (s *Session) RunBatchedContext(ctx context.Context, k int, v Visit) error {
+	return s.s.RunBatchedContext(ctx, k, fanVisit(v))
 }
 
 // Done reports whether the plan is exhausted.

@@ -1,0 +1,106 @@
+package laoram
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// IndexSource is a pull-based stream of upcoming embedding indices — the
+// incremental replacement for handing Preprocess the entire access stream
+// as one []uint64. Training systems usually learn the upcoming sample
+// order batch by batch (a dataloader, a feature-store queue, a shuffled
+// epoch being generated on the fly); an IndexSource lets the look-ahead
+// planner consume that order as it appears, so epoch-scale runs never
+// materialise the whole stream in memory.
+//
+// Read fills dst with the next indices in training order and returns how
+// many it wrote. At end of stream it returns io.EOF (possibly alongside a
+// final n > 0). Read must block until it can deliver at least one index,
+// the stream ends, or ctx is cancelled; blocking sources must honour ctx
+// and return ctx.Err().
+type IndexSource interface {
+	Read(ctx context.Context, dst []uint64) (n int, err error)
+}
+
+// FromSlice adapts an in-memory access stream to an IndexSource (the
+// bridge from the one-shot API: Preprocess(stream, s) becomes
+// TrainOptions{Source: FromSlice(stream)}). The slice is not copied; do
+// not mutate it while training.
+func FromSlice(stream []uint64) IndexSource {
+	return &sliceSource{rest: stream}
+}
+
+type sliceSource struct {
+	rest []uint64
+}
+
+func (s *sliceSource) Read(ctx context.Context, dst []uint64) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if len(s.rest) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(dst, s.rest)
+	s.rest = s.rest[n:]
+	if len(s.rest) == 0 {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// FromTrace generates one of the synthetic evaluation workloads (§VII-B)
+// and streams it as an IndexSource. The trace is generated eagerly — it is
+// a convenience for examples and benchmarks; production streams should
+// implement IndexSource over their real dataloader.
+func FromTrace(cfg TraceConfig) (IndexSource, error) {
+	stream, err := trace.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return FromSlice(stream), nil
+}
+
+// FromChannel adapts a channel of indices to an IndexSource: the natural
+// shape when another goroutine produces the training order (a dataloader
+// pipeline, a network feed). Read blocks for the first index, honouring
+// ctx, then drains whatever else is immediately available without
+// blocking; a closed channel ends the stream.
+func FromChannel(ch <-chan uint64) IndexSource {
+	return &chanSource{ch: ch}
+}
+
+type chanSource struct {
+	ch <-chan uint64
+}
+
+func (c *chanSource) Read(ctx context.Context, dst []uint64) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	select {
+	case id, ok := <-c.ch:
+		if !ok {
+			return 0, io.EOF
+		}
+		dst[0] = id
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	n := 1
+	for n < len(dst) {
+		select {
+		case id, ok := <-c.ch:
+			if !ok {
+				return n, io.EOF
+			}
+			dst[n] = id
+			n++
+		default:
+			return n, nil
+		}
+	}
+	return n, nil
+}

@@ -6,7 +6,10 @@ import (
 )
 
 // This file re-exports the embedding-table training helpers the examples
-// and downstream users need, so they can stay on the public API.
+// and downstream users need, so they can stay on the public API. They
+// plug directly into the streaming Trainer: InitRowBytes produces the
+// TrainOptions.Payload initialiser and GenerateTrace/FromTrace produce
+// evaluation IndexSources.
 
 // TableConfig describes an embedding table (rows × float32 dimension).
 type TableConfig = embed.TableConfig

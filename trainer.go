@@ -1,0 +1,202 @@
+package laoram
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/shard"
+)
+
+// TrainOptions configures one streaming training run — the v2 API that
+// subsumes the Preprocess → LoadForPlan → NewSession → Run/RunBatched
+// dance of the one-shot flow. Only Source is required.
+type TrainOptions struct {
+	// Source streams the upcoming embedding indices in training order
+	// (FromSlice, FromTrace, FromChannel, or any custom IndexSource).
+	Source IndexSource
+	// Superblock is the §IV-B superblock size S (default 4; the paper
+	// evaluates S ∈ {2, 4, 8}).
+	Superblock int
+	// Window is the look-ahead horizon: how many upcoming accesses each
+	// planning window scans. 0 plans the entire stream as one window —
+	// byte-identical to the one-shot Preprocess/Session flow under the
+	// same seed. Smaller windows bound planner memory and latency but
+	// degrade toward PathORAM as blocks leave the horizon (the
+	// abl-window ablation). A positive Window must be >= Superblock.
+	Window int
+	// Depth is how many preprocessed windows may queue ahead of the
+	// trainer (default 2 — double-buffered: window k+1 is planned while
+	// window k executes, the paper's §VIII-A overlap).
+	Depth int
+	// BatchBins > 0 executes each window in batched server round trips
+	// of that many superblock bins (§IV-A's per-training-batch fetch);
+	// 0 steps bin by bin.
+	BatchBins int
+	// Visit is the per-block training callback (see type Visit for the
+	// concurrency contract under Shards > 1). Mutually exclusive with
+	// PerLane.
+	Visit Visit
+	// PerLane builds one visitor per shard lane, letting trainers keep
+	// scratch buffers and optimiser state lane-local during concurrent
+	// execution. Mutually exclusive with Visit.
+	PerLane func(lane int) Visit
+	// PrePlace bulk-loads the table before the first window executes,
+	// pre-placing every block of window 0 on its first superblock's path
+	// (the converged steady state of §IV-B — what LoadForPlan does in
+	// the one-shot flow), then zeroes the activity counters so Stats
+	// describe the training run only (the LoadForPlan → ResetStats
+	// convention). When false, the instance must already be loaded
+	// (Load or a previous run).
+	PrePlace bool
+	// Payload initialises rows during the PrePlace load; nil loads
+	// zero/simulated content. Requires PrePlace.
+	Payload func(id uint64) []byte
+	// Sequential disables the plan/execute overlap (every window is
+	// planned before the first executes). Identical work and results;
+	// exists as the measurement baseline for the pipeline experiment.
+	Sequential bool
+}
+
+// TrainStats summarises a streaming training run.
+type TrainStats struct {
+	// Windows is the number of look-ahead windows planned and executed.
+	Windows int
+	// Accesses is the number of stream indices covered by fully executed
+	// windows. After a cancelled run the planner may have consumed up to
+	// (Depth+1)·Window further indices from the Source that never
+	// trained; reconcile against the Source itself if exact feed
+	// accounting matters.
+	Accesses uint64
+	// Session aggregates the LAORAM session counters (§IV) across all
+	// windows and shard lanes.
+	Session SessionStats
+	// PlanTime is total wall time spent in the planning stage. It
+	// overlaps TrainTime (unless Sequential) — the §VIII-A claim is that
+	// it hides behind training almost entirely.
+	PlanTime time.Duration
+	// TrainTime is total wall time spent executing windows (ORAM work).
+	TrainTime time.Duration
+	// TrainerStalled is how long execution waited on the plan queue —
+	// near zero when preprocessing keeps ahead.
+	TrainerStalled time.Duration
+	// WallTime is the elapsed time of the run (excluding the PrePlace
+	// bulk load).
+	WallTime time.Duration
+}
+
+// Trainer is the pipelined training facade: an incremental planner
+// (internal/shard.Planner) scanning the Source window by window on a
+// bounded queue, and a sharded executor running each window while the next
+// is being planned. Build one with NewTrainer, run it with Train; the
+// one-call form is ORAM.Train.
+type Trainer struct {
+	db   *ORAM
+	opts TrainOptions
+	ran  bool
+}
+
+// NewTrainer validates opts against the instance and returns a Trainer.
+func (o *ORAM) NewTrainer(opts TrainOptions) (*Trainer, error) {
+	if opts.Source == nil {
+		return nil, fmt.Errorf("laoram: TrainOptions.Source is required")
+	}
+	if opts.Visit != nil && opts.PerLane != nil {
+		return nil, fmt.Errorf("laoram: TrainOptions.Visit and PerLane are mutually exclusive")
+	}
+	return &Trainer{db: o, opts: opts}, nil
+}
+
+// Train runs the pipeline to completion (or until ctx is cancelled, in
+// which case it returns ctx.Err() after the planner goroutine and every
+// shard worker have drained). Cancelling a run over RemoteAddr also closes
+// the server connection — the only way to unblock a request stalled on a
+// dead network — so the instance is not usable after a cancelled remote
+// run. A Trainer is single-use: run it once.
+func (t *Trainer) Train(ctx context.Context) (*TrainStats, error) {
+	if t.ran {
+		// The Source was (partially) consumed by the first run; a silent
+		// zero-window "success" here would mask that.
+		return nil, fmt.Errorf("laoram: Trainer already ran (build a new Trainer with a fresh Source)")
+	}
+	t.ran = true
+	o := t.db
+	opts := t.opts
+	cfg := batch.TrainConfig{
+		S:          opts.Superblock,
+		Window:     opts.Window,
+		Depth:      opts.Depth,
+		BatchBins:  opts.BatchBins,
+		PrePlace:   opts.PrePlace,
+		Payload:    opts.Payload,
+		Sequential: opts.Sequential,
+	}
+	switch {
+	case opts.PerLane != nil:
+		cfg.NewVisit = func(lane int) shard.Visit { return wrapVisit(opts.PerLane(lane)) }
+	case opts.Visit != nil:
+		cfg.NewVisit = fanVisit(opts.Visit)
+	}
+
+	// A remote request stalled on the network cannot observe ctx; closing
+	// the connection is the lever that unblocks it (every in-flight call
+	// then fails with a connection error, which Train maps back to
+	// ctx.Err()).
+	if o.remote != nil && ctx.Done() != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				o.remote.Close()
+			case <-stop:
+			}
+		}()
+	}
+
+	st, err := batch.Train(ctx, o.eng, opts.Source, cfg)
+	out := &TrainStats{
+		Windows:  st.Windows,
+		Accesses: st.Accesses,
+		Session: SessionStats{
+			Bins:            st.Bins,
+			ColdPathReads:   st.ColdPathReads,
+			LookaheadRemaps: st.LookaheadRemaps,
+			UniformRemaps:   st.UniformRemaps,
+		},
+		PlanTime:       st.PlanTime,
+		TrainTime:      st.TrainTime,
+		TrainerStalled: st.Stalled,
+		WallTime:       st.Wall,
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			return out, ctx.Err()
+		}
+		return out, err
+	}
+	return out, nil
+}
+
+// Train is the one-call streaming API: plan look-ahead windows from
+// opts.Source while executing them through the sharded engine.
+//
+//	st, err := db.Train(ctx, laoram.TrainOptions{
+//	    Source:     laoram.FromSlice(upcoming),
+//	    Superblock: 4,
+//	    Window:     1 << 16,
+//	    PrePlace:   true,
+//	    Visit:      func(id uint64, row []byte) []byte { return update(row) },
+//	})
+//
+// With Window = 0 (one window spanning the whole stream) the run is
+// byte-identical to the one-shot Preprocess → LoadForPlan → NewSession →
+// Run flow under the same seed.
+func (o *ORAM) Train(ctx context.Context, opts TrainOptions) (*TrainStats, error) {
+	t, err := o.NewTrainer(opts)
+	if err != nil {
+		return nil, err
+	}
+	return t.Train(ctx)
+}
