@@ -7,21 +7,27 @@
 //	laorambench -exp fig8 -csv out/      # also write CSV series
 //	laorambench -list                    # list experiment IDs
 //	laorambench -json BENCH_engine.json  # engine microbench trajectory
+//	laorambench -json /tmp/b.json -baseline BENCH_engine.json  # CI gate
 //	laorambench -exp fig7e -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // -json runs the engine microbenchmarks (steady-state access, write-back,
-// sealed access, seal/open) plus the Fig. 7e simulated speedups and writes
-// a machine-readable trajectory — ns/op, B/op, allocs/op and the pinned
-// pre-refactor baseline — to the given file. -cpuprofile/-memprofile wrap
-// the whole run with runtime/pprof for hot-path inspection.
+// sealed access, seal/open) plus the Fig. 7e simulated speedups, the
+// pipeline overlap and the sealed crypto-worker sweep, and writes a
+// machine-readable trajectory — ns/op, B/op, allocs/op and the pinned
+// pre-refactor baseline — to the given file. With -baseline the fresh
+// numbers are compared against a committed trajectory: >20% ns/op
+// regression or any allocs/op increase fails the run (the CI gate that
+// keeps the PR 3 wins from rotting). -cpuprofile/-memprofile wrap the
+// whole run with runtime/pprof for hot-path inspection.
 //
 // Experiment IDs follow DESIGN.md's experiment index: fig2, fig7a..fig7f,
 // fig8, fig9, table1, table2, memneutral, preproc, ring, security, serve,
-// pipeline, and the ablations abl-window, abl-profile, abl-thresh, abl-z,
-// abl-model, abl-batch, abl-shards.
+// pipeline, sealed, and the ablations abl-window, abl-profile, abl-thresh,
+// abl-z, abl-model, abl-batch, abl-shards.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -76,6 +82,7 @@ func experiments() []experiment {
 		{"abl-shards", "ablation: shard count vs batch throughput", func(sc harness.Scale, seed int64) (renderer, error) { return harness.ShardSweep(sc, seed) }},
 		{"serve", "remote serving path: pipelined vs sync protocol over TCP", func(sc harness.Scale, seed int64) (renderer, error) { return harness.Serve(sc, seed) }},
 		{"pipeline", "§VIII-A overlap: streaming Trainer vs sequential plan-then-run", func(sc harness.Scale, seed int64) (renderer, error) { return harness.PipelineExp(sc, seed) }},
+		{"sealed", "crypto fan-out: sealed-batch throughput vs CryptoWorkers", func(sc harness.Scale, seed int64) (renderer, error) { return harness.SealedExp(sc, seed) }},
 	}
 }
 
@@ -87,6 +94,7 @@ func main() {
 		csvDir     = flag.String("csv", "", "directory to also write CSV output into")
 		listFlag   = flag.Bool("list", false, "list experiment ids and exit")
 		jsonFlag   = flag.String("json", "", "run engine microbenchmarks and write the JSON trajectory to this file (skips -exp)")
+		baseline   = flag.String("baseline", "", "with -json: compare against this committed trajectory and fail on >20% ns/op regression or any allocs/op increase")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	)
@@ -94,10 +102,10 @@ func main() {
 	// All error paths return through run() rather than os.Exit so the
 	// deferred profile writers always flush (a truncated CPU profile is
 	// unreadable by pprof).
-	os.Exit(run(*expFlag, *scaleFlag, *seedFlag, *csvDir, *listFlag, *jsonFlag, *cpuProfile, *memProfile))
+	os.Exit(run(*expFlag, *scaleFlag, *seedFlag, *csvDir, *listFlag, *jsonFlag, *baseline, *cpuProfile, *memProfile))
 }
 
-func run(expFlag, scaleFlag string, seed int64, csvDir string, list bool, jsonPath, cpuProfile, memProfile string) (code int) {
+func run(expFlag, scaleFlag string, seed int64, csvDir string, list bool, jsonPath, baselinePath, cpuProfile, memProfile string) (code int) {
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)
 		if err != nil {
@@ -167,6 +175,13 @@ func run(expFlag, scaleFlag string, seed int64, csvDir string, list bool, jsonPa
 		}
 		fmt.Println(res.Render())
 		fmt.Printf("[engine bench completed in %v; wrote %s]\n", time.Since(start).Round(time.Millisecond), jsonPath)
+		if baselinePath != "" {
+			if err := checkRegression(res, baselinePath); err != nil {
+				fmt.Fprintf(os.Stderr, "laorambench: bench regression gate: %v\n", err)
+				return 1
+			}
+			fmt.Printf("[bench regression gate passed against %s]\n", baselinePath)
+		}
 		return 0
 	}
 
@@ -214,6 +229,51 @@ func run(expFlag, scaleFlag string, seed int64, csvDir string, list bool, jsonPa
 		}
 	}
 	return 0
+}
+
+// nsRegressionTolerance is how much slower a microbenchmark may measure
+// before the -baseline gate fails: wall-clock on shared CI hosts is noisy,
+// so the bar is 20%. allocs/op is deterministic and gets no tolerance.
+const nsRegressionTolerance = 1.20
+
+// checkRegression compares the fresh trajectory against the committed
+// BENCH_engine.json: every benchmark present in both must stay within the
+// ns/op tolerance and must not allocate more. Benchmarks only one side has
+// (added or retired rows) are skipped — the gate protects standing wins,
+// not the row set.
+func checkRegression(res *harness.EngineBenchResult, baselinePath string) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base harness.EngineBenchResult
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", baselinePath, err)
+	}
+	byName := make(map[string]harness.EngineBenchRow, len(base.Rows))
+	for _, row := range base.Rows {
+		byName[row.Name] = row
+	}
+	var failures []string
+	for _, row := range res.Rows {
+		b, ok := byName[row.Name]
+		if !ok {
+			continue
+		}
+		if b.NsPerOp > 0 && row.NsPerOp > b.NsPerOp*nsRegressionTolerance {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (>%.0f%% regression)",
+				row.Name, row.NsPerOp, b.NsPerOp, (nsRegressionTolerance-1)*100))
+		}
+		if row.AllocsPerOp > b.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op vs baseline %d (allocation count regressed)",
+				row.Name, row.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d regression(s) vs %s:\n  %s\n(ns/op is host-dependent; if the hardware class changed rather than the code, refresh the baseline with `go run ./cmd/laorambench -scale ci -json %s` and commit it)",
+			len(failures), baselinePath, strings.Join(failures, "\n  "), baselinePath)
+	}
+	return nil
 }
 
 func writeCSV(dir, id string, res renderer) error {

@@ -25,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 
+	"repro/internal/crypto"
 	"repro/internal/oram"
 	"repro/internal/remote"
 	"repro/internal/shard"
@@ -39,6 +40,8 @@ func main() {
 		fat     = flag.Bool("fat", false, "use the fat-tree (root 2x leaf, linear decay)")
 		shards  = flag.Int("shards", 1, "number of shard stores (match the client's Options.Shards)")
 		workers = flag.Int("workers", 0, "request worker pool size (0 = one per CPU)")
+		sealed  = flag.Bool("sealed", false, "seal payloads at rest (AES-CTR+HMAC, fresh random key per shard store)")
+		cworker = flag.Int("cryptoworkers", 0, "crypto fan-out width for sealed stores: seal/open of path and batched requests is partitioned across this many workers (0 = one per CPU capped at 8, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -60,14 +63,45 @@ func main() {
 		log.Fatalf("laoramserve: %v", err)
 	}
 
+	if *sealed && *block <= 0 {
+		log.Fatalf("laoramserve: -sealed requires a payload-bearing store (-block > 0)")
+	}
+	// One bounded crypto pool is shared by every sealed shard store; the
+	// server's request workers already model per-shard concurrency, the
+	// crypto pool parallelises within one request.
+	var pool *crypto.Pool
+	if *sealed {
+		w := *cworker
+		if w == 0 {
+			w = crypto.DefaultWorkers()
+		}
+		if w > 1 {
+			pool = crypto.NewPool(w)
+			defer pool.Close()
+		}
+	}
+
 	stores := make([]oram.Store, *shards)
 	counters := make([]*oram.CountingStore, *shards)
 	for i := range stores {
 		var inner oram.Store
 		if *block > 0 {
-			ps, err := oram.NewPayloadStore(g, nil)
+			var sealer oram.Sealer
+			if *sealed {
+				s, err := crypto.NewRandomSealer()
+				if err != nil {
+					log.Fatalf("laoramserve: %v", err)
+				}
+				sealer = s
+			}
+			ps, err := oram.NewPayloadStore(g, sealer)
 			if err != nil {
 				log.Fatalf("laoramserve: %v (hint: -block 0 for metadata-only at large scales)", err)
+			}
+			if pool != nil {
+				if err := ps.SetCryptoPool(pool); err != nil {
+					log.Fatalf("laoramserve: %v", err)
+				}
 			}
 			inner = ps
 		} else {
@@ -86,7 +120,7 @@ func main() {
 		log.Fatalf("laoramserve: %v", err)
 	}
 	fmt.Printf("laoramserve: serving %d×[%s] (%s, %d entries, server bytes %.2f GB) on %s\n",
-		*shards, g.String(), storeKind(*block), *entries,
+		*shards, g.String(), storeKindSealed(*block, *sealed), *entries,
 		float64(int64(*shards)*g.ServerBytes())/(1<<30), bound)
 	fmt.Println("laoramserve: Ctrl-C to stop")
 
@@ -116,4 +150,11 @@ func storeKind(block int) string {
 		return fmt.Sprintf("payload %dB", block)
 	}
 	return "metadata-only"
+}
+
+func storeKindSealed(block int, sealed bool) string {
+	if sealed {
+		return fmt.Sprintf("sealed payload %dB", block)
+	}
+	return storeKind(block)
 }

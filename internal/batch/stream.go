@@ -100,6 +100,19 @@ type TrainStats struct {
 	// Stalled is how long the trainer waited on the plan queue — near
 	// zero when preprocessing keeps ahead, the §VIII-A claim.
 	Stalled time.Duration
+	// TrainerStalls counts the window fetches that found the plan queue
+	// empty: the queue-miss count behind Stalled (pipelined runs only).
+	TrainerStalls int
+	// PlannerStalled is how long the planning goroutine was blocked
+	// handing windows to the full queue — backpressure on the cheap
+	// stage, the healthy pipeline regime.
+	PlannerStalled time.Duration
+	// QueuePeak and QueueMean summarise the plan-queue depth observed at
+	// each window fetch (bounded by Depth; pipelined runs only). A mean
+	// near Depth means planning stays ahead; near zero means the trainer
+	// is starved.
+	QueuePeak int
+	QueueMean float64
 	// Wall is the elapsed time of the whole run (excluding the PrePlace
 	// bulk load).
 	Wall time.Duration
@@ -186,6 +199,7 @@ func Train(ctx context.Context, e *shard.Engine, src shard.Source, cfg TrainConf
 		cancel()
 		for range ch {
 		}
+		st.PlannerStalled = planner.Stats().EnqueueStalled
 		if ctx.Err() != nil {
 			return st, ctx.Err()
 		}
@@ -207,21 +221,37 @@ func Train(ctx context.Context, e *shard.Engine, src shard.Source, cfg TrainConf
 			}
 		}
 	} else {
+		depthSum := 0
 		for {
+			// Sample the queue depth the fetch finds: an empty queue
+			// means this wait is a genuine pipeline stall, a full one
+			// means planning is comfortably ahead.
+			ready := len(ch)
 			waitStart := time.Now()
 			w, ok := <-ch
 			st.Stalled += time.Since(waitStart)
 			if !ok {
 				break
 			}
+			if ready == 0 {
+				st.TrainerStalls++
+			}
+			if ready > st.QueuePeak {
+				st.QueuePeak = ready
+			}
+			depthSum += ready
 			if err := execute(w); err != nil {
 				return fail(err)
 			}
+		}
+		if st.Windows > 0 {
+			st.QueueMean = float64(depthSum) / float64(st.Windows)
 		}
 		if err := planner.Err(); err != nil {
 			return fail(err)
 		}
 	}
+	st.PlannerStalled = planner.Stats().EnqueueStalled
 	st.Wall = time.Since(wallStart)
 	if ctx.Err() != nil {
 		return st, ctx.Err()

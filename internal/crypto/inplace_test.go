@@ -5,7 +5,9 @@ import (
 	"crypto/aes"
 	"crypto/cipher"
 	"math/rand"
+	"sync"
 	"testing"
+	"testing/quick"
 )
 
 // TestCTRMatchesStdlib pins the hand-rolled allocation-free CTR against
@@ -125,32 +127,137 @@ func TestSealerIVsUnique(t *testing.T) {
 	}
 }
 
-// TestNoKeystreamReuse: consecutive seals of multi-block payloads must not
-// share any CTR counter block — a shared block would be a two-time pad
-// (XOR of two ciphertexts reveals the XOR of the plaintexts). Sealing
-// all-zero payloads exposes the keystream directly in the ciphertext, so
-// any 16-byte keystream block appearing twice across seals is reuse.
+// TestNoKeystreamReuse: no two seals under one Sealer — or any of its
+// clones, sequential or concurrent — may share a CTR counter block: a
+// shared block would be a two-time pad (XOR of two ciphertexts reveals the
+// XOR of the plaintexts). Sealing all-zero payloads exposes the keystream
+// directly in the ciphertext, so any 16-byte keystream block appearing
+// twice across seals is reuse; the IV (prefix ‖ counter sequence) must be
+// unique per seal for the same reason.
 func TestNoKeystreamReuse(t *testing.T) {
 	s, err := NewSealer(testKey())
 	if err != nil {
 		t.Fatal(err)
 	}
 	seen := make(map[[16]byte]int)
-	for _, size := range []int{128, 130, 16, 20, 1, 4096, 128} {
-		zeros := make([]byte, size)
-		sealed, err := s.Seal(zeros)
-		if err != nil {
-			t.Fatal(err)
-		}
+	ingest := func(t *testing.T, sealed []byte, tag int) {
+		t.Helper()
 		ct := sealed[ivSize : len(sealed)-tagSize]
 		for off := 0; off+16 <= len(ct); off += 16 {
 			var blk [16]byte
 			copy(blk[:], ct[off:])
 			if prev, dup := seen[blk]; dup {
-				t.Fatalf("keystream block reused (size %d, offset %d, first seen at seal %d)", size, off, prev)
+				t.Fatalf("keystream block reused (seal %d, offset %d, first seen at seal %d)", tag, off, prev)
 			}
-			seen[blk] = size
+			seen[blk] = tag
 		}
+	}
+	for _, size := range []int{128, 130, 16, 20, 1, 4096, 128} {
+		sealed, err := s.Seal(make([]byte, size))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ingest(t, sealed, size)
+	}
+
+	// Clones share the counter space: N clones sealing concurrently must
+	// reserve disjoint counter ranges, so pooling every ciphertext block
+	// (and IV) across all of them must still show zero duplicates.
+	const clones = 8
+	const sealsPer = 64
+	outs := make([][][]byte, clones)
+	var wg sync.WaitGroup
+	for c := 0; c < clones; c++ {
+		cl := s.Clone()
+		wg.Add(1)
+		go func(c int, cl *Sealer) {
+			defer wg.Done()
+			sizes := []int{128, 33, 4096, 16, 1}
+			for k := 0; k < sealsPer; k++ {
+				sealed, err := cl.Seal(make([]byte, sizes[k%len(sizes)]))
+				if err != nil {
+					return // surfaces as a short output below
+				}
+				outs[c] = append(outs[c], sealed)
+			}
+		}(c, cl)
+	}
+	wg.Wait()
+	ivs := make(map[[16]byte]bool)
+	for c := range outs {
+		if len(outs[c]) != sealsPer {
+			t.Fatalf("clone %d sealed %d of %d payloads", c, len(outs[c]), sealsPer)
+		}
+		for k, sealed := range outs[c] {
+			var iv [16]byte
+			copy(iv[:], sealed[:ivSize])
+			if ivs[iv] {
+				t.Fatalf("clone %d seal %d reused an IV+counter pair", c, k)
+			}
+			ivs[iv] = true
+			ingest(t, sealed, 1000+c*sealsPer+k)
+		}
+	}
+}
+
+// TestQuickCloneKeystreamDisjoint is the testing/quick property behind the
+// clone guarantee: for any clone count, per-clone seal count and payload
+// size (bounded), concurrent sealing from N clones never reuses an
+// IV+counter pair and never emits the same keystream block twice.
+func TestQuickCloneKeystreamDisjoint(t *testing.T) {
+	f := func(clones, seals uint8, size uint16) bool {
+		n := int(clones)%6 + 1
+		per := int(seals)%24 + 1
+		sz := int(size)%300 + 1
+		s, err := NewSealer(testKey())
+		if err != nil {
+			return false
+		}
+		outs := make([][][]byte, n)
+		var wg sync.WaitGroup
+		for c := 0; c < n; c++ {
+			cl := s.Clone()
+			wg.Add(1)
+			go func(c int, cl *Sealer) {
+				defer wg.Done()
+				for k := 0; k < per; k++ {
+					sealed, err := cl.Seal(make([]byte, sz))
+					if err != nil {
+						return
+					}
+					outs[c] = append(outs[c], sealed)
+				}
+			}(c, cl)
+		}
+		wg.Wait()
+		ivs := make(map[[16]byte]bool)
+		blocks := make(map[[16]byte]bool)
+		for c := range outs {
+			if len(outs[c]) != per {
+				return false
+			}
+			for _, sealed := range outs[c] {
+				var iv [16]byte
+				copy(iv[:], sealed[:ivSize])
+				if ivs[iv] {
+					return false
+				}
+				ivs[iv] = true
+				ct := sealed[ivSize : len(sealed)-tagSize]
+				for off := 0; off+16 <= len(ct); off += 16 {
+					var blk [16]byte
+					copy(blk[:], ct[off:])
+					if blocks[blk] {
+						return false
+					}
+					blocks[blk] = true
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -1,0 +1,126 @@
+package crypto
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers is the derived crypto fan-out width used when a caller
+// passes 0 "workers": one per CPU, capped at 8 — past that the sealed hot
+// path is memory-bound, not AES-bound. Client (laoram.Options.CryptoWorkers)
+// and server (laoramserve -cryptoworkers) share this policy.
+func DefaultWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Pool is a bounded worker pool for fanning embarrassingly parallel
+// seal/open work across goroutines: the buckets of a path, a batched
+// bucket union or a superblock fetch are independent AEAD records (Path
+// ORAM and PrORAM treat per-bucket encryption as independent work), so the
+// only coordination parallel crypto needs is counter reservation — which
+// Sealer.ReserveSeals provides deterministically.
+//
+// The pool owns Workers()-1 persistent goroutines; Run executes chunk 0 on
+// the calling goroutine, so a 1-worker pool degenerates to a plain serial
+// loop with no goroutines, no channel sends and no allocation — the
+// byte-identical CryptoWorkers=1 path. Several owners (shard stores) may
+// call Run concurrently; chunks from concurrent Runs interleave on the
+// shared workers. Tasks must never call Run themselves (chunk 0 always
+// runs inline, so progress is guaranteed even with every worker busy, but
+// a task blocking on its own pool would deadlock).
+type Pool struct {
+	workers int
+	tasks   chan func()
+	done    sync.WaitGroup
+}
+
+// NewPool starts a pool with the given fan-out width (clamped to >= 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.tasks = make(chan func(), 2*workers)
+		p.done.Add(workers - 1)
+		for i := 1; i < workers; i++ {
+			go func() {
+				defer p.done.Done()
+				for task := range p.tasks {
+					task()
+				}
+			}()
+		}
+	}
+	return p
+}
+
+// Workers returns the fan-out width (>= 1).
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops the worker goroutines. Run must not be called after — or
+// concurrently with — Close. A nil pool and a 1-worker pool close as
+// no-ops.
+func (p *Pool) Close() {
+	if p == nil || p.tasks == nil {
+		return
+	}
+	close(p.tasks)
+	p.done.Wait()
+	p.tasks = nil
+}
+
+// Run partitions [0, n) into at most Workers() contiguous chunks and calls
+// fn(chunk, lo, hi) once per chunk, chunk 0 on the calling goroutine and
+// the rest on the pool workers. It returns after every chunk has finished,
+// with the lowest-chunk error. Chunk indices are dense in [0, chunks), so
+// callers can hand chunk c a dedicated Sealer clone; because a chunk's
+// bounds depend only on (n, Workers()), the work assignment — and with
+// reserved counter sequences, the output bytes — are independent of
+// scheduling.
+func (p *Pool) Run(n int, fn func(chunk, lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	chunks := p.workers
+	if chunks > n {
+		chunks = n
+	}
+	per := (n + chunks - 1) / chunks
+	if chunks == 1 {
+		return fn(0, 0, n)
+	}
+	errs := make([]error, chunks)
+	var wg sync.WaitGroup
+	for c := 1; c < chunks; c++ {
+		lo := c * per
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		c, lo, hi := c, lo, hi
+		p.tasks <- func() {
+			defer wg.Done()
+			errs[c] = fn(c, lo, hi)
+		}
+	}
+	errs[0] = fn(0, 0, per)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package crypto
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// TestPoolCoversRange: every index in [0, n) is handled exactly once, for
+// widths below, at and above n, and chunk indices stay dense and distinct.
+func TestPoolCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 2, 7, 8, 9, 100} {
+			hits := make([]atomic.Int32, n)
+			var chunks sync.Map
+			err := p.Run(n, func(chunk, lo, hi int) error {
+				if _, dup := chunks.LoadOrStore(chunk, true); dup {
+					t.Errorf("workers=%d n=%d: chunk %d ran twice", workers, n, chunk)
+				}
+				if chunk < 0 || chunk >= workers {
+					t.Errorf("workers=%d n=%d: chunk %d out of range", workers, n, chunk)
+				}
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d handled %d times", workers, n, i, got)
+				}
+			}
+			chunks.Range(func(k, _ any) bool { chunks.Delete(k); return true })
+		}
+		p.Close()
+	}
+}
+
+// TestPoolReturnsLowestChunkError: the error of the lowest-index failing
+// chunk wins, matching the serial loop's first-error semantics.
+func TestPoolReturnsLowestChunkError(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	errA := errors.New("chunk 1 failed")
+	errB := errors.New("chunk 3 failed")
+	err := p.Run(8, func(chunk, lo, hi int) error {
+		switch chunk {
+		case 1:
+			return errA
+		case 3:
+			return errB
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("got %v, want lowest-chunk error %v", err, errA)
+	}
+}
+
+// TestPoolConcurrentOwners: several goroutines (the shard model) may Run
+// on one shared pool concurrently; each Run must still cover its own range
+// exactly once.
+func TestPoolConcurrentOwners(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	const owners = 6
+	const n = 64
+	var wg sync.WaitGroup
+	fail := make([]bool, owners)
+	for o := 0; o < owners; o++ {
+		wg.Add(1)
+		go func(o int) {
+			defer wg.Done()
+			hits := make([]atomic.Int32, n)
+			if err := p.Run(n, func(chunk, lo, hi int) error {
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+				return nil
+			}); err != nil {
+				fail[o] = true
+				return
+			}
+			for i := range hits {
+				if hits[i].Load() != 1 {
+					fail[o] = true
+				}
+			}
+		}(o)
+	}
+	wg.Wait()
+	for o, f := range fail {
+		if f {
+			t.Errorf("owner %d: range not covered exactly once", o)
+		}
+	}
+}
+
+// TestQuickPoolPartition: the chunk layout is a partition of [0, n) into
+// contiguous, ordered, non-overlapping spans for arbitrary (workers, n).
+func TestQuickPoolPartition(t *testing.T) {
+	f := func(workers, n uint8) bool {
+		w := int(workers)%8 + 1
+		m := int(n) % 200
+		p := NewPool(w)
+		defer p.Close()
+		type span struct{ lo, hi int }
+		var mu sync.Mutex
+		spans := map[int]span{}
+		if err := p.Run(m, func(chunk, lo, hi int) error {
+			mu.Lock()
+			spans[chunk] = span{lo, hi}
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			return false
+		}
+		covered := 0
+		for c := 0; c < len(spans); c++ {
+			s, ok := spans[c]
+			if !ok || s.lo != covered || s.hi <= s.lo || s.hi > m {
+				return false
+			}
+			covered = s.hi
+		}
+		return covered == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash"
+	"sync/atomic"
 )
 
 const (
@@ -42,15 +43,23 @@ const (
 
 // Sealer encrypts and authenticates fixed-size block payloads. It
 // implements the oram.Sealer interface (and its in-place extension,
-// oram.InplaceSealer). A Sealer is safe for sequential use by a single
-// client goroutine (matching the ORAM client's model); the HMAC instance,
-// keystream scratch and IV counter are deliberately reused across calls so
-// that SealTo/OpenTo allocate nothing in steady state.
+// oram.InplaceSealer). A single Sealer instance is safe for sequential use
+// by one goroutine at a time (matching the ORAM client's model); the HMAC
+// instance and keystream scratch are deliberately reused across calls so
+// that SealTo/OpenTo allocate nothing in steady state. For parallel
+// sealing, Clone per-worker instances: clones share the key, IV prefix and
+// the atomic counter (so concurrent seals reserve disjoint counter ranges
+// and never overlap keystream) while keeping the non-goroutine-safe HMAC
+// and scratch state private.
 type Sealer struct {
 	block    cipher.Block
 	macKey   [32]byte
 	ivPrefix [8]byte // single crypto/rand read, at construction
-	counter  uint64  // strictly increasing; IV = ivPrefix ‖ counter
+	// counter is the strictly increasing 64-bit block sequence number
+	// (IV = ivPrefix ‖ counter), shared across clones: every seal reserves
+	// its counter blocks with one atomic add, so no two seals — serial or
+	// concurrent — ever consume the same counter value under the key.
+	counter *atomic.Uint64
 
 	mac hash.Hash           // reusable HMAC-SHA-256 (Reset between uses)
 	sum [sha256.Size]byte   // mac.Sum scratch
@@ -62,6 +71,20 @@ type Sealer struct {
 // key AES, the full key is stretched into the MAC key. The IV prefix is
 // the only randomness drawn — one crypto/rand read per Sealer lifetime.
 func NewSealer(master []byte) (*Sealer, error) {
+	var prefix [8]byte
+	if _, err := cryptorand.Read(prefix[:]); err != nil {
+		return nil, fmt.Errorf("crypto: generating IV prefix: %w", err)
+	}
+	return NewSealerWithPrefix(master, prefix)
+}
+
+// NewSealerWithPrefix is NewSealer with a caller-chosen IV prefix instead
+// of a random one: two sealers with the same key and prefix produce
+// identical ciphertext for identical seal sequences, which is what
+// byte-identity tests of the parallel seal path compare. Production code
+// must use NewSealer — reusing a prefix under one key collapses the
+// birthday-bound argument against cross-Sealer keystream collisions.
+func NewSealerWithPrefix(master []byte, prefix [8]byte) (*Sealer, error) {
 	if len(master) != 32 {
 		return nil, fmt.Errorf("crypto: master key must be 32 bytes, got %d", len(master))
 	}
@@ -69,13 +92,64 @@ func NewSealer(master []byte) (*Sealer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("crypto: %w", err)
 	}
-	s := &Sealer{block: blk}
+	s := &Sealer{block: blk, counter: new(atomic.Uint64), ivPrefix: prefix}
 	s.macKey = sha256.Sum256(append([]byte("laoram-mac-v1:"), master...))
 	s.mac = hmac.New(sha256.New, s.macKey[:])
-	if _, err := cryptorand.Read(s.ivPrefix[:]); err != nil {
-		return nil, fmt.Errorf("crypto: generating IV prefix: %w", err)
-	}
 	return s, nil
+}
+
+// Clone returns a worker instance of s for parallel sealing: it shares the
+// key, the IV prefix and the counter space (one atomic sequence across all
+// clones), with a private HMAC instance and CTR/keystream scratch. Each
+// individual instance — the original or a clone — remains single-goroutine,
+// but different instances may seal and open concurrently: counter
+// reservation guarantees their keystreams never overlap, and opening never
+// touches the counter at all.
+func (s *Sealer) Clone() *Sealer {
+	c := &Sealer{
+		block:    s.block, // aes.Block is stateless per call and goroutine-safe
+		macKey:   s.macKey,
+		ivPrefix: s.ivPrefix,
+		counter:  s.counter,
+	}
+	c.mac = hmac.New(sha256.New, c.macKey[:])
+	return c
+}
+
+// CounterBlocks returns how many CTR counter values a seal of a plainLen-
+// byte payload reserves: one per 16 plaintext bytes, and at least one (the
+// IV itself must be unique even for empty payloads).
+func CounterBlocks(plainLen int) int {
+	blocks := (plainLen + aes.BlockSize - 1) / aes.BlockSize
+	if blocks < 1 {
+		blocks = 1
+	}
+	return blocks
+}
+
+// ReserveSeals atomically reserves counter space for count seals of
+// plainLen bytes each and returns the sequence number of the first seal;
+// seal i of the reservation must use sequence first + i·CounterBlocks(plainLen),
+// passed to SealSeqTo. This is the deterministic-fan-out primitive: a batch
+// reserved up front and sealed by concurrent workers in any order produces
+// ciphertext byte-identical to sealing the same batch serially in index
+// order, because the counter assignment depends only on the index.
+func (s *Sealer) ReserveSeals(count, plainLen int) uint64 {
+	total := uint64(CounterBlocks(plainLen)) * uint64(count)
+	return s.counter.Add(total) - total + 1
+}
+
+// SealSeqTo is SealTo with an explicitly reserved counter sequence number
+// (from ReserveSeals) instead of an inline reservation. The caller is
+// responsible for never passing the same sequence twice and for reserving
+// enough counter blocks for the payload length — both hold by construction
+// when sequences come from ReserveSeals with the same plainLen.
+func (s *Sealer) SealSeqTo(dst, plain []byte, seq uint64) error {
+	if len(dst) != s.SealedSize(len(plain)) {
+		return fmt.Errorf("crypto: SealSeqTo dst len %d, want %d", len(dst), s.SealedSize(len(plain)))
+	}
+	s.sealAt(dst, plain, seq)
+	return nil
 }
 
 // NewRandomSealer generates a fresh master key from crypto/rand.
@@ -97,17 +171,24 @@ func (s *Sealer) SealTo(dst, plain []byte) error {
 	if len(dst) != s.SealedSize(len(plain)) {
 		return fmt.Errorf("crypto: SealTo dst len %d, want %d", len(dst), s.SealedSize(len(plain)))
 	}
-	iv := dst[:ivSize]
-	copy(iv[:8], s.ivPrefix[:])
-	s.counter++
-	binary.BigEndian.PutUint64(iv[8:], s.counter)
 	// Reserve every counter block this seal's keystream will consume —
 	// CTR increments the counter once per 16 plaintext bytes — so the
-	// next seal's IV starts past them and no keystream block is ever
-	// reused under the key.
-	if blocks := (len(plain) + aes.BlockSize - 1) / aes.BlockSize; blocks > 1 {
-		s.counter += uint64(blocks - 1)
-	}
+	// next seal's IV (on this or any clone) starts past them and no
+	// keystream block is ever reused under the key. On a single goroutine
+	// the atomic add assigns exactly the sequence the old serial counter
+	// did, so serial sealing stays byte-identical.
+	blocks := uint64(CounterBlocks(len(plain)))
+	seq := s.counter.Add(blocks) - blocks + 1
+	s.sealAt(dst, plain, seq)
+	return nil
+}
+
+// sealAt writes [IV | ciphertext | tag] into dst (already length-checked)
+// using counter sequence seq for the IV.
+func (s *Sealer) sealAt(dst, plain []byte, seq uint64) {
+	iv := dst[:ivSize]
+	copy(iv[:8], s.ivPrefix[:])
+	binary.BigEndian.PutUint64(iv[8:], seq)
 
 	s.xorKeyStream(dst[ivSize:ivSize+len(plain)], plain, iv)
 
@@ -115,7 +196,6 @@ func (s *Sealer) SealTo(dst, plain []byte) error {
 	s.mac.Write(dst[:ivSize+len(plain)])
 	sum := s.mac.Sum(s.sum[:0])
 	copy(dst[ivSize+len(plain):], sum[:tagSize])
-	return nil
 }
 
 // OpenTo authenticates sealed and decrypts it into dst, which must have

@@ -58,6 +58,14 @@ type PipelineResult struct {
 	PlanTime  time.Duration
 	TrainTime time.Duration
 	Stalled   time.Duration
+	// TrainerStalls / PlannerStalled / QueuePeak / QueueMean are the
+	// first-class pipeline counters of laoram.TrainStats: queue-miss
+	// count behind Stalled, planner backpressure time, and the plan-queue
+	// depth each window fetch observed.
+	TrainerStalls  int
+	PlannerStalled time.Duration
+	QueuePeak      int
+	QueueMean      float64
 }
 
 // pipelineRun executes one schedule over a fresh engine. ratePerSec <= 0
@@ -162,9 +170,13 @@ func PipelineExp(sc Scale, seed int64) (*PipelineResult, error) {
 		FeedRate:  rate,
 		SeqWall:   seq.WallTime,
 		PipeWall:  pipe.WallTime,
-		PlanTime:  pipe.PlanTime,
-		TrainTime: pipe.TrainTime,
-		Stalled:   pipe.TrainerStalled,
+		PlanTime:       pipe.PlanTime,
+		TrainTime:      pipe.TrainTime,
+		Stalled:        pipe.TrainerStalled,
+		TrainerStalls:  pipe.TrainerStalls,
+		PlannerStalled: pipe.PlannerStalled,
+		QueuePeak:      pipe.PlanQueuePeak,
+		QueueMean:      pipe.PlanQueueMean,
 	}
 	if res.PipeWall > 0 {
 		res.Speedup = float64(res.SeqWall) / float64(res.PipeWall)
@@ -185,17 +197,20 @@ func (r *PipelineResult) Render() string {
 		r.TrainTime.Round(time.Millisecond).String(),
 		r.Stalled.Round(time.Millisecond).String())
 	t.AddNote("overlap speedup %.2fx over %d windows — identical plans and session counters in both runs", r.Speedup, r.Windows)
+	t.AddNote("queue: %d trainer stalls, planner backpressured %s, depth peak %d mean %.2f (bound %d)",
+		r.TrainerStalls, r.PlannerStalled.Round(time.Millisecond), r.QueuePeak, r.QueueMean, r.Depth)
 	return t.Render()
 }
 
 // CSV exports the measurement.
 func (r *PipelineResult) CSV() string {
 	var sb strings.Builder
-	sb.WriteString("schedule,wall_ns,plan_ns,train_ns,stalled_ns,speedup\n")
-	sb.WriteString(fmt.Sprintf("sequential,%d,,,,\n", r.SeqWall.Nanoseconds()))
-	sb.WriteString(fmt.Sprintf("pipelined,%d,%d,%d,%d,%.3f\n",
+	sb.WriteString("schedule,wall_ns,plan_ns,train_ns,stalled_ns,trainer_stalls,planner_stalled_ns,queue_peak,queue_mean,speedup\n")
+	sb.WriteString(fmt.Sprintf("sequential,%d,,,,,,,,\n", r.SeqWall.Nanoseconds()))
+	sb.WriteString(fmt.Sprintf("pipelined,%d,%d,%d,%d,%d,%d,%d,%.3f,%.3f\n",
 		r.PipeWall.Nanoseconds(), r.PlanTime.Nanoseconds(), r.TrainTime.Nanoseconds(),
-		r.Stalled.Nanoseconds(), r.Speedup))
+		r.Stalled.Nanoseconds(), r.TrainerStalls, r.PlannerStalled.Nanoseconds(),
+		r.QueuePeak, r.QueueMean, r.Speedup))
 	return sb.String()
 }
 

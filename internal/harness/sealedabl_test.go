@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestSealedExperiment runs the sealed crypto fan-out sweep at CI scale
+// and enforces the acceptance bar: 4 crypto workers must deliver at least
+// 2x the serial sealed-batch throughput. The sweep itself — and the
+// byte-identity check across widths baked into SealedExp — runs on any
+// host; the speedup assertion needs real parallelism, so it is skipped
+// below 4 CPUs (the CI runners have them) and relaxed under the race
+// detector, whose per-access instrumentation serialises much of the win.
+func TestSealedExperiment(t *testing.T) {
+	res, err := SealedExp(CIScale(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(sealedWorkerSweep) {
+		t.Fatalf("expected %d rows, got %d", len(sealedWorkerSweep), len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Throughput <= 0 || row.Wall <= 0 {
+			t.Errorf("workers=%d: empty measurement: %+v", row.Workers, row)
+		}
+	}
+	row4 := res.Row(4)
+	if row4 == nil {
+		t.Fatal("missing workers=4 row")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("host has %d CPUs; the >=2x @ 4 workers bar needs >= 4 (sweep and equivalence checks passed)", runtime.NumCPU())
+	}
+	bar := 2.0
+	if raceEnabled {
+		bar = 1.4
+	}
+	if row4.Speedup < bar {
+		// Wall-clock on a shared host: take the best of two full sweeps
+		// before judging the bar, like the serve and pipeline gates.
+		res2, err := SealedExp(CIScale(), 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2 := res2.Row(4); r2 != nil && r2.Speedup > row4.Speedup {
+			res, row4 = res2, r2
+		}
+	}
+	if row4.Speedup < bar {
+		t.Errorf("4 crypto workers deliver %.2fx the serial sealed-batch throughput (%.0f vs %.0f acc/s); want >= %.1fx",
+			row4.Speedup, row4.Throughput, res.Row(1).Throughput, bar)
+	}
+	t.Logf("\n%s", res.Render())
+}

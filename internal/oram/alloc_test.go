@@ -102,10 +102,8 @@ func TestWriteBackPathsAllocs(t *testing.T) {
 	}
 }
 
-// TestAccessSealedAllocBudget: with a payload-bearing sealed store the only
-// remaining steady-state allocation is the caller-owned copy an OpRead
-// returns — budget exactly one object per read.
-func TestAccessSealedAllocBudget(t *testing.T) {
+func sealedAllocClient(t *testing.T) (*Client, uint64) {
+	t.Helper()
 	g := MustGeometry(GeometryConfig{LeafBits: 8, LeafZ: 4, BlockSize: 64})
 	key := make([]byte, 32)
 	sealer, err := crypto.NewSealer(key)
@@ -128,7 +126,12 @@ func TestAccessSealedAllocBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	row := make([]byte, 64)
-	if err := c.Load(blocks, nil, func(BlockID) []byte { return row }); err != nil {
+	if err := c.Load(blocks, nil, func(id BlockID) []byte {
+		for i := range row {
+			row[i] = byte(uint64(id) + uint64(i))
+		}
+		return row
+	}); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 1024; i++ {
@@ -136,6 +139,14 @@ func TestAccessSealedAllocBudget(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	return c, blocks
+}
+
+// TestAccessSealedAllocBudget: with a payload-bearing sealed store the only
+// remaining steady-state allocation of Access is the caller-owned copy an
+// OpRead returns — budget exactly one object per read.
+func TestAccessSealedAllocBudget(t *testing.T) {
+	c, blocks := sealedAllocClient(t)
 	rng := rand.New(rand.NewSource(16))
 	allocs := testing.AllocsPerRun(300, func() {
 		out, err := c.Access(OpRead, BlockID(uint64(rng.Int63n(int64(blocks)))), nil)
@@ -149,4 +160,60 @@ func TestAccessSealedAllocBudget(t *testing.T) {
 	if allocs > 1 {
 		t.Errorf("sealed Access allocates %.2f objects/op in steady state, want <= 1 (the returned copy)", allocs)
 	}
+}
+
+// TestAccessSealedAllocs: ReadInto with a recycled buffer closes the last
+// gap — the whole sealed access cycle (path read, decrypt into re-armed
+// client buffers, stash copy, reseal, write-back, background eviction,
+// result copy) has an allocation budget of zero.
+func TestAccessSealedAllocs(t *testing.T) {
+	c, blocks := sealedAllocClient(t)
+	rng := rand.New(rand.NewSource(16))
+	buf := make([]byte, 64)
+	allocs := testing.AllocsPerRun(500, func() {
+		out, err := c.ReadInto(BlockID(uint64(rng.Int63n(int64(blocks)))), buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 64 {
+			t.Fatalf("read returned %d bytes", len(out))
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("sealed ReadInto allocates %.2f objects/op in steady state, want 0", allocs)
+	}
+}
+
+// TestReadIntoMatchesAccess: ReadInto returns the same bytes Access does
+// and accepts undersized or nil buffers by growing.
+func TestReadIntoMatchesAccess(t *testing.T) {
+	c, blocks := sealedAllocClient(t)
+	for i := uint64(0); i < 32; i++ {
+		id := BlockID(i % blocks)
+		want, err := c.Access(OpRead, id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, buf := range [][]byte{nil, make([]byte, 3), make([]byte, 64)} {
+			got, err := c.ReadInto(id, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytesEqual(got, want) {
+				t.Fatalf("block %d: ReadInto diverged from Access", id)
+			}
+		}
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -426,6 +426,29 @@ func (c *Client) MaybeEvict() (int, error) {
 // back, then run background eviction. For OpRead the returned slice is a
 // copy owned by the caller; for OpWrite, data is copied in.
 func (c *Client) Access(op Op, id BlockID, data []byte) ([]byte, error) {
+	return c.accessInto(op, id, data, nil)
+}
+
+// ReadInto is an oblivious read that copies the payload into buf's
+// capacity (growing it only when too small) instead of a fresh allocation,
+// returning the filled slice — the steady-state training loop's form of
+// Access(OpRead): with a recycled buffer the whole sealed access cycle is
+// allocation-free. The access is indistinguishable from Access on the
+// memory bus; only the ownership of the returned bytes differs (they alias
+// buf, which the caller must not hand to concurrent readers).
+func (c *Client) ReadInto(id BlockID, buf []byte) ([]byte, error) {
+	if buf == nil {
+		// A nil buf must still mean "reuse nothing", not "fresh copy",
+		// so the zero-capacity slice keeps the copy-into semantics.
+		buf = []byte{}
+	}
+	return c.accessInto(OpRead, id, nil, buf)
+}
+
+// accessInto is the shared access cycle. dst non-nil directs an OpRead's
+// result into dst's capacity (ReadInto); nil returns a fresh copy
+// (Access).
+func (c *Client) accessInto(op Op, id BlockID, data, dst []byte) ([]byte, error) {
 	if uint64(id) >= c.pos.Len() {
 		return nil, fmt.Errorf("oram: block %d out of range (have %d blocks)", id, c.pos.Len())
 	}
@@ -433,7 +456,7 @@ func (c *Client) Access(op Op, id BlockID, data []byte) ([]byte, error) {
 
 	if c.stashHits && c.stash.Contains(id) {
 		c.stats.StashHits++
-		out, err := c.serveFromStash(op, id, data)
+		out, err := c.serveFromStash(op, id, data, dst)
 		if err != nil {
 			return nil, err
 		}
@@ -482,7 +505,7 @@ func (c *Client) Access(op Op, id BlockID, data []byte) ([]byte, error) {
 	c.stash.SetLeaf(id, newLeaf)
 	c.stats.Remaps++
 
-	out, err := c.serveFromStash(op, id, data)
+	out, err := c.serveFromStash(op, id, data, dst)
 	if err != nil {
 		return nil, err
 	}
@@ -506,15 +529,19 @@ func (c *Client) Write(id BlockID, data []byte) error {
 }
 
 // serveFromStash serves one operation against the stash-resident block.
-// Reads return a fresh copy (the stash's live slab bytes must never escape
-// to callers: they are recycled on Remove); writes are copied in by the
-// stash itself.
-func (c *Client) serveFromStash(op Op, id BlockID, data []byte) ([]byte, error) {
+// Reads return a copy (the stash's live slab bytes must never escape to
+// callers: they are recycled on Remove) — into dst's capacity when dst is
+// non-nil (ReadInto), freshly allocated otherwise; writes are copied in by
+// the stash itself.
+func (c *Client) serveFromStash(op Op, id BlockID, data, dst []byte) ([]byte, error) {
 	switch op {
 	case OpRead:
 		p, ok := c.stash.Payload(id)
 		if !ok {
 			return nil, fmt.Errorf("oram: block %d vanished from stash", id)
+		}
+		if dst != nil {
+			return copyInto(dst, p), nil
 		}
 		return cloneBytes(p), nil
 	case OpWrite:
@@ -534,4 +561,18 @@ func cloneBytes(b []byte) []byte {
 	out := make([]byte, len(b))
 	copy(out, b)
 	return out
+}
+
+// copyInto copies p into dst's capacity, growing only when it is too
+// small; a nil p (metadata-only store) yields nil.
+func copyInto(dst, p []byte) []byte {
+	if p == nil {
+		return nil
+	}
+	if cap(dst) < len(p) {
+		dst = make([]byte, len(p))
+	}
+	dst = dst[:len(p)]
+	copy(dst, p)
+	return dst
 }

@@ -3,6 +3,8 @@ package oram
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/crypto"
 )
 
 // Store is the server-storage abstraction: the paper's server_storage
@@ -197,8 +199,11 @@ func (st *MetaStore) WriteSlot(level int, node uint64, slot int, src Slot) error
 }
 
 // Sealer transforms slot payloads at the storage boundary. The crypto
-// package provides an AES-CTR implementation; the interface lives here so
-// that PayloadStore does not import it.
+// package provides an AES-CTR implementation; the interface keeps the
+// serial seal/open contract implementation-agnostic. (The parallel fast
+// path below is specific to crypto.Sealer's counter-reservation
+// discipline, so PayloadStore now imports crypto for it; any Sealer still
+// works serially.)
 type Sealer interface {
 	// SealedSize returns the on-server size of a sealed payload of the
 	// given plaintext size.
@@ -243,6 +248,19 @@ type PayloadStore struct {
 	// zero is the reusable zero payload written for real blocks loaded
 	// with a nil payload ("zero-filled row").
 	zero []byte
+
+	// pool, when installed via SetCryptoPool with more than one worker,
+	// fans the seal/open work of path- and batch-granularity operations
+	// across forks — per-worker crypto.Sealer clones sharing one counter
+	// space. forks[0] is the store's own sealer (chunk 0 runs on the
+	// calling goroutine); nil pool keeps every path strictly serial.
+	pool  *crypto.Pool
+	forks []*crypto.Sealer
+	// sealOrd[i] is the scratch prefix count of real (counter-consuming)
+	// slots in buckets [0, i) of the current SealRange; pathRefs is the
+	// reusable path→bucket-refs conversion of ReadPath/WritePath.
+	sealOrd  []int
+	pathRefs []BucketRef
 }
 
 var _ Store = (*PayloadStore)(nil)
@@ -366,6 +384,237 @@ func (st *PayloadStore) writeSlotAt(i int64, src Slot) error {
 	}
 	copy(raw, src.Payload)
 	return nil
+}
+
+// SetCryptoPool installs a bounded crypto worker pool: the seal/open work
+// of path- and batch-granularity operations (ReadPath/WritePath,
+// ReadBuckets/WriteBuckets and the OpenRange/SealRange primitives under
+// them) is partitioned across the pool's workers, each running through its
+// own Sealer clone. Requires the store to have been built with a
+// *crypto.Sealer — the fan-out leans on its counter-reservation discipline
+// for determinism — and must not be called concurrently with store
+// operations. A nil pool (or one with a single worker) keeps today's
+// strictly serial behaviour.
+func (st *PayloadStore) SetCryptoPool(p *crypto.Pool) error {
+	if p == nil || p.Workers() == 1 {
+		st.pool = nil
+		st.forks = nil
+		return nil
+	}
+	base, ok := st.sealer.(*crypto.Sealer)
+	if !ok {
+		return fmt.Errorf("oram: SetCryptoPool requires a *crypto.Sealer (store has %T)", st.sealer)
+	}
+	st.pool = p
+	st.forks = make([]*crypto.Sealer, p.Workers())
+	st.forks[0] = base
+	for i := 1; i < len(st.forks); i++ {
+		st.forks[i] = base.Clone()
+	}
+	return nil
+}
+
+// openSlotAt is readSlotAt decrypting through the given worker sealer
+// instead of the store's own (the parallel fan-out path; forks are only
+// installed for in-place crypto sealers).
+func (st *PayloadStore) openSlotAt(is InplaceSealer, i int64, dst *Slot) error {
+	dst.ID = BlockID(st.ids[i])
+	dst.Leaf = Leaf(st.leaf[i])
+	if dst.ID == DummyID {
+		dst.Payload = nil
+		return nil
+	}
+	out := payloadDst(dst, st.geom.BlockSize())
+	if err := is.OpenTo(out, st.slotBytes(i)); err != nil {
+		return fmt.Errorf("oram: open slot %d: %w", i, err)
+	}
+	dst.Payload = out
+	return nil
+}
+
+// sealSlotSeq is writeSlotAt sealing through the given worker sealer with
+// an explicitly reserved counter sequence (the parallel fan-out path).
+func (st *PayloadStore) sealSlotSeq(f *crypto.Sealer, i int64, src Slot, seq uint64) error {
+	st.ids[i] = uint64(src.ID)
+	st.leaf[i] = uint64(src.Leaf)
+	raw := st.slotBytes(i)
+	if src.ID == DummyID {
+		for j := range raw {
+			raw[j] = 0
+		}
+		return nil
+	}
+	if src.Payload == nil {
+		src.Payload = st.zero
+	}
+	if len(src.Payload) != st.geom.BlockSize() {
+		return fmt.Errorf("oram: payload len %d != block size %d", len(src.Payload), st.geom.BlockSize())
+	}
+	if err := f.SealSeqTo(raw, src.Payload, seq); err != nil {
+		return fmt.Errorf("oram: seal slot %d: %w", i, err)
+	}
+	return nil
+}
+
+// checkRange validates a bucket-range request against the geometry.
+func (st *PayloadStore) checkRange(op string, refs []BucketRef, bufs [][]Slot) error {
+	if len(refs) != len(bufs) {
+		return fmt.Errorf("oram: %s got %d refs, %d buffers", op, len(refs), len(bufs))
+	}
+	for i, r := range refs {
+		if err := bucketRange(st.geom, r.Level, r.Node); err != nil {
+			return err
+		}
+		if z := st.geom.BucketSize(r.Level); len(bufs[i]) != z {
+			return fmt.Errorf("oram: %s buffer %d has %d slots, bucket size is %d", op, i, len(bufs[i]), z)
+		}
+	}
+	return nil
+}
+
+// OpenRange reads (and, for sealed stores, decrypts) the buckets refs[i]
+// into dst[i], partitioning the buckets across the crypto pool's workers
+// when one is installed — per-slot AEAD records are independent, so opening
+// is embarrassingly parallel and the result is identical to the serial
+// loop regardless of scheduling. Without a pool it is exactly that serial
+// loop.
+func (st *PayloadStore) OpenRange(refs []BucketRef, dst [][]Slot) error {
+	if err := st.checkRange("OpenRange", refs, dst); err != nil {
+		return err
+	}
+	if st.pool == nil || len(refs) < 2 {
+		for i, r := range refs {
+			base := st.geom.SlotIndex(r.Level, r.Node, 0)
+			for k := range dst[i] {
+				if err := st.readSlotAt(base+int64(k), &dst[i][k]); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return st.pool.Run(len(refs), func(chunk, lo, hi int) error {
+		f := st.forks[chunk]
+		for i := lo; i < hi; i++ {
+			base := st.geom.SlotIndex(refs[i].Level, refs[i].Node, 0)
+			buf := dst[i]
+			for k := range buf {
+				if err := st.openSlotAt(f, base+int64(k), &buf[k]); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// SealRange overwrites the buckets refs[i] from src[i], partitioning the
+// seal work across the crypto pool's workers when one is installed.
+// Counter space for every real slot is reserved up front in (bucket, slot)
+// order, so each slot's IV — and hence the ciphertext arena — is
+// byte-identical to sealing the same slots serially, no matter which
+// worker runs which bucket. Without a pool it is exactly the serial loop.
+func (st *PayloadStore) SealRange(refs []BucketRef, src [][]Slot) error {
+	if err := st.checkRange("SealRange", refs, src); err != nil {
+		return err
+	}
+	if st.pool == nil || len(refs) < 2 {
+		for i, r := range refs {
+			base := st.geom.SlotIndex(r.Level, r.Node, 0)
+			for k := range src[i] {
+				if err := st.writeSlotAt(base+int64(k), src[i][k]); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	// Prefix counts of counter-consuming (real) slots give every bucket
+	// its deterministic ordinal into the reservation.
+	st.sealOrd = st.sealOrd[:0]
+	total := 0
+	for i := range refs {
+		st.sealOrd = append(st.sealOrd, total)
+		for k := range src[i] {
+			if src[i][k].ID != DummyID {
+				total++
+			}
+		}
+	}
+	bs := st.geom.BlockSize()
+	first := st.forks[0].ReserveSeals(total, bs)
+	blocks := uint64(crypto.CounterBlocks(bs))
+	return st.pool.Run(len(refs), func(chunk, lo, hi int) error {
+		f := st.forks[chunk]
+		for i := lo; i < hi; i++ {
+			base := st.geom.SlotIndex(refs[i].Level, refs[i].Node, 0)
+			ord := uint64(st.sealOrd[i])
+			for k := range src[i] {
+				s := src[i][k]
+				seq := first + ord*blocks
+				if s.ID != DummyID {
+					ord++
+				}
+				if err := st.sealSlotSeq(f, base+int64(k), s, seq); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// pathToRefs converts a root→leaf path to its bucket refs in level order,
+// reusing the store's scratch.
+func (st *PayloadStore) pathToRefs(leaf Leaf) []BucketRef {
+	st.pathRefs = st.pathRefs[:0]
+	for lvl := 0; lvl < st.geom.Levels(); lvl++ {
+		st.pathRefs = append(st.pathRefs, BucketRef{Level: lvl, Node: st.geom.NodeAt(leaf, lvl)})
+	}
+	return st.pathRefs
+}
+
+// ReadPath implements PathStore: the whole path's slots open through
+// OpenRange (parallel across the crypto pool when installed; the plain
+// level-by-level loop otherwise, with identical results).
+func (st *PayloadStore) ReadPath(leaf Leaf, dst [][]Slot) error {
+	if !st.geom.ValidLeaf(leaf) {
+		return fmt.Errorf("oram: ReadPath: invalid leaf %d", leaf)
+	}
+	if len(dst) != st.geom.Levels() {
+		return fmt.Errorf("oram: ReadPath dst has %d levels, tree has %d", len(dst), st.geom.Levels())
+	}
+	return st.OpenRange(st.pathToRefs(leaf), dst)
+}
+
+// WritePath implements PathStore (see ReadPath; sealing goes through
+// SealRange).
+func (st *PayloadStore) WritePath(leaf Leaf, src [][]Slot) error {
+	if !st.geom.ValidLeaf(leaf) {
+		return fmt.Errorf("oram: WritePath: invalid leaf %d", leaf)
+	}
+	if len(src) != st.geom.Levels() {
+		return fmt.Errorf("oram: WritePath src has %d levels, tree has %d", len(src), st.geom.Levels())
+	}
+	return st.SealRange(st.pathToRefs(leaf), src)
+}
+
+// ReadBuckets implements BatchStore.
+func (st *PayloadStore) ReadBuckets(refs []BucketRef, dst [][]Slot) error {
+	return st.OpenRange(refs, dst)
+}
+
+// WriteBuckets implements BatchStore.
+func (st *PayloadStore) WriteBuckets(refs []BucketRef, src [][]Slot) error {
+	return st.SealRange(refs, src)
+}
+
+// BatchNative implements the BatchNative probe: batching a local payload
+// store is worthwhile exactly when a multi-worker crypto pool can fan the
+// union's seal/open work out (otherwise the per-bucket unrolled path is
+// strictly cheaper — no batch buffers to fill).
+func (st *PayloadStore) BatchNative() bool {
+	return st.pool != nil
 }
 
 // ReadBucket implements Store.

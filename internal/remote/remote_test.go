@@ -222,6 +222,84 @@ func TestLAORAMOverTCPWithSealing(t *testing.T) {
 	}
 }
 
+// TestSealedPooledServerOverTCP: a sealed server store with a multi-worker
+// crypto pool serves the same protocol — path frames and grouped batch
+// runs fan their per-bucket crypto across the pool under the shard lock —
+// and every payload round-trips. (Byte-identity of pooled vs serial
+// sealing is pinned at the store layer; this covers the serving path's
+// integration.)
+func TestSealedPooledServerOverTCP(t *testing.T) {
+	const blocks = 128
+	g := oram.MustGeometry(oram.GeometryConfig{LeafBits: 7, LeafZ: 4, BlockSize: 16})
+	sealer, err := crypto.NewRandomSealer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := oram.NewPayloadStore(g, sealer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := crypto.NewPool(4)
+	t.Cleanup(pool.Close)
+	if err := ps.SetCryptoPool(pool); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(oram.NewCountingStore(ps, nil), nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	client, err := oram.NewClient(oram.ClientConfig{
+		Store: cl, Rand: rand.New(rand.NewSource(15)),
+		Evict: oram.PaperEvict, StashHits: true, Blocks: blocks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Load(blocks, nil, func(id oram.BlockID) []byte {
+		b := make([]byte, 16)
+		binary.LittleEndian.PutUint64(b, uint64(id))
+		return b
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Single accesses (path frames) and multi-path unions (batch frames,
+	// the grouped opBatch fast path on the server).
+	for i := 0; i < 64; i++ {
+		id := oram.BlockID(i % blocks)
+		got, err := client.Read(id)
+		if err != nil {
+			t.Fatalf("read %d: %v", id, err)
+		}
+		if binary.LittleEndian.Uint64(got) != uint64(id) {
+			t.Fatalf("block %d corrupt over pooled sealed server", id)
+		}
+	}
+	leaves := []oram.Leaf{1, 5, 9, 33}
+	if err := client.ReadPaths(leaves); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.WriteBackPaths(leaves); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < blocks; i += 17 {
+		got, err := client.Read(oram.BlockID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if binary.LittleEndian.Uint64(got) != uint64(i) {
+			t.Fatalf("block %d corrupt after multi-path round trip", i)
+		}
+	}
+}
+
 func TestSlotCodecTruncation(t *testing.T) {
 	var s oram.Slot
 	if _, err := parseSlot([]byte{1, 2, 3}, &s); err == nil {

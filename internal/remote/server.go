@@ -368,19 +368,36 @@ func (s *Server) dispatch(op byte, shard uint32, body []byte, allowBatch bool) (
 		if !g.ValidLeaf(leaf) {
 			return nil, fmt.Errorf("leaf %d out of range", leaf)
 		}
-		var out []byte
+		// Read through the store's PathStore fast path when it has one:
+		// a sealed server store then fans the path's per-bucket crypto
+		// across its worker pool instead of decrypting bucket by bucket
+		// under the shard lock. Results and traffic accounting are
+		// identical either way.
+		levels := g.Levels()
+		bufs := make([][]oram.Slot, levels)
+		for lvl := range bufs {
+			bufs[lvl] = make([]oram.Slot, g.BucketSize(lvl))
+		}
 		lock.Lock()
-		for lvl := 0; lvl < g.Levels(); lvl++ {
-			buf := make([]oram.Slot, g.BucketSize(lvl))
-			if err := store.ReadBucket(lvl, g.NodeAt(leaf, lvl), buf); err != nil {
-				lock.Unlock()
-				return nil, err
+		if ps, ok := store.(oram.PathStore); ok {
+			err = ps.ReadPath(leaf, bufs)
+		} else {
+			for lvl := 0; lvl < levels; lvl++ {
+				if err = store.ReadBucket(lvl, g.NodeAt(leaf, lvl), bufs[lvl]); err != nil {
+					break
+				}
 			}
+		}
+		lock.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		var out []byte
+		for _, buf := range bufs {
 			for i := range buf {
 				out = appendSlot(out, &buf[i])
 			}
 		}
-		lock.Unlock()
 		return out, nil
 	case opWritePath:
 		leaf, rest, err := parseLeaf(body)
@@ -405,14 +422,17 @@ func (s *Server) dispatch(op byte, shard uint32, body []byte, allowBatch bool) (
 			}
 		}
 		lock.Lock()
-		for lvl := 0; lvl < levels; lvl++ {
-			if err := store.WriteBucket(lvl, g.NodeAt(leaf, lvl), slots[lvl]); err != nil {
-				lock.Unlock()
-				return nil, err
+		if ps, ok := store.(oram.PathStore); ok {
+			err = ps.WritePath(leaf, slots)
+		} else {
+			for lvl := 0; lvl < levels; lvl++ {
+				if err = store.WriteBucket(lvl, g.NodeAt(leaf, lvl), slots[lvl]); err != nil {
+					break
+				}
 			}
 		}
 		lock.Unlock()
-		return nil, nil
+		return nil, err
 	case opBatch:
 		if !allowBatch {
 			return nil, fmt.Errorf("nested batch request")
@@ -424,35 +444,133 @@ func (s *Server) dispatch(op byte, shard uint32, body []byte, allowBatch bool) (
 		if count > maxBatchOps {
 			return nil, fmt.Errorf("batch of %d ops exceeds limit %d", count, maxBatchOps)
 		}
-		out := appendU32(nil, count)
-		for i := uint32(0); i < count; i++ {
-			subOp, subShard, subBody, r, err := parseBatchSub(rest)
+		// Parse every sub-request up front so runs of same-shard bucket
+		// reads/writes — the shape multipath's batched bucket unions
+		// arrive in — can execute as one BatchStore call, which a sealed
+		// server store fans across its crypto workers instead of opening
+		// bucket by bucket under the shard lock.
+		subs := make([]batchSub, count)
+		for i := range subs {
+			subs[i].op, subs[i].shard, subs[i].body, rest, err = parseBatchSub(rest)
 			if err != nil {
 				return nil, fmt.Errorf("batch op %d: %w", i, err)
 			}
-			rest = r
-			if subOp == opBatch || subOp == opHello {
-				out = appendBatchSubResp(out, statusErr, []byte(fmt.Sprintf("opcode %d not allowed in batch", subOp)))
-				continue
+		}
+		out := appendU32(nil, count)
+		for i := 0; i < len(subs); {
+			j := i
+			if subs[i].op == opReadBucket || subs[i].op == opWriteBucket {
+				for j+1 < len(subs) && subs[j+1].op == subs[i].op && subs[j+1].shard == subs[i].shard {
+					j++
+				}
 			}
-			subResp, err := s.dispatch(subOp, subShard, subBody, false)
-			if err != nil {
-				out = appendBatchSubResp(out, statusErr, []byte(err.Error()))
-			} else {
-				out = appendBatchSubResp(out, statusOK, subResp)
+			var run []byte
+			var grouped bool
+			if j > i {
+				run, grouped = s.dispatchBucketRun(subs[i : j+1])
 			}
+			if !grouped {
+				// Singleton sub-request, non-bucket opcode, or a run the
+				// grouped fast path declined (validation or store error):
+				// the per-op dispatch preserves exact per-sub status
+				// semantics.
+				run = nil
+				for _, sub := range subs[i : j+1] {
+					if sub.op == opBatch || sub.op == opHello {
+						run = appendBatchSubResp(run, statusErr, []byte(fmt.Sprintf("opcode %d not allowed in batch", sub.op)))
+						continue
+					}
+					subResp, err := s.dispatch(sub.op, sub.shard, sub.body, false)
+					if err != nil {
+						run = appendBatchSubResp(run, statusErr, []byte(err.Error()))
+					} else {
+						run = appendBatchSubResp(run, statusOK, subResp)
+					}
+				}
+			}
+			out = append(out, run...)
+			i = j + 1
 			// An over-large aggregate response must fail this one request
 			// with a clean error, not kill the connection when the
 			// unsendable frame hits writeFrame (well-behaved clients chunk
 			// batches below batchFrameBudget; see client.go).
 			if len(out) > maxFrame-respHeaderLen {
-				return nil, fmt.Errorf("batch response exceeds frame limit after %d of %d ops; split the batch", i+1, count)
+				return nil, fmt.Errorf("batch response exceeds frame limit after %d of %d ops; split the batch", i, count)
 			}
 		}
 		return out, nil
 	default:
 		return nil, fmt.Errorf("unknown opcode %d", op)
 	}
+}
+
+// batchSub is one parsed opBatch sub-request.
+type batchSub struct {
+	op    byte
+	shard uint32
+	body  []byte
+}
+
+// dispatchBucketRun executes a run of same-shard opReadBucket or
+// opWriteBucket sub-requests as a single BatchStore operation under the
+// shard lock, returning the concatenated per-sub responses. ok = false
+// declines the run — shard/ref validation failed, the store lacks batch
+// support, or the grouped call itself errored — and the caller falls back
+// to per-op dispatch, which reproduces exact per-sub status semantics.
+func (s *Server) dispatchBucketRun(subs []batchSub) (resp []byte, ok bool) {
+	g := s.geom
+	shard := subs[0].shard
+	if shard >= uint32(len(s.stores)) {
+		return nil, false
+	}
+	bs, isBatch := s.stores[shard].(oram.BatchStore)
+	if !isBatch {
+		return nil, false
+	}
+	refs := make([]oram.BucketRef, len(subs))
+	bufs := make([][]oram.Slot, len(subs))
+	reads := subs[0].op == opReadBucket
+	for i, sub := range subs {
+		level, node, rest, err := parseBucketRef(sub.body)
+		if err != nil || level < 0 || level >= g.Levels() || node >= 1<<uint(level) {
+			return nil, false
+		}
+		z := g.BucketSize(level)
+		refs[i] = oram.BucketRef{Level: level, Node: node}
+		bufs[i] = make([]oram.Slot, z)
+		if !reads {
+			for k := 0; k < z; k++ {
+				rest, err = parseSlot(rest, &bufs[i][k])
+				if err != nil {
+					return nil, false
+				}
+			}
+		}
+	}
+	lock := &s.locks[shard]
+	lock.Lock()
+	var err error
+	if reads {
+		err = bs.ReadBuckets(refs, bufs)
+	} else {
+		err = bs.WriteBuckets(refs, bufs)
+	}
+	lock.Unlock()
+	if err != nil {
+		return nil, false
+	}
+	for i := range bufs {
+		if reads {
+			var body []byte
+			for k := range bufs[i] {
+				body = appendSlot(body, &bufs[i][k])
+			}
+			resp = appendBatchSubResp(resp, statusOK, body)
+		} else {
+			resp = appendBatchSubResp(resp, statusOK, nil)
+		}
+	}
+	return resp, true
 }
 
 // isClosedConn reports the "use of closed network connection" error that

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 )
 
@@ -85,6 +86,27 @@ type Planner struct {
 	ch      chan PlannedWindow
 	started bool
 	err     error // written before ch closes; read after it closes
+
+	// enqStalledNs accumulates the time the planning goroutine spent
+	// blocked handing finished windows to the full queue — backpressure,
+	// i.e. training (not planning) is the pipeline bottleneck. Atomic
+	// because the consumer may read it (via Stats) while planning runs.
+	enqStalledNs atomic.Int64
+}
+
+// PlannerStats are the planner-side pipeline counters.
+type PlannerStats struct {
+	// EnqueueStalled is how long the planner was blocked on the full
+	// window queue: ≈ 0 when the trainer keeps up with planning, large
+	// when planning runs far ahead and Depth is the limiter (the healthy
+	// pipeline regime — backpressure on the cheap stage).
+	EnqueueStalled time.Duration
+}
+
+// Stats returns a snapshot of the planner-side counters. Safe to call at
+// any time; for totals, read it after the window channel has closed.
+func (p *Planner) Stats() PlannerStats {
+	return PlannerStats{EnqueueStalled: time.Duration(p.enqStalledNs.Load())}
 }
 
 // NewPlanner validates cfg and prepares a Planner over src.
@@ -148,12 +170,14 @@ func (p *Planner) run(ctx context.Context) {
 				return
 			}
 			w := PlannedWindow{Index: win, Accesses: len(ids), Plan: plan, PlanTime: time.Since(start)}
+			enqStart := time.Now()
 			select {
 			case p.ch <- w:
 			case <-ctx.Done():
 				p.err = ctx.Err()
 				return
 			}
+			p.enqStalledNs.Add(time.Since(enqStart).Nanoseconds())
 		}
 		buf = ids
 		if eof {

@@ -163,6 +163,16 @@ func (e *Engine) Read(id uint64) ([]byte, error) {
 	return e.subs[ShardOf(id, e.n)].Client.Read(oram.BlockID(LocalID(id, e.n)))
 }
 
+// ReadInto obliviously fetches one block into buf's capacity (see
+// oram.Client.ReadInto): the allocation-free read form for steady-state
+// loops over sealed payload stores.
+func (e *Engine) ReadInto(id uint64, buf []byte) ([]byte, error) {
+	if err := e.check(id); err != nil {
+		return nil, err
+	}
+	return e.subs[ShardOf(id, e.n)].Client.ReadInto(oram.BlockID(LocalID(id, e.n)), buf)
+}
+
 // Write obliviously updates (or creates) one block.
 func (e *Engine) Write(id uint64, data []byte) error {
 	if err := e.check(id); err != nil {

@@ -76,6 +76,17 @@ type Options struct {
 	// storage (the §III threat model's "content of the memory itself is
 	// considered encrypted"). Ignored with MetadataOnly.
 	Encrypt bool
+	// CryptoWorkers bounds the intra-shard crypto fan-out of sealed
+	// stores: path reads/write-backs, batched bucket unions and
+	// superblock fetches open and seal their buckets across this many
+	// workers, each through its own Sealer clone (one bounded pool shared
+	// by all shards). 0 derives the width from GOMAXPROCS (capped at 8);
+	// 1 pins today's strictly serial path. Either way results — tree
+	// bytes included — are byte-identical: parallel seals draw their CTR
+	// counter sequence from a deterministic per-slot reservation, not
+	// from scheduling order. Applies to local encrypted stores (Encrypt
+	// without MetadataOnly/RemoteAddr); ignored otherwise.
+	CryptoWorkers int
 	// Key is the optional 32-byte sealing key; nil generates a random
 	// one.
 	Key []byte
@@ -138,11 +149,23 @@ func (o Options) shards() int {
 	return o.Shards
 }
 
+// cryptoWorkers resolves the crypto fan-out width (>= 1).
+func (o Options) cryptoWorkers() int {
+	if o.CryptoWorkers == 0 {
+		return crypto.DefaultWorkers()
+	}
+	if o.CryptoWorkers < 1 {
+		return 1
+	}
+	return o.CryptoWorkers
+}
+
 // ORAM is an oblivious block store, possibly sharded (Options.Shards).
 type ORAM struct {
 	opts   Options
 	eng    *shard.Engine
 	remote *remote.Client
+	pool   *crypto.Pool // shared crypto fan-out pool (nil when serial)
 }
 
 // Stats summarises client activity and server traffic. With Shards > 1,
@@ -178,12 +201,23 @@ func NewContext(ctx context.Context, opts Options) (*ORAM, error) {
 	if opts.Entries == 0 {
 		return nil, fmt.Errorf("laoram: Options.Entries must be > 0")
 	}
+	if opts.CryptoWorkers < 0 {
+		return nil, fmt.Errorf("laoram: Options.CryptoWorkers must be >= 0, got %d", opts.CryptoWorkers)
+	}
 	evict, err := opts.evict()
 	if err != nil {
 		return nil, err
 	}
 	n := opts.shards()
 	o := &ORAM{opts: opts}
+	// One bounded crypto pool serves every shard's sealed store: the
+	// fan-out width models the host's cores, which the shards already
+	// share.
+	if opts.Encrypt && !opts.MetadataOnly && opts.RemoteAddr == "" {
+		if w := opts.cryptoWorkers(); w > 1 {
+			o.pool = crypto.NewPool(w)
+		}
+	}
 	if opts.RemoteAddr != "" {
 		rc, err := remote.DialContext(ctx, opts.RemoteAddr)
 		if err != nil {
@@ -208,6 +242,7 @@ func NewContext(ctx context.Context, opts Options) (*ORAM, error) {
 		if o.remote != nil {
 			o.remote.Close()
 		}
+		o.pool.Close()
 		return nil, err
 	}
 	o.eng = eng
@@ -276,6 +311,11 @@ func (o *ORAM) buildSub(idx int, per uint64, seed int64, evict oram.EvictConfig)
 			if err != nil {
 				return shard.Sub{}, err
 			}
+			if o.pool != nil && sealer != nil {
+				if err := ps.SetCryptoPool(o.pool); err != nil {
+					return shard.Sub{}, err
+				}
+			}
 			inner = ps
 		}
 	}
@@ -332,8 +372,11 @@ func timerOrNil(m *memsim.Meter) oram.Timer {
 	return m
 }
 
-// Close releases resources (the remote connection, if any).
+// Close releases resources (the remote connection and the crypto worker
+// pool, if any).
 func (o *ORAM) Close() error {
+	o.pool.Close()
+	o.pool = nil
 	if o.remote != nil {
 		return o.remote.Close()
 	}
@@ -398,6 +441,15 @@ func (o *ORAM) LoadForPlanContext(ctx context.Context, p *Plan, payload func(id 
 // under MetadataOnly.
 func (o *ORAM) Read(id uint64) ([]byte, error) {
 	return o.eng.Read(id)
+}
+
+// ReadInto obliviously fetches a block into buf's capacity (growing it
+// only when too small) and returns the filled slice — the allocation-free
+// form of Read for steady-state loops over encrypted stores. The returned
+// slice aliases buf; the access is indistinguishable from Read on the
+// memory bus.
+func (o *ORAM) ReadInto(id uint64, buf []byte) ([]byte, error) {
+	return o.eng.ReadInto(id, buf)
 }
 
 // Write obliviously updates (or creates) a block.

@@ -81,6 +81,21 @@ type TrainStats struct {
 	// TrainerStalled is how long execution waited on the plan queue —
 	// near zero when preprocessing keeps ahead.
 	TrainerStalled time.Duration
+	// TrainerStalls counts the window fetches that found the plan queue
+	// empty: the queue-miss count behind TrainerStalled. The pipeline
+	// experiment previously inferred stalling externally from wall-clock
+	// deltas; these are the first-class counters.
+	TrainerStalls int
+	// PlannerStalled is how long the planning stage was blocked handing
+	// finished windows to the full plan queue — backpressure on the
+	// cheap stage, the healthy §VIII-A regime.
+	PlannerStalled time.Duration
+	// PlanQueuePeak and PlanQueueMean summarise the plan-queue depth each
+	// window fetch observed (bounded by TrainOptions.Depth): a mean near
+	// Depth means planning stayed ahead; near zero, the trainer was
+	// starved.
+	PlanQueuePeak int
+	PlanQueueMean float64
 	// WallTime is the elapsed time of the run (excluding the PrePlace
 	// bulk load).
 	WallTime time.Duration
@@ -168,6 +183,10 @@ func (t *Trainer) Train(ctx context.Context) (*TrainStats, error) {
 		PlanTime:       st.PlanTime,
 		TrainTime:      st.TrainTime,
 		TrainerStalled: st.Stalled,
+		TrainerStalls:  st.TrainerStalls,
+		PlannerStalled: st.PlannerStalled,
+		PlanQueuePeak:  st.QueuePeak,
+		PlanQueueMean:  st.QueueMean,
 		WallTime:       st.Wall,
 	}
 	if err != nil {
