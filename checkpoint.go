@@ -1,0 +1,180 @@
+package laoram
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Checkpoint/restore: the failover half of the multi-node story. A
+// training run checkpoints by pairing one ORAM.SaveState (everything
+// trusted-side: position maps, stashes, RNG positions, access stats — and,
+// for local instances, the server trees too) with, for remote instances,
+// per-node tree snapshots taken server-side at the same instant
+// (laoramserve -checkpoint, or internal/chaos.Node.SnapshotAll in tests).
+// Restoring both rewinds the whole system to that boundary, after which
+// execution is byte-identical to a run that never failed — DESIGN.md
+// invariant #11, enforced by the chaos suite.
+//
+// Layout (little-endian): magic u64 · flags u64 (bit 0: local tree
+// sections follow) · engLen u64 · engine state blob, then, for local
+// instances, one treeLen u64 + tree snapshot per shard. Every section is
+// length-prefixed and parsed from its own in-memory slice, so LoadState
+// consumes exactly the bytes SaveState wrote regardless of the sections'
+// internal buffering.
+
+// checkpointMagic versions the public checkpoint envelope ("LAORCKP1").
+const checkpointMagic = 0x4C414F52434B5031
+
+// maxCheckpointSection bounds one length-prefixed section (engine state or
+// a single shard tree) so a corrupted length can't trigger an absurd
+// allocation before the magic check inside the section fails.
+const maxCheckpointSection = 1 << 38
+
+// checkpointable reports whether this instance supports SaveState /
+// LoadState, with a descriptive error when not.
+func (o *ORAM) checkpointable() error {
+	if o.opts.RecursivePosMap {
+		return fmt.Errorf("laoram: checkpointing does not support Options.RecursivePosMap: the recursive map's state lives in its own internal ORAMs (and its RNG position is not tracked), so SaveState cannot capture it — use the flat position map for restartable runs")
+	}
+	if o.opts.Verify {
+		return fmt.Errorf("laoram: checkpointing does not support Options.Verify: the Merkle digests authenticating server storage are rebuilt from the live tree at construction and are not serialised, so a restored instance would reject every bucket")
+	}
+	return nil
+}
+
+// SaveState writes a checkpoint of all trusted client state: every shard's
+// position map, stash, counted RNG position, access counters and stash
+// peak. For local instances the server trees are included too, making the
+// checkpoint self-contained; for remote instances (RemoteAddr/RemoteAddrs)
+// the trees belong to the serving nodes, which checkpoint them server-side
+// at the same boundary (laoramserve -checkpoint) — restore both halves
+// together or neither.
+//
+// A restored instance continues byte-identically: leaf choices resume
+// mid-RNG-stream, tree bytes and stats match a run that never stopped
+// (unsealed stores; sealed local stores restore content-identically, since
+// a fresh sealer draws a fresh random IV prefix for post-restore writes).
+//
+// Not supported — and rejected with an error — under
+// Options.RecursivePosMap (the recursive map's state lives in its own
+// internal ORAMs and cannot be captured here) or Options.Verify (the
+// trusted Merkle digests are not serialised).
+func (o *ORAM) SaveState(w io.Writer) error {
+	if err := o.checkpointable(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	var u64 [8]byte
+	put := func(v uint64) error {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		_, err := bw.Write(u64[:])
+		return err
+	}
+	local := len(o.remotes) == 0
+	var flags uint64
+	if local {
+		flags |= 1
+	}
+	if err := put(checkpointMagic); err != nil {
+		return err
+	}
+	if err := put(flags); err != nil {
+		return err
+	}
+	var section bytes.Buffer
+	writeSection := func(fill func(w io.Writer) error) error {
+		section.Reset()
+		if err := fill(&section); err != nil {
+			return err
+		}
+		if err := put(uint64(section.Len())); err != nil {
+			return err
+		}
+		_, err := bw.Write(section.Bytes())
+		return err
+	}
+	if err := writeSection(o.eng.SaveState); err != nil {
+		return err
+	}
+	if local {
+		for s := 0; s < o.eng.Shards(); s++ {
+			if err := writeSection(o.eng.Sub(s).Store.Save); err != nil {
+				return fmt.Errorf("laoram: shard %d tree: %w", s, err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadState restores a SaveState checkpoint into this instance, which must
+// have been built with the same Options (shards, entries, seed, geometry,
+// and the same local/remote split — a local checkpoint carries trees, a
+// remote one expects the nodes to have been restored separately). After
+// LoadState the instance's future behaviour is byte-identical to the saved
+// instance's.
+func (o *ORAM) LoadState(r io.Reader) error {
+	if err := o.checkpointable(); err != nil {
+		return err
+	}
+	var u64 [8]byte
+	get := func() (uint64, error) {
+		if _, err := io.ReadFull(r, u64[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(u64[:]), nil
+	}
+	magic, err := get()
+	if err != nil {
+		return fmt.Errorf("laoram: checkpoint header: %w", err)
+	}
+	if magic != checkpointMagic {
+		return fmt.Errorf("laoram: bad checkpoint magic %#x", magic)
+	}
+	flags, err := get()
+	if err != nil {
+		return err
+	}
+	hasTrees := flags&1 != 0
+	if local := len(o.remotes) == 0; hasTrees != local {
+		if local {
+			return fmt.Errorf("laoram: checkpoint was taken from a remote instance (no tree sections); this instance is local")
+		}
+		return fmt.Errorf("laoram: checkpoint was taken from a local instance (embedded trees); this instance is remote — restore the serving nodes from their own checkpoints instead")
+	}
+	readSection := func(name string) ([]byte, error) {
+		n, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("laoram: checkpoint %s length: %w", name, err)
+		}
+		if n > maxCheckpointSection {
+			return nil, fmt.Errorf("laoram: checkpoint %s of %d bytes implausible", name, n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, fmt.Errorf("laoram: checkpoint %s: %w", name, err)
+		}
+		return b, nil
+	}
+	eng, err := readSection("engine state")
+	if err != nil {
+		return err
+	}
+	if err := o.eng.LoadState(bytes.NewReader(eng)); err != nil {
+		return err
+	}
+	if hasTrees {
+		for s := 0; s < o.eng.Shards(); s++ {
+			tree, err := readSection(fmt.Sprintf("shard %d tree", s))
+			if err != nil {
+				return err
+			}
+			if err := o.eng.Sub(s).Store.Load(bytes.NewReader(tree)); err != nil {
+				return fmt.Errorf("laoram: shard %d tree: %w", s, err)
+			}
+		}
+	}
+	return nil
+}

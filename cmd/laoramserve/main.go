@@ -12,18 +12,31 @@
 // connection and dispatched to a bounded worker pool with per-shard
 // locking.
 //
+// With -checkpoint DIR the server restores each shard tree from
+// DIR/shard-N.ck at startup (when present) and saves fresh snapshots there —
+// periodically with -checkpoint-interval, and once on shutdown. Snapshots
+// are written to a temp file and renamed into place, so a crash mid-save
+// never corrupts the last good checkpoint. Pair server checkpoints with the
+// client's laoram.SaveState taken at the same boundary: restoring both
+// rewinds the whole system and the run continues byte-identically (DESIGN.md
+// invariant #11).
+//
 // Usage:
 //
 //	laoramserve -addr :7312 -entries 1048576 -block 128 -fat -shards 4
 package main
 
 import (
+	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"time"
 
 	"repro/internal/crypto"
 	"repro/internal/oram"
@@ -42,6 +55,8 @@ func main() {
 		workers = flag.Int("workers", 0, "request worker pool size (0 = one per CPU)")
 		sealed  = flag.Bool("sealed", false, "seal payloads at rest (AES-CTR+HMAC, fresh random key per shard store)")
 		cworker = flag.Int("cryptoworkers", 0, "crypto fan-out width for sealed stores: seal/open of path and batched requests is partitioned across this many workers (0 = one per CPU capped at 8, 1 = serial)")
+		ckDir   = flag.String("checkpoint", "", "directory for shard tree checkpoints: restore shard-N.ck at startup if present, save on shutdown (and periodically with -checkpoint-interval)")
+		ckEvery = flag.Duration("checkpoint-interval", 0, "periodic checkpoint cadence (0 = only on shutdown); requires -checkpoint")
 	)
 	flag.Parse()
 
@@ -115,6 +130,22 @@ func main() {
 	if err != nil {
 		log.Fatalf("laoramserve: %v", err)
 	}
+	if *ckEvery < 0 || (*ckEvery > 0 && *ckDir == "") {
+		log.Fatalf("laoramserve: -checkpoint-interval requires -checkpoint")
+	}
+	if *ckDir != "" {
+		if err := os.MkdirAll(*ckDir, 0o755); err != nil {
+			log.Fatalf("laoramserve: %v", err)
+		}
+		// Restore before Listen so no request ever sees pre-restore trees.
+		n, err := restoreCheckpoints(*ckDir, srv)
+		if err != nil {
+			log.Fatalf("laoramserve: %v", err)
+		}
+		if n > 0 {
+			fmt.Printf("laoramserve: restored %d/%d shard trees from %s\n", n, srv.Shards(), *ckDir)
+		}
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("laoramserve: %v", err)
@@ -129,7 +160,30 @@ func main() {
 	// closes its connection; a cancelled server drains and closes here.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if *ckDir != "" && *ckEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*ckEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if err := saveCheckpoints(*ckDir, srv); err != nil {
+						log.Printf("laoramserve: periodic checkpoint: %v", err)
+					}
+				}
+			}
+		}()
+	}
 	<-ctx.Done()
+	if *ckDir != "" {
+		if err := saveCheckpoints(*ckDir, srv); err != nil {
+			log.Printf("laoramserve: shutdown checkpoint: %v", err)
+		} else {
+			fmt.Printf("laoramserve: saved %d shard trees to %s\n", srv.Shards(), *ckDir)
+		}
+	}
 	var total oram.Counters
 	for _, cs := range counters {
 		c := cs.Counters()
@@ -143,6 +197,67 @@ func main() {
 	if err := srv.Close(); err != nil {
 		log.Printf("laoramserve: close: %v", err)
 	}
+}
+
+// checkpointPath is where shard s's tree snapshot lives under dir.
+func checkpointPath(dir string, s int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d.ck", s))
+}
+
+// restoreCheckpoints loads every shard-N.ck present in dir into the
+// server's stores, returning how many shards were restored. A missing file
+// is not an error — a fresh tree simply starts empty.
+func restoreCheckpoints(dir string, srv *remote.Server) (int, error) {
+	restored := 0
+	for s := 0; s < srv.Shards(); s++ {
+		path := checkpointPath(dir, s)
+		f, err := os.Open(path)
+		if errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return restored, err
+		}
+		err = srv.RestoreShard(s, bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			return restored, fmt.Errorf("restore %s: %w", path, err)
+		}
+		restored++
+	}
+	return restored, nil
+}
+
+// saveCheckpoints snapshots every shard tree to dir, one file per shard.
+// Each snapshot is written to a temp file and renamed into place so the
+// previous checkpoint survives a crash mid-save. SnapshotShard holds the
+// shard lock, so each file is a consistent point-in-time image even while
+// the server keeps serving.
+func saveCheckpoints(dir string, srv *remote.Server) error {
+	for s := 0; s < srv.Shards(); s++ {
+		final := checkpointPath(dir, s)
+		tmp := final + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriter(f)
+		err = srv.SnapshotShard(s, bw)
+		if err == nil {
+			err = bw.Flush()
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(tmp, final)
+		}
+		if err != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("checkpoint shard %d: %w", s, err)
+		}
+	}
+	return nil
 }
 
 func storeKind(block int) string {

@@ -1,0 +1,272 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/oram"
+	"repro/internal/remote"
+)
+
+func metaStores(t *testing.T, shards int) func() ([]oram.Store, error) {
+	t.Helper()
+	return func() ([]oram.Store, error) {
+		g := oram.MustGeometry(oram.GeometryConfig{LeafBits: 4, LeafZ: 4, BlockSize: 0})
+		stores := make([]oram.Store, shards)
+		for i := range stores {
+			stores[i] = oram.NewMetaStore(g)
+		}
+		return stores, nil
+	}
+}
+
+func startNode(t *testing.T, shards int) *Node {
+	t.Helper()
+	n := NewNode(metaStores(t, shards), 2, nil)
+	if _, err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Kill() })
+	return n
+}
+
+// TestProxyPassthrough: a faultless proxy is invisible — reads and writes
+// through it behave exactly like a direct connection.
+func TestProxyPassthrough(t *testing.T) {
+	n := startNode(t, 1)
+	p, err := NewProxy(n.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c, err := remote.Dial(p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	want := oram.Slot{ID: 9, Leaf: 3}
+	if err := c.WriteSlot(2, 1, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	var got oram.Slot
+	if err := c.ReadSlot(2, 1, 0, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != want.ID || got.Leaf != want.Leaf {
+		t.Errorf("through proxy: got %+v want %+v", got, want)
+	}
+}
+
+// TestProxyLatency: latency/jitter perturbs timing only — results are
+// unchanged (the "slow network" fault must never corrupt).
+func TestProxyLatency(t *testing.T) {
+	n := startNode(t, 1)
+	p, err := NewProxy(n.Addr(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetLatency(2*time.Millisecond, 3*time.Millisecond)
+	c, err := remote.Dial(p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		if err := c.WriteSlot(3, 2, 1, oram.Slot{ID: uint64ID(i), Leaf: 5}); err != nil {
+			t.Fatal(err)
+		}
+		var got oram.Slot
+		if err := c.ReadSlot(3, 2, 1, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != uint64ID(i) {
+			t.Fatalf("round %d: slot %+v", i, got)
+		}
+	}
+}
+
+func uint64ID(i int) oram.BlockID { return oram.BlockID(i + 1) }
+
+// TestProxyKillConnsReplay: the connection-kill fault mid-traffic. A
+// reconnecting client replays the parked request and the caller never sees
+// an error — the server survived, so the boot ID matches and replay is
+// safe.
+func TestProxyKillConnsReplay(t *testing.T) {
+	n := startNode(t, 1)
+	p, err := NewProxy(n.Addr(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c, err := remote.DialConfig(t.Context(), p.Addr(), remote.Config{Reconnect: true, RetryElapsed: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WriteSlot(1, 0, 0, oram.Slot{ID: 77, Leaf: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		p.KillConns()
+		var got oram.Slot
+		if err := c.ReadSlot(1, 0, 0, &got); err != nil {
+			t.Fatalf("round %d: read after kill: %v", round, err)
+		}
+		if got.ID != 77 {
+			t.Fatalf("round %d: slot %+v", round, got)
+		}
+	}
+	if c.BootID() != n.Server().BootID() {
+		t.Error("boot ID changed across proxy kills of a surviving server")
+	}
+}
+
+// TestProxyTruncate: the partial-write fault tears a frame on its way to
+// the server; the connection dies, and a reconnecting client recovers by
+// replaying on a fresh connection.
+func TestProxyTruncate(t *testing.T) {
+	n := startNode(t, 1)
+	p, err := NewProxy(n.Addr(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c, err := remote.DialConfig(t.Context(), p.Addr(), remote.Config{Reconnect: true, RetryElapsed: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WriteSlot(2, 0, 0, oram.Slot{ID: 5, Leaf: 2}); err != nil {
+		t.Fatal(err)
+	}
+	p.TruncateNext(3) // cut mid-length-prefix
+	var got oram.Slot
+	if err := c.ReadSlot(2, 0, 0, &got); err != nil {
+		t.Fatalf("read across torn frame: %v", err)
+	}
+	if got.ID != 5 || got.Leaf != 2 {
+		t.Errorf("slot after torn frame: %+v", got)
+	}
+}
+
+// TestProxyDrop: while partitioned, a fail-fast client's calls error; after
+// healing, a new dial works.
+func TestProxyDrop(t *testing.T) {
+	n := startNode(t, 1)
+	p, err := NewProxy(n.Addr(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetDrop(true)
+	if _, err := remote.Dial(p.Addr()); err == nil {
+		t.Fatal("dial through dropped proxy succeeded")
+	}
+	p.SetDrop(false)
+	c, err := remote.Dial(p.Addr())
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	c.Close()
+}
+
+// TestNodeKillRestart: the full crash/restore cycle. Kill drops the trees;
+// Restart brings the node back empty on the same address; RestoreAll
+// reloads the checkpoint; a reconnecting client sees a boot-ID change
+// (state-loss detection) and then serves restored data.
+func TestNodeKillRestart(t *testing.T) {
+	n := startNode(t, 2)
+	addr := n.Addr()
+	c, err := remote.DialConfig(t.Context(), addr, remote.Config{Reconnect: true, RetryElapsed: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	boot1 := c.BootID()
+	st1, err := c.Store(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.WriteSlot(3, 4, 2, oram.Slot{ID: 11, Leaf: 6}); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := n.SnapshotAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck) != 2 {
+		t.Fatalf("snapshot covers %d shards", len(ck))
+	}
+
+	if err := n.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	n.WaitDown()
+	if n.Running() {
+		t.Fatal("node still running after Kill")
+	}
+	if bound, err := n.Restart(); err != nil {
+		t.Fatal(err)
+	} else if bound != addr {
+		t.Fatalf("restarted on %s, want pinned %s", bound, addr)
+	}
+	if err := n.RestoreAll(ck); err != nil {
+		t.Fatal(err)
+	}
+
+	// The client reconnects lazily on the next call and must serve the
+	// restored bytes. A call that raced the crash (written before the
+	// client noticed the connection die) legitimately fails with
+	// StateLost — the caller's contract is to retry once state is
+	// restored, which is exactly what the failover driver does.
+	var got oram.Slot
+	err = st1.ReadSlot(3, 4, 2, &got)
+	if nd, ok := remote.AsNodeDown(err); ok && nd.StateLost {
+		err = st1.ReadSlot(3, 4, 2, &got)
+	}
+	if err != nil {
+		t.Fatalf("read after restart: %v", err)
+	}
+	if got.ID != 11 || got.Leaf != 6 {
+		t.Errorf("restored slot %+v", got)
+	}
+	if c.BootID() == boot1 {
+		t.Error("boot ID unchanged across a real restart")
+	}
+	// Restore on a dead node refuses.
+	n.Kill()
+	n.WaitDown()
+	if err := n.RestoreAll(ck); err == nil {
+		t.Error("RestoreAll on dead node accepted")
+	}
+}
+
+// TestSnapshotDeterministicAcrossNodes: two nodes built identically produce
+// identical snapshots after identical traffic — the property the failover
+// identity test leans on when comparing decrypted trees.
+func TestSnapshotDeterministicAcrossNodes(t *testing.T) {
+	a, b := startNode(t, 1), startNode(t, 1)
+	for _, n := range []*Node{a, b} {
+		c, err := remote.Dial(n.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.WriteSlot(4, 9, 3, oram.Slot{ID: 2, Leaf: 8}); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+	sa, err := a.SnapshotAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.SnapshotAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sa[0], sb[0]) {
+		t.Error("identical traffic produced different snapshots")
+	}
+}

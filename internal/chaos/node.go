@@ -1,0 +1,175 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/oram"
+	"repro/internal/remote"
+)
+
+// Node supervises one in-process serving node: a remote.Server over stores
+// built by a caller-supplied factory, restartable on a pinned address. It
+// is the test-sized stand-in for a supervised laoramserve process — Kill
+// models a crash (the process dies, in-memory trees are gone), Restart
+// models the supervisor bringing it back on the same address from a
+// checkpoint, and Snapshot/Restore drive the coordinated-rollback recovery
+// protocol on live survivors.
+type Node struct {
+	build   func() ([]oram.Store, error)
+	workers int
+	logf    func(string, ...any)
+
+	mu   sync.Mutex
+	addr string // pinned after the first Start
+	srv  *remote.Server
+}
+
+// NewNode wraps a store factory. Every (re)start calls build() for fresh
+// stores — a restarted crash has empty trees until RestoreAll fills them.
+// workers and logf are passed through to remote.NewSharded.
+func NewNode(build func() ([]oram.Store, error), workers int, logf func(string, ...any)) *Node {
+	return &Node{build: build, workers: workers, logf: logf}
+}
+
+// Start builds stores and begins serving. The first Start picks a free
+// loopback port and pins it; every later Start (via Restart) reuses it, so
+// clients reconnect without re-resolving placement.
+func (n *Node) Start() (string, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.startLocked()
+}
+
+func (n *Node) startLocked() (string, error) {
+	if n.srv != nil {
+		return "", fmt.Errorf("chaos: node already running on %s", n.addr)
+	}
+	stores, err := n.build()
+	if err != nil {
+		return "", fmt.Errorf("chaos: node store build: %w", err)
+	}
+	srv, err := remote.NewSharded(stores, n.workers, n.logf)
+	if err != nil {
+		return "", err
+	}
+	listen := n.addr
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	bound, err := srv.Listen(listen)
+	if err != nil {
+		srv.Close()
+		return "", err
+	}
+	n.addr = bound
+	n.srv = srv
+	return bound, nil
+}
+
+// Addr returns the node's pinned serve address ("" before the first
+// Start).
+func (n *Node) Addr() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.addr
+}
+
+// Server returns the live remote.Server (nil while killed) for in-process
+// snapshot/restore access.
+func (n *Node) Server() *remote.Server {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.srv
+}
+
+// Kill crashes the node: the listener and every connection close, and the
+// stores (in-memory trees) are dropped. No-op if already down.
+func (n *Node) Kill() error {
+	n.mu.Lock()
+	srv := n.srv
+	n.srv = nil
+	n.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+// Restart brings a killed node back on its pinned address with fresh
+// (empty) stores. The caller restores state afterwards via RestoreAll —
+// exactly the supervisor-then-recovery sequence a real deployment runs.
+func (n *Node) Restart() (string, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.srv != nil {
+		return "", fmt.Errorf("chaos: node still running on %s; Kill it first", n.addr)
+	}
+	if n.addr == "" {
+		return "", fmt.Errorf("chaos: node was never started")
+	}
+	return n.startLocked()
+}
+
+// Running reports whether the node currently serves.
+func (n *Node) Running() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.srv != nil
+}
+
+// SnapshotAll serialises every shard store under its shard lock — one
+// consistent per-node checkpoint, taken while the node keeps serving.
+func (n *Node) SnapshotAll() ([][]byte, error) {
+	n.mu.Lock()
+	srv := n.srv
+	n.mu.Unlock()
+	if srv == nil {
+		return nil, fmt.Errorf("chaos: node %s is down", n.addr)
+	}
+	snaps := make([][]byte, srv.Shards())
+	for s := range snaps {
+		var buf bytes.Buffer
+		if err := srv.SnapshotShard(s, &buf); err != nil {
+			return nil, err
+		}
+		snaps[s] = buf.Bytes()
+	}
+	return snaps, nil
+}
+
+// RestoreAll loads every shard store from a SnapshotAll checkpoint —
+// either into a freshly Restarted node or in place into a live survivor
+// being rolled back to the coordinated checkpoint.
+func (n *Node) RestoreAll(snaps [][]byte) error {
+	n.mu.Lock()
+	srv := n.srv
+	n.mu.Unlock()
+	if srv == nil {
+		return fmt.Errorf("chaos: node %s is down", n.addr)
+	}
+	if len(snaps) != srv.Shards() {
+		return fmt.Errorf("chaos: checkpoint has %d shards, node serves %d", len(snaps), srv.Shards())
+	}
+	for s, snap := range snaps {
+		if err := srv.RestoreShard(s, bytes.NewReader(snap)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WaitDown blocks until nothing accepts on the node's address (the OS may
+// briefly keep accepting after Close on some platforms). Bounded by the
+// caller's patience: attempts dials until one is refused.
+func (n *Node) WaitDown() {
+	for {
+		conn, err := net.Dial("tcp", n.Addr())
+		if err != nil {
+			return
+		}
+		conn.Close()
+	}
+}

@@ -1,0 +1,345 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	laoram "repro"
+	"repro/internal/chaos"
+	"repro/internal/oram"
+	"repro/internal/remote"
+	"repro/internal/shard"
+)
+
+// Failover drill: the executable form of the multi-node failure model. An
+// epoch of look-ahead training runs in chunks against an N-node serving
+// tier; at every chunk boundary the driver takes a coordinated checkpoint
+// (one laoram.SaveState for the trusted client state, one
+// chaos.Node.SnapshotAll per node for the trees). The faulted run kills one
+// node mid-chunk; the chunk fails with remote.ErrNodeDown, the driver
+// restarts the dead node, rolls back EVERY node — survivors included,
+// because their shards partially executed the doomed chunk — and the client
+// to the checkpoint, then re-runs the chunk. Because all execution
+// randomness flows from the checkpointed counted RNGs and each chunk is
+// replanned from seeds derived only from the engine seed, the recovered run
+// finishes byte-identical to a run that never faulted: final reads, session
+// stats, client state and decrypted tree bytes all match (DESIGN.md
+// invariant #11).
+type FailoverConfig struct {
+	Entries   uint64
+	BlockSize int
+	Shards    int
+	Nodes     int
+	Seed      int64
+	Accesses  int // epoch length
+	Chunk     int // accesses per chunk (checkpoint cadence)
+	S         int // superblock factor
+	KillChunk int // chunk whose execution the fault interrupts
+	KillAfter int // visits into that chunk before the node dies
+	KillNode  int // which node dies
+}
+
+// FailoverRun is one driver execution's observable state.
+type FailoverRun struct {
+	Session     laoram.SessionStats
+	Stats       laoram.Stats
+	ReadsDigest []byte   // concatenated final payloads of every touched block
+	ClientState []byte   // final laoram.SaveState
+	Trees       [][]byte // final per-node, per-shard tree snapshots, flattened
+	Recoveries  int
+}
+
+// FailoverResult compares the faulted run against the unfaulted reference.
+type FailoverResult struct {
+	Config     FailoverConfig
+	Chunks     int
+	Recoveries int
+
+	SessionMatch bool
+	StatsMatch   bool
+	ReadsMatch   bool
+	ClientMatch  bool
+	TreesMatch   bool
+}
+
+// Identical reports whether every compared dimension matched.
+func (r *FailoverResult) Identical() bool {
+	return r.SessionMatch && r.StatsMatch && r.ReadsMatch && r.ClientMatch && r.TreesMatch
+}
+
+// failoverNodes boots the serving tier for cfg: node j holds the stores of
+// every shard i with i % Nodes == j.
+func failoverNodes(cfg FailoverConfig) ([]*chaos.Node, []string, error) {
+	per := shard.PerShardEntries(cfg.Entries, cfg.Shards)
+	g, err := oram.NewGeometry(oram.GeometryConfig{
+		LeafBits: oram.LeafBitsFor(per), LeafZ: 4, BlockSize: cfg.BlockSize,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	nodes := make([]*chaos.Node, cfg.Nodes)
+	addrs := make([]string, cfg.Nodes)
+	for j := range nodes {
+		count := int(shard.LoadCount(uint64(cfg.Shards), j, cfg.Nodes))
+		nodes[j] = chaos.NewNode(func() ([]oram.Store, error) {
+			stores := make([]oram.Store, count)
+			for i := range stores {
+				ps, err := oram.NewPayloadStore(g, nil)
+				if err != nil {
+					return nil, err
+				}
+				stores[i] = ps
+			}
+			return stores, nil
+		}, 0, nil)
+		if addrs[j], err = nodes[j].Start(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return nodes, addrs, nil
+}
+
+func killAll(nodes []*chaos.Node) {
+	for _, n := range nodes {
+		n.Kill()
+	}
+}
+
+// failoverPayload is the deterministic initial content of block id.
+func failoverPayload(id uint64, blockSize int) []byte {
+	p := make([]byte, blockSize)
+	for i := range p {
+		p[i] = byte(id*7 + uint64(i))
+	}
+	return p
+}
+
+// runFailover executes the chunked epoch; fault injects the node kill.
+func runFailover(cfg FailoverConfig, fault bool) (*FailoverRun, error) {
+	nodes, addrs, err := failoverNodes(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer killAll(nodes)
+
+	db, err := laoram.New(laoram.Options{
+		Entries: cfg.Entries, Seed: cfg.Seed, Shards: cfg.Shards,
+		RemoteAddrs: addrs, Reconnect: true,
+		RetryElapsed: 300 * time.Millisecond, // surface the death quickly
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	stream, err := laoram.GenerateTrace(laoram.TraceConfig{
+		Kind: laoram.TraceKaggle, N: cfg.Entries, Count: cfg.Accesses, Seed: cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := db.Load(cfg.Entries, func(id uint64) []byte {
+		return failoverPayload(id, cfg.BlockSize)
+	}); err != nil {
+		return nil, err
+	}
+
+	visit := func(kill *atomic.Int64) laoram.Visit {
+		return func(id uint64, payload []byte) []byte {
+			if kill != nil && kill.Add(1) == int64(cfg.KillAfter) {
+				nodes[cfg.KillNode].Kill()
+			}
+			out := bytes.Clone(payload)
+			out[0] ^= byte(id)
+			out[1]++
+			return out
+		}
+	}
+
+	out := &FailoverRun{}
+	for c := 0; c*cfg.Chunk < len(stream); c++ {
+		hi := (c + 1) * cfg.Chunk
+		if hi > len(stream) {
+			hi = len(stream)
+		}
+		chunk := stream[c*cfg.Chunk : hi]
+
+		// Coordinated checkpoint at the boundary: client state + every
+		// node's trees, taken before any of the chunk executes.
+		var clientCk bytes.Buffer
+		if err := db.SaveState(&clientCk); err != nil {
+			return nil, err
+		}
+		treeCk := make([][][]byte, cfg.Nodes)
+		for j, n := range nodes {
+			if treeCk[j], err = n.SnapshotAll(); err != nil {
+				return nil, err
+			}
+		}
+
+		runChunk := func(kill *atomic.Int64) (laoram.SessionStats, error) {
+			plan, err := db.Preprocess(chunk, cfg.S)
+			if err != nil {
+				return laoram.SessionStats{}, err
+			}
+			sess, err := db.NewSession(plan)
+			if err != nil {
+				return laoram.SessionStats{}, err
+			}
+			if err := sess.Run(visit(kill)); err != nil {
+				return laoram.SessionStats{}, err
+			}
+			return sess.Stats(), nil
+		}
+
+		var kill *atomic.Int64
+		if fault && c == cfg.KillChunk {
+			kill = new(atomic.Int64)
+		}
+		st, err := runChunk(kill)
+		needRecover := false
+		if err != nil {
+			if _, ok := remote.AsNodeDown(err); !ok {
+				return nil, fmt.Errorf("harness: chunk %d failed non-retryably: %w", c, err)
+			}
+			needRecover = true
+		} else if kill != nil && !nodes[cfg.KillNode].Running() {
+			// The kill landed so late the chunk finished without touching
+			// the dead node again; the node is still gone, so recover.
+			needRecover = true
+		}
+		if needRecover {
+			// Recovery: restart the dead node, then roll back the WHOLE
+			// system — every node (survivors ran part of the doomed chunk)
+			// and the client — to the boundary checkpoint, and re-run.
+			dead := nodes[cfg.KillNode]
+			if !dead.Running() {
+				dead.WaitDown()
+				if _, err := dead.Restart(); err != nil {
+					return nil, err
+				}
+			}
+			for j, n := range nodes {
+				if err := n.RestoreAll(treeCk[j]); err != nil {
+					return nil, err
+				}
+			}
+			if err := db.LoadState(bytes.NewReader(clientCk.Bytes())); err != nil {
+				return nil, err
+			}
+			out.Recoveries++
+			if st, err = runChunk(nil); err != nil {
+				return nil, fmt.Errorf("harness: chunk %d re-run after recovery: %w", c, err)
+			}
+		}
+		out.Session.Bins += st.Bins
+		out.Session.ColdPathReads += st.ColdPathReads
+		out.Session.LookaheadRemaps += st.LookaheadRemaps
+		out.Session.UniformRemaps += st.UniformRemaps
+	}
+
+	// Capture final state before the probe reads perturb it.
+	out.Stats = db.Stats()
+	var finalCk bytes.Buffer
+	if err := db.SaveState(&finalCk); err != nil {
+		return nil, err
+	}
+	out.ClientState = finalCk.Bytes()
+	for _, n := range nodes {
+		snaps, err := n.SnapshotAll()
+		if err != nil {
+			return nil, err
+		}
+		out.Trees = append(out.Trees, snaps...)
+	}
+
+	// Probe every block the epoch touched, in deterministic order.
+	seen := map[uint64]bool{}
+	var digest bytes.Buffer
+	for _, id := range stream {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		p, err := db.Read(id)
+		if err != nil {
+			return nil, err
+		}
+		digest.Write(p)
+	}
+	out.ReadsDigest = digest.Bytes()
+	return out, nil
+}
+
+// Failover runs the unfaulted reference and the faulted run and compares
+// them dimension by dimension.
+func Failover(cfg FailoverConfig) (*FailoverResult, error) {
+	if cfg.Nodes > cfg.Shards {
+		return nil, fmt.Errorf("harness: %d nodes over %d shards", cfg.Nodes, cfg.Shards)
+	}
+	want, err := runFailover(cfg, false)
+	if err != nil {
+		return nil, fmt.Errorf("harness: unfaulted run: %w", err)
+	}
+	got, err := runFailover(cfg, true)
+	if err != nil {
+		return nil, fmt.Errorf("harness: faulted run: %w", err)
+	}
+	res := &FailoverResult{
+		Config:       cfg,
+		Chunks:       (cfg.Accesses + cfg.Chunk - 1) / cfg.Chunk,
+		Recoveries:   got.Recoveries,
+		SessionMatch: got.Session == want.Session,
+		StatsMatch:   restoredStatsEqual(got.Stats, want.Stats),
+		ReadsMatch:   bytes.Equal(got.ReadsDigest, want.ReadsDigest),
+		ClientMatch:  bytes.Equal(got.ClientState, want.ClientState),
+		TreesMatch:   len(got.Trees) == len(want.Trees),
+	}
+	if res.TreesMatch {
+		for i := range got.Trees {
+			if !bytes.Equal(got.Trees[i], want.Trees[i]) {
+				res.TreesMatch = false
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// restoredStatsEqual compares the checkpoint-restored dimensions of Stats.
+// BytesMoved is store telemetry that checkpoints deliberately do not
+// serialise — a recovered run's counters legitimately include the doomed
+// chunk's partial traffic plus the re-run (real bytes really moved) — and
+// SimTimeSeconds is always zero for remote instances.
+func restoredStatsEqual(a, b laoram.Stats) bool {
+	return a.Accesses == b.Accesses && a.PathReads == b.PathReads &&
+		a.PathWrites == b.PathWrites && a.DummyReads == b.DummyReads &&
+		a.StashHits == b.StashHits && a.StashSize == b.StashSize &&
+		a.StashPeak == b.StashPeak && a.ServerBytes == b.ServerBytes &&
+		a.PositionBytes == b.PositionBytes
+}
+
+// Render formats the drill verdict.
+func (r *FailoverResult) Render() string {
+	t := Table{
+		Title: fmt.Sprintf("Failover — %d shards over %d nodes, kill node %d in chunk %d (%d chunks, seed %d)",
+			r.Config.Shards, r.Config.Nodes, r.Config.KillNode, r.Config.KillChunk, r.Chunks, r.Config.Seed),
+		Headers: []string{"dimension", "identical to unfaulted run"},
+	}
+	row := func(name string, ok bool) {
+		v := "yes"
+		if !ok {
+			v = "NO"
+		}
+		t.AddRow(name, v)
+	}
+	row("final reads", r.ReadsMatch)
+	row("session stats", r.SessionMatch)
+	row("access stats", r.StatsMatch)
+	row("client state", r.ClientMatch)
+	row("decrypted trees", r.TreesMatch)
+	t.AddNote("recoveries performed: %d (kill → restart → coordinated rollback → chunk re-run)", r.Recoveries)
+	return t.Render()
+}

@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestFailoverIdentity is the acceptance test of the multi-node failover
+// story: a chunked seed-42 training epoch over an N-node tier, with one
+// node killed and restarted mid-epoch, must finish byte-identical to an
+// unfaulted run — final reads, session stats, client state and decrypted
+// tree snapshots. Shards=1 exercises the single-node kill; Shards=4 over 2
+// nodes kills one node while the other keeps serving (and is rolled back
+// with it).
+func TestFailoverIdentity(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  FailoverConfig
+	}{
+		{
+			name: "1shard-1node",
+			cfg: FailoverConfig{
+				Entries: 1 << 9, BlockSize: 16, Shards: 1, Nodes: 1, Seed: 42,
+				Accesses: 1200, Chunk: 400, S: 4,
+				KillChunk: 1, KillAfter: 120, KillNode: 0,
+			},
+		},
+		{
+			name: "4shards-2nodes",
+			cfg: FailoverConfig{
+				Entries: 1 << 10, BlockSize: 16, Shards: 4, Nodes: 2, Seed: 42,
+				Accesses: 1800, Chunk: 600, S: 4,
+				KillChunk: 1, KillAfter: 150, KillNode: 1,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// The drill is deterministic regardless of scheduling, but the
+			// multi-shard case drives concurrent lanes plus reconnect
+			// timers and is punishingly slow on a single hardware thread;
+			// CHAOS_FORCE=1 overrides for constrained hosts.
+			if tc.cfg.Shards > 1 && runtime.NumCPU() < 2 && os.Getenv("CHAOS_FORCE") == "" {
+				t.Skip("multi-shard failover drill skipped on < 2 CPUs (set CHAOS_FORCE=1 to run)")
+			}
+			res, err := Failover(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Recoveries == 0 {
+				t.Fatal("fault schedule produced no recovery — the kill never landed")
+			}
+			if !res.Identical() {
+				t.Fatalf("recovered run diverged from unfaulted run:\n%s", res.Render())
+			}
+			t.Logf("\n%s", res.Render())
+		})
+	}
+}

@@ -19,6 +19,44 @@ import (
 
 const snapshotMagic = 0x4C414F52414D5631 // "LAORAMV1"
 
+// Snapshotter is the store-side checkpoint contract: MetaStore and
+// PayloadStore implement it natively, CountingStore forwards to whatever it
+// wraps. The remote server exposes it per shard so a node can persist (or
+// roll back) its trees, and the chaos failover path restores every node
+// from the same checkpoint so client position map and server trees stay in
+// lockstep (DESIGN.md "Failure model").
+type Snapshotter interface {
+	Save(w io.Writer) error
+	Load(r io.Reader) error
+}
+
+var (
+	_ Snapshotter = (*MetaStore)(nil)
+	_ Snapshotter = (*PayloadStore)(nil)
+	_ Snapshotter = (*CountingStore)(nil)
+)
+
+// Save forwards to the wrapped store's Snapshotter. Counters are traffic
+// telemetry, not tree state — they are deliberately not serialised, the
+// same way the client's RNG position is serialised separately from its
+// position map.
+func (cs *CountingStore) Save(w io.Writer) error {
+	s, ok := cs.inner.(Snapshotter)
+	if !ok {
+		return fmt.Errorf("oram: wrapped %T does not support snapshots", cs.inner)
+	}
+	return s.Save(w)
+}
+
+// Load forwards to the wrapped store's Snapshotter.
+func (cs *CountingStore) Load(r io.Reader) error {
+	s, ok := cs.inner.(Snapshotter)
+	if !ok {
+		return fmt.Errorf("oram: wrapped %T does not support snapshots", cs.inner)
+	}
+	return s.Load(r)
+}
+
 // SaveState writes the client's trusted state (position map and stash).
 // Only flat position maps are supported; a RecursiveMap's state already
 // lives in its own ORAM stores and is saved with them.

@@ -1,0 +1,257 @@
+package oram
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestSnapshotRoundTripProperty: testing/quick property that
+// SaveState/LoadState ∘ Save/Load is the identity across random
+// geometries, stash occupancies and sealed/unsealed/metadata-only payload
+// stores. Identity is checked two ways: every block reads back equal, and
+// re-snapshotting the restored pair reproduces the original snapshot
+// byte-for-byte (so a second-generation restore sees exactly what the
+// first did).
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		leafBits := 2 + rng.Intn(5)
+		leafZ := 1 + rng.Intn(4)
+		blockSize := 0
+		var sealer *xorSealer
+		switch rng.Intn(3) {
+		case 1:
+			blockSize = 8 * (1 + rng.Intn(3))
+		case 2:
+			blockSize = 8 * (1 + rng.Intn(3))
+			sealer = &xorSealer{key: byte(rng.Intn(255) + 1)}
+		}
+		g := MustGeometry(GeometryConfig{LeafBits: leafBits, LeafZ: leafZ, BlockSize: blockSize})
+		blocks := uint64(1) << uint(leafBits)
+
+		newStore := func() Store {
+			if blockSize == 0 {
+				return NewMetaStore(g)
+			}
+			var s Sealer
+			if sealer != nil {
+				s = sealer
+			}
+			ps, err := NewPayloadStore(g, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ps
+		}
+		newClient := func(st Store, rseed int64) *Client {
+			c, err := NewClient(ClientConfig{
+				Store: st, Rand: rand.New(rand.NewSource(rseed)),
+				Evict: PaperEvict, StashHits: true, Blocks: blocks,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}
+
+		st := newStore()
+		c := newClient(st, seed+1)
+		ref := make(map[BlockID][]byte)
+		if err := c.Load(blocks, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		// Random accesses drive blocks into the stash; the narrow
+		// geometries (leafZ 1, shallow trees) push occupancy high.
+		for i, n := 0, 20+rng.Intn(200); i < n; i++ {
+			id := BlockID(rng.Int63n(int64(blocks)))
+			if blockSize > 0 && rng.Intn(2) == 0 {
+				v := make([]byte, blockSize)
+				rng.Read(v)
+				if err := c.Write(id, v); err != nil {
+					t.Fatal(err)
+				}
+				ref[id] = v
+			} else if _, err := c.Read(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		var clientSnap, storeSnap bytes.Buffer
+		if err := c.SaveState(&clientSnap); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.(Snapshotter).Save(&storeSnap); err != nil {
+			t.Fatal(err)
+		}
+
+		st2 := newStore()
+		if err := st2.(Snapshotter).Load(bytes.NewReader(storeSnap.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		c2 := newClient(st2, seed+2) // different RNG: state restore must not care
+		if err := c2.LoadState(bytes.NewReader(clientSnap.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+
+		// Re-snapshot before reading (reads mutate ORAM state).
+		var clientSnap2, storeSnap2 bytes.Buffer
+		if err := c2.SaveState(&clientSnap2); err != nil {
+			t.Fatal(err)
+		}
+		if err := st2.(Snapshotter).Save(&storeSnap2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(clientSnap.Bytes(), clientSnap2.Bytes()) {
+			t.Logf("seed %d: restored client snapshot differs", seed)
+			return false
+		}
+		if !bytes.Equal(storeSnap.Bytes(), storeSnap2.Bytes()) {
+			t.Logf("seed %d: restored store snapshot differs", seed)
+			return false
+		}
+		for id, want := range ref {
+			got, err := c2.Read(id)
+			if err != nil {
+				t.Fatalf("seed %d: restored read %d: %v", seed, id, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Logf("seed %d: block %d = %x want %x", seed, id, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(42))}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotCorruptHeaders: table test that truncated and corrupted
+// snapshot streams are rejected with an error — never a panic, never a
+// silent partial restore.
+func TestSnapshotCorruptHeaders(t *testing.T) {
+	const blocks = 16
+	c, _ := newTestClient(t, 4, blocks, 8, EvictConfig{})
+	if err := c.Load(blocks, nil, func(BlockID) []byte { return make([]byte, 8) }); err != nil {
+		t.Fatal(err)
+	}
+	var clientSnap bytes.Buffer
+	if err := c.SaveState(&clientSnap); err != nil {
+		t.Fatal(err)
+	}
+	g := MustGeometry(GeometryConfig{LeafBits: 4, LeafZ: 4, BlockSize: 8})
+	ps, err := NewPayloadStore(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var storeSnap bytes.Buffer
+	if err := ps.Save(&storeSnap); err != nil {
+		t.Fatal(err)
+	}
+
+	flip := func(b []byte, off int) []byte {
+		out := bytes.Clone(b)
+		out[off] ^= 0xFF
+		return out
+	}
+	u64At := func(b []byte, off int, v uint64) []byte {
+		out := bytes.Clone(b)
+		binary.LittleEndian.PutUint64(out[off:], v)
+		return out
+	}
+
+	cases := []struct {
+		name string
+		load func([]byte) error
+		data []byte
+	}{
+		{"client/empty", c.LoadState2, nil},
+		{"client/truncated-magic", c.LoadState2, clientSnap.Bytes()[:5]},
+		{"client/truncated-posmap", c.LoadState2, clientSnap.Bytes()[:16+blocks*4]},
+		{"client/truncated-stash-count", c.LoadState2, clientSnap.Bytes()[:16+blocks*8+3]},
+		{"client/bad-magic", c.LoadState2, flip(clientSnap.Bytes(), 0)},
+		{"client/wrong-block-count", c.LoadState2, u64At(clientSnap.Bytes(), 8, blocks*2)},
+		{"client/implausible-stash", c.LoadState2, u64At(clientSnap.Bytes(), 16+blocks*8, 1<<40)},
+		{"store/empty", ps.load2, nil},
+		{"store/truncated-header", ps.load2, storeSnap.Bytes()[:12]},
+		{"store/bad-magic", ps.load2, flip(storeSnap.Bytes(), 0)},
+		{"store/wrong-slot-count", ps.load2, u64At(storeSnap.Bytes(), 8, 3)},
+		{"store/wrong-stride", ps.load2, u64At(storeSnap.Bytes(), 16, 999)},
+		{"store/truncated-arena", ps.load2, storeSnap.Bytes()[:storeSnap.Len()-1]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.load(tc.data); err == nil {
+				t.Error("corrupted snapshot accepted")
+			}
+		})
+	}
+}
+
+// LoadState2/load2 adapt the io.Reader loaders to []byte for the table
+// test above.
+func (c *Client) LoadState2(b []byte) error   { return c.LoadState(bytes.NewReader(b)) }
+func (st *PayloadStore) load2(b []byte) error { return st.Load(bytes.NewReader(b)) }
+
+// TestCountingStoreSnapshotForwarding: the counting wrapper checkpoints
+// the store it wraps (the laoram stack always hands the engine a
+// CountingStore, so the shard-level checkpoint path goes through here).
+func TestCountingStoreSnapshotForwarding(t *testing.T) {
+	g := MustGeometry(GeometryConfig{LeafBits: 3, LeafZ: 4, BlockSize: 0})
+	inner := NewMetaStore(g)
+	cs := NewCountingStore(inner, nil)
+	if err := cs.WriteSlot(2, 1, 0, Slot{ID: 5, Leaf: 3}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cs.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cs2 := NewCountingStore(NewMetaStore(g), nil)
+	if err := cs2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	var s Slot
+	if err := cs2.ReadSlot(2, 1, 0, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.ID != 5 || s.Leaf != 3 {
+		t.Errorf("forwarded snapshot slot %+v", s)
+	}
+	// A wrapper around a non-snapshottable store refuses rather than
+	// silently skipping.
+	type bare struct{ Store }
+	nosnap := NewCountingStore(bare{inner}, nil)
+	if err := nosnap.Save(&buf); err == nil {
+		t.Error("Save through non-Snapshotter accepted")
+	}
+	if err := nosnap.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("Load through non-Snapshotter accepted")
+	}
+}
+
+// TestStashRestorePeak: RestorePeak resumes the high-water trajectory and
+// clamps to the live occupancy lower bound.
+func TestStashRestorePeak(t *testing.T) {
+	s := NewStash()
+	for i := 0; i < 5; i++ {
+		if err := s.Put(BlockID(i), Leaf(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RestorePeak(17)
+	if s.Peak() != 17 {
+		t.Errorf("Peak = %d, want 17", s.Peak())
+	}
+	s.RestorePeak(2) // below current size: clamp up
+	if s.Peak() != 5 {
+		t.Errorf("Peak = %d, want clamp to 5", s.Peak())
+	}
+}

@@ -62,6 +62,17 @@ func (s *Stash) Peak() int { return s.peak }
 // ResetPeak sets the high-water mark to the current size.
 func (s *Stash) ResetPeak() { s.peak = len(s.index) }
 
+// RestorePeak sets the high-water mark to a checkpointed value (clamped up
+// to the current size, which is a lower bound by definition). Checkpoint
+// restore uses this so post-restart stash statistics continue the original
+// run's trajectory instead of restarting from the restored occupancy.
+func (s *Stash) RestorePeak(p int) {
+	if p < len(s.index) {
+		p = len(s.index)
+	}
+	s.peak = p
+}
+
 // Contains reports whether id is stashed.
 func (s *Stash) Contains(id BlockID) bool {
 	_, ok := s.index[id]

@@ -2,9 +2,11 @@ package remote
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/oram"
 )
@@ -19,8 +21,27 @@ import (
 // extensions) for shard 0, so single-shard callers keep the old "the
 // connection is the store" shape; Store(i) returns the view onto shard i
 // of a sharded server.
+//
+// # Failure handling
+//
+// When Config.Reconnect is set, a broken connection does not fail the
+// client: in-flight calls are parked, a background loop redials with
+// bounded exponential backoff, and on success the parked request frames
+// are replayed — safe because every operation is an idempotent read or
+// overwrite of named tree addresses. The reconnect handshake compares the
+// server's boot ID: if it changed, the node restarted and its in-memory
+// tree is gone, so calls that were already on the wire before the crash
+// fail with ErrNodeDown{StateLost: true} (they must not be replayed into a
+// rolled-back tree) while never-sent queued calls proceed against the
+// restarted node. When the retry budget is exhausted, everything pending
+// fails with ErrNodeDown, but the client stays usable: the next call
+// triggers a fresh reconnect attempt, which is what lets a failover driver
+// restart the node from a checkpoint and simply keep calling.
 type Client struct {
-	conn   net.Conn
+	addr string
+	cfg  Config
+	ctx  context.Context // governs the initial dial and every redial
+
 	geom   *oram.Geometry
 	shards int
 	s0     *ShardStore
@@ -29,16 +50,50 @@ type Client struct {
 	// may be in flight awaiting responses.
 	wmu sync.Mutex
 
-	// mu guards the multiplexing state below.
-	mu      sync.Mutex
-	pending map[uint64]chan rpcResult
-	nextID  uint64
-	connErr error
-	closed  bool
+	// mu guards the multiplexing and connection state below.
+	mu           sync.Mutex
+	conn         net.Conn
+	gen          uint64 // connection generation; bumped by every adopt
+	bootID       uint64 // server boot ID from the latest handshake
+	pending      map[uint64]*pendingCall
+	nextID       uint64
+	connErr      error // non-nil while the connection is down
+	reconnecting bool
+	closed       bool
 
-	// watchStop releases the context watcher goroutine installed by
-	// DialContext; closed exactly once, by Close.
-	watchStop chan struct{}
+	// stop is closed exactly once, by Close: it releases the context
+	// watcher and any sleeping reconnect loop.
+	stop chan struct{}
+}
+
+// Config tunes a client's placement identity and failure handling.
+type Config struct {
+	// Reconnect enables transparent redial + idempotent request replay
+	// when the connection breaks. Off by default: a lone loopback client
+	// keeps the old fail-fast behaviour.
+	Reconnect bool
+
+	// RetryElapsed bounds the total time one outage may spend redialling
+	// before pending calls fail with ErrNodeDown. Zero means 5s.
+	RetryElapsed time.Duration
+
+	// ShardBase and ShardStride map this node's local shard indices to the
+	// engine's global shards (global = ShardBase + local*ShardStride), so
+	// an ErrNodeDown names the shard the trainer knows. A single-node
+	// deployment leaves them zero (stride defaults to 1).
+	ShardBase   int
+	ShardStride int
+}
+
+// pendingCall is one in-flight request. The full request frame is retained
+// so a reconnect can replay it; sentGen records which connection
+// generation it was last written to (0 = never written, so the server
+// cannot have seen it — such calls survive even a state-losing restart).
+type pendingCall struct {
+	ch      chan rpcResult
+	req     []byte
+	shard   uint32
+	sentGen uint64
 }
 
 type rpcResult struct {
@@ -64,54 +119,105 @@ func Dial(addr string) (*Client, error) {
 // cancellable. A client whose context never fires behaves exactly like
 // Dial; Close releases the watcher either way.
 func DialContext(ctx context.Context, addr string) (*Client, error) {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
+	return DialConfig(ctx, addr, Config{})
+}
+
+// DialConfig is DialContext with explicit placement and failure-handling
+// configuration; see Config.
+func DialConfig(ctx context.Context, addr string, cfg Config) (*Client, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	c := &Client{conn: conn, pending: make(map[uint64]chan rpcResult)}
-	go c.readLoop()
-	if ctx.Done() != nil {
-		c.watchStop = make(chan struct{})
-		go func() {
-			select {
-			case <-ctx.Done():
-				c.Close()
-			case <-c.watchStop:
-			}
-		}()
+	if cfg.ShardStride <= 0 {
+		cfg.ShardStride = 1
 	}
-	resp, err := c.call(opHello, 0, nil)
-	if err != nil {
-		c.Close()
-		return nil, err
+	if cfg.RetryElapsed <= 0 {
+		cfg.RetryElapsed = 5 * time.Second
 	}
-	shards, rest, err := parseU32(resp)
+	conn, shards, gw, bootID, err := dialHandshake(ctx, addr)
 	if err != nil {
-		c.Close()
-		return nil, fmt.Errorf("remote: bad hello response: %w", err)
-	}
-	gw, err := parseGeometryWire(rest)
-	if err != nil {
-		c.Close()
 		return nil, err
 	}
 	g, err := gw.build()
 	if err != nil {
-		c.Close()
+		conn.Close()
 		return nil, fmt.Errorf("remote: bad server geometry: %w", err)
 	}
-	if shards == 0 {
-		c.Close()
-		return nil, fmt.Errorf("remote: server reports zero shards")
+	c := &Client{
+		addr:    addr,
+		cfg:     cfg,
+		ctx:     ctx,
+		geom:    g,
+		shards:  shards,
+		conn:    conn,
+		gen:     1,
+		bootID:  bootID,
+		pending: make(map[uint64]*pendingCall),
+		stop:    make(chan struct{}),
 	}
-	c.geom = g
-	c.shards = int(shards)
 	c.s0 = &ShardStore{c: c, shard: 0}
+	go c.readLoop(conn, 1)
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				c.Close()
+			case <-c.stop:
+			}
+		}()
+	}
 	return c, nil
 }
 
-// Close shuts the connection; in-flight calls fail with a connection error.
+// dialHandshake dials addr and performs a raw opHello exchange on the new
+// connection, before any read loop owns it — the shared entry point of the
+// initial dial and every reconnect.
+func dialHandshake(ctx context.Context, addr string) (net.Conn, int, geometryWire, uint64, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, 0, geometryWire{}, 0, fmt.Errorf("remote: dial %s: %w", addr, err)
+	}
+	fail := func(err error) (net.Conn, int, geometryWire, uint64, error) {
+		conn.Close()
+		return nil, 0, geometryWire{}, 0, err
+	}
+	if err := writeFrame(conn, appendReqHeader(nil, 0, opHello, 0)); err != nil {
+		return fail(fmt.Errorf("remote: hello send: %w", err))
+	}
+	frame, err := readFrame(conn)
+	if err != nil {
+		return fail(fmt.Errorf("remote: hello recv: %w", err))
+	}
+	_, status, body, err := parseRespHeader(frame)
+	if err != nil {
+		return fail(err)
+	}
+	if status != statusOK {
+		return fail(fmt.Errorf("remote: server: %s", string(body)))
+	}
+	shards, rest, err := parseU32(body)
+	if err != nil {
+		return fail(fmt.Errorf("remote: bad hello response: %w", err))
+	}
+	gw, err := parseGeometryWire(rest)
+	if err != nil {
+		return fail(err)
+	}
+	if shards == 0 {
+		return fail(fmt.Errorf("remote: server reports zero shards"))
+	}
+	// Boot ID: appended after the geometry by servers that support
+	// checkpointed restarts; 0 (absent) from older servers, which then
+	// never trips the state-loss detector.
+	var bootID uint64
+	if len(rest) >= geometryWireLen+8 {
+		bootID = binary.BigEndian.Uint64(rest[geometryWireLen:])
+	}
+	return conn, int(shards), gw, bootID, nil
+}
+
+// Close shuts the connection; in-flight calls fail with *ErrNodeDown.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -119,12 +225,26 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
-	if c.watchStop != nil {
-		close(c.watchStop)
-	}
+	close(c.stop)
+	conn := c.conn
+	c.failAllLocked(fmt.Errorf("remote: client closed"), false, false)
 	c.mu.Unlock()
-	return c.conn.Close()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
 }
+
+// BootID returns the serving node's boot identifier from the latest
+// handshake (0 against pre-checkpoint servers).
+func (c *Client) BootID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bootID
+}
+
+// Addr returns the node's dial address.
+func (c *Client) Addr() string { return c.addr }
 
 // Geometry implements oram.Store. All shard stores of one server share a
 // geometry (enforced server-side).
@@ -156,16 +276,19 @@ func (c *Client) SyncStore(shard int) (oram.Store, error) {
 }
 
 // readLoop routes response frames to their waiting callers by request ID.
-func (c *Client) readLoop() {
+// It owns exactly one connection generation and reports its death via
+// lost(gen, ...), which ignores stale generations.
+func (c *Client) readLoop(conn net.Conn, gen uint64) {
 	for {
-		frame, err := readFrame(c.conn)
+		frame, err := readFrame(conn)
 		if err != nil {
-			c.fail(fmt.Errorf("remote: recv: %w", err))
+			c.lost(gen, fmt.Errorf("remote: recv: %w", err))
 			return
 		}
 		id, status, body, err := parseRespHeader(frame)
 		if err != nil {
-			c.fail(err)
+			conn.Close()
+			c.lost(gen, err)
 			return
 		}
 		var res rpcResult
@@ -175,60 +298,205 @@ func (c *Client) readLoop() {
 			res.err = fmt.Errorf("remote: server: %s", string(body))
 		}
 		c.mu.Lock()
-		ch := c.pending[id]
+		pc := c.pending[id]
 		delete(c.pending, id)
 		c.mu.Unlock()
-		if ch != nil {
-			ch <- res
+		if pc != nil {
+			pc.ch <- res
 		}
 	}
 }
 
-// fail marks the connection broken and releases every in-flight caller.
-func (c *Client) fail(err error) {
-	c.mu.Lock()
-	if c.connErr == nil {
-		c.connErr = err
-	}
-	for id, ch := range c.pending {
+// globalShard maps a node-local wire shard to the engine's global index.
+func (c *Client) globalShard(local uint32) int {
+	return c.cfg.ShardBase + int(local)*c.cfg.ShardStride
+}
+
+// nodeDown wraps a transport error for one call.
+func (c *Client) nodeDown(local uint32, stateLost bool, cause error) *ErrNodeDown {
+	return &ErrNodeDown{Addr: c.addr, Shard: c.globalShard(local), StateLost: stateLost, Err: cause}
+}
+
+// failAllLocked releases pending callers with *ErrNodeDown. With onlySent,
+// calls never written to any connection survive — they cannot have reached
+// the server, so they are safe to (re)send even after a state-losing
+// restart. Callers hold c.mu.
+func (c *Client) failAllLocked(cause error, stateLost, onlySent bool) {
+	for id, pc := range c.pending {
+		if onlySent && pc.sentGen == 0 {
+			continue
+		}
 		delete(c.pending, id)
-		ch <- rpcResult{err: c.connErr}
+		pc.ch <- rpcResult{err: c.nodeDown(pc.shard, stateLost, cause)}
 	}
+}
+
+// lost declares connection generation gen dead. Exactly one caller wins
+// (later and stale calls no-op); the winner either fails everything
+// (fail-fast mode) or parks the pending calls and starts the reconnect
+// loop.
+func (c *Client) lost(gen uint64, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || gen != c.gen || c.connErr != nil {
+		return
+	}
+	c.connErr = err
+	c.conn.Close()
+	if !c.cfg.Reconnect {
+		c.failAllLocked(err, false, false)
+		return
+	}
+	if !c.reconnecting {
+		c.reconnecting = true
+		go c.reconnectLoop()
+	}
+}
+
+// reconnectLoop redials with exponential backoff (10ms doubling, capped at
+// 500ms) until the handshake succeeds, the retry budget elapses, or the
+// client closes. On success the new connection is adopted and pending
+// frames replayed; on failure pending calls get ErrNodeDown but the client
+// stays usable — the next call starts a fresh loop (lazy redial).
+func (c *Client) reconnectLoop() {
+	deadline := time.Now().Add(c.cfg.RetryElapsed)
+	backoff := 10 * time.Millisecond
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.reconnecting = false
+			c.mu.Unlock()
+			return
+		}
+		cause := c.connErr
+		c.mu.Unlock()
+
+		conn, shards, gw, bootID, err := dialHandshake(c.ctx, c.addr)
+		if err == nil {
+			if shards != c.shards || gw != geometryToWire(c.geom) {
+				conn.Close()
+				c.giveUp(fmt.Errorf("remote: node %s changed shape across restart (shards %d, was %d)",
+					c.addr, shards, c.shards))
+				return
+			}
+			c.adopt(conn, bootID)
+			return
+		}
+		if c.ctx.Err() != nil || time.Now().After(deadline) {
+			c.giveUp(cause)
+			return
+		}
+		select {
+		case <-time.After(backoff):
+		case <-c.stop:
+			c.giveUp(cause)
+			return
+		}
+		if backoff *= 2; backoff > 500*time.Millisecond {
+			backoff = 500 * time.Millisecond
+		}
+	}
+}
+
+// giveUp ends a reconnect attempt: every parked call fails, but connErr
+// stays set so a future call can try again.
+func (c *Client) giveUp(cause error) {
+	c.mu.Lock()
+	c.failAllLocked(cause, false, false)
+	c.reconnecting = false
 	c.mu.Unlock()
 }
 
-// call performs one request/response exchange. Many calls may be in flight
-// concurrently; each blocks only on its own response channel.
-func (c *Client) call(op byte, shard uint32, body []byte) ([]byte, error) {
-	ch := make(chan rpcResult, 1)
+// adopt installs a freshly handshaken connection, applies the boot-ID
+// state-loss rule to parked calls, and replays the survivors' frames.
+func (c *Client) adopt(conn net.Conn, bootID uint64) {
 	c.mu.Lock()
-	if c.connErr != nil {
-		err := c.connErr
+	if c.closed {
+		c.reconnecting = false
 		c.mu.Unlock()
-		return nil, err
+		conn.Close()
+		return
 	}
+	c.gen++
+	gen := c.gen
+	c.conn = conn
+	c.connErr = nil
+	c.reconnecting = false
+	if bootID != c.bootID {
+		// The node restarted: its tree no longer reflects requests that
+		// were on the wire. Those must surface as state loss; never-sent
+		// calls proceed against the restarted node.
+		c.failAllLocked(fmt.Errorf("boot id %#x, was %#x", bootID, c.bootID), true, true)
+	}
+	c.bootID = bootID
+	resend := make([]*pendingCall, 0, len(c.pending))
+	for _, pc := range c.pending {
+		pc.sentGen = gen
+		resend = append(resend, pc)
+	}
+	c.mu.Unlock()
+	go c.readLoop(conn, gen)
+	c.wmu.Lock()
+	for _, pc := range resend {
+		if err := writeFrame(conn, pc.req); err != nil {
+			c.wmu.Unlock()
+			c.lost(gen, fmt.Errorf("remote: send: %w", err))
+			return
+		}
+	}
+	c.wmu.Unlock()
+}
+
+// call performs one request/response exchange. Many calls may be in flight
+// concurrently; each blocks only on its own response channel. While the
+// connection is down in reconnect mode the call parks: the reconnect loop
+// will send its frame once a connection is adopted, or fail it when the
+// retry budget runs out.
+func (c *Client) call(op byte, shard uint32, body []byte) ([]byte, error) {
+	pc := &pendingCall{ch: make(chan rpcResult, 1), shard: shard}
+	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("remote: client closed")
 	}
+	if c.connErr != nil && !c.cfg.Reconnect {
+		err := c.nodeDown(shard, false, c.connErr)
+		c.mu.Unlock()
+		return nil, err
+	}
 	c.nextID++
 	id := c.nextID
-	c.pending[id] = ch
-	c.mu.Unlock()
-
 	req := make([]byte, 0, reqHeaderLen+len(body))
 	req = appendReqHeader(req, id, op, shard)
 	req = append(req, body...)
-	c.wmu.Lock()
-	err := writeFrame(c.conn, req)
-	c.wmu.Unlock()
-	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		return nil, fmt.Errorf("remote: send: %w", err)
+	pc.req = req
+	c.pending[id] = pc
+	healthy := c.connErr == nil
+	gen := c.gen
+	conn := c.conn
+	if !healthy && !c.reconnecting {
+		// Lazy redial: a previous outage exhausted its budget; this call
+		// starts a fresh reconnect attempt and parks on it.
+		c.reconnecting = true
+		go c.reconnectLoop()
 	}
-	res := <-ch
+	c.mu.Unlock()
+
+	if healthy {
+		c.wmu.Lock()
+		err := writeFrame(conn, req)
+		c.wmu.Unlock()
+		if err != nil {
+			c.lost(gen, fmt.Errorf("remote: send: %w", err))
+		} else {
+			c.mu.Lock()
+			if cur, ok := c.pending[id]; ok && cur == pc && pc.sentGen == 0 {
+				pc.sentGen = gen
+			}
+			c.mu.Unlock()
+		}
+	}
+	res := <-pc.ch
 	return res.body, res.err
 }
 

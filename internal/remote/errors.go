@@ -1,0 +1,55 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNodeDown reports that a call failed because the TCP connection to one
+// serving node died (and, when reconnection is enabled, could not be
+// re-established within the retry budget). It is the typed boundary between
+// retryable infrastructure faults and fatal protocol/storage errors: a
+// caller that sees ErrNodeDown knows the request may never have executed
+// and the node may come back, so a checkpointed trainer can roll back and
+// retry, while any other error means the server itself rejected the
+// operation and retrying is pointless.
+type ErrNodeDown struct {
+	// Addr is the node's dial address.
+	Addr string
+
+	// Shard is the global shard index the failed call addressed (the
+	// engine-level shard, mapped through the client's ShardBase/ShardStride
+	// placement), or -1 when the failure is not specific to one call.
+	Shard int
+
+	// StateLost reports that the node answered a reconnect handshake with a
+	// different boot ID: the process restarted and its in-memory tree is
+	// gone, so requests sent before the crash must not be replayed and the
+	// caller must restore the node from a checkpoint before continuing.
+	StateLost bool
+
+	// Err is the underlying transport error.
+	Err error
+}
+
+func (e *ErrNodeDown) Error() string {
+	suffix := ""
+	if e.StateLost {
+		suffix = " (server restarted; state lost)"
+	}
+	if e.Shard >= 0 {
+		return fmt.Sprintf("remote: node %s down (shard %d)%s: %v", e.Addr, e.Shard, suffix, e.Err)
+	}
+	return fmt.Sprintf("remote: node %s down%s: %v", e.Addr, suffix, e.Err)
+}
+
+func (e *ErrNodeDown) Unwrap() error { return e.Err }
+
+// AsNodeDown unwraps err to an *ErrNodeDown if one is in its chain.
+func AsNodeDown(err error) (*ErrNodeDown, bool) {
+	var nd *ErrNodeDown
+	if errors.As(err, &nd) {
+		return nd, true
+	}
+	return nil, false
+}

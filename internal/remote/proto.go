@@ -16,7 +16,11 @@
 //
 // Opcode bodies:
 //
-//	opHello       → resp: shards u32 · geometry (17 B)
+//	opHello       → resp: shards u32 · geometry (17 B) · bootID u64
+//	              (bootID: a random per-process identifier; a client that
+//	              reconnects and sees a different bootID knows the server
+//	              restarted and lost its in-memory tree. Absent from older
+//	              servers; clients treat a short response as bootID 0.)
 //	opReadBucket  req: level u32 · node u64            → resp: Z slots
 //	opWriteBucket req: level u32 · node u64 · Z slots  → resp: empty
 //	opReadSlot    req: level u32 · node u64 · slot u32 → resp: 1 slot
@@ -322,8 +326,11 @@ func (gw geometryWire) build() (*oram.Geometry, error) {
 	})
 }
 
+// geometryWireLen is the serialised size of geometryWire.
+const geometryWireLen = 17
+
 func (gw geometryWire) append(buf []byte) []byte {
-	var tmp [17]byte
+	var tmp [geometryWireLen]byte
 	binary.BigEndian.PutUint32(tmp[0:], uint32(gw.LeafBits))
 	binary.BigEndian.PutUint32(tmp[4:], uint32(gw.LeafZ))
 	binary.BigEndian.PutUint32(tmp[8:], uint32(gw.RootZ))

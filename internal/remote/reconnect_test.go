@@ -1,0 +1,325 @@
+// Black-box tests (package remote_test) for the failure-handling layer:
+// typed ErrNodeDown surfacing, reconnect + replay behaviour, and goroutine
+// hygiene of the redial path. They drive faults through internal/chaos,
+// which imports remote — hence the external test package.
+package remote_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/oram"
+	"repro/internal/remote"
+)
+
+func startNode(t *testing.T, shards int) *chaos.Node {
+	t.Helper()
+	n := chaos.NewNode(func() ([]oram.Store, error) {
+		g := oram.MustGeometry(oram.GeometryConfig{LeafBits: 4, LeafZ: 4, BlockSize: 0})
+		stores := make([]oram.Store, shards)
+		for i := range stores {
+			stores[i] = oram.NewMetaStore(g)
+		}
+		return stores, nil
+	}, 2, nil)
+	if _, err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Kill() })
+	return n
+}
+
+// TestErrNodeDownTyped: the satellite-1 regression — a node death surfaces
+// as *ErrNodeDown carrying the node address and the *global* shard index
+// under the configured placement, distinguishable from fatal server errors
+// with errors.As.
+func TestErrNodeDownTyped(t *testing.T) {
+	n := startNode(t, 2)
+	// Placement as laoram would configure node 1 of a 3-node cluster:
+	// local shard i is global shard 1 + i*3.
+	c, err := remote.DialConfig(context.Background(), n.Addr(), remote.Config{
+		ShardBase: 1, ShardStride: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// A fatal server error is NOT ErrNodeDown: the connection is fine, the
+	// request was rejected.
+	st, err := c.Store(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ReadBucket(99, 0, make([]oram.Slot, 4)); err == nil {
+		t.Fatal("out-of-range level accepted")
+	} else if _, ok := remote.AsNodeDown(err); ok {
+		t.Fatalf("server rejection mis-typed as node death: %v", err)
+	}
+
+	// Kill the node mid-call: every caller gets a typed ErrNodeDown.
+	n.Kill()
+	err = st.ReadBucket(1, 0, make([]oram.Slot, 4))
+	nd, ok := remote.AsNodeDown(err)
+	if !ok {
+		t.Fatalf("node death surfaced as %T: %v", err, err)
+	}
+	if nd.Addr != n.Addr() {
+		t.Errorf("ErrNodeDown.Addr = %q, want %q", nd.Addr, n.Addr())
+	}
+	if nd.Shard != 1+1*3 {
+		t.Errorf("ErrNodeDown.Shard = %d, want global 4 (local 1 under base 1 stride 3)", nd.Shard)
+	}
+	if nd.StateLost {
+		t.Error("fail-fast death should not claim state loss")
+	}
+	var asND *remote.ErrNodeDown
+	if !errors.As(err, &asND) {
+		t.Error("errors.As failed on ErrNodeDown")
+	}
+}
+
+// TestReconnectReplay: with Reconnect on, a proxy-killed connection is
+// transparent — the parked call replays on the fresh connection and the
+// caller never sees an error (boot ID unchanged, so replay is safe).
+func TestReconnectReplay(t *testing.T) {
+	n := startNode(t, 1)
+	p, err := chaos.NewProxy(n.Addr(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c, err := remote.DialConfig(context.Background(), p.Addr(), remote.Config{
+		Reconnect: true, RetryElapsed: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WriteSlot(2, 1, 1, oram.Slot{ID: 42, Leaf: 9}); err != nil {
+		t.Fatal(err)
+	}
+	p.KillConns()
+	var got oram.Slot
+	if err := c.ReadSlot(2, 1, 1, &got); err != nil {
+		t.Fatalf("read across connection kill: %v", err)
+	}
+	if got.ID != 42 || got.Leaf != 9 {
+		t.Errorf("replayed read got %+v", got)
+	}
+}
+
+// TestReconnectBudgetExhausted: when the node stays down past
+// RetryElapsed, parked calls fail with ErrNodeDown — and the client stays
+// usable: once the node returns, the next call lazily redials.
+func TestReconnectBudgetExhausted(t *testing.T) {
+	n := startNode(t, 1)
+	c, err := remote.DialConfig(context.Background(), n.Addr(), remote.Config{
+		Reconnect: true, RetryElapsed: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WriteSlot(1, 1, 0, oram.Slot{ID: 7, Leaf: 2}); err != nil {
+		t.Fatal(err)
+	}
+	n.Kill()
+	n.WaitDown()
+	var got oram.Slot
+	err = c.ReadSlot(1, 1, 0, &got)
+	if _, ok := remote.AsNodeDown(err); !ok {
+		t.Fatalf("exhausted retry budget surfaced as %T: %v", err, err)
+	}
+	if _, err := n.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	// Lazy redial: the same client works again (fresh empty node, so only
+	// the transport is being tested; ID 0 is what an empty MetaStore
+	// serves).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err = c.ReadSlot(1, 1, 0, &got); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client never recovered after node restart: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestReconnectGoroutineLeaks: the satellite-4 leak check extended to the
+// redial path. Three teardown orders — proxy kill then close, context
+// cancel mid-outage, close mid-backoff — must all drain every
+// reader/writer/dial goroutine.
+func TestReconnectGoroutineLeaks(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	t.Run("kill-then-close", func(t *testing.T) {
+		n := startNode(t, 1)
+		p, err := chaos.NewProxy(n.Addr(), 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := remote.DialConfig(context.Background(), p.Addr(), remote.Config{
+			Reconnect: true, RetryElapsed: 2 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.KillConns()
+		var got oram.Slot
+		if err := c.ReadSlot(1, 0, 0, &got); err != nil {
+			t.Fatalf("read across kill: %v", err)
+		}
+		c.Close()
+		p.Close()
+		n.Kill()
+	})
+
+	t.Run("cancel-mid-outage", func(t *testing.T) {
+		n := startNode(t, 1)
+		ctx, cancel := context.WithCancel(context.Background())
+		c, err := remote.DialConfig(ctx, n.Addr(), remote.Config{
+			Reconnect: true, RetryElapsed: 30 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Kill()
+		n.WaitDown()
+		// Park a call on the reconnect loop, then cancel the context out
+		// from under it: the call must fail and every goroutine drain.
+		done := make(chan error, 1)
+		go func() {
+			var got oram.Slot
+			done <- c.ReadSlot(1, 0, 0, &got)
+		}()
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Error("parked call succeeded against a dead node")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("parked call never released after context cancel")
+		}
+		c.Close()
+	})
+
+	t.Run("close-mid-backoff", func(t *testing.T) {
+		n := startNode(t, 1)
+		c, err := remote.DialConfig(context.Background(), n.Addr(), remote.Config{
+			Reconnect: true, RetryElapsed: 30 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Kill()
+		n.WaitDown()
+		done := make(chan error, 1)
+		go func() {
+			var got oram.Slot
+			done <- c.ReadSlot(1, 0, 0, &got)
+		}()
+		time.Sleep(50 * time.Millisecond)
+		c.Close()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Error("parked call succeeded after Close")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("parked call never released after Close")
+		}
+	})
+
+	waitGoroutines(t, base)
+}
+
+// waitGoroutines polls until the goroutine count returns to base (mirrors
+// the PR 4 trainer leak helper).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d > %d\n%s", n, base,
+				buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestBootIDStateLoss: a restart with state loss is detected — the call
+// that was on the wire fails with StateLost=true rather than silently
+// replaying into an empty tree.
+func TestBootIDStateLoss(t *testing.T) {
+	n := startNode(t, 1)
+	c, err := remote.DialConfig(context.Background(), n.Addr(), remote.Config{
+		Reconnect: true, RetryElapsed: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WriteSlot(2, 2, 0, oram.Slot{ID: 3, Leaf: 1}); err != nil {
+		t.Fatal(err)
+	}
+	boot1 := c.BootID()
+	if boot1 == 0 {
+		t.Fatal("server sent no boot ID")
+	}
+
+	// Park a call mid-outage by racing it with the kill; then restart.
+	n.Kill()
+	done := make(chan error, 1)
+	go func() {
+		var got oram.Slot
+		done <- c.ReadSlot(2, 2, 0, &got)
+	}()
+	n.WaitDown()
+	if _, err := n.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	err = <-done
+	if err != nil {
+		// The call was sent before the crash was noticed: it must carry
+		// the state-loss marker.
+		nd, ok := remote.AsNodeDown(err)
+		if !ok {
+			t.Fatalf("restart surfaced as %T: %v", err, err)
+		}
+		if !nd.StateLost {
+			t.Errorf("restart not flagged as state loss: %v", err)
+		}
+	}
+	// Either way the client must have adopted the new boot ID by the next
+	// successful call.
+	var got oram.Slot
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := c.ReadSlot(2, 2, 0, &got); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never recovered after restart")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if c.BootID() == boot1 {
+		t.Error("boot ID unchanged across restart")
+	}
+}

@@ -1,6 +1,8 @@
 package remote
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -30,6 +32,7 @@ type Server struct {
 	locks   []sync.Mutex
 	geom    *oram.Geometry
 	workers int
+	bootID  uint64 // random per-Server identity, sent in the hello response
 
 	logf func(format string, args ...any)
 
@@ -110,14 +113,64 @@ func NewSharded(stores []oram.Store, workers int, logf func(string, ...any)) (*S
 		locks:   make([]sync.Mutex, len(stores)),
 		geom:    geom,
 		workers: workers,
+		bootID:  newBootID(),
 		logf:    logf,
 		closed:  make(chan struct{}),
 		conns:   make(map[*serverConn]struct{}),
 	}, nil
 }
 
+// newBootID draws a random, never-zero process identity. Zero is reserved
+// to mean "server predates boot IDs" on the client side.
+func newBootID() uint64 {
+	var b [8]byte
+	for {
+		if _, err := crand.Read(b[:]); err != nil {
+			panic(fmt.Sprintf("remote: boot id entropy: %v", err))
+		}
+		if id := binary.BigEndian.Uint64(b[:]); id != 0 {
+			return id
+		}
+	}
+}
+
 // Shards returns the number of shard stores served.
 func (s *Server) Shards() int { return len(s.stores) }
+
+// BootID returns this server instance's identity, as sent to clients.
+func (s *Server) BootID() uint64 { return s.bootID }
+
+// SnapshotShard serialises one shard's store under its lock — a consistent
+// point-in-time checkpoint even while the server keeps serving other
+// shards. The store (or what it wraps) must implement oram.Snapshotter.
+func (s *Server) SnapshotShard(shard int, w io.Writer) error {
+	if shard < 0 || shard >= len(s.stores) {
+		return fmt.Errorf("remote: shard %d out of range (server has %d)", shard, len(s.stores))
+	}
+	snap, ok := s.stores[shard].(oram.Snapshotter)
+	if !ok {
+		return fmt.Errorf("remote: shard %d store %T does not support snapshots", shard, s.stores[shard])
+	}
+	s.locks[shard].Lock()
+	defer s.locks[shard].Unlock()
+	return snap.Save(w)
+}
+
+// RestoreShard loads one shard's store from a checkpoint under its lock.
+// The coordinated-rollback recovery path uses this to rewind surviving
+// nodes in place to the same checkpoint a restarted node came back from.
+func (s *Server) RestoreShard(shard int, r io.Reader) error {
+	if shard < 0 || shard >= len(s.stores) {
+		return fmt.Errorf("remote: shard %d out of range (server has %d)", shard, len(s.stores))
+	}
+	snap, ok := s.stores[shard].(oram.Snapshotter)
+	if !ok {
+		return fmt.Errorf("remote: shard %d store %T does not support snapshots", shard, s.stores[shard])
+	}
+	s.locks[shard].Lock()
+	defer s.locks[shard].Unlock()
+	return snap.Load(r)
+}
 
 // Listen starts accepting on addr ("host:port"; ":0" picks a free port) and
 // returns the bound address. Serving happens on background goroutines.
@@ -286,7 +339,8 @@ func (s *Server) dispatch(op byte, shard uint32, body []byte, allowBatch bool) (
 	g := s.geom
 	if op == opHello {
 		out := appendU32(nil, uint32(len(s.stores)))
-		return geometryToWire(g).append(out), nil
+		out = geometryToWire(g).append(out)
+		return binary.BigEndian.AppendUint64(out, s.bootID), nil
 	}
 	if shard >= uint32(len(s.stores)) {
 		return nil, fmt.Errorf("shard %d out of range (server has %d)", shard, len(s.stores))

@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/memsim"
 	"repro/internal/oram"
+	"repro/internal/trace"
 )
 
 // SeedStride separates the deterministic RNG seed domains of neighbouring
@@ -69,11 +70,15 @@ func PerShardEntries(entries uint64, n int) uint64 {
 
 // Sub is one shard's engine stack. Client is required; Store and Meter are
 // optional observability wrappers the caller may have threaded under the
-// client (traffic counters, simulated clock).
+// client (traffic counters, simulated clock). Src, when the builder wires
+// the Client's RNG through a trace.CountedSource, is what makes the shard
+// checkpointable: Engine.SaveState serialises (seed, draws) so a restored
+// engine resumes the exact leaf-selection stream (see state.go).
 type Sub struct {
 	Client *oram.Client
 	Store  *oram.CountingStore
 	Meter  *memsim.Meter
+	Src    *trace.CountedSource
 }
 
 // Config assembles an Engine.

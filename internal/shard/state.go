@@ -1,0 +1,145 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/oram"
+)
+
+// Engine-level checkpoint: the client half of the failover story. A
+// training run checkpoints at chunk boundaries by pairing one
+// Engine.SaveState (position maps, stashes, RNG positions, access stats —
+// everything trusted-side) with per-node server tree snapshots taken at
+// the same instant. Restoring both rewinds the whole distributed system to
+// that boundary, after which re-running the chunk is byte-identical to a
+// run that never failed: all execution randomness flows from the counted
+// per-shard RNGs serialised here, and per-chunk plan RNGs are freshly
+// seeded from the engine seed on every Preprocess call (see plan.go).
+// DESIGN.md invariant #11 states the guarantee; the chaos suite enforces
+// it.
+//
+// Layout (little-endian): magic u64 · shards u64 · entries u64 · seed u64,
+// then per shard: rngSeed u64 · rngDraws u64 · 6×stats u64 · stashPeak u64
+// · blobLen u64 · client SaveState blob. Each client blob is
+// length-prefixed and read through an io.LimitReader because
+// oram.Client.LoadState buffers its reader and would otherwise consume the
+// next shard's section.
+
+// stateMagic versions the engine checkpoint envelope ("LAORENG1").
+const stateMagic = 0x4C414F52454E4731
+
+// SaveState serialises the trusted client state of every shard. It
+// requires each Sub to have been built with a CountedSource (Sub.Src) and
+// a flat position map; it returns an error otherwise.
+func (e *Engine) SaveState(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var u64 [8]byte
+	put := func(v uint64) error {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		_, err := bw.Write(u64[:])
+		return err
+	}
+	for _, v := range []uint64{stateMagic, uint64(e.n), e.entries, uint64(e.seed)} {
+		if err := put(v); err != nil {
+			return err
+		}
+	}
+	var blob bytes.Buffer
+	for s, sub := range e.subs {
+		if sub.Src == nil {
+			return fmt.Errorf("shard: shard %d not checkpointable (built without a counted RNG source)", s)
+		}
+		blob.Reset()
+		if err := sub.Client.SaveState(&blob); err != nil {
+			return fmt.Errorf("shard: shard %d: %w", s, err)
+		}
+		st := sub.Client.Stats()
+		for _, v := range []uint64{
+			uint64(sub.Src.SeedValue()), sub.Src.Draws(),
+			st.Accesses, st.StashHits, st.PathReads, st.PathWrites, st.DummyReads, st.Remaps,
+			uint64(sub.Client.Stash().Peak()),
+			uint64(blob.Len()),
+		} {
+			if err := put(v); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.Write(blob.Bytes()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadState restores state saved by SaveState into this engine, which must
+// have been built with the same shard count, entries and seed. After
+// LoadState the engine's future behaviour is byte-identical to the saved
+// engine's.
+func (e *Engine) LoadState(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var u64 [8]byte
+	get := func() (uint64, error) {
+		if _, err := io.ReadFull(br, u64[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(u64[:]), nil
+	}
+	magic, err := get()
+	if err != nil {
+		return fmt.Errorf("shard: checkpoint header: %w", err)
+	}
+	if magic != stateMagic {
+		return fmt.Errorf("shard: bad checkpoint magic %#x", magic)
+	}
+	for _, want := range []struct {
+		name string
+		v    uint64
+	}{
+		{"shards", uint64(e.n)}, {"entries", e.entries}, {"seed", uint64(e.seed)},
+	} {
+		got, err := get()
+		if err != nil {
+			return err
+		}
+		if got != want.v {
+			return fmt.Errorf("shard: checkpoint %s %d, engine has %d", want.name, got, want.v)
+		}
+	}
+	for s, sub := range e.subs {
+		if sub.Src == nil {
+			return fmt.Errorf("shard: shard %d not checkpointable (built without a counted RNG source)", s)
+		}
+		var vals [10]uint64
+		for i := range vals {
+			if vals[i], err = get(); err != nil {
+				return fmt.Errorf("shard: shard %d section: %w", s, err)
+			}
+		}
+		blobLen := vals[9]
+		if blobLen > 1<<32 {
+			return fmt.Errorf("shard: shard %d client blob of %d bytes implausible", s, blobLen)
+		}
+		lr := io.LimitReader(br, int64(blobLen))
+		if err := sub.Client.LoadState(lr); err != nil {
+			return fmt.Errorf("shard: shard %d: %w", s, err)
+		}
+		// The blob's byte length is authoritative; drain whatever the
+		// client's buffered parse left so the next section starts aligned.
+		if _, err := io.Copy(io.Discard, lr); err != nil {
+			return fmt.Errorf("shard: shard %d blob drain: %w", s, err)
+		}
+		sub.Src.Restore(int64(vals[0]), vals[1])
+		*sub.Client.StatsMut() = oram.AccessStats{
+			Accesses: vals[2], StashHits: vals[3], PathReads: vals[4],
+			PathWrites: vals[5], DummyReads: vals[6], Remaps: vals[7],
+		}
+		// After LoadState rebuilt the stash; peak is clamped up to the
+		// restored occupancy.
+		sub.Client.Stash().RestorePeak(int(vals[8]))
+	}
+	return nil
+}

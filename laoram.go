@@ -47,6 +47,8 @@ package laoram
 import (
 	"context"
 	"fmt"
+	"sync"
+	"time"
 
 	"repro/internal/crypto"
 	"repro/internal/integrity"
@@ -108,8 +110,35 @@ type Options struct {
 	// RemoteAddr, when set, uses a laoramserve instance at this address
 	// as server storage instead of in-process memory. Entries must match
 	// the server's tree capacity; BlockSize/BucketSize/FatTree are taken
-	// from the server.
+	// from the server. Shorthand for a one-element RemoteAddrs; setting
+	// both is an error.
 	RemoteAddr string
+	// RemoteAddrs spreads the shard trees across N laoramserve nodes —
+	// the multi-node serving tier. Placement is fixed and public: node j
+	// (RemoteAddrs[j]) serves every shard i with i % N == j, addressed
+	// there by local store index i / N, so node j must run laoramserve
+	// with -shards equal to its placement count (validated at dial time).
+	// The client keeps one multiplexed connection per node, dialled
+	// concurrently at construction. N must not exceed Shards (a node with
+	// no shards would be dead weight). Placement is public information —
+	// which shard an access routes to already depends only on the public
+	// block ID — so spreading shards over nodes leaks nothing beyond the
+	// single-server deployment.
+	RemoteAddrs []string
+	// Reconnect makes remote connections self-healing: when a node's
+	// connection dies, in-flight calls park while the client redials with
+	// bounded exponential backoff, replaying them once the node answers —
+	// transparently when the node survived (same boot ID), or failing
+	// with ErrNodeDown{StateLost: true} when it restarted and its
+	// in-memory trees are gone (the caller must then restore from a
+	// checkpoint; see ORAM.SaveState and internal/chaos). Without
+	// Reconnect a dead connection fails every call immediately.
+	Reconnect bool
+	// RetryElapsed bounds how long a Reconnect client keeps redialling a
+	// dead node before failing parked calls with ErrNodeDown (default
+	// 5s). The client remains usable after exhaustion: the next call
+	// lazily redials.
+	RetryElapsed time.Duration
 	// Measure attaches a deterministic DDR4 timing model; SimTime then
 	// reports simulated time. With Shards > 1 every shard gets its own
 	// meter (independent memory channels) and SimTime reports the
@@ -149,6 +178,23 @@ func (o Options) shards() int {
 	return o.Shards
 }
 
+// remoteAddrs resolves RemoteAddr/RemoteAddrs to the node list (nil when
+// local).
+func (o Options) remoteAddrs() ([]string, error) {
+	if o.RemoteAddr != "" && len(o.RemoteAddrs) > 0 {
+		return nil, fmt.Errorf("laoram: set Options.RemoteAddr or Options.RemoteAddrs, not both")
+	}
+	if o.RemoteAddr != "" {
+		return []string{o.RemoteAddr}, nil
+	}
+	for j, a := range o.RemoteAddrs {
+		if a == "" {
+			return nil, fmt.Errorf("laoram: Options.RemoteAddrs[%d] is empty", j)
+		}
+	}
+	return o.RemoteAddrs, nil
+}
+
 // cryptoWorkers resolves the crypto fan-out width (>= 1).
 func (o Options) cryptoWorkers() int {
 	if o.CryptoWorkers == 0 {
@@ -162,10 +208,10 @@ func (o Options) cryptoWorkers() int {
 
 // ORAM is an oblivious block store, possibly sharded (Options.Shards).
 type ORAM struct {
-	opts   Options
-	eng    *shard.Engine
-	remote *remote.Client
-	pool   *crypto.Pool // shared crypto fan-out pool (nil when serial)
+	opts    Options
+	eng     *shard.Engine
+	remotes []*remote.Client // one multiplexed connection per serving node
+	pool    *crypto.Pool     // shared crypto fan-out pool (nil when serial)
 }
 
 // Stats summarises client activity and server traffic. With Shards > 1,
@@ -208,27 +254,25 @@ func NewContext(ctx context.Context, opts Options) (*ORAM, error) {
 	if err != nil {
 		return nil, err
 	}
+	addrs, err := opts.remoteAddrs()
+	if err != nil {
+		return nil, err
+	}
 	n := opts.shards()
 	o := &ORAM{opts: opts}
 	// One bounded crypto pool serves every shard's sealed store: the
 	// fan-out width models the host's cores, which the shards already
 	// share.
-	if opts.Encrypt && !opts.MetadataOnly && opts.RemoteAddr == "" {
+	if opts.Encrypt && !opts.MetadataOnly && len(addrs) == 0 {
 		if w := opts.cryptoWorkers(); w > 1 {
 			o.pool = crypto.NewPool(w)
 		}
 	}
-	if opts.RemoteAddr != "" {
-		rc, err := remote.DialContext(ctx, opts.RemoteAddr)
-		if err != nil {
+	if len(addrs) > 0 {
+		if err := o.dialNodes(ctx, addrs, n); err != nil {
+			o.pool.Close()
 			return nil, err
 		}
-		if rc.Shards() != n {
-			rc.Close()
-			return nil, fmt.Errorf("laoram: server at %s exposes %d shard stores, Options.Shards wants %d (start laoramserve with -shards %d)",
-				opts.RemoteAddr, rc.Shards(), n, n)
-		}
-		o.remote = rc
 	}
 	eng, err := shard.New(shard.Config{
 		Shards:  n,
@@ -239,9 +283,7 @@ func NewContext(ctx context.Context, opts Options) (*ORAM, error) {
 		},
 	})
 	if err != nil {
-		if o.remote != nil {
-			o.remote.Close()
-		}
+		o.closeRemotes()
 		o.pool.Close()
 		return nil, err
 	}
@@ -249,17 +291,80 @@ func NewContext(ctx context.Context, opts Options) (*ORAM, error) {
 	return o, nil
 }
 
+// dialNodes connects to every serving node concurrently (one dial
+// goroutine per node, one multiplexed connection each) and validates the
+// placement: node j must expose exactly the number of shard stores the
+// i % N == j rule assigns it.
+func (o *ORAM) dialNodes(ctx context.Context, addrs []string, n int) error {
+	if len(addrs) > n {
+		return fmt.Errorf("laoram: %d serving nodes over %d shards leaves empty nodes (need len(RemoteAddrs) <= Shards)", len(addrs), n)
+	}
+	o.remotes = make([]*remote.Client, len(addrs))
+	errs := make([]error, len(addrs))
+	var wg sync.WaitGroup
+	for j, addr := range addrs {
+		wg.Add(1)
+		go func(j int, addr string) {
+			defer wg.Done()
+			rc, err := remote.DialConfig(ctx, addr, remote.Config{
+				Reconnect:    o.opts.Reconnect,
+				RetryElapsed: o.opts.RetryElapsed,
+				ShardBase:    j,
+				ShardStride:  len(addrs),
+			})
+			if err != nil {
+				errs[j] = fmt.Errorf("laoram: node %d (%s): %w", j, addr, err)
+				return
+			}
+			o.remotes[j] = rc
+		}(j, addr)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			o.closeRemotes()
+			return err
+		}
+	}
+	for j, rc := range o.remotes {
+		want := int(shard.LoadCount(uint64(n), j, len(addrs)))
+		if rc.Shards() != want {
+			err := fmt.Errorf("laoram: node %d (%s) exposes %d shard stores; placement of %d shards over %d nodes assigns it %d (start laoramserve with -shards %d)",
+				j, addrs[j], rc.Shards(), n, len(addrs), want, want)
+			o.closeRemotes()
+			return err
+		}
+	}
+	return nil
+}
+
+// closeRemotes closes every node connection, keeping the first error.
+func (o *ORAM) closeRemotes() error {
+	var first error
+	for _, rc := range o.remotes {
+		if rc == nil {
+			continue
+		}
+		if err := rc.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	o.remotes = nil
+	return first
+}
+
 // buildSub assembles shard idx's stack — server store (in-memory,
 // metadata-only, encrypted or remote), traffic counters, optional timing
 // meter and Merkle verification, then the PathORAM client — for per blocks
 // seeded with seed. With Shards <= 1 this is exactly the unsharded
-// construction. Remote shards share one multiplexed connection (o.remote),
-// each addressing its own shard store on the server.
+// construction. Remote shards share one multiplexed connection per node:
+// shard idx lives on node idx % N as that node's store idx / N.
 func (o *ORAM) buildSub(idx int, per uint64, seed int64, evict oram.EvictConfig) (shard.Sub, error) {
 	opts := o.opts
 	var inner oram.Store
-	if o.remote != nil {
-		st, err := o.remote.Store(idx)
+	if len(o.remotes) > 0 {
+		nodes := len(o.remotes)
+		st, err := o.remotes[idx%nodes].Store(idx / nodes)
 		if err != nil {
 			return shard.Sub{}, err
 		}
@@ -343,9 +448,14 @@ func (o *ORAM) buildSub(idx int, per uint64, seed int64, evict oram.EvictConfig)
 		}
 		posMap = rm
 	}
+	// The client RNG runs through a counted source: same stream as
+	// trace.NewRNG(seed) draw for draw, but its (seed, draws) position is
+	// serialisable, which is what makes the instance checkpointable
+	// (ORAM.SaveState).
+	rng, src := trace.NewCountedRNG(seed)
 	client, err := oram.NewClient(oram.ClientConfig{
 		Store:     clientStore,
-		Rand:      trace.NewRNG(seed),
+		Rand:      rng,
 		Evict:     evict,
 		Timer:     timerOrNil(meter),
 		StashHits: true,
@@ -355,7 +465,7 @@ func (o *ORAM) buildSub(idx int, per uint64, seed int64, evict oram.EvictConfig)
 	if err != nil {
 		return shard.Sub{}, err
 	}
-	return shard.Sub{Client: client, Store: cs, Meter: meter}, nil
+	return shard.Sub{Client: client, Store: cs, Meter: meter, Src: src}, nil
 }
 
 func tickerOrNil(m *memsim.Meter) oram.Ticker {
@@ -372,15 +482,12 @@ func timerOrNil(m *memsim.Meter) oram.Timer {
 	return m
 }
 
-// Close releases resources (the remote connection and the crypto worker
+// Close releases resources (every node connection and the crypto worker
 // pool, if any).
 func (o *ORAM) Close() error {
 	o.pool.Close()
 	o.pool = nil
-	if o.remote != nil {
-		return o.remote.Close()
-	}
-	return nil
+	return o.closeRemotes()
 }
 
 // Entries returns the configured number of blocks.

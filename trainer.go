@@ -155,16 +155,21 @@ func (t *Trainer) Train(ctx context.Context) (*TrainStats, error) {
 	}
 
 	// A remote request stalled on the network cannot observe ctx; closing
-	// the connection is the lever that unblocks it (every in-flight call
-	// then fails with a connection error, which Train maps back to
-	// ctx.Err()).
-	if o.remote != nil && ctx.Done() != nil {
+	// the connections is the lever that unblocks it (every in-flight call
+	// on every node then fails with a connection error, which Train maps
+	// back to ctx.Err()).
+	if len(o.remotes) > 0 && ctx.Done() != nil {
 		stop := make(chan struct{})
 		defer close(stop)
 		go func() {
 			select {
 			case <-ctx.Done():
-				o.remote.Close()
+				// Close without clearing o.remotes: a concurrent or later
+				// ORAM.Close must not race on the slice (Client.Close is
+				// idempotent).
+				for _, rc := range o.remotes {
+					rc.Close()
+				}
 			case <-stop:
 			}
 		}()
