@@ -8,25 +8,37 @@ import (
 	"io"
 )
 
-// Checkpoint/restore: the failover half of the multi-node story. A
-// training run checkpoints by pairing one ORAM.SaveState (everything
-// trusted-side: position maps, stashes, RNG positions, access stats — and,
-// for local instances, the server trees too) with, for remote instances,
-// per-node tree snapshots taken server-side at the same instant
-// (laoramserve -checkpoint, or internal/chaos.Node.SnapshotAll in tests).
-// Restoring both rewinds the whole system to that boundary, after which
-// execution is byte-identical to a run that never failed — DESIGN.md
-// invariant #11, enforced by the chaos suite.
+// Checkpoint/restore: the failover half of the multi-node story. One
+// ORAM.SaveState captures everything needed to resume — all trusted client
+// state (position maps, stashes, RNG positions, access stats) plus a
+// snapshot of every shard's server tree, fetched through the checkpoint
+// coordinator RPC (opSnapshot) for remote instances — so the client state
+// and every node's trees commit as one epoch-stamped set instead of by
+// convention. Restoring rewinds the whole system to that boundary, after
+// which execution is byte-identical to a run that never failed — DESIGN.md
+// invariants #11 and #12, enforced by the chaos suite.
 //
-// Layout (little-endian): magic u64 · flags u64 (bit 0: local tree
-// sections follow) · engLen u64 · engine state blob, then, for local
-// instances, one treeLen u64 + tree snapshot per shard. Every section is
-// length-prefixed and parsed from its own in-memory slice, so LoadState
-// consumes exactly the bytes SaveState wrote regardless of the sections'
-// internal buffering.
+// Layout (little-endian): magic u64 · flags u64 (bit 0: recorded by a
+// local instance) · epoch u64 · engLen u64 · engine state blob · one
+// treeLen u64 + tree snapshot per shard. Every section is length-prefixed
+// and parsed from its own in-memory slice, so LoadState consumes exactly
+// the bytes SaveState wrote regardless of the sections' internal
+// buffering.
+//
+// The envelope carries no node count: shard tree sections are addressed by
+// shard index only, and LoadState restores each through the *current*
+// instance's placement. A checkpoint recorded under N nodes therefore
+// restores onto M nodes (N → N±1 re-placement) with no translation step —
+// shard i's snapshot simply travels to whichever node now serves shard i.
 
-// checkpointMagic versions the public checkpoint envelope ("LAORCKP1").
-const checkpointMagic = 0x4C414F52434B5031
+// checkpointMagic versions the public checkpoint envelope ("LAORCKP2").
+// Version 2 added the epoch stamp and made shard tree sections
+// unconditional (v1 embedded trees only for local instances).
+const checkpointMagic = 0x4C414F52434B5032
+
+// checkpointMagicV1 is the superseded "LAORCKP1" envelope, recognised only
+// to reject it with a useful error.
+const checkpointMagicV1 = 0x4C414F52434B5031
 
 // maxCheckpointSection bounds one length-prefixed section (engine state or
 // a single shard tree) so a corrupted length can't trigger an absurd
@@ -45,13 +57,16 @@ func (o *ORAM) checkpointable() error {
 	return nil
 }
 
-// SaveState writes a checkpoint of all trusted client state: every shard's
+// SaveState writes a checkpoint of the whole system: every shard's
 // position map, stash, counted RNG position, access counters and stash
-// peak. For local instances the server trees are included too, making the
-// checkpoint self-contained; for remote instances (RemoteAddr/RemoteAddrs)
-// the trees belong to the serving nodes, which checkpoint them server-side
-// at the same boundary (laoramserve -checkpoint) — restore both halves
-// together or neither.
+// peak, plus every shard's server tree. Local instances snapshot their
+// in-process stores; remote instances fan one opSnapshot per shard out to
+// the serving nodes, each taken under that shard's server-side lock, so
+// the client state and all node trees commit as one set stamped with the
+// checkpoint epoch (a counter that increments on every SaveState and is
+// restored by LoadState). The caller must not run sessions concurrently
+// with SaveState — checkpoints are taken at window boundaries, where the
+// trainer is quiescent.
 //
 // A restored instance continues byte-identically: leaf choices resume
 // mid-RNG-stream, tree bytes and stats match a run that never stopped
@@ -73,16 +88,15 @@ func (o *ORAM) SaveState(w io.Writer) error {
 		_, err := bw.Write(u64[:])
 		return err
 	}
-	local := len(o.remotes) == 0
 	var flags uint64
-	if local {
+	if len(o.remotes) == 0 {
 		flags |= 1
 	}
-	if err := put(checkpointMagic); err != nil {
-		return err
-	}
-	if err := put(flags); err != nil {
-		return err
+	o.ckEpoch++
+	for _, v := range []uint64{checkpointMagic, flags, o.ckEpoch} {
+		if err := put(v); err != nil {
+			return err
+		}
 	}
 	var section bytes.Buffer
 	writeSection := func(fill func(w io.Writer) error) error {
@@ -99,22 +113,25 @@ func (o *ORAM) SaveState(w io.Writer) error {
 	if err := writeSection(o.eng.SaveState); err != nil {
 		return err
 	}
-	if local {
-		for s := 0; s < o.eng.Shards(); s++ {
-			if err := writeSection(o.eng.Sub(s).Store.Save); err != nil {
-				return fmt.Errorf("laoram: shard %d tree: %w", s, err)
-			}
+	for s := 0; s < o.eng.Shards(); s++ {
+		if err := writeSection(o.eng.Sub(s).Store.Save); err != nil {
+			return fmt.Errorf("laoram: shard %d tree: %w", s, err)
 		}
 	}
 	return bw.Flush()
 }
 
 // LoadState restores a SaveState checkpoint into this instance, which must
-// have been built with the same Options (shards, entries, seed, geometry,
-// and the same local/remote split — a local checkpoint carries trees, a
-// remote one expects the nodes to have been restored separately). After
-// LoadState the instance's future behaviour is byte-identical to the saved
-// instance's.
+// have been built with the same Options shape (shards, entries, seed,
+// geometry, and the same local/remote split — restoring a local
+// checkpoint into a remote instance or vice versa is rejected). The node
+// count may differ: shard tree snapshots are re-partitioned at restore
+// time through this instance's placement, so a checkpoint recorded under N
+// nodes restores onto M nodes. For remote instances each shard's snapshot
+// travels to its serving node as one opRestore. The instance adopts the
+// checkpoint's epoch, so a recovered run's subsequent checkpoints number
+// identically to an unfaulted run's. After LoadState the instance's future
+// behaviour is byte-identical to the saved instance's.
 func (o *ORAM) LoadState(r io.Reader) error {
 	if err := o.checkpointable(); err != nil {
 		return err
@@ -130,6 +147,9 @@ func (o *ORAM) LoadState(r io.Reader) error {
 	if err != nil {
 		return fmt.Errorf("laoram: checkpoint header: %w", err)
 	}
+	if magic == checkpointMagicV1 {
+		return fmt.Errorf("laoram: version 1 checkpoint is not supported (no epoch stamp, trees conditional); re-record the checkpoint with this version's SaveState")
+	}
 	if magic != checkpointMagic {
 		return fmt.Errorf("laoram: bad checkpoint magic %#x", magic)
 	}
@@ -137,12 +157,15 @@ func (o *ORAM) LoadState(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	hasTrees := flags&1 != 0
-	if local := len(o.remotes) == 0; hasTrees != local {
+	epoch, err := get()
+	if err != nil {
+		return fmt.Errorf("laoram: checkpoint epoch: %w", err)
+	}
+	if fromLocal, local := flags&1 != 0, len(o.remotes) == 0; fromLocal != local {
 		if local {
-			return fmt.Errorf("laoram: checkpoint was taken from a remote instance (no tree sections); this instance is local")
+			return fmt.Errorf("laoram: checkpoint was taken from a remote instance; this instance is local")
 		}
-		return fmt.Errorf("laoram: checkpoint was taken from a local instance (embedded trees); this instance is remote — restore the serving nodes from their own checkpoints instead")
+		return fmt.Errorf("laoram: checkpoint was taken from a local instance; this instance is remote")
 	}
 	readSection := func(name string) ([]byte, error) {
 		n, err := get()
@@ -165,16 +188,17 @@ func (o *ORAM) LoadState(r io.Reader) error {
 	if err := o.eng.LoadState(bytes.NewReader(eng)); err != nil {
 		return err
 	}
-	if hasTrees {
-		for s := 0; s < o.eng.Shards(); s++ {
-			tree, err := readSection(fmt.Sprintf("shard %d tree", s))
-			if err != nil {
-				return err
-			}
-			if err := o.eng.Sub(s).Store.Load(bytes.NewReader(tree)); err != nil {
-				return fmt.Errorf("laoram: shard %d tree: %w", s, err)
-			}
+	for s := 0; s < o.eng.Shards(); s++ {
+		tree, err := readSection(fmt.Sprintf("shard %d tree", s))
+		if err != nil {
+			return err
+		}
+		if err := o.eng.Sub(s).Store.Load(bytes.NewReader(tree)); err != nil {
+			return fmt.Errorf("laoram: shard %d tree: %w", s, err)
 		}
 	}
+	// The epoch is restored state like everything else: a recovery resumes
+	// the save numbering from the boundary it rolled back to.
+	o.ckEpoch = epoch
 	return nil
 }

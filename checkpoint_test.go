@@ -2,6 +2,7 @@ package laoram
 
 import (
 	"bytes"
+	"encoding/binary"
 	"strings"
 	"testing"
 
@@ -141,8 +142,8 @@ func TestCheckpointRejectsVerify(t *testing.T) {
 	}
 }
 
-// TestCheckpointEnvelopeErrors: garbage, magic and local/remote-split
-// mismatches are rejected at the envelope layer.
+// TestCheckpointEnvelopeErrors: garbage, superseded-version and
+// local/remote-split mismatches are rejected at the envelope layer.
 func TestCheckpointEnvelopeErrors(t *testing.T) {
 	local, err := New(Options{Entries: 256, BlockSize: 8, Seed: 3})
 	if err != nil {
@@ -155,13 +156,26 @@ func TestCheckpointEnvelopeErrors(t *testing.T) {
 	if err := local.LoadState(strings.NewReader("definitely not a checkpoint")); err == nil {
 		t.Error("garbage accepted")
 	}
+	// A v1 envelope (no epoch stamp) is recognised but refused with a
+	// descriptive error, not parsed as garbage.
+	var v1 [16]byte
+	binary.LittleEndian.PutUint64(v1[:8], checkpointMagicV1)
+	err = local.LoadState(bytes.NewReader(v1[:]))
+	if err == nil {
+		t.Error("v1 checkpoint accepted")
+	} else if !strings.Contains(err.Error(), "version 1") {
+		t.Errorf("v1 rejection does not say which version: %v", err)
+	}
 	var ck bytes.Buffer
 	if err := local.SaveState(&ck); err != nil {
 		t.Fatal(err)
 	}
 
-	// A local checkpoint carries trees; a remote instance must refuse it
-	// (its trees live on the serving nodes).
+	// Both sides of the split carry per-shard tree sections in v2, but a
+	// checkpoint must still restore into the kind of instance that recorded
+	// it: the sections were serialised by that side's store implementation,
+	// and crossing the split silently would put a client-held tree onto
+	// serving nodes (or vice versa) that the operator never asked to move.
 	addr := startShardedServer(t, 256, 1, 8)
 	rem, err := New(Options{Entries: 256, RemoteAddr: addr, Seed: 3})
 	if err != nil {
@@ -177,6 +191,6 @@ func TestCheckpointEnvelopeErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := local.LoadState(bytes.NewReader(remCk.Bytes())); err == nil {
-		t.Error("local instance accepted a remote (tree-less) checkpoint")
+		t.Error("local instance accepted a remote checkpoint")
 	}
 }

@@ -12,14 +12,19 @@
 // connection and dispatched to a bounded worker pool with per-shard
 // locking.
 //
-// With -checkpoint DIR the server restores each shard tree from
+// With -checkpoint DIR the server restores its shard trees from
 // DIR/shard-N.ck at startup (when present) and saves fresh snapshots there —
-// periodically with -checkpoint-interval, and once on shutdown. Snapshots
-// are written to a temp file and renamed into place, so a crash mid-save
-// never corrupts the last good checkpoint. Pair server checkpoints with the
-// client's laoram.SaveState taken at the same boundary: restoring both
-// rewinds the whole system and the run continues byte-identically (DESIGN.md
-// invariant #11).
+// periodically with -checkpoint-interval, and once on shutdown. Each save is
+// an epoch-stamped SET: every shard file carries the same epoch number in its
+// header, all files are written and fsynced to temp names before any is
+// renamed into place, and the directory itself is fsynced afterwards so the
+// set survives power loss, not just process death. Restore is all-or-nothing:
+// the full set must be present with one common epoch, or startup fails — a
+// torn set (crash between renames, or files hand-mixed from different saves)
+// is rejected instead of silently blending trees from different points in
+// time. Pair server checkpoints with the client's laoram.SaveState taken at
+// the same boundary: restoring both rewinds the whole system and the run
+// continues byte-identically (DESIGN.md invariant #11).
 //
 // Usage:
 //
@@ -29,13 +34,16 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/crypto"
@@ -133,18 +141,29 @@ func main() {
 	if *ckEvery < 0 || (*ckEvery > 0 && *ckDir == "") {
 		log.Fatalf("laoramserve: -checkpoint-interval requires -checkpoint")
 	}
+	var ckEpoch uint64
 	if *ckDir != "" {
 		if err := os.MkdirAll(*ckDir, 0o755); err != nil {
 			log.Fatalf("laoramserve: %v", err)
 		}
 		// Restore before Listen so no request ever sees pre-restore trees.
-		n, err := restoreCheckpoints(*ckDir, srv)
+		n, epoch, err := restoreCheckpoints(*ckDir, srv)
 		if err != nil {
 			log.Fatalf("laoramserve: %v", err)
 		}
+		ckEpoch = epoch
 		if n > 0 {
-			fmt.Printf("laoramserve: restored %d/%d shard trees from %s\n", n, srv.Shards(), *ckDir)
+			fmt.Printf("laoramserve: restored %d/%d shard trees from %s (epoch %d)\n", n, srv.Shards(), *ckDir, epoch)
 		}
+	}
+	// Epochs keep counting from the restored set, and the periodic ticker
+	// and the shutdown save may overlap — serialise them.
+	var ckMu sync.Mutex
+	saveSet := func() error {
+		ckMu.Lock()
+		defer ckMu.Unlock()
+		ckEpoch++
+		return saveCheckpoints(*ckDir, srv, ckEpoch)
 	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
@@ -169,7 +188,7 @@ func main() {
 				case <-ctx.Done():
 					return
 				case <-tick.C:
-					if err := saveCheckpoints(*ckDir, srv); err != nil {
+					if err := saveSet(); err != nil {
 						log.Printf("laoramserve: periodic checkpoint: %v", err)
 					}
 				}
@@ -178,10 +197,10 @@ func main() {
 	}
 	<-ctx.Done()
 	if *ckDir != "" {
-		if err := saveCheckpoints(*ckDir, srv); err != nil {
+		if err := saveSet(); err != nil {
 			log.Printf("laoramserve: shutdown checkpoint: %v", err)
 		} else {
-			fmt.Printf("laoramserve: saved %d shard trees to %s\n", srv.Shards(), *ckDir)
+			fmt.Printf("laoramserve: saved %d shard trees to %s (epoch %d)\n", srv.Shards(), *ckDir, ckEpoch)
 		}
 	}
 	var total oram.Counters
@@ -204,60 +223,146 @@ func checkpointPath(dir string, s int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard-%d.ck", s))
 }
 
-// restoreCheckpoints loads every shard-N.ck present in dir into the
-// server's stores, returning how many shards were restored. A missing file
-// is not an error — a fresh tree simply starts empty.
-func restoreCheckpoints(dir string, srv *remote.Server) (int, error) {
-	restored := 0
+// Every shard-N.ck starts with a 16-byte header: the file magic ("LAORCKF1")
+// and the epoch of the save that produced it. All files written by one
+// saveCheckpoints call share one epoch, which is how restoreCheckpoints
+// tells a coherent set from a torn one.
+const ckFileMagic = 0x4C414F52434B4631 // "LAORCKF1"
+
+const ckHeaderLen = 16
+
+// restoreCheckpoints loads the checkpoint set in dir into the server's
+// stores. Valid states are exactly two: no files at all (a fresh tree starts
+// empty — restored == 0) or one file per shard, all stamped with the same
+// epoch (restored == Shards). Anything in between — files missing, epochs
+// mixed — is a torn set from a crash mid-save or operator error, and
+// restoring it would silently blend trees from different points in time, so
+// it is rejected. Returns the set's epoch so new saves keep counting from it.
+func restoreCheckpoints(dir string, srv *remote.Server) (restored int, epoch uint64, err error) {
+	files := make([]*os.File, srv.Shards())
+	defer func() {
+		for _, f := range files {
+			if f != nil {
+				f.Close()
+			}
+		}
+	}()
+	var present, missing []int
 	for s := 0; s < srv.Shards(); s++ {
 		path := checkpointPath(dir, s)
 		f, err := os.Open(path)
 		if errors.Is(err, os.ErrNotExist) {
+			missing = append(missing, s)
 			continue
 		}
 		if err != nil {
-			return restored, err
+			return 0, 0, err
 		}
-		err = srv.RestoreShard(s, bufio.NewReader(f))
-		f.Close()
-		if err != nil {
-			return restored, fmt.Errorf("restore %s: %w", path, err)
+		files[s] = f
+		var hdr [ckHeaderLen]byte
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return 0, 0, fmt.Errorf("restore %s: short header: %w", path, err)
+		}
+		if got := binary.BigEndian.Uint64(hdr[0:8]); got != ckFileMagic {
+			return 0, 0, fmt.Errorf("restore %s: bad magic %#x — not a shard checkpoint", path, got)
+		}
+		e := binary.BigEndian.Uint64(hdr[8:16])
+		if len(present) > 0 && e != epoch {
+			return 0, 0, fmt.Errorf("torn checkpoint set in %s: shard %d is epoch %d, shard %d is epoch %d",
+				dir, present[0], epoch, s, e)
+		}
+		epoch = e
+		present = append(present, s)
+	}
+	if len(present) == 0 {
+		return 0, 0, nil
+	}
+	if len(missing) > 0 {
+		return 0, 0, fmt.Errorf("torn checkpoint set in %s: shard %d has no file but shard %d does (epoch %d)",
+			dir, missing[0], present[0], epoch)
+	}
+	for s, f := range files {
+		if err := srv.RestoreShard(s, bufio.NewReader(f)); err != nil {
+			return restored, 0, fmt.Errorf("restore %s: %w", checkpointPath(dir, s), err)
 		}
 		restored++
 	}
-	return restored, nil
+	return restored, epoch, nil
 }
 
-// saveCheckpoints snapshots every shard tree to dir, one file per shard.
-// Each snapshot is written to a temp file and renamed into place so the
-// previous checkpoint survives a crash mid-save. SnapshotShard holds the
-// shard lock, so each file is a consistent point-in-time image even while
-// the server keeps serving.
-func saveCheckpoints(dir string, srv *remote.Server) error {
+// saveCheckpoints snapshots every shard tree to dir as one epoch-stamped
+// set. All files are written and fsynced under temp names first, then
+// renamed into place, then the directory is fsynced — so the set is durable
+// against power loss, not just process death. The renames themselves are not
+// atomic as a group; a crash between them leaves files from two epochs,
+// which restoreCheckpoints detects and rejects rather than mixing.
+// SnapshotShard holds the shard lock, so each file is a consistent
+// point-in-time image even while the server keeps serving.
+func saveCheckpoints(dir string, srv *remote.Server, epoch uint64) error {
+	tmps := make([]string, 0, srv.Shards())
+	cleanup := func() {
+		for _, t := range tmps {
+			os.Remove(t)
+		}
+	}
 	for s := 0; s < srv.Shards(); s++ {
-		final := checkpointPath(dir, s)
-		tmp := final + ".tmp"
-		f, err := os.Create(tmp)
-		if err != nil {
-			return err
+		tmp := checkpointPath(dir, s) + ".tmp"
+		if err := writeSnapshotFile(tmp, srv, s, epoch); err != nil {
+			cleanup()
+			return fmt.Errorf("checkpoint shard %d: %w", s, err)
 		}
-		bw := bufio.NewWriter(f)
-		err = srv.SnapshotShard(s, bw)
-		if err == nil {
-			err = bw.Flush()
-		}
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err == nil {
-			err = os.Rename(tmp, final)
-		}
-		if err != nil {
-			os.Remove(tmp)
+		tmps = append(tmps, tmp)
+	}
+	for s := 0; s < srv.Shards(); s++ {
+		if err := os.Rename(checkpointPath(dir, s)+".tmp", checkpointPath(dir, s)); err != nil {
+			cleanup()
 			return fmt.Errorf("checkpoint shard %d: %w", s, err)
 		}
 	}
-	return nil
+	return syncDir(dir)
+}
+
+// writeSnapshotFile writes header + snapshot of shard s to path and fsyncs
+// it; on any failure the partial file is removed.
+func writeSnapshotFile(path string, srv *remote.Server, s int, epoch uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var hdr [ckHeaderLen]byte
+	binary.BigEndian.PutUint64(hdr[0:8], ckFileMagic)
+	binary.BigEndian.PutUint64(hdr[8:16], epoch)
+	bw := bufio.NewWriter(f)
+	_, err = bw.Write(hdr[:])
+	if err == nil {
+		err = srv.SnapshotShard(s, bw)
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so renames into it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func storeKind(block int) string {

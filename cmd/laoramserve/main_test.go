@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/oram"
@@ -63,15 +64,23 @@ func readMark(t *testing.T, st oram.Store, tag byte) byte {
 	return slots[0].Payload[0]
 }
 
-// TestCheckpointFilesRoundTrip: saveCheckpoints writes one shard-N.ck per
-// shard; restoreCheckpoints into a fresh server reproduces the tree
-// content. A missing file is skipped, not an error.
+// TestCheckpointFilesRoundTrip: saveCheckpoints writes one epoch-stamped
+// shard-N.ck per shard; restoreCheckpoints into a fresh server reproduces
+// the tree content and reports the set's epoch. An empty directory restores
+// nothing; a torn set (file missing) is rejected, not partially applied.
 func TestCheckpointFilesRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	src, srcStores := testServer(t, 2)
 	markStore(t, srcStores[0], 0xA1)
 	markStore(t, srcStores[1], 0xB2)
-	if err := saveCheckpoints(dir, src); err != nil {
+
+	// Empty directory: nothing to restore, epoch starts at zero.
+	empty, _ := testServer(t, 2)
+	if n, epoch, err := restoreCheckpoints(dir, empty); err != nil || n != 0 || epoch != 0 {
+		t.Fatalf("empty dir restore = (%d, %d, %v), want (0, 0, nil)", n, epoch, err)
+	}
+
+	if err := saveCheckpoints(dir, src, 7); err != nil {
 		t.Fatal(err)
 	}
 	for s := 0; s < 2; s++ {
@@ -84,12 +93,12 @@ func TestCheckpointFilesRoundTrip(t *testing.T) {
 	}
 
 	dst, dstStores := testServer(t, 2)
-	n, err := restoreCheckpoints(dir, dst)
+	n, epoch, err := restoreCheckpoints(dir, dst)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 2 {
-		t.Fatalf("restored %d shards, want 2", n)
+	if n != 2 || epoch != 7 {
+		t.Fatalf("restored (%d shards, epoch %d), want (2, 7)", n, epoch)
 	}
 	if got := readMark(t, dstStores[0], 0xA1); got != 0xA1 {
 		t.Errorf("shard 0 restored mark %#x, want 0xa1", got)
@@ -98,16 +107,48 @@ func TestCheckpointFilesRoundTrip(t *testing.T) {
 		t.Errorf("shard 1 restored mark %#x, want 0xb2", got)
 	}
 
-	// Partial checkpoint set: only shard 1's file present.
+	// Torn checkpoint set: shard 0's file gone, shard 1's present. The old
+	// behaviour restored the survivor and left shard 0 empty — mixing a
+	// checkpointed tree with a fresh one. It must be rejected outright.
 	if err := os.Remove(checkpointPath(dir, 0)); err != nil {
 		t.Fatal(err)
 	}
 	fresh, _ := testServer(t, 2)
-	if n, err = restoreCheckpoints(dir, fresh); err != nil {
+	if n, _, err = restoreCheckpoints(dir, fresh); err == nil {
+		t.Fatalf("torn set (missing shard file) accepted, restored %d", n)
+	} else if !strings.Contains(err.Error(), "torn") {
+		t.Errorf("torn-set error does not say so: %v", err)
+	}
+}
+
+// TestRestoreRejectsMixedEpochs: files from two different saves in one
+// directory — what a crash between the set's renames leaves behind — must
+// be rejected, since the shards would restore to different points in time.
+func TestRestoreRejectsMixedEpochs(t *testing.T) {
+	dir := t.TempDir()
+	src, srcStores := testServer(t, 2)
+	markStore(t, srcStores[0], 0xA1)
+	markStore(t, srcStores[1], 0xB2)
+	if err := saveCheckpoints(dir, src, 1); err != nil {
 		t.Fatal(err)
 	}
-	if n != 1 {
-		t.Fatalf("restored %d shards from partial set, want 1", n)
+	// Keep shard 0's epoch-1 file, re-save the set at epoch 2, put the old
+	// shard 0 back: the directory now spans two epochs.
+	old, err := os.ReadFile(checkpointPath(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := saveCheckpoints(dir, src, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(checkpointPath(dir, 0), old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, _ := testServer(t, 2)
+	if _, _, err := restoreCheckpoints(dir, srv); err == nil {
+		t.Fatal("mixed-epoch checkpoint set accepted")
+	} else if !strings.Contains(err.Error(), "torn") {
+		t.Errorf("mixed-epoch error does not say torn: %v", err)
 	}
 }
 
@@ -119,7 +160,7 @@ func TestRestoreRejectsCorruptFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv, _ := testServer(t, 1)
-	if _, err := restoreCheckpoints(dir, srv); err == nil {
+	if _, _, err := restoreCheckpoints(dir, srv); err == nil {
 		t.Fatal("corrupt checkpoint file accepted")
 	}
 }

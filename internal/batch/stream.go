@@ -47,6 +47,26 @@ type TrainConfig struct {
 	// for the pipeline experiment — identical work, no concurrency
 	// between the stages — not a production mode.
 	Sequential bool
+	// StartWindow offsets the absolute index of the first planned window:
+	// a recovery that rewound the source to the boundary of window B
+	// resumes with StartWindow = B, keeping every window's absolute index
+	// (and deterministic plan seed) identical to the unfaulted run.
+	StartWindow int
+	// CheckpointEvery > 0 invokes Checkpoint at every window boundary
+	// whose absolute index is a multiple of it, immediately before that
+	// window executes — the engine state observed by the hook is exactly
+	// the post-(window-1) boundary. Requires Checkpoint.
+	CheckpointEvery int
+	// Checkpoint is the boundary hook: win is the absolute index of the
+	// window about to execute, and sofar a snapshot of the stats
+	// accumulated so far this run (sofar.Accesses is the stream offset of
+	// the boundary relative to StartWindow's). An error aborts the run.
+	Checkpoint func(win int, sofar TrainStats) error
+	// SkipStartCheckpoint suppresses the hook at StartWindow itself: a
+	// resumed run already holds that boundary's checkpoint, and taking it
+	// again would break the one-save-per-boundary epoch parity between
+	// faulted and unfaulted runs.
+	SkipStartCheckpoint bool
 }
 
 func (c *TrainConfig) fill() error {
@@ -73,6 +93,15 @@ func (c *TrainConfig) fill() error {
 	}
 	if c.Payload != nil && !c.PrePlace {
 		return fmt.Errorf("batch: Payload requires PrePlace")
+	}
+	if c.StartWindow < 0 {
+		return fmt.Errorf("batch: StartWindow must be >= 0, got %d", c.StartWindow)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("batch: CheckpointEvery must be >= 0, got %d", c.CheckpointEvery)
+	}
+	if (c.CheckpointEvery > 0) != (c.Checkpoint != nil) {
+		return fmt.Errorf("batch: CheckpointEvery and Checkpoint must be set together")
 	}
 	return nil
 }
@@ -113,6 +142,9 @@ type TrainStats struct {
 	// is starved.
 	QueuePeak int
 	QueueMean float64
+	// CheckpointTime is the total wall time spent inside the Checkpoint
+	// boundary hook (zero when checkpointing is off).
+	CheckpointTime time.Duration
 	// Wall is the elapsed time of the whole run (excluding the PrePlace
 	// bulk load).
 	Wall time.Duration
@@ -133,7 +165,9 @@ func Train(ctx context.Context, e *shard.Engine, src shard.Source, cfg TrainConf
 	if err := cfg.fill(); err != nil {
 		return st, err
 	}
-	planner, err := e.NewPlanner(src, shard.PlannerConfig{S: cfg.S, Window: cfg.Window, Depth: cfg.Depth})
+	planner, err := e.NewPlanner(src, shard.PlannerConfig{
+		S: cfg.S, Window: cfg.Window, Depth: cfg.Depth, StartWindow: cfg.StartWindow,
+	})
 	if err != nil {
 		return st, err
 	}
@@ -164,6 +198,18 @@ func Train(ctx context.Context, e *shard.Engine, src shard.Source, cfg TrainConf
 			e.ResetStats()
 			wallStart = wallStart.Add(time.Since(loadStart))
 			loaded = true
+		}
+		if cfg.Checkpoint != nil && w.Index%cfg.CheckpointEvery == 0 &&
+			!(cfg.SkipStartCheckpoint && w.Index == cfg.StartWindow) {
+			// The boundary hook runs with the engine exactly at the
+			// post-(w-1) state — window 0's boundary is the freshly
+			// pre-placed (and stat-reset) table. Checkpoint time is real
+			// run time, not excluded from Wall.
+			ckStart := time.Now()
+			if err := cfg.Checkpoint(w.Index, st); err != nil {
+				return fmt.Errorf("batch: checkpoint at window %d: %w", w.Index, err)
+			}
+			st.CheckpointTime += time.Since(ckStart)
 		}
 		sess, err := e.NewSession(w.Plan)
 		if err != nil {

@@ -216,18 +216,38 @@ func TestNodeKillRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// The client reconnects lazily on the next call and must serve the
-	// restored bytes. A call that raced the crash (written before the
-	// client noticed the connection die) legitimately fails with
-	// StateLost — the caller's contract is to retry once state is
-	// restored, which is exactly what the failover driver does.
+	// The restart latches state loss in the client: reads keep failing
+	// with StateLost even though the supervisor restored the server's
+	// stores, because the client can only trust a restore it sent itself
+	// (anything else could be an empty restart adopted in an idle gap).
 	var got oram.Slot
-	err = st1.ReadSlot(3, 4, 2, &got)
-	if nd, ok := remote.AsNodeDown(err); ok && nd.StateLost {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
 		err = st1.ReadSlot(3, 4, 2, &got)
+		if nd, ok := remote.AsNodeDown(err); ok && nd.StateLost {
+			break
+		}
+		if err == nil {
+			t.Fatal("read succeeded before the client saw a restore")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("state loss never latched: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
-	if err != nil {
-		t.Fatalf("read after restart: %v", err)
+	// Pushing the checkpoint through the client (opRestore) clears the
+	// latch; the restored bytes serve.
+	for i, snap := range ck {
+		s, err := c.Store(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Load(bytes.NewReader(snap)); err != nil {
+			t.Fatalf("client-side restore of shard %d: %v", i, err)
+		}
+	}
+	if err := st1.ReadSlot(3, 4, 2, &got); err != nil {
+		t.Fatalf("read after restore: %v", err)
 	}
 	if got.ID != 11 || got.Leaf != 6 {
 		t.Errorf("restored slot %+v", got)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/oram"
 	"repro/internal/remote"
@@ -142,7 +143,10 @@ func (n *Node) SnapshotAll() ([][]byte, error) {
 
 // RestoreAll loads every shard store from a SnapshotAll checkpoint —
 // either into a freshly Restarted node or in place into a live survivor
-// being rolled back to the coordinated checkpoint.
+// being rolled back to the coordinated checkpoint. It repairs the server
+// only: a surviving Reconnect client that watched the node restart has
+// latched state loss and keeps refusing calls until a restore flows
+// through that client (opRestore, e.g. ORAM.LoadState).
 func (n *Node) RestoreAll(snaps [][]byte) error {
 	n.mu.Lock()
 	srv := n.srv
@@ -159,6 +163,48 @@ func (n *Node) RestoreAll(snaps [][]byte) error {
 		}
 	}
 	return nil
+}
+
+// Supervise starts a background supervisor: every poll interval it checks
+// the node, and when it finds it dead it waits for the address to free,
+// pauses delay (the restart latency of a real process manager), and
+// Restarts the node with fresh empty stores. It is the process-supervision
+// half of the automated failover story — the Trainer's recovery loop
+// restores state into whatever the supervisor brings back; the supervisor
+// itself restores nothing. The returned stop function halts supervision
+// and waits for the goroutine to exit (it never kills the node).
+func (n *Node) Supervise(delay, poll time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			case <-time.After(poll):
+			}
+			if n.Running() {
+				continue
+			}
+			n.WaitDown()
+			select {
+			case <-done:
+				return
+			case <-time.After(delay):
+			}
+			if _, err := n.Restart(); err != nil && n.logf != nil {
+				// Lost a race with a manual Restart, or the node was never
+				// started; either way the next poll re-evaluates.
+				n.logf("chaos: supervisor restart: %v", err)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
 }
 
 // WaitDown blocks until nothing accepts on the node's address (the OS may

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -9,24 +10,23 @@ import (
 	laoram "repro"
 	"repro/internal/chaos"
 	"repro/internal/oram"
-	"repro/internal/remote"
 	"repro/internal/shard"
 )
 
-// Failover drill: the executable form of the multi-node failure model. An
-// epoch of look-ahead training runs in chunks against an N-node serving
-// tier; at every chunk boundary the driver takes a coordinated checkpoint
-// (one laoram.SaveState for the trusted client state, one
-// chaos.Node.SnapshotAll per node for the trees). The faulted run kills one
-// node mid-chunk; the chunk fails with remote.ErrNodeDown, the driver
-// restarts the dead node, rolls back EVERY node — survivors included,
-// because their shards partially executed the doomed chunk — and the client
-// to the checkpoint, then re-runs the chunk. Because all execution
-// randomness flows from the checkpointed counted RNGs and each chunk is
-// replanned from seeds derived only from the engine seed, the recovered run
-// finishes byte-identical to a run that never faulted: final reads, session
-// stats, client state and decrypted tree bytes all match (DESIGN.md
-// invariant #11).
+// Failover drill: the executable form of the multi-node failure model,
+// with ZERO caller-side recovery code. One epoch of look-ahead training
+// runs as a single db.Train call under TrainOptions.Recovery against an
+// N-node serving tier; the Trainer checkpoints the whole system (client
+// state + every node's shard trees, through the opSnapshot coordinator
+// RPC) at window boundaries. The faulted run kills one node mid-window; a
+// chaos.Node supervisor brings the process back empty, and the Trainer —
+// on its own — restores all nodes and the client from the last boundary,
+// rewinds the source, and re-runs. Because all execution randomness flows
+// from the checkpointed counted RNGs and windows are replanned from seeds
+// derived only from the engine seed and the absolute window index, the
+// recovered run finishes byte-identical to a run that never faulted:
+// final reads, session stats, client state and decrypted tree bytes all
+// match (DESIGN.md invariant #12, the automated form of #11).
 type FailoverConfig struct {
 	Entries   uint64
 	BlockSize int
@@ -34,28 +34,36 @@ type FailoverConfig struct {
 	Nodes     int
 	Seed      int64
 	Accesses  int // epoch length
-	Chunk     int // accesses per chunk (checkpoint cadence)
+	Window    int // look-ahead window
 	S         int // superblock factor
-	KillChunk int // chunk whose execution the fault interrupts
-	KillAfter int // visits into that chunk before the node dies
+	KillAfter int // global visit count at which the node dies (mid-epoch)
 	KillNode  int // which node dies
+
+	// CheckpointEvery is the checkpoint cadence in windows (0 = every
+	// boundary). A cadence > 1 makes the kill discard fully executed
+	// windows, so the drill also exercises the RewoundAccesses accounting.
+	CheckpointEvery int
 }
 
 // FailoverRun is one driver execution's observable state.
 type FailoverRun struct {
+	Windows     int
+	Accesses    uint64
 	Session     laoram.SessionStats
 	Stats       laoram.Stats
 	ReadsDigest []byte   // concatenated final payloads of every touched block
-	ClientState []byte   // final laoram.SaveState
+	ClientState []byte   // final laoram.SaveState (the full epoch-stamped set)
 	Trees       [][]byte // final per-node, per-shard tree snapshots, flattened
 	Recoveries  int
+	Rewound     uint64 // TrainStats.RewoundAccesses
 }
 
 // FailoverResult compares the faulted run against the unfaulted reference.
 type FailoverResult struct {
 	Config     FailoverConfig
-	Chunks     int
+	Windows    int
 	Recoveries int
+	Rewound    uint64
 
 	SessionMatch bool
 	StatsMatch   bool
@@ -71,7 +79,7 @@ func (r *FailoverResult) Identical() bool {
 
 // failoverNodes boots the serving tier for cfg: node j holds the stores of
 // every shard i with i % Nodes == j.
-func failoverNodes(cfg FailoverConfig) ([]*chaos.Node, []string, error) {
+func failoverNodes(cfg FailoverConfig, nodes int) ([]*chaos.Node, []string, error) {
 	per := shard.PerShardEntries(cfg.Entries, cfg.Shards)
 	g, err := oram.NewGeometry(oram.GeometryConfig{
 		LeafBits: oram.LeafBitsFor(per), LeafZ: 4, BlockSize: cfg.BlockSize,
@@ -79,11 +87,11 @@ func failoverNodes(cfg FailoverConfig) ([]*chaos.Node, []string, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	nodes := make([]*chaos.Node, cfg.Nodes)
-	addrs := make([]string, cfg.Nodes)
-	for j := range nodes {
-		count := int(shard.LoadCount(uint64(cfg.Shards), j, cfg.Nodes))
-		nodes[j] = chaos.NewNode(func() ([]oram.Store, error) {
+	ns := make([]*chaos.Node, nodes)
+	addrs := make([]string, nodes)
+	for j := range ns {
+		count := int(shard.LoadCount(uint64(cfg.Shards), j, nodes))
+		ns[j] = chaos.NewNode(func() ([]oram.Store, error) {
 			stores := make([]oram.Store, count)
 			for i := range stores {
 				ps, err := oram.NewPayloadStore(g, nil)
@@ -94,11 +102,11 @@ func failoverNodes(cfg FailoverConfig) ([]*chaos.Node, []string, error) {
 			}
 			return stores, nil
 		}, 0, nil)
-		if addrs[j], err = nodes[j].Start(); err != nil {
+		if addrs[j], err = ns[j].Start(); err != nil {
 			return nil, nil, err
 		}
 	}
-	return nodes, addrs, nil
+	return ns, addrs, nil
 }
 
 func killAll(nodes []*chaos.Node) {
@@ -116,9 +124,10 @@ func failoverPayload(id uint64, blockSize int) []byte {
 	return p
 }
 
-// runFailover executes the chunked epoch; fault injects the node kill.
+// runFailover executes the epoch as one self-healing Train call; fault
+// injects the node kill (and the supervisor that brings it back).
 func runFailover(cfg FailoverConfig, fault bool) (*FailoverRun, error) {
-	nodes, addrs, err := failoverNodes(cfg)
+	nodes, addrs, err := failoverNodes(cfg, cfg.Nodes)
 	if err != nil {
 		return nil, err
 	}
@@ -140,104 +149,67 @@ func runFailover(cfg FailoverConfig, fault bool) (*FailoverRun, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := db.Load(cfg.Entries, func(id uint64) []byte {
-		return failoverPayload(id, cfg.BlockSize)
-	}); err != nil {
-		return nil, err
+
+	// The fault schedule: the KillAfter-th trained visit crashes the node.
+	// Visits replayed after a recovery rewind keep counting, so the kill
+	// fires exactly once; the supervisor restarts the process with empty
+	// stores after a real-world-ish delay, and the Trainer does the rest.
+	var visits atomic.Int64
+	visit := func(id uint64, payload []byte) []byte {
+		if fault && visits.Add(1) == int64(cfg.KillAfter) {
+			nodes[cfg.KillNode].Kill()
+		}
+		out := bytes.Clone(payload)
+		out[0] ^= byte(id)
+		out[1]++
+		return out
+	}
+	if fault {
+		stopSupervisor := nodes[cfg.KillNode].Supervise(50*time.Millisecond, 10*time.Millisecond)
+		defer stopSupervisor()
 	}
 
-	visit := func(kill *atomic.Int64) laoram.Visit {
-		return func(id uint64, payload []byte) []byte {
-			if kill != nil && kill.Add(1) == int64(cfg.KillAfter) {
-				nodes[cfg.KillNode].Kill()
-			}
-			out := bytes.Clone(payload)
-			out[0] ^= byte(id)
-			out[1]++
-			return out
-		}
+	// Both runs train under identical Recovery options — checkpoints are
+	// pure reads and the epoch numbering must agree — so the unfaulted
+	// reference differs only in never being killed.
+	ckEvery := cfg.CheckpointEvery
+	if ckEvery == 0 {
+		ckEvery = 1
+	}
+	src := laoram.FromSlice(stream)
+	st, err := db.Train(context.Background(), laoram.TrainOptions{
+		Source:     src,
+		Superblock: cfg.S,
+		Window:     cfg.Window,
+		Visit:      visit,
+		PrePlace:   true,
+		Payload: func(id uint64) []byte {
+			return failoverPayload(id, cfg.BlockSize)
+		},
+		Recovery: &laoram.Recovery{
+			CheckpointEvery: ckEvery,
+			MaxRestarts:     8,
+			Backoff:         25 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: train: %w", err)
+	}
+	// Reconciliation across however many rewinds happened: every index was
+	// consumed exactly once net, and every one of them trained.
+	if got := src.Pos(); got != uint64(len(stream)) {
+		return nil, fmt.Errorf("harness: source position %d after the epoch, want %d", got, len(stream))
+	}
+	if st.Accesses != uint64(len(stream)) {
+		return nil, fmt.Errorf("harness: %d trained accesses, want %d", st.Accesses, len(stream))
 	}
 
-	out := &FailoverRun{}
-	for c := 0; c*cfg.Chunk < len(stream); c++ {
-		hi := (c + 1) * cfg.Chunk
-		if hi > len(stream) {
-			hi = len(stream)
-		}
-		chunk := stream[c*cfg.Chunk : hi]
-
-		// Coordinated checkpoint at the boundary: client state + every
-		// node's trees, taken before any of the chunk executes.
-		var clientCk bytes.Buffer
-		if err := db.SaveState(&clientCk); err != nil {
-			return nil, err
-		}
-		treeCk := make([][][]byte, cfg.Nodes)
-		for j, n := range nodes {
-			if treeCk[j], err = n.SnapshotAll(); err != nil {
-				return nil, err
-			}
-		}
-
-		runChunk := func(kill *atomic.Int64) (laoram.SessionStats, error) {
-			plan, err := db.Preprocess(chunk, cfg.S)
-			if err != nil {
-				return laoram.SessionStats{}, err
-			}
-			sess, err := db.NewSession(plan)
-			if err != nil {
-				return laoram.SessionStats{}, err
-			}
-			if err := sess.Run(visit(kill)); err != nil {
-				return laoram.SessionStats{}, err
-			}
-			return sess.Stats(), nil
-		}
-
-		var kill *atomic.Int64
-		if fault && c == cfg.KillChunk {
-			kill = new(atomic.Int64)
-		}
-		st, err := runChunk(kill)
-		needRecover := false
-		if err != nil {
-			if _, ok := remote.AsNodeDown(err); !ok {
-				return nil, fmt.Errorf("harness: chunk %d failed non-retryably: %w", c, err)
-			}
-			needRecover = true
-		} else if kill != nil && !nodes[cfg.KillNode].Running() {
-			// The kill landed so late the chunk finished without touching
-			// the dead node again; the node is still gone, so recover.
-			needRecover = true
-		}
-		if needRecover {
-			// Recovery: restart the dead node, then roll back the WHOLE
-			// system — every node (survivors ran part of the doomed chunk)
-			// and the client — to the boundary checkpoint, and re-run.
-			dead := nodes[cfg.KillNode]
-			if !dead.Running() {
-				dead.WaitDown()
-				if _, err := dead.Restart(); err != nil {
-					return nil, err
-				}
-			}
-			for j, n := range nodes {
-				if err := n.RestoreAll(treeCk[j]); err != nil {
-					return nil, err
-				}
-			}
-			if err := db.LoadState(bytes.NewReader(clientCk.Bytes())); err != nil {
-				return nil, err
-			}
-			out.Recoveries++
-			if st, err = runChunk(nil); err != nil {
-				return nil, fmt.Errorf("harness: chunk %d re-run after recovery: %w", c, err)
-			}
-		}
-		out.Session.Bins += st.Bins
-		out.Session.ColdPathReads += st.ColdPathReads
-		out.Session.LookaheadRemaps += st.LookaheadRemaps
-		out.Session.UniformRemaps += st.UniformRemaps
+	out := &FailoverRun{
+		Windows:    st.Windows,
+		Accesses:   st.Accesses,
+		Session:    st.Session,
+		Recoveries: st.Recoveries,
+		Rewound:    st.RewoundAccesses,
 	}
 
 	// Capture final state before the probe reads perturb it.
@@ -283,19 +255,24 @@ func Failover(cfg FailoverConfig) (*FailoverResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("harness: unfaulted run: %w", err)
 	}
+	if want.Recoveries != 0 {
+		return nil, fmt.Errorf("harness: unfaulted run recovered %d times", want.Recoveries)
+	}
 	got, err := runFailover(cfg, true)
 	if err != nil {
 		return nil, fmt.Errorf("harness: faulted run: %w", err)
 	}
 	res := &FailoverResult{
-		Config:       cfg,
-		Chunks:       (cfg.Accesses + cfg.Chunk - 1) / cfg.Chunk,
-		Recoveries:   got.Recoveries,
-		SessionMatch: got.Session == want.Session,
-		StatsMatch:   restoredStatsEqual(got.Stats, want.Stats),
-		ReadsMatch:   bytes.Equal(got.ReadsDigest, want.ReadsDigest),
-		ClientMatch:  bytes.Equal(got.ClientState, want.ClientState),
-		TreesMatch:   len(got.Trees) == len(want.Trees),
+		Config:     cfg,
+		Windows:    want.Windows,
+		Recoveries: got.Recoveries,
+		Rewound:    got.Rewound,
+		SessionMatch: got.Session == want.Session &&
+			got.Windows == want.Windows && got.Accesses == want.Accesses,
+		StatsMatch:  restoredStatsEqual(got.Stats, want.Stats),
+		ReadsMatch:  bytes.Equal(got.ReadsDigest, want.ReadsDigest),
+		ClientMatch: bytes.Equal(got.ClientState, want.ClientState),
+		TreesMatch:  len(got.Trees) == len(want.Trees),
 	}
 	if res.TreesMatch {
 		for i := range got.Trees {
@@ -311,7 +288,7 @@ func Failover(cfg FailoverConfig) (*FailoverResult, error) {
 // restoredStatsEqual compares the checkpoint-restored dimensions of Stats.
 // BytesMoved is store telemetry that checkpoints deliberately do not
 // serialise — a recovered run's counters legitimately include the doomed
-// chunk's partial traffic plus the re-run (real bytes really moved) — and
+// windows' partial traffic plus the re-run (real bytes really moved) — and
 // SimTimeSeconds is always zero for remote instances.
 func restoredStatsEqual(a, b laoram.Stats) bool {
 	return a.Accesses == b.Accesses && a.PathReads == b.PathReads &&
@@ -324,8 +301,8 @@ func restoredStatsEqual(a, b laoram.Stats) bool {
 // Render formats the drill verdict.
 func (r *FailoverResult) Render() string {
 	t := Table{
-		Title: fmt.Sprintf("Failover — %d shards over %d nodes, kill node %d in chunk %d (%d chunks, seed %d)",
-			r.Config.Shards, r.Config.Nodes, r.Config.KillNode, r.Config.KillChunk, r.Chunks, r.Config.Seed),
+		Title: fmt.Sprintf("Failover — %d shards over %d nodes, kill node %d at visit %d (%d windows, seed %d)",
+			r.Config.Shards, r.Config.Nodes, r.Config.KillNode, r.Config.KillAfter, r.Windows, r.Config.Seed),
 		Headers: []string{"dimension", "identical to unfaulted run"},
 	}
 	row := func(name string, ok bool) {
@@ -340,6 +317,6 @@ func (r *FailoverResult) Render() string {
 	row("access stats", r.StatsMatch)
 	row("client state", r.ClientMatch)
 	row("decrypted trees", r.TreesMatch)
-	t.AddNote("recoveries performed: %d (kill → restart → coordinated rollback → chunk re-run)", r.Recoveries)
+	t.AddNote("self-healed recoveries: %d (%d accesses rewound); zero caller-side recovery code", r.Recoveries, r.Rewound)
 	return t.Render()
 }

@@ -6,33 +6,48 @@ import (
 	"testing"
 )
 
-// TestFailoverIdentity is the acceptance test of the multi-node failover
-// story: a chunked seed-42 training epoch over an N-node tier, with one
-// node killed and restarted mid-epoch, must finish byte-identical to an
+// TestFailoverIdentity is the acceptance test of the automated failover
+// story: a seed-42 training epoch over an N-node tier runs as ONE db.Train
+// call under TrainOptions.Recovery, with one node killed mid-epoch and
+// brought back empty by a supervisor, and must finish byte-identical to an
 // unfaulted run — final reads, session stats, client state and decrypted
-// tree snapshots. Shards=1 exercises the single-node kill; Shards=4 over 2
-// nodes kills one node while the other keeps serving (and is rolled back
-// with it).
+// tree snapshots — with zero caller-side recovery code. Shards=1 exercises
+// the single-node kill; Shards=4 over 2 nodes kills one node while the
+// other keeps serving (and is rolled back with it).
 func TestFailoverIdentity(t *testing.T) {
 	cases := []struct {
-		name string
-		cfg  FailoverConfig
+		name        string
+		cfg         FailoverConfig
+		wantRewound bool
 	}{
 		{
 			name: "1shard-1node",
 			cfg: FailoverConfig{
 				Entries: 1 << 9, BlockSize: 16, Shards: 1, Nodes: 1, Seed: 42,
-				Accesses: 1200, Chunk: 400, S: 4,
-				KillChunk: 1, KillAfter: 120, KillNode: 0,
+				Accesses: 1200, Window: 400, S: 4,
+				KillAfter: 520, KillNode: 0,
 			},
 		},
 		{
 			name: "4shards-2nodes",
 			cfg: FailoverConfig{
 				Entries: 1 << 10, BlockSize: 16, Shards: 4, Nodes: 2, Seed: 42,
-				Accesses: 1800, Chunk: 600, S: 4,
-				KillChunk: 1, KillAfter: 150, KillNode: 1,
+				Accesses: 1800, Window: 600, S: 4,
+				KillAfter: 750, KillNode: 1,
 			},
+		},
+		{
+			// Checkpointing every OTHER boundary and killing in window 3
+			// (after window 2 fully executed) forces the rollback to discard
+			// a complete window: identity must still hold, and the discarded
+			// accesses must be accounted in RewoundAccesses.
+			name: "rewind-full-window",
+			cfg: FailoverConfig{
+				Entries: 1 << 9, BlockSize: 16, Shards: 1, Nodes: 1, Seed: 42,
+				Accesses: 1200, Window: 300, S: 4,
+				KillAfter: 1000, KillNode: 0, CheckpointEvery: 2,
+			},
+			wantRewound: true,
 		},
 	}
 	for _, tc := range cases {
@@ -50,6 +65,9 @@ func TestFailoverIdentity(t *testing.T) {
 			}
 			if res.Recoveries == 0 {
 				t.Fatal("fault schedule produced no recovery — the kill never landed")
+			}
+			if tc.wantRewound && res.Rewound == 0 {
+				t.Error("kill past a skipped boundary rewound no full windows")
 			}
 			if !res.Identical() {
 				t.Fatalf("recovered run diverged from unfaulted run:\n%s", res.Render())

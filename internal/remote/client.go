@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -30,13 +31,20 @@ import (
 // are replayed — safe because every operation is an idempotent read or
 // overwrite of named tree addresses. The reconnect handshake compares the
 // server's boot ID: if it changed, the node restarted and its in-memory
-// tree is gone, so calls that were already on the wire before the crash
-// fail with ErrNodeDown{StateLost: true} (they must not be replayed into a
-// rolled-back tree) while never-sent queued calls proceed against the
-// restarted node. When the retry budget is exhausted, everything pending
-// fails with ErrNodeDown, but the client stays usable: the next call
-// triggers a fresh reconnect attempt, which is what lets a failover driver
-// restart the node from a checkpoint and simply keep calling.
+// tree is gone, so the client latches state loss — every pending and
+// future call fails with ErrNodeDown{StateLost: true} until a Restore
+// (opRestore) re-establishes the node's trees from a checkpoint and clears
+// the latch. Without the latch a restart that lands in an idle gap (no
+// call on the wire) would be adopted silently and training would proceed
+// against an empty tree until the engine notices missing blocks — far
+// from the failure and far too late to roll back cleanly. Queued Restore
+// calls that never reached the old connection are the one exception: they
+// replay onto the restarted node, because they are exactly the recovery
+// traffic that makes it whole. When the retry budget is exhausted,
+// everything pending fails with ErrNodeDown, but the client stays usable:
+// the next call triggers a fresh reconnect attempt, which is what lets a
+// recovery loop restart the node from a checkpoint and simply keep
+// calling.
 type Client struct {
 	addr string
 	cfg  Config
@@ -60,6 +68,7 @@ type Client struct {
 	connErr      error // non-nil while the connection is down
 	reconnecting bool
 	closed       bool
+	stateLost    bool // latched by a boot-ID change; cleared by a Restore
 
 	// stop is closed exactly once, by Close: it releases the context
 	// watcher and any sleeping reconnect loop.
@@ -93,6 +102,7 @@ type pendingCall struct {
 	ch      chan rpcResult
 	req     []byte
 	shard   uint32
+	op      byte
 	sentGen uint64
 }
 
@@ -227,7 +237,7 @@ func (c *Client) Close() error {
 	c.closed = true
 	close(c.stop)
 	conn := c.conn
-	c.failAllLocked(fmt.Errorf("remote: client closed"), false, false)
+	c.failAllLocked(fmt.Errorf("remote: client closed"))
 	c.mu.Unlock()
 	if conn != nil {
 		return conn.Close()
@@ -300,6 +310,11 @@ func (c *Client) readLoop(conn net.Conn, gen uint64) {
 		c.mu.Lock()
 		pc := c.pending[id]
 		delete(c.pending, id)
+		if pc != nil && pc.op == opRestore && status == statusOK {
+			// The node's trees were re-established from a checkpoint:
+			// the state-loss latch (if any) no longer applies.
+			c.stateLost = false
+		}
 		c.mu.Unlock()
 		if pc != nil {
 			pc.ch <- res
@@ -317,17 +332,13 @@ func (c *Client) nodeDown(local uint32, stateLost bool, cause error) *ErrNodeDow
 	return &ErrNodeDown{Addr: c.addr, Shard: c.globalShard(local), StateLost: stateLost, Err: cause}
 }
 
-// failAllLocked releases pending callers with *ErrNodeDown. With onlySent,
-// calls never written to any connection survive — they cannot have reached
-// the server, so they are safe to (re)send even after a state-losing
-// restart. Callers hold c.mu.
-func (c *Client) failAllLocked(cause error, stateLost, onlySent bool) {
+// failAllLocked releases every pending caller with *ErrNodeDown. (The
+// state-losing variant lives in adopt, which spares never-sent Restore
+// frames.) Callers hold c.mu.
+func (c *Client) failAllLocked(cause error) {
 	for id, pc := range c.pending {
-		if onlySent && pc.sentGen == 0 {
-			continue
-		}
 		delete(c.pending, id)
-		pc.ch <- rpcResult{err: c.nodeDown(pc.shard, stateLost, cause)}
+		pc.ch <- rpcResult{err: c.nodeDown(pc.shard, false, cause)}
 	}
 }
 
@@ -344,7 +355,7 @@ func (c *Client) lost(gen uint64, err error) {
 	c.connErr = err
 	c.conn.Close()
 	if !c.cfg.Reconnect {
-		c.failAllLocked(err, false, false)
+		c.failAllLocked(err)
 		return
 	}
 	if !c.reconnecting {
@@ -391,6 +402,14 @@ func (c *Client) reconnectLoop() {
 		case <-c.stop:
 			c.giveUp(cause)
 			return
+		case <-c.ctx.Done():
+			// A cancelled dial context must release parked calls now, not
+			// after sleeping out the backoff. (The context watcher Closes the
+			// client too, but only when one was started — DialConfig skips it
+			// for contexts that can never fire, and the races are harmless
+			// because giveUp is idempotent under c.mu.)
+			c.giveUp(cause)
+			return
 		}
 		if backoff *= 2; backoff > 500*time.Millisecond {
 			backoff = 500 * time.Millisecond
@@ -402,7 +421,7 @@ func (c *Client) reconnectLoop() {
 // stays set so a future call can try again.
 func (c *Client) giveUp(cause error) {
 	c.mu.Lock()
-	c.failAllLocked(cause, false, false)
+	c.failAllLocked(cause)
 	c.reconnecting = false
 	c.mu.Unlock()
 }
@@ -423,10 +442,19 @@ func (c *Client) adopt(conn net.Conn, bootID uint64) {
 	c.connErr = nil
 	c.reconnecting = false
 	if bootID != c.bootID {
-		// The node restarted: its tree no longer reflects requests that
-		// were on the wire. Those must surface as state loss; never-sent
-		// calls proceed against the restarted node.
-		c.failAllLocked(fmt.Errorf("boot id %#x, was %#x", bootID, c.bootID), true, true)
+		// The node restarted: its tree is gone. Latch state loss — every
+		// pending and future call fails until a Restore rebuilds the trees
+		// from a checkpoint. Only never-sent Restore frames survive to
+		// replay: they are the recovery traffic itself.
+		c.stateLost = true
+		cause := fmt.Errorf("boot id %#x, was %#x", bootID, c.bootID)
+		for id, pc := range c.pending {
+			if pc.op == opRestore && pc.sentGen == 0 {
+				continue
+			}
+			delete(c.pending, id)
+			pc.ch <- rpcResult{err: c.nodeDown(pc.shard, true, cause)}
+		}
 	}
 	c.bootID = bootID
 	resend := make([]*pendingCall, 0, len(c.pending))
@@ -453,11 +481,20 @@ func (c *Client) adopt(conn net.Conn, bootID uint64) {
 // will send its frame once a connection is adopted, or fail it when the
 // retry budget runs out.
 func (c *Client) call(op byte, shard uint32, body []byte) ([]byte, error) {
-	pc := &pendingCall{ch: make(chan rpcResult, 1), shard: shard}
+	pc := &pendingCall{ch: make(chan rpcResult, 1), shard: shard, op: op}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("remote: client closed")
+	}
+	if c.stateLost && op != opRestore {
+		// The node restarted since the last checkpoint was applied; only a
+		// Restore may pass until its trees are re-established. Snapshots
+		// are blocked too — checkpointing a rolled-back tree would commit
+		// garbage as a recovery point.
+		err := c.nodeDown(shard, true, fmt.Errorf("node restarted; state not re-established"))
+		c.mu.Unlock()
+		return nil, err
 	}
 	if c.connErr != nil && !c.cfg.Reconnect {
 		err := c.nodeDown(shard, false, c.connErr)
@@ -549,9 +586,10 @@ type ShardStore struct {
 }
 
 var (
-	_ oram.Store      = (*ShardStore)(nil)
-	_ oram.PathStore  = (*ShardStore)(nil)
-	_ oram.BatchStore = (*ShardStore)(nil)
+	_ oram.Store       = (*ShardStore)(nil)
+	_ oram.PathStore   = (*ShardStore)(nil)
+	_ oram.BatchStore  = (*ShardStore)(nil)
+	_ oram.Snapshotter = (*ShardStore)(nil)
 )
 
 // Geometry implements oram.Store.
@@ -670,6 +708,42 @@ func (s *ShardStore) WritePath(leaf Leaf, src [][]Slot) error {
 		}
 	}
 	_, err := s.c.call(opWritePath, s.shard, body)
+	return err
+}
+
+// Save implements oram.Snapshotter over the wire (opSnapshot): the server
+// serialises this shard's store under its shard lock and ships the bytes
+// back in one frame. Making ShardStore a Snapshotter is what lets the
+// public checkpoint envelope treat local and remote shards uniformly — the
+// engine's CountingStore delegates Save/Load to whatever it wraps, so
+// ORAM.SaveState fans one Save per shard out to its serving node and every
+// node's snapshot commits in the same epoch-stamped set as the client
+// state. Snapshots are bounded by the protocol frame limit; a tree too
+// large to serialise in one frame fails with the server's clean error.
+func (s *ShardStore) Save(w io.Writer) error {
+	resp, err := s.c.call(opSnapshot, s.shard, nil)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(resp)
+	return err
+}
+
+// Load implements oram.Snapshotter over the wire (opRestore): the snapshot
+// bytes travel to the server, which loads them into the shard's store under
+// its lock. The restore is addressed by this view's shard index, so a
+// checkpoint recorded under one placement can be re-partitioned onto
+// another simply by Loading each shard's bytes through the new placement's
+// views.
+func (s *ShardStore) Load(r io.Reader) error {
+	body, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	if len(body) > maxFrame-reqHeaderLen {
+		return fmt.Errorf("remote: shard %d snapshot of %d bytes exceeds frame limit", s.shard, len(body))
+	}
+	_, err = s.c.call(opRestore, s.shard, body)
 	return err
 }
 

@@ -29,6 +29,14 @@
 //	opWritePath   req: leaf u64 · per-level slots      → resp: empty
 //	opBatch       req: count u32 · count×(op u8 · shard u32 · len u32 · body)
 //	              → resp: count u32 · count×(status u8 · len u32 · body)
+//	opSnapshot    req: empty            → resp: shard store snapshot bytes
+//	opRestore     req: snapshot bytes   → resp: empty
+//	              (opSnapshot/opRestore are the checkpoint-coordinator RPC:
+//	              the client fans one Snapshot per shard out with its own
+//	              SaveState so the whole epoch commits as one set. Each
+//	              snapshot is taken/applied under the shard's store lock and
+//	              must fit one frame — maxFrame bounds the serialisable tree.
+//	              Neither is valid inside opBatch.)
 //
 // Slots are serialised as (id u64, leaf u64, payloadLen u32, payload).
 // The path and batch opcodes are what make the serving path fast: a whole
@@ -46,7 +54,7 @@ import (
 )
 
 // Opcodes. 1–5 are the original synchronous protocol's operations; 6–8 are
-// the v2 pipelining additions.
+// the v2 pipelining additions; 9–10 are the checkpoint-coordinator RPC.
 const (
 	opHello       = 1
 	opReadBucket  = 2
@@ -56,6 +64,8 @@ const (
 	opReadPath    = 6
 	opWritePath   = 7
 	opBatch       = 8
+	opSnapshot    = 9
+	opRestore     = 10
 )
 
 // Response status codes.

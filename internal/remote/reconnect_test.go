@@ -5,6 +5,7 @@
 package remote_test
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"runtime"
@@ -128,6 +129,14 @@ func TestReconnectBudgetExhausted(t *testing.T) {
 	if err := c.WriteSlot(1, 1, 0, oram.Slot{ID: 7, Leaf: 2}); err != nil {
 		t.Fatal(err)
 	}
+	s, err := c.Store(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := s.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
 	n.Kill()
 	n.WaitDown()
 	var got oram.Slot
@@ -138,18 +147,31 @@ func TestReconnectBudgetExhausted(t *testing.T) {
 	if _, err := n.Restart(); err != nil {
 		t.Fatal(err)
 	}
-	// Lazy redial: the same client works again (fresh empty node, so only
-	// the transport is being tested; ID 0 is what an empty MetaStore
-	// serves).
+	// Lazy redial: the next call starts a fresh reconnect, which adopts the
+	// restarted node and latches state loss (new boot ID, empty tree).
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if err = c.ReadSlot(1, 1, 0, &got); err == nil {
+		err = c.ReadSlot(1, 1, 0, &got)
+		if nd, ok := remote.AsNodeDown(err); ok && nd.StateLost {
 			break
 		}
+		if err == nil {
+			t.Fatal("read succeeded against the restarted node before any restore")
+		}
 		if time.Now().After(deadline) {
-			t.Fatalf("client never recovered after node restart: %v", err)
+			t.Fatalf("client never redialled after node restart: %v", err)
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+	// Restoring the checkpoint makes the same client fully usable again.
+	if err := s.Load(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatalf("restore after state loss: %v", err)
+	}
+	if err := c.ReadSlot(1, 1, 0, &got); err != nil {
+		t.Fatalf("read after restore: %v", err)
+	}
+	if got.ID != 7 || got.Leaf != 2 {
+		t.Errorf("restored read got %+v, want ID 7 Leaf 2", got)
 	}
 }
 
@@ -243,6 +265,103 @@ func TestReconnectGoroutineLeaks(t *testing.T) {
 	waitGoroutines(t, base)
 }
 
+// TestReconnectCancelMidBackoff: the regression for the missing ctx.Done
+// case in the reconnect loop's backoff select. With a 30s retry budget the
+// loop spends nearly all its time sleeping between redials; a context
+// cancelled during that sleep must release the parked call promptly — via
+// the loop's own ctx.Done case or the context watcher's Close, whichever
+// the scheduler runs first — never by sleeping out the backoff first, and
+// every goroutine must drain.
+func TestReconnectCancelMidBackoff(t *testing.T) {
+	base := runtime.NumGoroutine()
+	n := startNode(t, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c, err := remote.DialConfig(ctx, n.Addr(), remote.Config{
+		Reconnect: true, RetryElapsed: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Kill()
+	n.WaitDown()
+	done := make(chan error, 1)
+	go func() {
+		var got oram.Slot
+		done <- c.ReadSlot(1, 0, 0, &got)
+	}()
+	// Give the loop time to burn through the short initial backoffs and park
+	// in a longer sleep, then cancel mid-sleep.
+	time.Sleep(150 * time.Millisecond)
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("parked call succeeded against a dead node")
+		}
+		if waited := time.Since(start); waited > 3*time.Second {
+			t.Errorf("parked call released %v after cancel — slept out the backoff", waited)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("parked call never released after cancel mid-backoff")
+	}
+	c.Close()
+	waitGoroutines(t, base)
+}
+
+// TestCancelDoesNotResurrect: once a run's cancellation has severed the
+// connection (the context watcher Closes the client), later calls must fail
+// fast as closed — the lazy-redial path must NOT bring the connection back
+// just because the node is healthy and Reconnect is on. A resurrected
+// connection would leak a read loop and let a "cancelled" trainer keep
+// issuing I/O.
+func TestCancelDoesNotResurrect(t *testing.T) {
+	base := runtime.NumGoroutine()
+	n := startNode(t, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	c, err := remote.DialConfig(ctx, n.Addr(), remote.Config{
+		Reconnect: true, RetryElapsed: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got oram.Slot
+	if err := c.ReadSlot(1, 0, 0, &got); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancel with the node alive and wait for the watcher to close the
+	// client (the first failing call proves it).
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err = c.ReadSlot(1, 0, 0, &got); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("calls kept succeeding after context cancel")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The node is still serving, so any resurrect bug has every chance to
+	// fire: hammer the client past the retry budget and the backoff cap.
+	until := time.Now().Add(250 * time.Millisecond)
+	for time.Now().Before(until) {
+		if err := c.ReadSlot(1, 0, 0, &got); err == nil {
+			t.Fatal("cancelled client resurrected its connection")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// No reconnect loop, watcher or read loop may survive — Close already
+	// ran via the watcher; this one must be a no-op. (The node goes down
+	// too: its worker pool is not the subject of the count.)
+	c.Close()
+	n.Kill()
+	waitGoroutines(t, base)
+}
+
 // waitGoroutines polls until the goroutine count returns to base (mirrors
 // the PR 4 trainer leak helper).
 func waitGoroutines(t *testing.T, base int) {
@@ -263,9 +382,12 @@ func waitGoroutines(t *testing.T, base int) {
 	}
 }
 
-// TestBootIDStateLoss: a restart with state loss is detected — the call
-// that was on the wire fails with StateLost=true rather than silently
-// replaying into an empty tree.
+// TestBootIDStateLoss: a restart with state loss is detected and latched —
+// the call that was on the wire fails with StateLost=true rather than
+// silently replaying into an empty tree, every later call keeps failing
+// the same way (even ones issued in an idle gap, with nothing on the
+// wire), and a Restore from a checkpoint is what clears the latch and
+// brings the pre-crash data back.
 func TestBootIDStateLoss(t *testing.T) {
 	n := startNode(t, 1)
 	c, err := remote.DialConfig(context.Background(), n.Addr(), remote.Config{
@@ -281,6 +403,14 @@ func TestBootIDStateLoss(t *testing.T) {
 	boot1 := c.BootID()
 	if boot1 == 0 {
 		t.Fatal("server sent no boot ID")
+	}
+	s, err := c.Store(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := s.Save(&snap); err != nil {
+		t.Fatal(err)
 	}
 
 	// Park a call mid-outage by racing it with the kill; then restart.
@@ -306,20 +436,35 @@ func TestBootIDStateLoss(t *testing.T) {
 			t.Errorf("restart not flagged as state loss: %v", err)
 		}
 	}
-	// Either way the client must have adopted the new boot ID by the next
-	// successful call.
+	// The latch: once the restart is adopted, every non-Restore call fails
+	// with StateLost — no read may slip through onto the empty tree.
 	var got oram.Slot
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if err := c.ReadSlot(2, 2, 0, &got); err == nil {
+		err := c.ReadSlot(2, 2, 0, &got)
+		if err == nil {
+			t.Fatal("read succeeded against the restarted node before any restore")
+		}
+		if nd, ok := remote.AsNodeDown(err); ok && nd.StateLost {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatal("client never recovered after restart")
+			t.Fatalf("state loss never latched; last error: %v", err)
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
 	if c.BootID() == boot1 {
 		t.Error("boot ID unchanged across restart")
+	}
+	// A Restore re-establishes the tree and clears the latch; the data is
+	// the checkpoint's, not the empty restart's.
+	if err := s.Load(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatalf("restore after state loss: %v", err)
+	}
+	if err := c.ReadSlot(2, 2, 0, &got); err != nil {
+		t.Fatalf("read after restore: %v", err)
+	}
+	if got.ID != 3 || got.Leaf != 1 {
+		t.Errorf("restored read got %+v, want ID 3 Leaf 1", got)
 	}
 }

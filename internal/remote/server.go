@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"bytes"
 	crand "crypto/rand"
 	"encoding/binary"
 	"errors"
@@ -487,6 +488,37 @@ func (s *Server) dispatch(op byte, shard uint32, body []byte, allowBatch bool) (
 		}
 		lock.Unlock()
 		return nil, err
+	case opSnapshot:
+		// Checkpoint-coordinator RPC: serialise this shard's store under
+		// its lock, exactly as the in-process SnapshotShard does, so the
+		// client can commit one snapshot per shard together with its own
+		// SaveState as one epoch-stamped set. The snapshot must fit one
+		// response frame; writeFrame rejects anything larger with a clean
+		// error rather than a torn write.
+		snap, ok := store.(oram.Snapshotter)
+		if !ok {
+			return nil, fmt.Errorf("shard %d store %T does not support snapshots", shard, store)
+		}
+		var buf bytes.Buffer
+		lock.Lock()
+		err := snap.Save(&buf)
+		lock.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		if buf.Len() > maxFrame-respHeaderLen {
+			return nil, fmt.Errorf("shard %d snapshot of %d bytes exceeds frame limit", shard, buf.Len())
+		}
+		return buf.Bytes(), nil
+	case opRestore:
+		snap, ok := store.(oram.Snapshotter)
+		if !ok {
+			return nil, fmt.Errorf("shard %d store %T does not support snapshots", shard, store)
+		}
+		lock.Lock()
+		err := snap.Load(bytes.NewReader(body))
+		lock.Unlock()
+		return nil, err
 	case opBatch:
 		if !allowBatch {
 			return nil, fmt.Errorf("nested batch request")
@@ -530,7 +562,7 @@ func (s *Server) dispatch(op byte, shard uint32, body []byte, allowBatch bool) (
 				// semantics.
 				run = nil
 				for _, sub := range subs[i : j+1] {
-					if sub.op == opBatch || sub.op == opHello {
+					if sub.op == opBatch || sub.op == opHello || sub.op == opSnapshot || sub.op == opRestore {
 						run = appendBatchSubResp(run, statusErr, []byte(fmt.Sprintf("opcode %d not allowed in batch", sub.op)))
 						continue
 					}

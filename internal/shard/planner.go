@@ -36,6 +36,12 @@ type PlannerConfig struct {
 	// wait ahead of the consumer (>= 1). Depth 2 double-buffers — the
 	// planner works on window k+1 while the trainer executes window k.
 	Depth int
+	// StartWindow offsets the absolute window index of the first planned
+	// window. A recovery that rewinds the source to the boundary of window
+	// B resumes planning with StartWindow = B, so every window keeps the
+	// absolute index — and therefore the deterministic plan seed
+	// planSeed(s, win) — it had in the unfaulted run.
+	StartWindow int
 }
 
 func (c PlannerConfig) validate() error {
@@ -50,6 +56,9 @@ func (c PlannerConfig) validate() error {
 	}
 	if c.Depth < 1 {
 		return fmt.Errorf("shard: planner Depth must be >= 1, got %d", c.Depth)
+	}
+	if c.StartWindow < 0 {
+		return fmt.Errorf("shard: planner StartWindow must be >= 0, got %d", c.StartWindow)
 	}
 	return nil
 }
@@ -150,7 +159,7 @@ func (p *Planner) run(ctx context.Context) {
 	if p.cfg.Window > 0 {
 		buf = make([]uint64, 0, p.cfg.Window)
 	}
-	for win := 0; ; win++ {
+	for win := p.cfg.StartWindow; ; win++ {
 		ids, eof, err := p.fillWindow(ctx, buf[:0])
 		if err != nil {
 			p.err = err

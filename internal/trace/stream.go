@@ -1,0 +1,55 @@
+package trace
+
+import "fmt"
+
+// Stream is a counted cursor over an in-memory access stream: the
+// checkpointable form of the slice-backed index source, playing the same
+// role for training-order indices that CountedSource plays for leaf
+// randomness. Pos() — how many indices have been consumed — is a complete
+// serialisation of the cursor's state, and Rewind(pos) restores it, which
+// is what lets an automated recovery rewind the training feed to the last
+// checkpoint boundary and replay a doomed chunk byte-identically
+// (DESIGN.md invariant #12).
+//
+// Not safe for concurrent use; the planner goroutine owns the stream the
+// way each ORAM client owns its RNG source.
+type Stream struct {
+	data []uint64
+	pos  uint64
+}
+
+// NewStream wraps an access stream. The slice is not copied; do not mutate
+// it while a run consumes the stream.
+func NewStream(data []uint64) *Stream {
+	return &Stream{data: data}
+}
+
+// Next copies the next indices into dst and advances the cursor, returning
+// how many were written (0 at end of stream).
+func (s *Stream) Next(dst []uint64) int {
+	n := copy(dst, s.data[s.pos:])
+	s.pos += uint64(n)
+	return n
+}
+
+// Pos returns how many indices have been consumed since the start (or the
+// last Rewind target).
+func (s *Stream) Pos() uint64 { return s.pos }
+
+// Len returns the total length of the underlying stream.
+func (s *Stream) Len() uint64 { return uint64(len(s.data)) }
+
+// Remaining returns how many indices are left to consume.
+func (s *Stream) Remaining() uint64 { return uint64(len(s.data)) - s.pos }
+
+// Rewind moves the cursor to the absolute offset pos — the value a
+// checkpoint recorded from Pos(). Offsets past the end of the stream are
+// rejected; "rewinding" forward within bounds is allowed (it is just a
+// seek), though recovery only ever moves backwards.
+func (s *Stream) Rewind(pos uint64) error {
+	if pos > uint64(len(s.data)) {
+		return fmt.Errorf("trace: rewind to %d past end of %d-index stream", pos, len(s.data))
+	}
+	s.pos = pos
+	return nil
+}

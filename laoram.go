@@ -212,6 +212,7 @@ type ORAM struct {
 	eng     *shard.Engine
 	remotes []*remote.Client // one multiplexed connection per serving node
 	pool    *crypto.Pool     // shared crypto fan-out pool (nil when serial)
+	ckEpoch uint64           // checkpoint epoch: ++ per SaveState, adopted by LoadState
 }
 
 // Stats summarises client activity and server traffic. With Shards > 1,

@@ -24,38 +24,60 @@ type IndexSource interface {
 	Read(ctx context.Context, dst []uint64) (n int, err error)
 }
 
-// FromSlice adapts an in-memory access stream to an IndexSource (the
+// RewindSource is an IndexSource whose cursor can be checkpointed and
+// restored: Pos reports how many indices have been consumed, and Rewind
+// seeks back to an absolute offset a checkpoint recorded. It is what
+// TrainOptions.Recovery requires of the source — automated recovery rolls
+// the feed back to the last checkpoint boundary and replays the doomed
+// chunk. FromSlice and FromTrace return RewindSources; FromChannel cannot
+// (a live feed has no past to replay) and is rejected when Recovery is set.
+type RewindSource interface {
+	IndexSource
+
+	// Pos returns how many indices Read has consumed so far.
+	Pos() uint64
+
+	// Rewind moves the cursor to the absolute offset pos (a value
+	// previously observed from Pos); offsets past the end of the stream
+	// are rejected.
+	Rewind(pos uint64) error
+}
+
+// FromSlice adapts an in-memory access stream to a RewindSource (the
 // bridge from the one-shot API: Preprocess(stream, s) becomes
 // TrainOptions{Source: FromSlice(stream)}). The slice is not copied; do
 // not mutate it while training.
-func FromSlice(stream []uint64) IndexSource {
-	return &sliceSource{rest: stream}
+func FromSlice(stream []uint64) RewindSource {
+	return &sliceSource{s: trace.NewStream(stream)}
 }
 
 type sliceSource struct {
-	rest []uint64
+	s *trace.Stream
 }
 
 func (s *sliceSource) Read(ctx context.Context, dst []uint64) (int, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	if len(s.rest) == 0 {
+	if s.s.Remaining() == 0 {
 		return 0, io.EOF
 	}
-	n := copy(dst, s.rest)
-	s.rest = s.rest[n:]
-	if len(s.rest) == 0 {
+	n := s.s.Next(dst)
+	if s.s.Remaining() == 0 {
 		return n, io.EOF
 	}
 	return n, nil
 }
 
+func (s *sliceSource) Pos() uint64 { return s.s.Pos() }
+
+func (s *sliceSource) Rewind(pos uint64) error { return s.s.Rewind(pos) }
+
 // FromTrace generates one of the synthetic evaluation workloads (§VII-B)
-// and streams it as an IndexSource. The trace is generated eagerly — it is
+// and streams it as a RewindSource. The trace is generated eagerly — it is
 // a convenience for examples and benchmarks; production streams should
 // implement IndexSource over their real dataloader.
-func FromTrace(cfg TraceConfig) (IndexSource, error) {
+func FromTrace(cfg TraceConfig) (RewindSource, error) {
 	stream, err := trace.Generate(cfg)
 	if err != nil {
 		return nil, err

@@ -1,11 +1,13 @@
 package laoram
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/remote"
 	"repro/internal/shard"
 )
 
@@ -57,6 +59,40 @@ type TrainOptions struct {
 	// planned before the first executes). Identical work and results;
 	// exists as the measurement baseline for the pipeline experiment.
 	Sequential bool
+	// Recovery, when non-nil, makes Train self-healing: the run
+	// checkpoints the whole system (client state + every node's shard
+	// trees, via the checkpoint coordinator RPC) at window boundaries,
+	// and on a node failure (remote.ErrNodeDown) restores all nodes and
+	// client state from the last boundary, rewinds the Source, and
+	// re-runs — no caller-side recovery code. Requires a rewindable
+	// Source (RewindSource: FromSlice/FromTrace qualify, FromChannel does
+	// not) and a checkpointable instance (no RecursivePosMap/Verify).
+	// Something outside the run must bring the dead node back on its old
+	// address (a process supervisor; internal/chaos.Node.Supervise in
+	// tests) — Train waits for it within the restart budget. The
+	// recovered run finishes byte-identical to one that never failed
+	// (DESIGN.md invariant #12).
+	Recovery *Recovery
+}
+
+// Recovery tunes the self-healing behaviour of TrainOptions.Recovery.
+// The zero value is usable: checkpoint every window, 3 restarts, 50ms
+// backoff.
+type Recovery struct {
+	// CheckpointEvery checkpoints at every window boundary whose absolute
+	// index is a multiple of it (default 1 — every boundary). Larger
+	// values trade checkpoint overhead against a longer replay after a
+	// failure.
+	CheckpointEvery int
+	// MaxRestarts bounds how many recoveries (plus failed restore
+	// attempts while waiting for a node to come back) one run will
+	// tolerate before giving up with the underlying error (default 3).
+	MaxRestarts int
+	// Backoff is the pause before each restore attempt, giving the node's
+	// supervisor time to bring it back (default 50ms). Each restore
+	// attempt then also waits up to Options.RetryElapsed inside the
+	// reconnecting client.
+	Backoff time.Duration
 }
 
 // TrainStats summarises a streaming training run.
@@ -96,9 +132,21 @@ type TrainStats struct {
 	// starved.
 	PlanQueuePeak int
 	PlanQueueMean float64
+	// CheckpointTime is total wall time spent taking window-boundary
+	// checkpoints (zero without TrainOptions.Recovery).
+	CheckpointTime time.Duration
 	// WallTime is the elapsed time of the run (excluding the PrePlace
-	// bulk load).
+	// bulk load), summed across recovery attempts.
 	WallTime time.Duration
+	// Recoveries counts completed automated recoveries (restore + rewind
+	// + resume) under TrainOptions.Recovery.
+	Recoveries int
+	// RewoundAccesses counts stream indices whose fully executed windows
+	// were discarded by recovery rewinds and trained again. Partially
+	// executed windows are rolled back too but never entered Accesses, so
+	// they are not counted here either: Windows/Accesses/Session always
+	// describe the surviving (byte-identical) run.
+	RewoundAccesses uint64
 }
 
 // Trainer is the pipelined training facade: an incremental planner
@@ -119,6 +167,17 @@ func (o *ORAM) NewTrainer(opts TrainOptions) (*Trainer, error) {
 	}
 	if opts.Visit != nil && opts.PerLane != nil {
 		return nil, fmt.Errorf("laoram: TrainOptions.Visit and PerLane are mutually exclusive")
+	}
+	if opts.Recovery != nil {
+		if rec := opts.Recovery; rec.CheckpointEvery < 0 || rec.MaxRestarts < 0 || rec.Backoff < 0 {
+			return nil, fmt.Errorf("laoram: TrainOptions.Recovery fields must be >= 0")
+		}
+		if _, ok := opts.Source.(RewindSource); !ok {
+			return nil, fmt.Errorf("laoram: TrainOptions.Recovery requires a rewindable Source (laoram.RewindSource — FromSlice or FromTrace; a %T cannot replay past indices)", opts.Source)
+		}
+		if err := o.checkpointable(); err != nil {
+			return nil, err
+		}
 	}
 	return &Trainer{db: o, opts: opts}, nil
 }
@@ -175,25 +234,13 @@ func (t *Trainer) Train(ctx context.Context) (*TrainStats, error) {
 		}()
 	}
 
-	st, err := batch.Train(ctx, o.eng, opts.Source, cfg)
-	out := &TrainStats{
-		Windows:  st.Windows,
-		Accesses: st.Accesses,
-		Session: SessionStats{
-			Bins:            st.Bins,
-			ColdPathReads:   st.ColdPathReads,
-			LookaheadRemaps: st.LookaheadRemaps,
-			UniformRemaps:   st.UniformRemaps,
-		},
-		PlanTime:       st.PlanTime,
-		TrainTime:      st.TrainTime,
-		TrainerStalled: st.Stalled,
-		TrainerStalls:  st.TrainerStalls,
-		PlannerStalled: st.PlannerStalled,
-		PlanQueuePeak:  st.QueuePeak,
-		PlanQueueMean:  st.QueueMean,
-		WallTime:       st.Wall,
+	if opts.Recovery != nil {
+		return t.trainRecover(ctx, cfg)
 	}
+	st, err := batch.Train(ctx, o.eng, opts.Source, cfg)
+	out := &TrainStats{PlanQueueMean: st.QueueMean}
+	out.setIdentity(runAgg{}.plus(st))
+	out.addTimings(st)
 	if err != nil {
 		if ctx.Err() != nil {
 			return out, ctx.Err()
@@ -201,6 +248,188 @@ func (t *Trainer) Train(ctx context.Context) (*TrainStats, error) {
 		return out, err
 	}
 	return out, nil
+}
+
+// runAgg are the identity counters of a (partial) run: the quantities
+// that must end up byte-identical to an unfaulted run's. Recovery tracks
+// them per checkpoint boundary so a rollback discards exactly the doomed
+// windows' contribution; timing counters, by contrast, accumulate across
+// every attempt (the time was really spent).
+type runAgg struct {
+	windows  int
+	accesses uint64
+	session  SessionStats
+}
+
+// plus returns the aggregate extended by one batch run's counters.
+func (a runAgg) plus(st batch.TrainStats) runAgg {
+	return runAgg{
+		windows:  a.windows + st.Windows,
+		accesses: a.accesses + st.Accesses,
+		session: SessionStats{
+			Bins:            a.session.Bins + st.Bins,
+			ColdPathReads:   a.session.ColdPathReads + st.ColdPathReads,
+			LookaheadRemaps: a.session.LookaheadRemaps + st.LookaheadRemaps,
+			UniformRemaps:   a.session.UniformRemaps + st.UniformRemaps,
+		},
+	}
+}
+
+func (out *TrainStats) setIdentity(a runAgg) {
+	out.Windows = a.windows
+	out.Accesses = a.accesses
+	out.Session = a.session
+}
+
+func (out *TrainStats) addTimings(st batch.TrainStats) {
+	out.PlanTime += st.PlanTime
+	out.TrainTime += st.TrainTime
+	out.TrainerStalled += st.Stalled
+	out.TrainerStalls += st.TrainerStalls
+	out.PlannerStalled += st.PlannerStalled
+	out.CheckpointTime += st.CheckpointTime
+	if st.QueuePeak > out.PlanQueuePeak {
+		out.PlanQueuePeak = st.QueuePeak
+	}
+	out.WallTime += st.Wall
+}
+
+// trainRecover runs the self-healing loop: batch.Train attempts separated
+// by coordinated rollbacks. Each attempt checkpoints at window boundaries
+// through cfg.Checkpoint; on a node failure the last checkpoint is
+// restored into every node and the client, the source rewound to the
+// boundary's offset, and the next attempt resumes planning at the
+// boundary's absolute window index — so the finished run is byte-identical
+// to one that never failed (DESIGN.md invariant #12).
+func (t *Trainer) trainRecover(ctx context.Context, cfg batch.TrainConfig) (*TrainStats, error) {
+	o := t.db
+	rec := *t.opts.Recovery
+	if rec.CheckpointEvery == 0 {
+		rec.CheckpointEvery = 1
+	}
+	if rec.MaxRestarts == 0 {
+		rec.MaxRestarts = 3
+	}
+	if rec.Backoff == 0 {
+		rec.Backoff = 50 * time.Millisecond
+	}
+	src := t.opts.Source.(RewindSource) // validated by NewTrainer
+
+	out := &TrainStats{}
+	var (
+		base    runAgg       // identity counters at the boundary this attempt resumed from
+		basePos = src.Pos()  // absolute source offset of that boundary
+		lastCk  []byte       // newest boundary's checkpoint (nil until the first one commits)
+		ckAgg   runAgg       // identity counters at that boundary
+		ckPos   uint64       // source offset at that boundary
+		ckWin   int          // absolute window index of that boundary
+		budget  = rec.MaxRestarts
+		meanNum float64      // windows-weighted PlanQueueMean accumulator
+		meanDen int
+	)
+	var ckBuf bytes.Buffer
+	cfg.CheckpointEvery = rec.CheckpointEvery
+	cfg.Checkpoint = func(win int, sofar batch.TrainStats) error {
+		ckBuf.Reset()
+		if err := o.SaveState(&ckBuf); err != nil {
+			return err
+		}
+		// Commit the boundary only after the whole epoch-stamped set
+		// (client state + every node's trees) saved: a SaveState that died
+		// half-way leaves the previous boundary in force.
+		lastCk = append(lastCk[:0], ckBuf.Bytes()...)
+		ckWin = win
+		ckPos = basePos + sofar.Accesses
+		ckAgg = base.plus(sofar)
+		return nil
+	}
+
+	finish := func(cur runAgg) {
+		out.setIdentity(cur)
+		if meanDen > 0 {
+			out.PlanQueueMean = meanNum / float64(meanDen)
+		}
+	}
+	for {
+		st, err := batch.Train(ctx, o.eng, src, cfg)
+		out.addTimings(st)
+		meanNum += st.QueueMean * float64(st.Windows)
+		meanDen += st.Windows
+		cur := base.plus(st)
+		if err == nil {
+			finish(cur)
+			return out, nil
+		}
+		// A cancelled run's watcher closes the node clients, which
+		// surfaces as ErrNodeDown too — the context verdict comes first.
+		if ctx.Err() != nil {
+			finish(cur)
+			return out, ctx.Err()
+		}
+		if _, ok := remote.AsNodeDown(err); !ok {
+			finish(cur)
+			return out, err
+		}
+		finish(cur)
+		if lastCk == nil {
+			return out, fmt.Errorf("laoram: node failure before the first checkpoint boundary committed: %w", err)
+		}
+		if budget <= 0 {
+			return out, fmt.Errorf("laoram: recovery restart budget (%d) exhausted: %w", rec.MaxRestarts, err)
+		}
+		budget--
+		out.RewoundAccesses += cur.accesses - ckAgg.accesses
+
+		// Coordinated rollback: restore every node's shard trees and the
+		// client state from the boundary's checkpoint set. The dead node's
+		// supervisor brings it back on its old address; until it does,
+		// LoadState fails with ErrNodeDown and we retry within the budget.
+		for {
+			if err := sleepCtx(ctx, rec.Backoff); err != nil {
+				return out, err
+			}
+			lerr := o.LoadState(bytes.NewReader(lastCk))
+			if lerr == nil {
+				break
+			}
+			if ctx.Err() != nil {
+				return out, ctx.Err()
+			}
+			if _, ok := remote.AsNodeDown(lerr); !ok {
+				return out, fmt.Errorf("laoram: recovery restore: %w", lerr)
+			}
+			if budget <= 0 {
+				return out, fmt.Errorf("laoram: recovery restart budget (%d) exhausted waiting for restore: %w", rec.MaxRestarts, lerr)
+			}
+			budget--
+		}
+		if err := src.Rewind(ckPos); err != nil {
+			return out, fmt.Errorf("laoram: recovery rewind: %w", err)
+		}
+		// Resume from the boundary: planning restarts at its absolute
+		// window index (keeping plan seeds identical), the boundary's own
+		// checkpoint is not retaken (epoch parity with an unfaulted run),
+		// and the table is already loaded.
+		base = ckAgg
+		basePos = ckPos
+		cfg.StartWindow = ckWin
+		cfg.SkipStartCheckpoint = true
+		cfg.PrePlace = false
+		cfg.Payload = nil
+		out.Recoveries++
+	}
+}
+
+// sleepCtx pauses for d or until ctx fires.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Train is the one-call streaming API: plan look-ahead windows from

@@ -393,6 +393,142 @@ func TestTrainCancelRemote(t *testing.T) {
 	waitGoroutines(t, base)
 }
 
+// TestRecoveryValidation pins the TrainOptions.Recovery option errors: the
+// recovery loop needs a source it can rewind and an instance it can
+// checkpoint, and both must be rejected up front — not when the first
+// failure strikes mid-epoch.
+func TestRecoveryValidation(t *testing.T) {
+	db, err := New(Options{Entries: 64, BlockSize: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+	rec := &Recovery{CheckpointEvery: 1}
+
+	if _, err := db.Train(ctx, TrainOptions{Source: FromChannel(make(chan uint64)), Recovery: rec}); err == nil {
+		t.Error("Recovery with a non-rewindable channel source accepted")
+	}
+	for _, bad := range []Recovery{
+		{CheckpointEvery: -1}, {MaxRestarts: -1}, {Backoff: -time.Second},
+	} {
+		if _, err := db.Train(ctx, TrainOptions{Source: FromSlice([]uint64{1}), Recovery: &bad}); err == nil {
+			t.Errorf("negative Recovery field accepted: %+v", bad)
+		}
+	}
+
+	// Non-checkpointable instances fail at NewTrainer, with the same errors
+	// SaveState would give.
+	rp, err := New(Options{Entries: 1 << 10, MetadataOnly: true, RecursivePosMap: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rp.Close()
+	if _, err := rp.NewTrainer(TrainOptions{Source: FromSlice([]uint64{1}), Recovery: rec}); err == nil {
+		t.Error("Recovery on a RecursivePosMap instance accepted")
+	}
+	vf, err := New(Options{Entries: 256, BlockSize: 8, Verify: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vf.Close()
+	if _, err := vf.NewTrainer(TrainOptions{Source: FromSlice([]uint64{1}), Recovery: rec}); err == nil {
+		t.Error("Recovery on a Verify instance accepted")
+	}
+}
+
+// TestTrainAccountingAfterCancel reconciles consumed-vs-trained counts when
+// a run is cancelled mid-epoch: the planner legitimately reads ahead of the
+// trainer — Depth windows queued, one more scanned and blocked on the
+// queue, and the partially-trained window itself (consumed but not counted
+// in Accesses) — so the counted source may be up to (Depth+2)·Window
+// indices past TrainStats.Accesses, but never more, and never behind.
+func TestTrainAccountingAfterCancel(t *testing.T) {
+	const entries = 1 << 10
+	const window = 1024
+	const depth = 3
+	stream, err := GenerateTrace(TraceConfig{Kind: TraceUniform, N: entries, Count: 20000, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := New(Options{Entries: entries, BlockSize: 16, Seed: 37, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src := FromSlice(stream)
+	var visits atomic.Uint64
+	st, err := db.Train(ctx, TrainOptions{
+		Source:     src,
+		Superblock: 4,
+		Window:     window,
+		Depth:      depth,
+		PrePlace:   true,
+		Visit: func(id uint64, payload []byte) []byte {
+			if visits.Add(1) == 5000 {
+				cancel()
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Train returned %v, want context.Canceled", err)
+	}
+	consumed, trained := src.Pos(), st.Accesses
+	if trained > consumed {
+		t.Fatalf("trained %d accesses but consumed only %d from the source", trained, consumed)
+	}
+	if slack := consumed - trained; slack > (depth+2)*window {
+		t.Errorf("source over-consumed by %d indices, look-ahead bound is %d",
+			slack, (depth+2)*window)
+	}
+}
+
+// TestTrainAccountingWithRecovery: an unfaulted local run under Recovery
+// drives the checkpoint hook at every boundary and must still account for
+// every index — source fully drained, every access trained, no recoveries,
+// nothing rewound — while the boundary checkpoints show up in
+// CheckpointTime.
+func TestTrainAccountingWithRecovery(t *testing.T) {
+	const entries = 1 << 9
+	stream, err := GenerateTrace(TraceConfig{Kind: TraceKaggle, N: entries, Count: 3000, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := New(Options{Entries: entries, BlockSize: 16, Seed: 43, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	src := FromSlice(stream)
+	st, err := db.Train(context.Background(), TrainOptions{
+		Source:     src,
+		Superblock: 4,
+		Window:     512,
+		PrePlace:   true,
+		Payload:    trainInit(16),
+		Visit:      trainVisit,
+		Recovery:   &Recovery{CheckpointEvery: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Pos() != uint64(len(stream)) {
+		t.Errorf("source position %d after full run, want %d", src.Pos(), len(stream))
+	}
+	if st.Accesses != uint64(len(stream)) {
+		t.Errorf("Accesses = %d, want %d", st.Accesses, len(stream))
+	}
+	if st.Recoveries != 0 || st.RewoundAccesses != 0 {
+		t.Errorf("unfaulted run reports %d recoveries, %d rewound", st.Recoveries, st.RewoundAccesses)
+	}
+	if st.CheckpointTime <= 0 {
+		t.Error("boundary checkpoints took no time — hook never ran")
+	}
+}
+
 // TestIndexSourceAdapters pins the adapter semantics: FromSlice streams the
 // slice, FromTrace matches GenerateTrace, FromChannel honours ctx.
 func TestIndexSourceAdapters(t *testing.T) {
