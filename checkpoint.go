@@ -89,7 +89,7 @@ func (o *ORAM) SaveState(w io.Writer) error {
 		return err
 	}
 	var flags uint64
-	if len(o.remotes) == 0 {
+	if !o.remote() {
 		flags |= 1
 	}
 	o.ckEpoch++
@@ -133,6 +133,28 @@ func (o *ORAM) SaveState(w io.Writer) error {
 // identically to an unfaulted run's. After LoadState the instance's future
 // behaviour is byte-identical to the saved instance's.
 func (o *ORAM) LoadState(r io.Reader) error {
+	return o.loadState(r, nil)
+}
+
+// loadStateShards restores only the shards pick marks true from a
+// SaveState checkpoint — client lane state and server tree both — leaving
+// every other shard's live state untouched. It is the per-shard half of
+// re-placement: a dead node's shards rewind to the last checkpoint (their
+// trees restored through the current, typically freshly repointed,
+// placement) while healthy shards keep running forward. Unlike LoadState
+// the checkpoint's epoch is NOT adopted: no committed save is being
+// discarded, so the save numbering keeps advancing from where it was.
+func (o *ORAM) loadStateShards(r io.Reader, pick []bool) error {
+	if len(pick) != o.eng.Shards() {
+		return fmt.Errorf("laoram: shard selector has %d entries, instance has %d shards", len(pick), o.eng.Shards())
+	}
+	return o.loadState(r, pick)
+}
+
+// loadState parses a SaveState envelope; a nil pick restores every shard
+// and adopts the checkpoint epoch, otherwise only the picked shards are
+// restored and the epoch is left alone.
+func (o *ORAM) loadState(r io.Reader, pick []bool) error {
 	if err := o.checkpointable(); err != nil {
 		return err
 	}
@@ -161,7 +183,7 @@ func (o *ORAM) LoadState(r io.Reader) error {
 	if err != nil {
 		return fmt.Errorf("laoram: checkpoint epoch: %w", err)
 	}
-	if fromLocal, local := flags&1 != 0, len(o.remotes) == 0; fromLocal != local {
+	if fromLocal, local := flags&1 != 0, !o.remote(); fromLocal != local {
 		if local {
 			return fmt.Errorf("laoram: checkpoint was taken from a remote instance; this instance is local")
 		}
@@ -185,7 +207,12 @@ func (o *ORAM) LoadState(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	if err := o.eng.LoadState(bytes.NewReader(eng)); err != nil {
+	if pick == nil {
+		err = o.eng.LoadState(bytes.NewReader(eng))
+	} else {
+		err = o.eng.LoadStateLanes(bytes.NewReader(eng), pick)
+	}
+	if err != nil {
 		return err
 	}
 	for s := 0; s < o.eng.Shards(); s++ {
@@ -193,12 +220,19 @@ func (o *ORAM) LoadState(r io.Reader) error {
 		if err != nil {
 			return err
 		}
+		if pick != nil && !pick[s] {
+			continue
+		}
 		if err := o.eng.Sub(s).Store.Load(bytes.NewReader(tree)); err != nil {
 			return fmt.Errorf("laoram: shard %d tree: %w", s, err)
 		}
 	}
-	// The epoch is restored state like everything else: a recovery resumes
-	// the save numbering from the boundary it rolled back to.
-	o.ckEpoch = epoch
+	if pick == nil {
+		// The epoch is restored state like everything else: a full rollback
+		// resumes the save numbering from the boundary it rolled back to. A
+		// shard-subset restore discards no committed save and keeps its
+		// epoch.
+		o.ckEpoch = epoch
+	}
 	return nil
 }

@@ -22,8 +22,8 @@
 //
 // Experiment IDs follow DESIGN.md's experiment index: fig2, fig7a..fig7f,
 // fig8, fig9, table1, table2, memneutral, preproc, ring, security, serve,
-// pipeline, sealed, and the ablations abl-window, abl-profile, abl-thresh,
-// abl-z, abl-model, abl-batch, abl-shards.
+// pipeline, sealed, elastic, and the ablations abl-window, abl-profile,
+// abl-thresh, abl-z, abl-model, abl-batch, abl-shards.
 package main
 
 import (
@@ -83,6 +83,7 @@ func experiments() []experiment {
 		{"serve", "remote serving path: pipelined vs sync protocol over TCP", func(sc harness.Scale, seed int64) (renderer, error) { return harness.Serve(sc, seed) }},
 		{"pipeline", "§VIII-A overlap: streaming Trainer vs sequential plan-then-run", func(sc harness.Scale, seed int64) (renderer, error) { return harness.PipelineExp(sc, seed) }},
 		{"sealed", "crypto fan-out: sealed-batch throughput vs CryptoWorkers", func(sc harness.Scale, seed int64) (renderer, error) { return harness.SealedExp(sc, seed) }},
+		{"elastic", "elastic serving: live migration blackout + re-placement vs rollback MTTR", func(sc harness.Scale, seed int64) (renderer, error) { return harness.ElasticExp(sc, seed) }},
 	}
 }
 

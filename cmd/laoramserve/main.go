@@ -26,6 +26,16 @@
 // the same boundary: restoring both rewinds the whole system and the run
 // continues byte-identically (DESIGN.md invariant #11).
 //
+// The server is elastic: clients migrating a shard in (laoram.Migrate)
+// grow a fresh backing store over the wire (opAddStore), so a node can
+// start with -shards covering its modulo placement and end up serving more.
+// SIGTERM begins a graceful drain instead of stopping: the listener closes
+// (no new connections), the health heartbeat (opHealth) announces draining
+// so connected clients migrate their shards off, and once the last
+// connection leaves — or after -drain-grace — the server takes its final
+// checkpoint and exits. SIGINT/Ctrl-C still stops immediately (after the
+// shutdown checkpoint).
+//
 // Usage:
 //
 //	laoramserve -addr :7312 -entries 1048576 -block 128 -fat -shards 4
@@ -44,6 +54,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/crypto"
@@ -65,6 +76,7 @@ func main() {
 		cworker = flag.Int("cryptoworkers", 0, "crypto fan-out width for sealed stores: seal/open of path and batched requests is partitioned across this many workers (0 = one per CPU capped at 8, 1 = serial)")
 		ckDir   = flag.String("checkpoint", "", "directory for shard tree checkpoints: restore shard-N.ck at startup if present, save on shutdown (and periodically with -checkpoint-interval)")
 		ckEvery = flag.Duration("checkpoint-interval", 0, "periodic checkpoint cadence (0 = only on shutdown); requires -checkpoint")
+		drainT  = flag.Duration("drain-grace", 10*time.Second, "on SIGTERM, how long to wait for connected clients to migrate off before exiting anyway")
 	)
 	flag.Parse()
 
@@ -104,40 +116,62 @@ func main() {
 		}
 	}
 
-	stores := make([]oram.Store, *shards)
-	counters := make([]*oram.CountingStore, *shards)
-	for i := range stores {
+	// newStore builds one shard backing store — used for the -shards
+	// initial set and again whenever a client migrates a shard in
+	// (opAddStore grows one through the factory below).
+	newStore := func() (*oram.CountingStore, error) {
 		var inner oram.Store
 		if *block > 0 {
 			var sealer oram.Sealer
 			if *sealed {
 				s, err := crypto.NewRandomSealer()
 				if err != nil {
-					log.Fatalf("laoramserve: %v", err)
+					return nil, err
 				}
 				sealer = s
 			}
 			ps, err := oram.NewPayloadStore(g, sealer)
 			if err != nil {
-				log.Fatalf("laoramserve: %v (hint: -block 0 for metadata-only at large scales)", err)
+				return nil, fmt.Errorf("%w (hint: -block 0 for metadata-only at large scales)", err)
 			}
 			if pool != nil {
 				if err := ps.SetCryptoPool(pool); err != nil {
-					log.Fatalf("laoramserve: %v", err)
+					return nil, err
 				}
 			}
 			inner = ps
 		} else {
 			inner = oram.NewMetaStore(g)
 		}
-		counters[i] = oram.NewCountingStore(inner, nil)
-		stores[i] = counters[i]
+		return oram.NewCountingStore(inner, nil), nil
+	}
+	stores := make([]oram.Store, *shards)
+	counters := make([]*oram.CountingStore, *shards)
+	for i := range stores {
+		cs, err := newStore()
+		if err != nil {
+			log.Fatalf("laoramserve: %v", err)
+		}
+		counters[i] = cs
+		stores[i] = cs
 	}
 
 	srv, err := remote.NewSharded(stores, *workers, log.Printf)
 	if err != nil {
 		log.Fatalf("laoramserve: %v", err)
 	}
+	// Migrated-in shards count toward the shutdown byte totals too.
+	var cmu sync.Mutex
+	srv.SetStoreFactory(func() (oram.Store, error) {
+		cs, err := newStore()
+		if err != nil {
+			return nil, err
+		}
+		cmu.Lock()
+		counters = append(counters, cs)
+		cmu.Unlock()
+		return cs, nil
+	})
 	if *ckEvery < 0 || (*ckEvery > 0 && *ckDir == "") {
 		log.Fatalf("laoramserve: -checkpoint-interval requires -checkpoint")
 	}
@@ -172,13 +206,18 @@ func main() {
 	fmt.Printf("laoramserve: serving %d×[%s] (%s, %d entries, server bytes %.2f GB) on %s\n",
 		*shards, g.String(), storeKindSealed(*block, *sealed), *entries,
 		float64(int64(*shards)*g.ServerBytes())/(1<<30), bound)
-	fmt.Println("laoramserve: Ctrl-C to stop")
+	fmt.Println("laoramserve: Ctrl-C to stop, SIGTERM to drain")
 
 	// Serve until the process context is cancelled (Ctrl-C / SIGINT): the
 	// same cancellation idiom clients use — a cancelled laoram.NewContext
 	// closes its connection; a cancelled server drains and closes here.
+	// SIGTERM takes the graceful path instead: announce the drain over the
+	// health heartbeat, give connected clients -drain-grace to migrate
+	// their shards off, then fall through to the same shutdown tail.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	drainCh := make(chan os.Signal, 1)
+	signal.Notify(drainCh, syscall.SIGTERM)
 	if *ckDir != "" && *ckEvery > 0 {
 		go func() {
 			tick := time.NewTicker(*ckEvery)
@@ -195,7 +234,25 @@ func main() {
 			}
 		}()
 	}
-	<-ctx.Done()
+	select {
+	case <-ctx.Done():
+	case <-drainCh:
+		fmt.Printf("laoramserve: SIGTERM — draining (refusing new connections, waiting up to %v for %d client conn(s) to migrate off)\n",
+			*drainT, srv.ActiveConns())
+		srv.Drain()
+		deadline := time.Now().Add(*drainT)
+		for srv.ActiveConns() > 0 && time.Now().Before(deadline) && ctx.Err() == nil {
+			select {
+			case <-ctx.Done(): // SIGINT during the drain stops the wait
+			case <-time.After(50 * time.Millisecond):
+			}
+		}
+		if n := srv.ActiveConns(); n > 0 {
+			fmt.Printf("laoramserve: drain grace expired with %d conn(s) still open\n", n)
+		} else {
+			fmt.Println("laoramserve: drained")
+		}
+	}
 	if *ckDir != "" {
 		if err := saveSet(); err != nil {
 			log.Printf("laoramserve: shutdown checkpoint: %v", err)
@@ -204,6 +261,8 @@ func main() {
 		}
 	}
 	var total oram.Counters
+	cmu.Lock()
+	defer cmu.Unlock()
 	for _, cs := range counters {
 		c := cs.Counters()
 		total.BucketReads += c.BucketReads
@@ -299,13 +358,16 @@ func restoreCheckpoints(dir string, srv *remote.Server) (restored int, epoch uin
 // SnapshotShard holds the shard lock, so each file is a consistent
 // point-in-time image even while the server keeps serving.
 func saveCheckpoints(dir string, srv *remote.Server, epoch uint64) error {
-	tmps := make([]string, 0, srv.Shards())
+	// One stable count for both loops: a migration may grow the store set
+	// concurrently, and a set must rename exactly the files it wrote.
+	n := srv.Shards()
+	tmps := make([]string, 0, n)
 	cleanup := func() {
 		for _, t := range tmps {
 			os.Remove(t)
 		}
 	}
-	for s := 0; s < srv.Shards(); s++ {
+	for s := 0; s < n; s++ {
 		tmp := checkpointPath(dir, s) + ".tmp"
 		if err := writeSnapshotFile(tmp, srv, s, epoch); err != nil {
 			cleanup()
@@ -313,7 +375,7 @@ func saveCheckpoints(dir string, srv *remote.Server, epoch uint64) error {
 		}
 		tmps = append(tmps, tmp)
 	}
-	for s := 0; s < srv.Shards(); s++ {
+	for s := 0; s < n; s++ {
 		if err := os.Rename(checkpointPath(dir, s)+".tmp", checkpointPath(dir, s)); err != nil {
 			cleanup()
 			return fmt.Errorf("checkpoint shard %d: %w", s, err)

@@ -148,6 +148,24 @@ type TrainStats struct {
 	// Wall is the elapsed time of the whole run (excluding the PrePlace
 	// bulk load).
 	Wall time.Duration
+	// FailedWindow is the absolute index of the window whose execution
+	// error ended the run, or -1 when no window execution failed (success,
+	// or a failure outside a session — planner, checkpoint hook, load).
+	// A failed window's session counters are already folded into the
+	// aggregates above; FailedAccesses and FailedLaneSession let a
+	// per-shard recovery reconstruct exactly what that window contributed:
+	// its stream-access span and each lane's session counters for just
+	// that window.
+	FailedWindow      int
+	FailedAccesses    int
+	FailedLaneSession []LaneSession
+}
+
+// LaneSession is one shard lane's session counters for a single window —
+// the four LAORAM counters a TrainStats aggregates across lanes and
+// windows.
+type LaneSession struct {
+	Bins, ColdPathReads, LookaheadRemaps, UniformRemaps uint64
 }
 
 // Train runs the streaming two-stage pipeline over e: plan windows from
@@ -156,6 +174,7 @@ type TrainStats struct {
 // workers have drained by the time Train returns.
 func Train(ctx context.Context, e *shard.Engine, src shard.Source, cfg TrainConfig) (TrainStats, error) {
 	var st TrainStats
+	st.FailedWindow = -1
 	if e == nil {
 		return st, fmt.Errorf("batch: nil engine")
 	}
@@ -229,7 +248,19 @@ func Train(ctx context.Context, e *shard.Engine, src shard.Source, cfg TrainConf
 		st.UniformRemaps += ss.UniformRemaps
 		if err != nil {
 			// The session counters above still record the partial
-			// progress of the interrupted window.
+			// progress of the interrupted window; FailedWindow and the
+			// per-lane breakdown let a per-shard recovery subtract the
+			// failed lanes' partial contribution and replay only them.
+			st.FailedWindow = w.Index
+			st.FailedAccesses = w.Accesses
+			st.FailedLaneSession = make([]LaneSession, e.Shards())
+			for i := range st.FailedLaneSession {
+				ls := sess.Lane(i).Stats()
+				st.FailedLaneSession[i] = LaneSession{
+					Bins: ls.Bins, ColdPathReads: ls.ColdPathReads,
+					LookaheadRemaps: ls.LookaheadRemaps, UniformRemaps: ls.UniformRemaps,
+				}
+			}
 			return fmt.Errorf("batch: window %d: %w", w.Index, err)
 		}
 		st.Windows++

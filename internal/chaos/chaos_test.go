@@ -2,6 +2,8 @@ package chaos
 
 import (
 	"bytes"
+	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -288,5 +290,56 @@ func TestSnapshotDeterministicAcrossNodes(t *testing.T) {
 	}
 	if !bytes.Equal(sa[0], sb[0]) {
 		t.Error("identical traffic produced different snapshots")
+	}
+}
+
+// TestRestartRaceTyped: a manual Restart racing a supervisor's restart of
+// the same node resolves deterministically — exactly one restart wins per
+// down period, and every loser gets the typed ErrAlreadyRunning (matchable
+// with errors.Is), never a bind error or a second server on the address.
+func TestRestartRaceTyped(t *testing.T) {
+	n := startNode(t, 1)
+	addr := n.Addr()
+
+	// The direct form first: Start/Restart on a running node is typed.
+	if _, err := n.Start(); !errors.Is(err, ErrAlreadyRunning) {
+		t.Fatalf("Start on a running node: %v, want ErrAlreadyRunning", err)
+	}
+	if _, err := n.Restart(); !errors.Is(err, ErrAlreadyRunning) {
+		t.Fatalf("Restart on a running node: %v, want ErrAlreadyRunning", err)
+	}
+
+	// Now the race: an aggressive supervisor and a manual restarter hammer
+	// the node through repeated kill cycles.
+	stop := n.Supervise(0, time.Millisecond)
+	defer stop()
+	for cycle := 0; cycle < 20; cycle++ {
+		n.Kill()
+		var wg sync.WaitGroup
+		errs := make([]error, 4)
+		for i := range errs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, errs[i] = n.Restart()
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil && !errors.Is(err, ErrAlreadyRunning) {
+				t.Fatalf("cycle %d: racer %d got %v, want nil or ErrAlreadyRunning", cycle, i, err)
+			}
+		}
+		// Whoever won, the node must be up on its pinned address.
+		deadline := time.Now().Add(2 * time.Second)
+		for !n.Running() {
+			if time.Now().After(deadline) {
+				t.Fatalf("cycle %d: node never came back", cycle)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if got := n.Addr(); got != addr {
+			t.Fatalf("cycle %d: node on %s, want pinned %s", cycle, got, addr)
+		}
 	}
 }

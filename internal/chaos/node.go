@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -10,6 +11,13 @@ import (
 	"repro/internal/oram"
 	"repro/internal/remote"
 )
+
+// ErrAlreadyRunning reports a Start/Restart that found the node already
+// serving — typically a manual Restart racing the Supervise loop. Both
+// restarts serialize under the node lock; the loser gets this typed error
+// (wrapped with the node address) instead of a stringly one, so callers
+// can treat the race as the benign outcome it is.
+var ErrAlreadyRunning = errors.New("chaos: node already running")
 
 // Node supervises one in-process serving node: a remote.Server over stores
 // built by a caller-supplied factory, restartable on a pinned address. It
@@ -23,9 +31,10 @@ type Node struct {
 	workers int
 	logf    func(string, ...any)
 
-	mu   sync.Mutex
-	addr string // pinned after the first Start
-	srv  *remote.Server
+	mu      sync.Mutex
+	addr    string // pinned after the first Start
+	srv     *remote.Server
+	factory func() (oram.Store, error) // armed on every (re)started server; nil = fixed placement
 }
 
 // NewNode wraps a store factory. Every (re)start calls build() for fresh
@@ -46,7 +55,7 @@ func (n *Node) Start() (string, error) {
 
 func (n *Node) startLocked() (string, error) {
 	if n.srv != nil {
-		return "", fmt.Errorf("chaos: node already running on %s", n.addr)
+		return "", fmt.Errorf("%w on %s", ErrAlreadyRunning, n.addr)
 	}
 	stores, err := n.build()
 	if err != nil {
@@ -55,6 +64,9 @@ func (n *Node) startLocked() (string, error) {
 	srv, err := remote.NewSharded(stores, n.workers, n.logf)
 	if err != nil {
 		return "", err
+	}
+	if n.factory != nil {
+		srv.SetStoreFactory(n.factory)
 	}
 	listen := n.addr
 	if listen == "" {
@@ -99,14 +111,29 @@ func (n *Node) Kill() error {
 	return srv.Close()
 }
 
+// SetStoreFactory arms opAddStore on the node's server — current and every
+// future restart — so migrations and re-placements can land shards on it.
+// f builds one store per call with the node's serving geometry.
+func (n *Node) SetStoreFactory(f func() (oram.Store, error)) {
+	n.mu.Lock()
+	n.factory = f
+	srv := n.srv
+	n.mu.Unlock()
+	if srv != nil {
+		srv.SetStoreFactory(f)
+	}
+}
+
 // Restart brings a killed node back on its pinned address with fresh
 // (empty) stores. The caller restores state afterwards via RestoreAll —
 // exactly the supervisor-then-recovery sequence a real deployment runs.
+// Losing a restart race (the supervisor or another caller already brought
+// the node back) returns ErrAlreadyRunning.
 func (n *Node) Restart() (string, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.srv != nil {
-		return "", fmt.Errorf("chaos: node still running on %s; Kill it first", n.addr)
+		return "", fmt.Errorf("%w on %s; Kill it first", ErrAlreadyRunning, n.addr)
 	}
 	if n.addr == "" {
 		return "", fmt.Errorf("chaos: node was never started")
@@ -194,10 +221,13 @@ func (n *Node) Supervise(delay, poll time.Duration) (stop func()) {
 				return
 			case <-time.After(delay):
 			}
-			if _, err := n.Restart(); err != nil && n.logf != nil {
-				// Lost a race with a manual Restart, or the node was never
-				// started; either way the next poll re-evaluates.
-				n.logf("chaos: supervisor restart: %v", err)
+			if _, err := n.Restart(); err != nil {
+				// Losing to a manual Restart is the expected benign race —
+				// the node is up, which is all the supervisor wants. Anything
+				// else is worth a log line; the next poll re-evaluates.
+				if !errors.Is(err, ErrAlreadyRunning) && n.logf != nil {
+					n.logf("chaos: supervisor restart: %v", err)
+				}
 			}
 		}
 	}()

@@ -1,0 +1,587 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	laoram "repro"
+	"repro/internal/chaos"
+	"repro/internal/oram"
+	"repro/internal/shard"
+)
+
+// Elastic drills: the executable form of the elastic-serving story, on top
+// of the failover drill's machinery. Two scenarios, each judged against an
+// unfaulted/unmigrated reference run of the same seed:
+//
+//   - Migration: mid-epoch, every shard live-migrates from the starting
+//     nodes onto fresh, initially-empty nodes (laoram.Migrate). No rewind,
+//     no recovery, and the finished run is byte-identical — the only cost
+//     is the per-shard blackout while its tree is in flight.
+//
+//   - Replacement: one node is killed and never comes back. With
+//     Recovery.Replace the Trainer repoints the dead node's shards onto
+//     survivors, restores just those shards from the last checkpoint, and
+//     replays only their lanes — strictly less re-execution than the full
+//     rollback the same fault costs without Replace, and still
+//     byte-identical.
+
+// MigrationConfig drives the live-migration drill.
+type MigrationConfig struct {
+	Entries   uint64
+	BlockSize int
+	Shards    int
+	Nodes     int // starting serving tier
+	Fresh     int // fresh, initially-empty target nodes
+	Seed      int64
+	Accesses  int // epoch length
+	Window    int // look-ahead window
+	S         int // superblock factor
+	MigrateAt int // global visit count at which every shard migrates
+
+	// CheckpointEvery keeps Recovery armed during the drill (0 = every
+	// boundary) — migration must not trip it: the drill asserts zero
+	// recoveries and zero rewound accesses.
+	CheckpointEvery int
+}
+
+// ElasticRun is one drill execution's observable state.
+type ElasticRun struct {
+	Windows      int
+	Accesses     uint64
+	Session      laoram.SessionStats
+	Stats        laoram.Stats
+	ReadsDigest  []byte   // concatenated final payloads of every touched block
+	ClientState  []byte   // final laoram.SaveState: engine state + per-shard trees
+	Placement    []string // final shard → node-address table
+	Recoveries   int
+	Replacements int
+	Rewound      uint64
+	RepairTime   time.Duration
+	Moved        int           // shards migrated by the drill's own Migrate calls
+	Blackout     time.Duration // summed per-shard migration blackout
+}
+
+// MigrationResult compares the migrated run against the unmigrated
+// reference.
+type MigrationResult struct {
+	Config    MigrationConfig
+	Windows   int
+	Moved     int
+	Blackout  time.Duration
+	Placement []string
+
+	Recoveries int    // must be 0: migration is not a fault
+	Rewound    uint64 // must be 0: no rewind happened
+
+	SessionMatch bool
+	StatsMatch   bool
+	ReadsMatch   bool
+	ClientMatch  bool
+}
+
+// Identical reports whether every compared dimension matched. ClientMatch
+// covers the per-shard tree bytes too: SaveState embeds every shard's tree
+// in shard order, independent of which node serves it.
+func (r *MigrationResult) Identical() bool {
+	return r.SessionMatch && r.StatsMatch && r.ReadsMatch && r.ClientMatch
+}
+
+// elasticFreshNodes boots count initially-empty nodes that can grow stores
+// for migrated-in shards: one placeholder store satisfies the server's
+// non-empty invariant, and the store factory serves opAddStore.
+func elasticFreshNodes(entries uint64, shards, blockSize, count int) ([]*chaos.Node, []string, error) {
+	per := shard.PerShardEntries(entries, shards)
+	g, err := oram.NewGeometry(oram.GeometryConfig{
+		LeafBits: oram.LeafBitsFor(per), LeafZ: 4, BlockSize: blockSize,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	factory := func() (oram.Store, error) {
+		return oram.NewPayloadStore(g, nil)
+	}
+	ns := make([]*chaos.Node, count)
+	addrs := make([]string, count)
+	for j := range ns {
+		ns[j] = chaos.NewNode(func() ([]oram.Store, error) {
+			st, err := factory()
+			if err != nil {
+				return nil, err
+			}
+			return []oram.Store{st}, nil
+		}, 0, nil)
+		ns[j].SetStoreFactory(factory)
+		if addrs[j], err = ns[j].Start(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return ns, addrs, nil
+}
+
+// runMigration executes the epoch; when migrate is set, every shard
+// live-migrates onto the fresh nodes (round-robin) at the MigrateAt-th
+// trained visit, from inside the training loop — the run never pauses
+// beyond the per-shard blackout.
+func runMigration(cfg MigrationConfig, migrate bool) (*ElasticRun, error) {
+	nodes, addrs, err := failoverNodes(FailoverConfig{
+		Entries: cfg.Entries, BlockSize: cfg.BlockSize, Shards: cfg.Shards,
+	}, cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	defer killAll(nodes)
+	fresh, freshAddrs, err := elasticFreshNodes(cfg.Entries, cfg.Shards, cfg.BlockSize, cfg.Fresh)
+	if err != nil {
+		return nil, err
+	}
+	defer killAll(fresh)
+
+	db, err := laoram.New(laoram.Options{
+		Entries: cfg.Entries, Seed: cfg.Seed, Shards: cfg.Shards,
+		RemoteAddrs: addrs, Reconnect: true,
+		RetryElapsed: 300 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	stream, err := laoram.GenerateTrace(laoram.TraceConfig{
+		Kind: laoram.TraceKaggle, N: cfg.Entries, Count: cfg.Accesses, Seed: cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// The migration schedule: at the MigrateAt-th trained visit, move every
+	// shard onto the fresh tier. Fired synchronously from a lane's visit
+	// callback — the lane holds no store call mid-visit, so Migrate's
+	// placement write lock interleaves cleanly with the other lanes' reads.
+	var (
+		visits   atomic.Int64
+		moved    int
+		blackout time.Duration
+		migErr   error
+	)
+	visit := func(id uint64, payload []byte) []byte {
+		if migrate && visits.Add(1) == int64(cfg.MigrateAt) {
+			for s := 0; s < cfg.Shards; s++ {
+				ms, err := db.Migrate(context.Background(), s, freshAddrs[s%len(freshAddrs)])
+				if err != nil {
+					migErr = err
+					break
+				}
+				moved += ms.Moved
+				blackout += ms.Blackout
+			}
+		}
+		out := bytes.Clone(payload)
+		out[0] ^= byte(id)
+		out[1]++
+		return out
+	}
+
+	ckEvery := cfg.CheckpointEvery
+	if ckEvery == 0 {
+		ckEvery = 1
+	}
+	src := laoram.FromSlice(stream)
+	st, err := db.Train(context.Background(), laoram.TrainOptions{
+		Source:     src,
+		Superblock: cfg.S,
+		Window:     cfg.Window,
+		Visit:      visit,
+		PrePlace:   true,
+		Payload: func(id uint64) []byte {
+			return failoverPayload(id, cfg.BlockSize)
+		},
+		Recovery: &laoram.Recovery{
+			CheckpointEvery: ckEvery,
+			MaxRestarts:     8,
+			Backoff:         25 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: train: %w", err)
+	}
+	if migErr != nil {
+		return nil, fmt.Errorf("harness: migrate: %w", migErr)
+	}
+	if st.Accesses != uint64(len(stream)) {
+		return nil, fmt.Errorf("harness: %d trained accesses, want %d", st.Accesses, len(stream))
+	}
+
+	out := &ElasticRun{
+		Windows:      st.Windows,
+		Accesses:     st.Accesses,
+		Session:      st.Session,
+		Recoveries:   st.Recoveries,
+		Replacements: st.Replacements,
+		Rewound:      st.RewoundAccesses,
+		RepairTime:   st.RepairTime,
+		Moved:        moved,
+		Blackout:     blackout,
+		Placement:    db.Placement(),
+	}
+	out.Stats = db.Stats()
+	var finalCk bytes.Buffer
+	if err := db.SaveState(&finalCk); err != nil {
+		return nil, err
+	}
+	out.ClientState = finalCk.Bytes()
+
+	seen := map[uint64]bool{}
+	var digest bytes.Buffer
+	for _, id := range stream {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		p, err := db.Read(id)
+		if err != nil {
+			return nil, err
+		}
+		digest.Write(p)
+	}
+	out.ReadsDigest = digest.Bytes()
+	return out, nil
+}
+
+// Migration runs the unmigrated reference and the migrated run and
+// compares them dimension by dimension.
+func Migration(cfg MigrationConfig) (*MigrationResult, error) {
+	if cfg.Nodes > cfg.Shards {
+		return nil, fmt.Errorf("harness: %d nodes over %d shards", cfg.Nodes, cfg.Shards)
+	}
+	if cfg.Fresh < 1 {
+		return nil, fmt.Errorf("harness: migration drill needs at least one fresh node")
+	}
+	want, err := runMigration(cfg, false)
+	if err != nil {
+		return nil, fmt.Errorf("harness: reference run: %w", err)
+	}
+	got, err := runMigration(cfg, true)
+	if err != nil {
+		return nil, fmt.Errorf("harness: migrated run: %w", err)
+	}
+	return &MigrationResult{
+		Config:     cfg,
+		Windows:    want.Windows,
+		Moved:      got.Moved,
+		Blackout:   got.Blackout,
+		Placement:  got.Placement,
+		Recoveries: got.Recoveries,
+		Rewound:    got.Rewound,
+		SessionMatch: got.Session == want.Session &&
+			got.Windows == want.Windows && got.Accesses == want.Accesses,
+		StatsMatch:  restoredStatsEqual(got.Stats, want.Stats),
+		ReadsMatch:  bytes.Equal(got.ReadsDigest, want.ReadsDigest),
+		ClientMatch: bytes.Equal(got.ClientState, want.ClientState),
+	}, nil
+}
+
+// Render formats the drill verdict.
+func (r *MigrationResult) Render() string {
+	t := Table{
+		Title: fmt.Sprintf("Live migration — %d shards, %d→%d nodes at visit %d (%d windows, seed %d)",
+			r.Config.Shards, r.Config.Nodes, r.Config.Fresh, r.Config.MigrateAt, r.Windows, r.Config.Seed),
+		Headers: []string{"dimension", "identical to unmigrated run"},
+	}
+	row := func(name string, ok bool) {
+		v := "yes"
+		if !ok {
+			v = "NO"
+		}
+		t.AddRow(name, v)
+	}
+	row("final reads", r.ReadsMatch)
+	row("session stats", r.SessionMatch)
+	row("access stats", r.StatsMatch)
+	row("client state + trees", r.ClientMatch)
+	t.AddNote("moved %d shard(s), total blackout %v; recoveries %d, rewound accesses %d",
+		r.Moved, r.Blackout.Round(time.Microsecond), r.Recoveries, r.Rewound)
+	return t.Render()
+}
+
+// ReplacementConfig drives the re-placement-vs-rollback drill.
+type ReplacementConfig struct {
+	Entries   uint64
+	BlockSize int
+	Shards    int
+	Nodes     int
+	Seed      int64
+	Accesses  int
+	Window    int
+	S         int
+	KillAfter int // global visit count at which the node dies
+	KillNode  int // which node dies (never comes back under Replace)
+
+	// CheckpointEvery > 1 makes the kill discard fully executed windows, so
+	// the two recovery modes replay measurably different amounts.
+	CheckpointEvery int
+}
+
+// ReplacementResult compares re-placement and full rollback on the same
+// fault schedule, each against the unfaulted reference.
+type ReplacementResult struct {
+	Config  ReplacementConfig
+	Windows int
+
+	Replacements    int // replace run: must be >= 1
+	ReplaceRewound  uint64
+	RollbackRewound uint64
+	ReplaceRepair   time.Duration // MTTR: restore + repoint + lane replay
+	RollbackRepair  time.Duration // MTTR: wait-for-restart + full restore
+	Placement       []string      // replace run's final table (dead node absent)
+
+	// The replace run's identity versus the unfaulted reference.
+	SessionMatch bool
+	StatsMatch   bool
+	ReadsMatch   bool
+	ClientMatch  bool
+	// RollbackMatch summarises the rollback run's identity (the failover
+	// drill proves it dimension by dimension; here it is a cross-check).
+	RollbackMatch bool
+}
+
+// Identical reports whether the replace run matched the reference on every
+// dimension.
+func (r *ReplacementResult) Identical() bool {
+	return r.SessionMatch && r.StatsMatch && r.ReadsMatch && r.ClientMatch
+}
+
+// FewerReplayed reports the drill's headline: re-placement replayed
+// strictly less work than the rollback did on the same fault.
+func (r *ReplacementResult) FewerReplayed() bool {
+	return r.ReplaceRewound < r.RollbackRewound
+}
+
+const (
+	replModeRef      = iota // unfaulted reference
+	replModeReplace         // kill, no supervisor, Recovery.Replace
+	replModeRollback        // kill, supervisor restarts it, full rollback
+)
+
+// runReplacement executes the epoch under one of the three modes.
+func runReplacement(cfg ReplacementConfig, mode int) (*ElasticRun, error) {
+	nodes, addrs, err := failoverNodes(FailoverConfig{
+		Entries: cfg.Entries, BlockSize: cfg.BlockSize, Shards: cfg.Shards,
+	}, cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	defer killAll(nodes)
+
+	db, err := laoram.New(laoram.Options{
+		Entries: cfg.Entries, Seed: cfg.Seed, Shards: cfg.Shards,
+		RemoteAddrs: addrs, Reconnect: true,
+		RetryElapsed: 300 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	stream, err := laoram.GenerateTrace(laoram.TraceConfig{
+		Kind: laoram.TraceKaggle, N: cfg.Entries, Count: cfg.Accesses, Seed: cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var visits atomic.Int64
+	visit := func(id uint64, payload []byte) []byte {
+		if mode != replModeRef && visits.Add(1) == int64(cfg.KillAfter) {
+			nodes[cfg.KillNode].Kill()
+		}
+		out := bytes.Clone(payload)
+		out[0] ^= byte(id)
+		out[1]++
+		return out
+	}
+	if mode == replModeRollback {
+		// Rollback needs the node back on its old address; re-placement
+		// abandons it, so no supervisor there — the node stays dead.
+		stopSupervisor := nodes[cfg.KillNode].Supervise(50*time.Millisecond, 10*time.Millisecond)
+		defer stopSupervisor()
+	}
+
+	ckEvery := cfg.CheckpointEvery
+	if ckEvery == 0 {
+		ckEvery = 1
+	}
+	src := laoram.FromSlice(stream)
+	st, err := db.Train(context.Background(), laoram.TrainOptions{
+		Source:     src,
+		Superblock: cfg.S,
+		Window:     cfg.Window,
+		Visit:      visit,
+		PrePlace:   true,
+		Payload: func(id uint64) []byte {
+			return failoverPayload(id, cfg.BlockSize)
+		},
+		Recovery: &laoram.Recovery{
+			CheckpointEvery: ckEvery,
+			MaxRestarts:     8,
+			Backoff:         25 * time.Millisecond,
+			Replace:         mode == replModeReplace,
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: train: %w", err)
+	}
+	if got := src.Pos(); got != uint64(len(stream)) {
+		return nil, fmt.Errorf("harness: source position %d after the epoch, want %d", got, len(stream))
+	}
+	if st.Accesses != uint64(len(stream)) {
+		return nil, fmt.Errorf("harness: %d trained accesses, want %d", st.Accesses, len(stream))
+	}
+
+	out := &ElasticRun{
+		Windows:      st.Windows,
+		Accesses:     st.Accesses,
+		Session:      st.Session,
+		Recoveries:   st.Recoveries,
+		Replacements: st.Replacements,
+		Rewound:      st.RewoundAccesses,
+		RepairTime:   st.RepairTime,
+		Placement:    db.Placement(),
+	}
+	out.Stats = db.Stats()
+	var finalCk bytes.Buffer
+	if err := db.SaveState(&finalCk); err != nil {
+		return nil, err
+	}
+	out.ClientState = finalCk.Bytes()
+
+	seen := map[uint64]bool{}
+	var digest bytes.Buffer
+	for _, id := range stream {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		p, err := db.Read(id)
+		if err != nil {
+			return nil, err
+		}
+		digest.Write(p)
+	}
+	out.ReadsDigest = digest.Bytes()
+	return out, nil
+}
+
+// Replacement runs the reference, the re-placement run and the rollback run
+// on one fault schedule and compares them.
+func Replacement(cfg ReplacementConfig) (*ReplacementResult, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("harness: re-placement needs at least 2 nodes")
+	}
+	if cfg.Nodes > cfg.Shards {
+		return nil, fmt.Errorf("harness: %d nodes over %d shards", cfg.Nodes, cfg.Shards)
+	}
+	want, err := runReplacement(cfg, replModeRef)
+	if err != nil {
+		return nil, fmt.Errorf("harness: unfaulted run: %w", err)
+	}
+	if want.Recoveries != 0 {
+		return nil, fmt.Errorf("harness: unfaulted run recovered %d times", want.Recoveries)
+	}
+	rep, err := runReplacement(cfg, replModeReplace)
+	if err != nil {
+		return nil, fmt.Errorf("harness: replace run: %w", err)
+	}
+	rb, err := runReplacement(cfg, replModeRollback)
+	if err != nil {
+		return nil, fmt.Errorf("harness: rollback run: %w", err)
+	}
+	identical := func(got *ElasticRun) (session, stats, reads, client bool) {
+		return got.Session == want.Session && got.Windows == want.Windows && got.Accesses == want.Accesses,
+			restoredStatsEqual(got.Stats, want.Stats),
+			bytes.Equal(got.ReadsDigest, want.ReadsDigest),
+			bytes.Equal(got.ClientState, want.ClientState)
+	}
+	res := &ReplacementResult{
+		Config:          cfg,
+		Windows:         want.Windows,
+		Replacements:    rep.Replacements,
+		ReplaceRewound:  rep.Rewound,
+		RollbackRewound: rb.Rewound,
+		ReplaceRepair:   rep.RepairTime,
+		RollbackRepair:  rb.RepairTime,
+		Placement:       rep.Placement,
+	}
+	res.SessionMatch, res.StatsMatch, res.ReadsMatch, res.ClientMatch = identical(rep)
+	s, st2, rd, cl := identical(rb)
+	res.RollbackMatch = s && st2 && rd && cl
+	return res, nil
+}
+
+// Render formats the drill verdict.
+func (r *ReplacementResult) Render() string {
+	t := Table{
+		Title: fmt.Sprintf("Re-placement vs rollback — %d shards over %d nodes, kill node %d at visit %d (%d windows, seed %d)",
+			r.Config.Shards, r.Config.Nodes, r.Config.KillNode, r.Config.KillAfter, r.Windows, r.Config.Seed),
+		Headers: []string{"dimension", "replace run identical"},
+	}
+	row := func(name string, ok bool) {
+		v := "yes"
+		if !ok {
+			v = "NO"
+		}
+		t.AddRow(name, v)
+	}
+	row("final reads", r.ReadsMatch)
+	row("session stats", r.SessionMatch)
+	row("access stats", r.StatsMatch)
+	row("client state + trees", r.ClientMatch)
+	row("rollback run (cross-check)", r.RollbackMatch)
+	t.AddNote("replayed: replace %d vs rollback %d accesses (%d replacement(s)); MTTR: replace %v vs rollback %v",
+		r.ReplaceRewound, r.RollbackRewound, r.Replacements,
+		r.ReplaceRepair.Round(time.Microsecond), r.RollbackRepair.Round(time.Microsecond))
+	return t.Render()
+}
+
+// ElasticResult bundles both drills — the `elastic` laorambench experiment
+// and the BENCH_engine.json elastic section.
+type ElasticResult struct {
+	Migration   *MigrationResult
+	Replacement *ReplacementResult
+}
+
+// Render concatenates both verdicts.
+func (r *ElasticResult) Render() string {
+	return r.Migration.Render() + "\n" + r.Replacement.Render()
+}
+
+// ElasticExp sizes both drills from the scale and runs them: the migration
+// blackout and the re-placement-vs-rollback MTTR numbers of the elastic
+// serving story.
+func ElasticExp(sc Scale, seed int64) (*ElasticResult, error) {
+	entries := sc.EntriesSmall
+	if entries > 1<<14 {
+		entries = 1 << 14 // remote drills are network-bound; cap the tree
+	}
+	window := 512
+	mig, err := Migration(MigrationConfig{
+		Entries: entries, BlockSize: 32, Shards: 4, Nodes: 2, Fresh: 2,
+		Seed: seed, Accesses: 6 * window, Window: window, S: 4,
+		MigrateAt: 2*window + window/2, CheckpointEvery: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := Replacement(ReplacementConfig{
+		Entries: entries, BlockSize: 32, Shards: 4, Nodes: 2,
+		Seed: seed, Accesses: 6 * window, Window: window, S: 4,
+		KillAfter: 3*window + window/8, KillNode: 1, CheckpointEvery: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ElasticResult{Migration: mig, Replacement: rep}, nil
+}

@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// elasticSkip mirrors the failover drill's guard: the elastic drills drive
+// concurrent lanes plus reconnect timers over live TCP and are punishingly
+// slow on a single hardware thread; CHAOS_FORCE=1 overrides.
+func elasticSkip(t *testing.T) {
+	t.Helper()
+	if runtime.NumCPU() < 2 && os.Getenv("CHAOS_FORCE") == "" {
+		t.Skip("elastic drill skipped on < 2 CPUs (set CHAOS_FORCE=1 to run)")
+	}
+}
+
+// TestMigrationIdentity is the acceptance test of live migration: a seed-42
+// training epoch over 4 shards on 2 nodes migrates EVERY shard onto 2
+// fresh, initially-empty nodes mid-epoch, from inside the training loop,
+// and must finish byte-identical to a run that never migrated — final
+// reads, session stats, access stats, and the full client state including
+// every shard tree — with zero recoveries and RewoundAccesses == 0:
+// migration is not a fault and costs no rewind, only the per-shard
+// blackout.
+func TestMigrationIdentity(t *testing.T) {
+	elasticSkip(t)
+	cfg := MigrationConfig{
+		Entries: 1 << 10, BlockSize: 16, Shards: 4, Nodes: 2, Fresh: 2,
+		Seed: 42, Accesses: 2400, Window: 400, S: 4,
+		MigrateAt: 2*400 + 200, CheckpointEvery: 2,
+	}
+	res, err := Migration(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moved != cfg.Shards {
+		t.Fatalf("moved %d shards, want all %d", res.Moved, cfg.Shards)
+	}
+	if res.Blackout <= 0 {
+		t.Error("zero total blackout: the migrations did not pause the lanes at all?")
+	}
+	if res.Recoveries != 0 {
+		t.Errorf("migration tripped %d recoveries; it must not be a fault", res.Recoveries)
+	}
+	if res.Rewound != 0 {
+		t.Errorf("RewoundAccesses = %d after migration, want 0 (no rewind)", res.Rewound)
+	}
+	if len(res.Placement) != cfg.Shards {
+		t.Fatalf("placement table has %d entries, want %d", len(res.Placement), cfg.Shards)
+	}
+	// Every shard must have left the starting tier: the final placement is
+	// entirely on the fresh nodes, and with round-robin targets both fresh
+	// nodes serve something.
+	onFresh := map[string]int{}
+	for s, addr := range res.Placement {
+		onFresh[addr]++
+		if addr == "" {
+			t.Fatalf("shard %d has no placement", s)
+		}
+	}
+	if len(onFresh) != cfg.Fresh {
+		t.Errorf("final placement spans %d nodes, want the %d fresh nodes: %v",
+			len(onFresh), cfg.Fresh, res.Placement)
+	}
+	if !res.Identical() {
+		t.Fatalf("migrated run diverged from unmigrated run:\n%s", res.Render())
+	}
+	t.Logf("\n%s", res.Render())
+}
+
+// TestReplacementWithoutRollback is the acceptance test of health-based
+// re-placement: on one fault schedule (kill node 1 mid-window-3, seed 42,
+// checkpoints every other boundary), Recovery.Replace repoints only the
+// dead node's shards onto the survivor, restores just those shards from the
+// last checkpoint, and replays only their lanes — strictly fewer replayed
+// accesses than the full rollback the same fault costs without Replace —
+// while both recovered runs finish byte-identical to the unfaulted
+// reference.
+func TestReplacementWithoutRollback(t *testing.T) {
+	elasticSkip(t)
+	cfg := ReplacementConfig{
+		Entries: 1 << 10, BlockSize: 16, Shards: 4, Nodes: 2,
+		Seed: 42, Accesses: 2400, Window: 400, S: 4,
+		// Early in window 3: windows 2 (fully executed, past the skipped
+		// boundary) must be discarded by rollback but only half-replayed by
+		// re-placement.
+		KillAfter: 3*400 + 50, KillNode: 1, CheckpointEvery: 2,
+	}
+	res, err := Replacement(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replacements == 0 {
+		t.Fatal("replace run performed no re-placement — the fault never landed or it fell back to rollback")
+	}
+	if res.RollbackRewound == 0 {
+		t.Fatal("rollback run rewound nothing — the fault schedule missed the skipped boundary")
+	}
+	if !res.FewerReplayed() {
+		t.Errorf("re-placement replayed %d accesses, rollback %d: want strictly fewer",
+			res.ReplaceRewound, res.RollbackRewound)
+	}
+	// The dead node is abandoned: no shard may still point at it. With 2
+	// nodes all shards end on the single survivor.
+	addrs := map[string]bool{}
+	for _, a := range res.Placement {
+		addrs[a] = true
+	}
+	if len(addrs) != 1 {
+		t.Errorf("after re-placement the %d shards span %d nodes, want all on the survivor: %v",
+			cfg.Shards, len(addrs), res.Placement)
+	}
+	if !res.Identical() {
+		t.Fatalf("re-placed run diverged from unfaulted run:\n%s", res.Render())
+	}
+	if !res.RollbackMatch {
+		t.Fatalf("rollback cross-check diverged from unfaulted run:\n%s", res.Render())
+	}
+	t.Logf("\n%s", res.Render())
+}

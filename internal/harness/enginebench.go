@@ -78,6 +78,21 @@ type SealedBench struct {
 	Rows      []SealedBenchRow `json:"sweep"`
 }
 
+// ElasticBench records the elastic-serving points of the trajectory (the
+// PR 8 acceptance metrics): the live-migration blackout per shard and the
+// repair-time (MTTR) and replay-volume comparison between health-based
+// re-placement and the full rollback on the same fault schedule.
+type ElasticBench struct {
+	MigratedShards       int     `json:"migrated_shards"`
+	MigrationBlackoutMs  float64 `json:"migration_blackout_ms"`
+	ReplaceMTTRMs        float64 `json:"replace_mttr_ms"`
+	RollbackMTTRMs       float64 `json:"rollback_mttr_ms"`
+	ReplaceRewound       uint64  `json:"replace_rewound_accesses"`
+	RollbackRewound      uint64  `json:"rollback_rewound_accesses"`
+	MigrationIdentical   bool    `json:"migration_identical"`
+	ReplacementIdentical bool    `json:"replacement_identical"`
+}
+
 // EngineBenchResult is the BENCH_engine.json document.
 type EngineBenchResult struct {
 	GoVersion string             `json:"go_version"`
@@ -90,6 +105,7 @@ type EngineBenchResult struct {
 	Speedups  map[string]float64 `json:"fig7e_sim_speedups"`
 	Pipeline  *PipelineBench     `json:"pipeline_overlap,omitempty"`
 	Sealed    *SealedBench       `json:"sealed_workers,omitempty"`
+	Elastic   *ElasticBench      `json:"elastic,omitempty"`
 }
 
 // JSON renders the document with stable indentation.
@@ -124,6 +140,12 @@ func (r *EngineBenchResult) Render() string {
 				row.Workers, row.NsPerAccess, row.Speedup))
 		}
 		sb.WriteString(fmt.Sprintf("sealed sweep on %d cpu(s) — curve saturates at the host's cores\n", s.CPUs))
+	}
+	if e := r.Elastic; e != nil {
+		sb.WriteString(fmt.Sprintf("elastic migration           %d shard(s), %.2fms blackout, identical=%v\n",
+			e.MigratedShards, e.MigrationBlackoutMs, e.MigrationIdentical))
+		sb.WriteString(fmt.Sprintf("elastic re-placement        MTTR %.2fms vs rollback %.2fms; replayed %d vs %d accesses, identical=%v\n",
+			e.ReplaceMTTRMs, e.RollbackMTTRMs, e.ReplaceRewound, e.RollbackRewound, e.ReplacementIdentical))
 	}
 	return sb.String()
 }
@@ -325,6 +347,23 @@ func EngineBench(sc Scale, seed int64) (*EngineBenchResult, error) {
 			NsPerAccess: ns,
 			Speedup:     row.Speedup,
 		})
+	}
+
+	// Elastic serving: live-migration blackout and the re-placement vs
+	// rollback MTTR/replay comparison (PR 8's acceptance metrics).
+	er, err := ElasticExp(sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	out.Elastic = &ElasticBench{
+		MigratedShards:       er.Migration.Moved,
+		MigrationBlackoutMs:  float64(er.Migration.Blackout.Microseconds()) / 1000,
+		ReplaceMTTRMs:        float64(er.Replacement.ReplaceRepair.Microseconds()) / 1000,
+		RollbackMTTRMs:       float64(er.Replacement.RollbackRepair.Microseconds()) / 1000,
+		ReplaceRewound:       er.Replacement.ReplaceRewound,
+		RollbackRewound:      er.Replacement.RollbackRewound,
+		MigrationIdentical:   er.Migration.Identical(),
+		ReplacementIdentical: er.Replacement.Identical() && er.Replacement.RollbackMatch,
 	}
 	return out, nil
 }

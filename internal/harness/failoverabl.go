@@ -102,6 +102,11 @@ func failoverNodes(cfg FailoverConfig, nodes int) ([]*chaos.Node, []string, erro
 			}
 			return stores, nil
 		}, 0, nil)
+		// Like laoramserve, every node can grow stores for shards migrated
+		// or re-placed onto it.
+		ns[j].SetStoreFactory(func() (oram.Store, error) {
+			return oram.NewPayloadStore(g, nil)
+		})
 		if addrs[j], err = ns[j].Start(); err != nil {
 			return nil, nil, err
 		}

@@ -4,9 +4,12 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/oram"
@@ -73,6 +76,13 @@ type Client struct {
 	// stop is closed exactly once, by Close: it releases the context
 	// watcher and any sleeping reconnect loop.
 	stop chan struct{}
+
+	// rng drives the reconnect backoff jitter. Only the reconnect loop
+	// touches it, and at most one loop runs at a time (the reconnecting
+	// flag), so it needs no lock. Seeded deterministically per client so
+	// tests reproduce, but differently across clients of one address so
+	// they do not redial a restarted node in lockstep.
+	rng *rand.Rand
 }
 
 // Config tunes a client's placement identity and failure handling.
@@ -164,6 +174,7 @@ func DialConfig(ctx context.Context, addr string, cfg Config) (*Client, error) {
 		bootID:  bootID,
 		pending: make(map[uint64]*pendingCall),
 		stop:    make(chan struct{}),
+		rng:     rand.New(rand.NewSource(jitterSeed(addr))),
 	}
 	c.s0 = &ShardStore{c: c, shard: 0}
 	go c.readLoop(conn, 1)
@@ -260,17 +271,63 @@ func (c *Client) Addr() string { return c.addr }
 // geometry (enforced server-side).
 func (c *Client) Geometry() *oram.Geometry { return c.geom }
 
-// Shards returns the number of shard stores the server exposes.
-func (c *Client) Shards() int { return c.shards }
+// Shards returns the number of shard stores the server exposes (as of the
+// handshake, plus any stores this client added via AddStore).
+func (c *Client) Shards() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shards
+}
 
 // Store returns the oram.Store view onto one shard of the server. The view
 // implements PathStore and BatchStore, so ORAM clients above it move whole
 // paths (and batched bucket unions) in single frames.
 func (c *Client) Store(shard int) (*ShardStore, error) {
-	if shard < 0 || shard >= c.shards {
-		return nil, fmt.Errorf("remote: shard %d out of range (server has %d)", shard, c.shards)
+	if shard < 0 || shard >= c.Shards() {
+		return nil, fmt.Errorf("remote: shard %d out of range (server has %d)", shard, c.Shards())
 	}
 	return &ShardStore{c: c, shard: uint32(shard)}, nil
+}
+
+// Health performs one opHealth heartbeat: whether the node is draining
+// (Server.Drain — clients should migrate their shards off) and how many
+// stores it currently serves. In Reconnect mode a down node parks the call
+// until RetryElapsed runs out, so an error here means the node has been
+// unreachable past the retry budget — exactly the health monitor's
+// re-placement trigger.
+func (c *Client) Health() (draining bool, shards int, err error) {
+	resp, err := c.call(opHealth, 0, nil)
+	if err != nil {
+		return false, 0, err
+	}
+	if len(resp) < 5 {
+		return false, 0, fmt.Errorf("remote: short health response (%d bytes)", len(resp))
+	}
+	n, _, err := parseU32(resp[1:])
+	if err != nil {
+		return false, 0, err
+	}
+	return resp[0] == 1, int(n), nil
+}
+
+// AddStore asks the node to grow its placement by one store (opAddStore;
+// the server needs a store factory) and returns the view onto it — the
+// landing zone for a migrated or re-placed shard.
+func (c *Client) AddStore() (*ShardStore, error) {
+	resp, err := c.call(opAddStore, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	idx, _, err := parseU32(resp)
+	if err != nil {
+		return nil, fmt.Errorf("remote: bad add-store response: %w", err)
+	}
+	c.mu.Lock()
+	if int(idx) >= c.shards {
+		c.shards = int(idx) + 1
+	}
+	c.mu.Unlock()
+	return &ShardStore{c: c, shard: idx}, nil
 }
 
 // SyncStore returns a bucket-granularity Store view of one shard that uses
@@ -364,11 +421,12 @@ func (c *Client) lost(gen uint64, err error) {
 	}
 }
 
-// reconnectLoop redials with exponential backoff (10ms doubling, capped at
-// 500ms) until the handshake succeeds, the retry budget elapses, or the
-// client closes. On success the new connection is adopted and pending
-// frames replayed; on failure pending calls get ErrNodeDown but the client
-// stays usable — the next call starts a fresh loop (lazy redial).
+// reconnectLoop redials with jittered exponential backoff (10ms doubling,
+// capped at 500ms; each sleep drawn uniformly from [backoff/2, backoff])
+// until the handshake succeeds, the retry budget elapses, or the client
+// closes. On success the new connection is adopted and pending frames
+// replayed; on failure pending calls get ErrNodeDown but the client stays
+// usable — the next call starts a fresh loop (lazy redial).
 func (c *Client) reconnectLoop() {
 	deadline := time.Now().Add(c.cfg.RetryElapsed)
 	backoff := 10 * time.Millisecond
@@ -380,14 +438,19 @@ func (c *Client) reconnectLoop() {
 			return
 		}
 		cause := c.connErr
+		wantShards := c.shards
 		c.mu.Unlock()
 
 		conn, shards, gw, bootID, err := dialHandshake(c.ctx, c.addr)
 		if err == nil {
-			if shards != c.shards || gw != geometryToWire(c.geom) {
+			// A node that grew under AddStore may legitimately come back
+			// with at least as many stores as we knew about; fewer (or a
+			// different geometry) is a different deployment, not a restart
+			// of this one.
+			if shards < wantShards || gw != geometryToWire(c.geom) {
 				conn.Close()
 				c.giveUp(fmt.Errorf("remote: node %s changed shape across restart (shards %d, was %d)",
-					c.addr, shards, c.shards))
+					c.addr, shards, wantShards))
 				return
 			}
 			c.adopt(conn, bootID)
@@ -398,7 +461,7 @@ func (c *Client) reconnectLoop() {
 			return
 		}
 		select {
-		case <-time.After(backoff):
+		case <-time.After(jitteredBackoff(c.rng, backoff)):
 		case <-c.stop:
 			c.giveUp(cause)
 			return
@@ -415,6 +478,31 @@ func (c *Client) reconnectLoop() {
 			backoff = 500 * time.Millisecond
 		}
 	}
+}
+
+// jitterSeq makes every client's jitter stream distinct even for the same
+// address — the whole point is that many clients of one restarted node do
+// not redial in lockstep.
+var jitterSeq atomic.Uint64
+
+// jitterSeed derives a deterministic-but-distinct jitter seed: the address
+// hash keeps a single-client test reproducible run to run, the sequence
+// counter decorrelates clients dialling the same node within a process.
+func jitterSeed(addr string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(addr))
+	return int64(h.Sum64() ^ jitterSeq.Add(1)*0x9E3779B97F4A7C15)
+}
+
+// jitteredBackoff draws a sleep uniformly from [d/2, d]: the exponential
+// envelope is preserved (never sleeps longer than the deterministic
+// schedule did) while breaking redial synchrony across clients.
+func jitteredBackoff(rng *rand.Rand, d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
 }
 
 // giveUp ends a reconnect attempt: every parked call fails, but connErr
@@ -580,7 +668,17 @@ func (c *Client) WriteBuckets(refs []oram.BucketRef, src [][]Slot) error {
 // sharing the underlying multiplexed connection. Safe for concurrent use;
 // typically each per-shard ORAM lane owns one ShardStore and their
 // requests pipeline on the shared connection.
+//
+// The (connection, wire shard) pair is the view's placement, and it is
+// dynamic: MigrateTo moves the shard's tree to another node live, and
+// Repoint swaps the placement after an out-of-band restore. Every
+// operation holds the placement read lock for its whole round trip, so a
+// migration's write lock is a clean drain point — no op can land on the
+// old store after its tree has been snapshotted away. Holding the lock
+// across the swap (not just the field reads) is what makes the final
+// state byte-identical: the lock is the lane pause.
 type ShardStore struct {
+	mu    sync.RWMutex
 	c     *Client
 	shard uint32
 }
@@ -592,11 +690,107 @@ var (
 	_ oram.Snapshotter = (*ShardStore)(nil)
 )
 
-// Geometry implements oram.Store.
-func (s *ShardStore) Geometry() *oram.Geometry { return s.c.geom }
+// Geometry implements oram.Store. Placement changes preserve it: Repoint
+// and MigrateTo only accept targets with identical geometry.
+func (s *ShardStore) Geometry() *oram.Geometry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.c.geom
+}
 
-// Shard returns the shard index this view addresses.
-func (s *ShardStore) Shard() int { return int(s.shard) }
+// Shard returns the wire shard index this view currently addresses on its
+// serving node.
+func (s *ShardStore) Shard() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return int(s.shard)
+}
+
+// Client returns the node connection this view currently points at — the
+// placement-table read a health monitor or recovery loop needs to decide
+// which shards a dead node was serving.
+func (s *ShardStore) Client() *Client {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.c
+}
+
+// pcall performs one operation through the view's current placement,
+// holding the placement read lock for the whole round trip (see the type
+// comment: the lock is what drains the lane during a migration).
+func (s *ShardStore) pcall(op byte, body []byte) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.c.call(op, s.shard, body)
+}
+
+// pbatch is pcall for opBatch frames, whose sub-requests embed the shard
+// index: build runs under the placement lock so the frame and its routing
+// agree even across a concurrent migration.
+func (s *ShardStore) pbatch(build func(shard uint32) []byte) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.c.call(opBatch, s.shard, build(s.shard))
+}
+
+// Repoint swaps this view's placement to the target view's (node, shard)
+// without moving any data — the re-placement primitive for a shard whose
+// old node is gone: point the view at a fresh store on a survivor, then
+// restore the shard's checkpoint through it. Fails if the target's
+// geometry differs.
+func (s *ShardStore) Repoint(target *ShardStore) error {
+	if target == nil {
+		return fmt.Errorf("remote: Repoint needs a target view")
+	}
+	target.mu.RLock()
+	tc, tshard := target.c, target.shard
+	target.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if geometryToWire(tc.geom) != geometryToWire(s.c.geom) {
+		return fmt.Errorf("remote: Repoint target geometry %s differs from %s", tc.geom, s.c.geom)
+	}
+	s.c, s.shard = tc, tshard
+	return nil
+}
+
+// MigrateTo moves this shard's tree to the target view's (node, shard)
+// live: under the placement write lock — which drains the shard's lane —
+// it snapshots the tree at the current node (opSnapshot), restores it into
+// the target store (opRestore), and swaps the placement. The returned
+// duration is the migration blackout: how long the lane was paused. On any
+// error the placement is untouched and the old node keeps serving — a
+// failed migration never leaves a half-migrated shard. No source rewind,
+// no rollback: the client's stash and position map never notice the move.
+func (s *ShardStore) MigrateTo(target *ShardStore) (blackout time.Duration, err error) {
+	if target == nil {
+		return 0, fmt.Errorf("remote: MigrateTo needs a target view")
+	}
+	target.mu.RLock()
+	tc, tshard := target.c, target.shard
+	target.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tc == s.c && tshard == s.shard {
+		return 0, nil
+	}
+	if geometryToWire(tc.geom) != geometryToWire(s.c.geom) {
+		return 0, fmt.Errorf("remote: MigrateTo target geometry %s differs from %s", tc.geom, s.c.geom)
+	}
+	start := time.Now()
+	snap, err := s.c.call(opSnapshot, s.shard, nil)
+	if err != nil {
+		return 0, fmt.Errorf("remote: migrate snapshot: %w", err)
+	}
+	if len(snap) > maxFrame-reqHeaderLen {
+		return 0, fmt.Errorf("remote: shard %d snapshot of %d bytes exceeds frame limit", s.shard, len(snap))
+	}
+	if _, err := tc.call(opRestore, tshard, snap); err != nil {
+		return 0, fmt.Errorf("remote: migrate restore: %w", err)
+	}
+	s.c, s.shard = tc, tshard
+	return time.Since(start), nil
+}
 
 // parseSlots fills dst from resp, requiring an exact fit.
 func parseSlots(resp []byte, dst []Slot) error {
@@ -615,7 +809,7 @@ func parseSlots(resp []byte, dst []Slot) error {
 
 // ReadBucket implements oram.Store.
 func (s *ShardStore) ReadBucket(level int, node uint64, dst []Slot) error {
-	resp, err := s.c.call(opReadBucket, s.shard, appendBucketRef(nil, level, node))
+	resp, err := s.pcall(opReadBucket, appendBucketRef(nil, level, node))
 	if err != nil {
 		return err
 	}
@@ -628,13 +822,13 @@ func (s *ShardStore) WriteBucket(level int, node uint64, src []Slot) error {
 	for i := range src {
 		body = appendSlot(body, &src[i])
 	}
-	_, err := s.c.call(opWriteBucket, s.shard, body)
+	_, err := s.pcall(opWriteBucket, body)
 	return err
 }
 
 // ReadSlot implements oram.Store.
 func (s *ShardStore) ReadSlot(level int, node uint64, slot int, dst *Slot) error {
-	resp, err := s.c.call(opReadSlot, s.shard, appendSlotRef(nil, level, node, slot))
+	resp, err := s.pcall(opReadSlot, appendSlotRef(nil, level, node, slot))
 	if err != nil {
 		return err
 	}
@@ -652,14 +846,14 @@ func (s *ShardStore) ReadSlot(level int, node uint64, slot int, dst *Slot) error
 func (s *ShardStore) WriteSlot(level int, node uint64, slot int, src Slot) error {
 	body := appendSlotRef(nil, level, node, slot)
 	body = appendSlot(body, &src)
-	_, err := s.c.call(opWriteSlot, s.shard, body)
+	_, err := s.pcall(opWriteSlot, body)
 	return err
 }
 
 // checkPathBufs validates that bufs matches the tree shape, so a response
 // parse cannot silently desynchronise.
 func (s *ShardStore) checkPathBufs(bufs [][]Slot) error {
-	g := s.c.geom
+	g := s.Geometry()
 	if len(bufs) != g.Levels() {
 		return fmt.Errorf("remote: path buffer has %d levels, tree has %d", len(bufs), g.Levels())
 	}
@@ -678,7 +872,7 @@ func (s *ShardStore) ReadPath(leaf Leaf, dst [][]Slot) error {
 	if err := s.checkPathBufs(dst); err != nil {
 		return err
 	}
-	resp, err := s.c.call(opReadPath, s.shard, appendLeaf(nil, leaf))
+	resp, err := s.pcall(opReadPath, appendLeaf(nil, leaf))
 	if err != nil {
 		return err
 	}
@@ -707,7 +901,7 @@ func (s *ShardStore) WritePath(leaf Leaf, src [][]Slot) error {
 			body = appendSlot(body, &src[lvl][i])
 		}
 	}
-	_, err := s.c.call(opWritePath, s.shard, body)
+	_, err := s.pcall(opWritePath, body)
 	return err
 }
 
@@ -721,7 +915,7 @@ func (s *ShardStore) WritePath(leaf Leaf, src [][]Slot) error {
 // state. Snapshots are bounded by the protocol frame limit; a tree too
 // large to serialise in one frame fails with the server's clean error.
 func (s *ShardStore) Save(w io.Writer) error {
-	resp, err := s.c.call(opSnapshot, s.shard, nil)
+	resp, err := s.pcall(opSnapshot, nil)
 	if err != nil {
 		return err
 	}
@@ -741,9 +935,9 @@ func (s *ShardStore) Load(r io.Reader) error {
 		return err
 	}
 	if len(body) > maxFrame-reqHeaderLen {
-		return fmt.Errorf("remote: shard %d snapshot of %d bytes exceeds frame limit", s.shard, len(body))
+		return fmt.Errorf("remote: shard %d snapshot of %d bytes exceeds frame limit", s.Shard(), len(body))
 	}
-	_, err = s.c.call(opRestore, s.shard, body)
+	_, err = s.pcall(opRestore, body)
 	return err
 }
 
@@ -758,7 +952,7 @@ var batchFrameBudget = maxFrame / 2
 // — rejected by the server anyway — are priced as the widest bucket so the
 // estimator never trusts caller input.
 func (s *ShardStore) bucketWireCost(level int) int {
-	g := s.c.geom
+	g := s.Geometry()
 	if level < 0 || level >= g.Levels() {
 		level = 0 // the root is never narrower than any other bucket
 	}
@@ -793,11 +987,13 @@ func (s *ShardStore) ReadBuckets(refs []oram.BucketRef, dst [][]Slot) error {
 		return fmt.Errorf("remote: ReadBuckets got %d refs, %d buffers", len(refs), len(dst))
 	}
 	return s.chunkRefs(refs, func(lo, hi int) error {
-		body := appendU32(nil, uint32(hi-lo))
-		for _, r := range refs[lo:hi] {
-			body = appendBatchSub(body, opReadBucket, s.shard, appendBucketRef(nil, r.Level, r.Node))
-		}
-		resp, err := s.c.call(opBatch, s.shard, body)
+		resp, err := s.pbatch(func(shard uint32) []byte {
+			body := appendU32(nil, uint32(hi-lo))
+			for _, r := range refs[lo:hi] {
+				body = appendBatchSub(body, opReadBucket, shard, appendBucketRef(nil, r.Level, r.Node))
+			}
+			return body
+		})
 		if err != nil {
 			return err
 		}
@@ -813,15 +1009,17 @@ func (s *ShardStore) WriteBuckets(refs []oram.BucketRef, src [][]Slot) error {
 		return fmt.Errorf("remote: WriteBuckets got %d refs, %d buffers", len(refs), len(src))
 	}
 	return s.chunkRefs(refs, func(lo, hi int) error {
-		body := appendU32(nil, uint32(hi-lo))
-		for i, r := range refs[lo:hi] {
-			sub := appendBucketRef(nil, r.Level, r.Node)
-			for j := range src[lo+i] {
-				sub = appendSlot(sub, &src[lo+i][j])
+		resp, err := s.pbatch(func(shard uint32) []byte {
+			body := appendU32(nil, uint32(hi-lo))
+			for i, r := range refs[lo:hi] {
+				sub := appendBucketRef(nil, r.Level, r.Node)
+				for j := range src[lo+i] {
+					sub = appendSlot(sub, &src[lo+i][j])
+				}
+				body = appendBatchSub(body, opWriteBucket, shard, sub)
 			}
-			body = appendBatchSub(body, opWriteBucket, s.shard, sub)
-		}
-		resp, err := s.c.call(opBatch, s.shard, body)
+			return body
+		})
 		if err != nil {
 			return err
 		}

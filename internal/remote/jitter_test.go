@@ -1,0 +1,86 @@
+package remote
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestJitteredBackoffBounds: every draw stays inside [d/2, d] — the
+// exponential envelope is preserved (jitter never extends a sleep beyond
+// the deterministic schedule) while desynchronising redials.
+func TestJitteredBackoffBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []time.Duration{
+		2, 10 * time.Millisecond, 160 * time.Millisecond, time.Second,
+	} {
+		lo, seenSpread := d, false
+		hi := time.Duration(0)
+		for i := 0; i < 2000; i++ {
+			got := jitteredBackoff(rng, d)
+			if got < d/2 || got > d {
+				t.Fatalf("jitteredBackoff(%v) = %v, outside [%v, %v]", d, got, d/2, d)
+			}
+			if got < lo {
+				lo = got
+			}
+			if got > hi {
+				hi = got
+			}
+		}
+		if seenSpread = hi > lo; !seenSpread && d > 2 {
+			t.Errorf("jitteredBackoff(%v) never varied across 2000 draws", d)
+		}
+	}
+	// Degenerate durations pass through unjittered.
+	for _, d := range []time.Duration{0, 1} {
+		if got := jitteredBackoff(rng, d); got != d {
+			t.Errorf("jitteredBackoff(%v) = %v, want unchanged", d, got)
+		}
+	}
+}
+
+// TestJitteredBackoffDeterministic: the schedule is a pure function of the
+// seed — a fault scenario replays identically run to run.
+func TestJitteredBackoffDeterministic(t *testing.T) {
+	draw := func() []time.Duration {
+		rng := rand.New(rand.NewSource(42))
+		out := make([]time.Duration, 64)
+		d := 10 * time.Millisecond
+		for i := range out {
+			out[i] = jitteredBackoff(rng, d)
+			d *= 2
+			if d > 2*time.Second {
+				d = 2 * time.Second
+			}
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: %v != %v under the same seed", i, a[i], b[i])
+		}
+	}
+}
+
+// TestJitterSeedDecorrelates: two clients dialling the same address get
+// distinct jitter streams — the whole point is that a restarted node's
+// clients do not redial in lockstep.
+func TestJitterSeedDecorrelates(t *testing.T) {
+	const addr = "127.0.0.1:9999"
+	s1, s2 := jitterSeed(addr), jitterSeed(addr)
+	if s1 == s2 {
+		t.Fatal("two clients of the same address drew the same jitter seed")
+	}
+	r1, r2 := rand.New(rand.NewSource(s1)), rand.New(rand.NewSource(s2))
+	same := 0
+	for i := 0; i < 32; i++ {
+		if jitteredBackoff(r1, time.Second) == jitteredBackoff(r2, time.Second) {
+			same++
+		}
+	}
+	if same == 32 {
+		t.Error("distinct seeds produced identical 32-draw backoff schedules")
+	}
+}

@@ -36,7 +36,23 @@
 //	              SaveState so the whole epoch commits as one set. Each
 //	              snapshot is taken/applied under the shard's store lock and
 //	              must fit one frame — maxFrame bounds the serialisable tree.
-//	              Neither is valid inside opBatch.)
+//	              The same pair is the live-migration transport: the client
+//	              snapshots a shard at one node and restores it at another,
+//	              repointing its placement in between. Neither is valid
+//	              inside opBatch.)
+//	opHealth      req: empty → resp: draining u8 · shards u32
+//	              (the heartbeat behind health-based re-placement: draining
+//	              is 1 once the server stopped accepting new connections
+//	              (Server.Drain, laoramserve on SIGTERM) so clients migrate
+//	              off proactively; shards is the current store count, which
+//	              grows under opAddStore. The shard field of the request is
+//	              ignored.)
+//	opAddStore    req: empty → resp: index u32
+//	              (elastic placement: the server builds one more shard store
+//	              through its configured store factory — same geometry as
+//	              the rest — and returns its index, giving a migration or
+//	              re-placement somewhere to land a shard. Rejected when the
+//	              server has no factory. Not valid inside opBatch.)
 //
 // Slots are serialised as (id u64, leaf u64, payloadLen u32, payload).
 // The path and batch opcodes are what make the serving path fast: a whole
@@ -54,7 +70,9 @@ import (
 )
 
 // Opcodes. 1–5 are the original synchronous protocol's operations; 6–8 are
-// the v2 pipelining additions; 9–10 are the checkpoint-coordinator RPC.
+// the v2 pipelining additions; 9–10 are the checkpoint-coordinator RPC;
+// 11–12 are the elastic-placement additions (health heartbeat, dynamic
+// store growth).
 const (
 	opHello       = 1
 	opReadBucket  = 2
@@ -66,6 +84,8 @@ const (
 	opBatch       = 8
 	opSnapshot    = 9
 	opRestore     = 10
+	opHealth      = 11
+	opAddStore    = 12
 )
 
 // Response status codes.

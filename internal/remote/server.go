@@ -11,6 +11,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/oram"
@@ -29,16 +30,28 @@ import (
 // parallel while a single shard's tree stays consistent. Responses carry
 // the request ID and may return out of order; clients multiplex by ID.
 type Server struct {
+	// smu guards the store table. It was fixed at construction until the
+	// elastic-placement work; now AddStore may grow it while connections
+	// serve, so every lookup takes the read side. locks holds pointers —
+	// appending to a []sync.Mutex would reallocate the array out from
+	// under a held lock.
+	smu     sync.RWMutex
 	stores  []oram.Store
-	locks   []sync.Mutex
+	locks   []*sync.Mutex
+	factory func() (oram.Store, error) // builds one more store for opAddStore; nil = fixed placement
+
 	geom    *oram.Geometry
 	workers int
 	bootID  uint64 // random per-Server identity, sent in the hello response
 
 	logf func(format string, args ...any)
 
-	ln    net.Listener
-	tasks chan task
+	ln     net.Listener
+	lnOnce sync.Once // Drain and Close race to close the listener
+	lnErr  error
+	tasks  chan task
+
+	draining atomic.Bool
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -109,9 +122,13 @@ func NewSharded(stores []oram.Store, workers int, logf func(string, ...any)) (*S
 			workers = 2
 		}
 	}
+	locks := make([]*sync.Mutex, len(stores))
+	for i := range locks {
+		locks[i] = new(sync.Mutex)
+	}
 	return &Server{
 		stores:  stores,
-		locks:   make([]sync.Mutex, len(stores)),
+		locks:   locks,
 		geom:    geom,
 		workers: workers,
 		bootID:  newBootID(),
@@ -136,24 +153,107 @@ func newBootID() uint64 {
 }
 
 // Shards returns the number of shard stores served.
-func (s *Server) Shards() int { return len(s.stores) }
+func (s *Server) Shards() int {
+	s.smu.RLock()
+	defer s.smu.RUnlock()
+	return len(s.stores)
+}
 
 // BootID returns this server instance's identity, as sent to clients.
 func (s *Server) BootID() uint64 { return s.bootID }
+
+// shardStore resolves one shard's store and lock under the table's read
+// lock. The lock is a stable pointer, so the caller may use both after the
+// read lock is released even while AddStore grows the table.
+func (s *Server) shardStore(shard uint32) (oram.Store, *sync.Mutex, error) {
+	s.smu.RLock()
+	defer s.smu.RUnlock()
+	if shard >= uint32(len(s.stores)) {
+		return nil, nil, fmt.Errorf("shard %d out of range (server has %d)", shard, len(s.stores))
+	}
+	return s.stores[shard], s.locks[shard], nil
+}
+
+// SetStoreFactory arms opAddStore: f builds one more shard store (same
+// geometry as the rest) each time a client asks for somewhere to land a
+// migrated or re-placed shard. A nil factory (the default) keeps the
+// placement fixed and opAddStore rejected.
+func (s *Server) SetStoreFactory(f func() (oram.Store, error)) {
+	s.smu.Lock()
+	s.factory = f
+	s.smu.Unlock()
+}
+
+// AddStore builds one more shard store through the factory, validates its
+// geometry and appends it to the table, returning its index. It is the
+// in-process half of opAddStore.
+func (s *Server) AddStore() (int, error) {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	if s.factory == nil {
+		return 0, fmt.Errorf("remote: server has no store factory; cannot grow placement")
+	}
+	st, err := s.factory()
+	if err != nil {
+		return 0, fmt.Errorf("remote: store factory: %w", err)
+	}
+	if st == nil {
+		return 0, fmt.Errorf("remote: store factory returned nil store")
+	}
+	if geometryToWire(st.Geometry()) != geometryToWire(s.geom) {
+		return 0, fmt.Errorf("remote: store factory geometry %s differs from serving geometry %s", st.Geometry(), s.geom)
+	}
+	s.stores = append(s.stores, st)
+	s.locks = append(s.locks, new(sync.Mutex))
+	return len(s.stores) - 1, nil
+}
+
+// Drain begins a graceful shutdown: the listener closes so no new
+// connections arrive, opHealth starts reporting draining so clients
+// migrate their shards off proactively, but existing connections keep
+// serving (migration itself needs the live opSnapshot path). Close
+// finishes the job once the clients have moved.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.closeListener()
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// ActiveConns counts the currently live client connections — a draining
+// process waits for this to reach zero before its final checkpoint.
+func (s *Server) ActiveConns() int {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return len(s.conns)
+}
+
+func (s *Server) closeListener() {
+	s.lnOnce.Do(func() {
+		if s.ln != nil {
+			s.lnErr = s.ln.Close()
+		}
+	})
+}
 
 // SnapshotShard serialises one shard's store under its lock — a consistent
 // point-in-time checkpoint even while the server keeps serving other
 // shards. The store (or what it wraps) must implement oram.Snapshotter.
 func (s *Server) SnapshotShard(shard int, w io.Writer) error {
-	if shard < 0 || shard >= len(s.stores) {
-		return fmt.Errorf("remote: shard %d out of range (server has %d)", shard, len(s.stores))
+	if shard < 0 {
+		return fmt.Errorf("remote: shard %d out of range", shard)
 	}
-	snap, ok := s.stores[shard].(oram.Snapshotter)
+	store, lock, err := s.shardStore(uint32(shard))
+	if err != nil {
+		return fmt.Errorf("remote: %w", err)
+	}
+	snap, ok := store.(oram.Snapshotter)
 	if !ok {
-		return fmt.Errorf("remote: shard %d store %T does not support snapshots", shard, s.stores[shard])
+		return fmt.Errorf("remote: shard %d store %T does not support snapshots", shard, store)
 	}
-	s.locks[shard].Lock()
-	defer s.locks[shard].Unlock()
+	lock.Lock()
+	defer lock.Unlock()
 	return snap.Save(w)
 }
 
@@ -161,15 +261,19 @@ func (s *Server) SnapshotShard(shard int, w io.Writer) error {
 // The coordinated-rollback recovery path uses this to rewind surviving
 // nodes in place to the same checkpoint a restarted node came back from.
 func (s *Server) RestoreShard(shard int, r io.Reader) error {
-	if shard < 0 || shard >= len(s.stores) {
-		return fmt.Errorf("remote: shard %d out of range (server has %d)", shard, len(s.stores))
+	if shard < 0 {
+		return fmt.Errorf("remote: shard %d out of range", shard)
 	}
-	snap, ok := s.stores[shard].(oram.Snapshotter)
+	store, lock, err := s.shardStore(uint32(shard))
+	if err != nil {
+		return fmt.Errorf("remote: %w", err)
+	}
+	snap, ok := store.(oram.Snapshotter)
 	if !ok {
-		return fmt.Errorf("remote: shard %d store %T does not support snapshots", shard, s.stores[shard])
+		return fmt.Errorf("remote: shard %d store %T does not support snapshots", shard, store)
 	}
-	s.locks[shard].Lock()
-	defer s.locks[shard].Unlock()
+	lock.Lock()
+	defer lock.Unlock()
 	return snap.Load(r)
 }
 
@@ -195,10 +299,8 @@ func (s *Server) Listen(addr string) (string, error) {
 // reader/writer/worker goroutines to finish.
 func (s *Server) Close() error {
 	close(s.closed)
-	var err error
-	if s.ln != nil {
-		err = s.ln.Close()
-	}
+	s.closeListener()
+	err := s.lnErr
 	s.connMu.Lock()
 	for sc := range s.conns {
 		sc.close()
@@ -216,7 +318,9 @@ func (s *Server) acceptLoop() {
 			select {
 			case <-s.closed:
 			default:
-				s.logf("remote: accept: %v", err)
+				if !s.draining.Load() {
+					s.logf("remote: accept: %v", err)
+				}
 			}
 			return
 		}
@@ -338,16 +442,30 @@ func (s *Server) handle(frame []byte) []byte {
 // response body. allowBatch guards against nested opBatch frames.
 func (s *Server) dispatch(op byte, shard uint32, body []byte, allowBatch bool) ([]byte, error) {
 	g := s.geom
-	if op == opHello {
-		out := appendU32(nil, uint32(len(s.stores)))
+	// opHello/opHealth/opAddStore are whole-server operations: they are
+	// answered before the shard range check (their shard field is ignored).
+	switch op {
+	case opHello:
+		out := appendU32(nil, uint32(s.Shards()))
 		out = geometryToWire(g).append(out)
 		return binary.BigEndian.AppendUint64(out, s.bootID), nil
+	case opHealth:
+		out := make([]byte, 1, 5)
+		if s.draining.Load() {
+			out[0] = 1
+		}
+		return appendU32(out, uint32(s.Shards())), nil
+	case opAddStore:
+		idx, err := s.AddStore()
+		if err != nil {
+			return nil, err
+		}
+		return appendU32(nil, uint32(idx)), nil
 	}
-	if shard >= uint32(len(s.stores)) {
-		return nil, fmt.Errorf("shard %d out of range (server has %d)", shard, len(s.stores))
+	store, lock, err := s.shardStore(shard)
+	if err != nil {
+		return nil, err
 	}
-	store := s.stores[shard]
-	lock := &s.locks[shard]
 	switch op {
 	case opReadBucket:
 		level, node, _, err := parseBucketRef(body)
@@ -562,7 +680,8 @@ func (s *Server) dispatch(op byte, shard uint32, body []byte, allowBatch bool) (
 				// semantics.
 				run = nil
 				for _, sub := range subs[i : j+1] {
-					if sub.op == opBatch || sub.op == opHello || sub.op == opSnapshot || sub.op == opRestore {
+					if sub.op == opBatch || sub.op == opHello || sub.op == opSnapshot || sub.op == opRestore ||
+						sub.op == opHealth || sub.op == opAddStore {
 						run = appendBatchSubResp(run, statusErr, []byte(fmt.Sprintf("opcode %d not allowed in batch", sub.op)))
 						continue
 					}
@@ -605,11 +724,11 @@ type batchSub struct {
 // to per-op dispatch, which reproduces exact per-sub status semantics.
 func (s *Server) dispatchBucketRun(subs []batchSub) (resp []byte, ok bool) {
 	g := s.geom
-	shard := subs[0].shard
-	if shard >= uint32(len(s.stores)) {
+	store, lock, err := s.shardStore(subs[0].shard)
+	if err != nil {
 		return nil, false
 	}
-	bs, isBatch := s.stores[shard].(oram.BatchStore)
+	bs, isBatch := store.(oram.BatchStore)
 	if !isBatch {
 		return nil, false
 	}
@@ -633,9 +752,7 @@ func (s *Server) dispatchBucketRun(subs []batchSub) (resp []byte, ok bool) {
 			}
 		}
 	}
-	lock := &s.locks[shard]
 	lock.Lock()
-	var err error
 	if reads {
 		err = bs.ReadBuckets(refs, bufs)
 	} else {

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -27,6 +28,45 @@ func (e *Engine) fanOut(f func(shard int) error) error {
 			defer wg.Done()
 			errs[s] = f(s)
 		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fanOutLanes is fanOut restricted to the shards sel marks true — the
+// execution primitive of per-shard re-placement catch-up, where only the
+// re-placed lanes replay their accesses while healthy lanes' state stays
+// untouched. A single selected lane runs inline (same determinism argument
+// as fanOut's 1-shard case); zero selected lanes is a no-op.
+func (e *Engine) fanOutLanes(sel []bool, f func(shard int) error) error {
+	if len(sel) != e.n {
+		return fmt.Errorf("shard: lane selector has %d entries, engine has %d shards", len(sel), e.n)
+	}
+	picked := make([]int, 0, e.n)
+	for s, on := range sel {
+		if on {
+			picked = append(picked, s)
+		}
+	}
+	switch len(picked) {
+	case 0:
+		return nil
+	case 1:
+		return f(picked[0])
+	}
+	errs := make([]error, len(picked))
+	var wg sync.WaitGroup
+	wg.Add(len(picked))
+	for k, s := range picked {
+		go func(k, s int) {
+			defer wg.Done()
+			errs[k] = f(s)
+		}(k, s)
 	}
 	wg.Wait()
 	for _, err := range errs {

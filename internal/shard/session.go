@@ -155,6 +155,42 @@ func (s *Session) RunBatchedContext(ctx context.Context, k int, nv NewVisit) err
 	})
 }
 
+// RunLanesContext drives only the lanes sel marks true to completion,
+// leaving the other lanes' plans untouched — the re-placement catch-up
+// path: after a dead node's shards were restored from the last checkpoint
+// onto survivors, just those lanes re-run the windows since the boundary
+// while healthy lanes keep their live state. Each selected lane executes
+// exactly as it would under RunContext (same bin order, same randomness),
+// so a caught-up lane is byte-identical to one that never failed.
+func (s *Session) RunLanesContext(ctx context.Context, sel []bool, nv NewVisit) error {
+	return s.e.fanOutLanes(sel, func(i int) error {
+		var v Visit
+		if nv != nil {
+			v = nv(i)
+		}
+		if err := s.las[i].RunContext(ctx, s.wrap(i, v)); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		return nil
+	})
+}
+
+// RunBatchedLanesContext is RunLanesContext with k bins per server round
+// trip — the selected-lane mirror of RunBatchedContext, so catch-up can
+// reproduce a batched run's exact access pattern.
+func (s *Session) RunBatchedLanesContext(ctx context.Context, k int, sel []bool, nv NewVisit) error {
+	return s.e.fanOutLanes(sel, func(i int) error {
+		var v Visit
+		if nv != nil {
+			v = nv(i)
+		}
+		if err := s.las[i].RunBatchedContext(ctx, k, s.wrap(i, v)); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		return nil
+	})
+}
+
 // Lane exposes shard i's LAORAM executor (stats, manual stepping).
 func (s *Session) Lane(i int) *core.LAORAM { return s.las[i] }
 

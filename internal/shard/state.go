@@ -80,6 +80,25 @@ func (e *Engine) SaveState(w io.Writer) error {
 // LoadState the engine's future behaviour is byte-identical to the saved
 // engine's.
 func (e *Engine) LoadState(r io.Reader) error {
+	return e.loadState(r, nil)
+}
+
+// LoadStateLanes restores only the shards pick marks true from a SaveState
+// envelope, leaving every other shard's live client state untouched — the
+// per-shard half of re-placement, where a dead node's lanes rewind to the
+// last checkpoint while healthy lanes keep running forward. pick must have
+// one entry per shard.
+func (e *Engine) LoadStateLanes(r io.Reader, pick []bool) error {
+	if len(pick) != e.n {
+		return fmt.Errorf("shard: lane selector has %d entries, engine has %d shards", len(pick), e.n)
+	}
+	return e.loadState(r, pick)
+}
+
+// loadState parses a SaveState envelope; a nil pick restores every shard,
+// otherwise only the picked shards are restored (the rest of the envelope
+// is validated and skipped).
+func (e *Engine) loadState(r io.Reader, pick []bool) error {
 	br := bufio.NewReader(r)
 	var u64 [8]byte
 	get := func() (uint64, error) {
@@ -124,6 +143,13 @@ func (e *Engine) LoadState(r io.Reader) error {
 			return fmt.Errorf("shard: shard %d client blob of %d bytes implausible", s, blobLen)
 		}
 		lr := io.LimitReader(br, int64(blobLen))
+		if pick != nil && !pick[s] {
+			// Not selected: skip this shard's blob, keep its live state.
+			if _, err := io.Copy(io.Discard, lr); err != nil {
+				return fmt.Errorf("shard: shard %d blob skip: %w", s, err)
+			}
+			continue
+		}
 		if err := sub.Client.LoadState(lr); err != nil {
 			return fmt.Errorf("shard: shard %d: %w", s, err)
 		}

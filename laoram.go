@@ -210,9 +210,18 @@ func (o Options) cryptoWorkers() int {
 type ORAM struct {
 	opts    Options
 	eng     *shard.Engine
+	pool    *crypto.Pool // shared crypto fan-out pool (nil when serial)
+	ckEpoch uint64       // checkpoint epoch: ++ per SaveState, adopted by LoadState
+
+	// pmu guards the node connection list, which Migrate may grow by
+	// dialling a target node the instance did not start with. places is
+	// the dynamic placement table: places[i] is shard i's serving view,
+	// repointed live by Migrate/re-placement (the slice itself is fixed;
+	// each view carries its own placement lock). Both are nil for local
+	// instances.
+	pmu     sync.Mutex
 	remotes []*remote.Client // one multiplexed connection per serving node
-	pool    *crypto.Pool     // shared crypto fan-out pool (nil when serial)
-	ckEpoch uint64           // checkpoint epoch: ++ per SaveState, adopted by LoadState
+	places  []*remote.ShardStore
 }
 
 // Stats summarises client activity and server traffic. With Shards > 1,
@@ -329,20 +338,27 @@ func (o *ORAM) dialNodes(ctx context.Context, addrs []string, n int) error {
 	}
 	for j, rc := range o.remotes {
 		want := int(shard.LoadCount(uint64(n), j, len(addrs)))
-		if rc.Shards() != want {
+		// At least the placement count: a node may legitimately carry
+		// extra stores grown for migrations or re-placements.
+		if rc.Shards() < want {
 			err := fmt.Errorf("laoram: node %d (%s) exposes %d shard stores; placement of %d shards over %d nodes assigns it %d (start laoramserve with -shards %d)",
 				j, addrs[j], rc.Shards(), n, len(addrs), want, want)
 			o.closeRemotes()
 			return err
 		}
 	}
+	o.places = make([]*remote.ShardStore, n)
 	return nil
 }
 
 // closeRemotes closes every node connection, keeping the first error.
 func (o *ORAM) closeRemotes() error {
+	o.pmu.Lock()
+	remotes := o.remotes
+	o.remotes = nil
+	o.pmu.Unlock()
 	var first error
-	for _, rc := range o.remotes {
+	for _, rc := range remotes {
 		if rc == nil {
 			continue
 		}
@@ -350,8 +366,15 @@ func (o *ORAM) closeRemotes() error {
 			first = err
 		}
 	}
-	o.remotes = nil
 	return first
+}
+
+// remoteList snapshots the node connection list (Migrate may grow it
+// concurrently with a training run's context watcher).
+func (o *ORAM) remoteList() []*remote.Client {
+	o.pmu.Lock()
+	defer o.pmu.Unlock()
+	return append([]*remote.Client(nil), o.remotes...)
 }
 
 // buildSub assembles shard idx's stack — server store (in-memory,
@@ -374,6 +397,10 @@ func (o *ORAM) buildSub(idx int, per uint64, seed int64, evict oram.EvictConfig)
 		if g.Leaves() < (per+z-1)/z {
 			return shard.Sub{}, fmt.Errorf("laoram: remote tree (%s) too small for %d entries", g, per)
 		}
+		// The view is the shard's placement-table entry: Migrate and
+		// re-placement repoint it live; everything above (counting store,
+		// client) keeps addressing the same view object.
+		o.places[idx] = st
 		inner = st
 	} else {
 		z := opts.BucketSize

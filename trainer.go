@@ -93,6 +93,17 @@ type Recovery struct {
 	// attempt then also waits up to Options.RetryElapsed inside the
 	// reconnecting client.
 	Backoff time.Duration
+	// Replace switches remote recovery from rollback to re-placement: when
+	// a node fails, its shards are repointed onto the surviving nodes,
+	// restored individually from the last checkpoint, and only those
+	// lanes replay the windows since the boundary — healthy lanes keep
+	// their live state and never rewind. This degrades gracefully: when
+	// re-placement is impossible (a single-node instance, failure outside
+	// a window, survivors failing too) the run falls back to the full
+	// coordinated rollback above, which still tolerates the repointed
+	// placement. Without Replace the dead node must come back on its old
+	// address; with it, the node is abandoned and the cluster shrinks.
+	Replace bool
 }
 
 // TrainStats summarises a streaming training run.
@@ -141,11 +152,23 @@ type TrainStats struct {
 	// Recoveries counts completed automated recoveries (restore + rewind
 	// + resume) under TrainOptions.Recovery.
 	Recoveries int
-	// RewoundAccesses counts stream indices whose fully executed windows
-	// were discarded by recovery rewinds and trained again. Partially
-	// executed windows are rolled back too but never entered Accesses, so
-	// they are not counted here either: Windows/Accesses/Session always
-	// describe the surviving (byte-identical) run.
+	// Replacements counts the recoveries that re-placed the dead node's
+	// shards onto survivors instead of rolling the whole run back
+	// (Recovery.Replace); Recoveries includes them.
+	Replacements int
+	// RepairTime is the wall time spent repairing failures: restoring
+	// checkpoints (plus, for re-placements, repointing and replaying the
+	// dead lanes' windows). The MTTR numerator of the elastic benchmark.
+	RepairTime time.Duration
+	// RewoundAccesses counts work from fully executed windows that was
+	// discarded by recovery and trained again: for a rollback, every
+	// stream index of the discarded windows; for a re-placement
+	// (Recovery.Replace), only the dead lanes' re-executed accesses —
+	// healthy lanes never rewind, which is why a replacement's count is a
+	// fraction of the rollback's on the same fault. Partially executed
+	// windows never entered Accesses, so they are not counted here either:
+	// Windows/Accesses/Session always describe the surviving
+	// (byte-identical) run.
 	RewoundAccesses uint64
 }
 
@@ -217,16 +240,17 @@ func (t *Trainer) Train(ctx context.Context) (*TrainStats, error) {
 	// the connections is the lever that unblocks it (every in-flight call
 	// on every node then fails with a connection error, which Train maps
 	// back to ctx.Err()).
-	if len(o.remotes) > 0 && ctx.Done() != nil {
+	if o.remote() && ctx.Done() != nil {
 		stop := make(chan struct{})
 		defer close(stop)
 		go func() {
 			select {
 			case <-ctx.Done():
-				// Close without clearing o.remotes: a concurrent or later
-				// ORAM.Close must not race on the slice (Client.Close is
+				// Snapshot without clearing o.remotes: a concurrent or
+				// later ORAM.Close must not race on the slice, and a
+				// migration may be appending to it (Client.Close is
 				// idempotent).
-				for _, rc := range o.remotes {
+				for _, rc := range o.remoteList() {
 					rc.Close()
 				}
 			case <-stop:
@@ -317,14 +341,14 @@ func (t *Trainer) trainRecover(ctx context.Context, cfg batch.TrainConfig) (*Tra
 
 	out := &TrainStats{}
 	var (
-		base    runAgg       // identity counters at the boundary this attempt resumed from
-		basePos = src.Pos()  // absolute source offset of that boundary
-		lastCk  []byte       // newest boundary's checkpoint (nil until the first one commits)
-		ckAgg   runAgg       // identity counters at that boundary
-		ckPos   uint64       // source offset at that boundary
-		ckWin   int          // absolute window index of that boundary
+		base    runAgg      // identity counters at the boundary this attempt resumed from
+		basePos = src.Pos() // absolute source offset of that boundary
+		lastCk  []byte      // newest boundary's checkpoint (nil until the first one commits)
+		ckAgg   runAgg      // identity counters at that boundary
+		ckPos   uint64      // source offset at that boundary
+		ckWin   int         // absolute window index of that boundary
 		budget  = rec.MaxRestarts
-		meanNum float64      // windows-weighted PlanQueueMean accumulator
+		meanNum float64 // windows-weighted PlanQueueMean accumulator
 		meanDen int
 	)
 	var ckBuf bytes.Buffer
@@ -366,7 +390,8 @@ func (t *Trainer) trainRecover(ctx context.Context, cfg batch.TrainConfig) (*Tra
 			finish(cur)
 			return out, ctx.Err()
 		}
-		if _, ok := remote.AsNodeDown(err); !ok {
+		nd, ok := remote.AsNodeDown(err)
+		if !ok {
 			finish(cur)
 			return out, err
 		}
@@ -378,12 +403,46 @@ func (t *Trainer) trainRecover(ctx context.Context, cfg batch.TrainConfig) (*Tra
 			return out, fmt.Errorf("laoram: recovery restart budget (%d) exhausted: %w", rec.MaxRestarts, err)
 		}
 		budget--
+
+		if rec.Replace {
+			repairStart := time.Now()
+			rp, rerr := t.tryReplace(ctx, cfg, st, nd, src, lastCk, ckAgg, ckPos, ckWin, cur)
+			out.RepairTime += time.Since(repairStart)
+			if rerr == nil {
+				// Resume after window W: only the dead lanes replayed, the
+				// survivors' state never moved, and no committed checkpoint
+				// was discarded (the epoch kept advancing) — so the next
+				// boundary checkpoint is taken, not skipped.
+				base = rp.base
+				basePos = rp.pos
+				cfg.StartWindow = rp.win
+				cfg.SkipStartCheckpoint = false
+				cfg.PrePlace = false
+				cfg.Payload = nil
+				out.RewoundAccesses += rp.replayed
+				out.Recoveries++
+				out.Replacements++
+				continue
+			}
+			if ctx.Err() != nil {
+				return out, ctx.Err()
+			}
+			// Rollback-free degradation failed (failure outside a window,
+			// no survivor, survivor error mid-repair) — degrade to the full
+			// rollback below. A partially repointed placement is fine: the
+			// full restore flows through the live placement table, so
+			// already-moved shards restore onto their new homes.
+		}
+
 		out.RewoundAccesses += cur.accesses - ckAgg.accesses
 
 		// Coordinated rollback: restore every node's shard trees and the
 		// client state from the boundary's checkpoint set. The dead node's
-		// supervisor brings it back on its old address; until it does,
-		// LoadState fails with ErrNodeDown and we retry within the budget.
+		// supervisor brings it back on its old address (unless every one of
+		// its shards was already repointed elsewhere); until restore
+		// succeeds, LoadState fails with ErrNodeDown and we retry within
+		// the budget.
+		repairStart := time.Now()
 		for {
 			if err := sleepCtx(ctx, rec.Backoff); err != nil {
 				return out, err
@@ -403,6 +462,7 @@ func (t *Trainer) trainRecover(ctx context.Context, cfg batch.TrainConfig) (*Tra
 			}
 			budget--
 		}
+		out.RepairTime += time.Since(repairStart)
 		if err := src.Rewind(ckPos); err != nil {
 			return out, fmt.Errorf("laoram: recovery rewind: %w", err)
 		}
@@ -418,6 +478,225 @@ func (t *Trainer) trainRecover(ctx context.Context, cfg batch.TrainConfig) (*Tra
 		cfg.Payload = nil
 		out.Recoveries++
 	}
+}
+
+// replaceResume is what a successful re-placement hands back to the
+// recovery loop: the identity counters and source position as of the end of
+// the failed window (now fully executed on every lane), the window to
+// resume planning at, and how many stream indices the dead lanes replayed.
+type replaceResume struct {
+	base     runAgg
+	pos      uint64
+	win      int
+	replayed uint64
+}
+
+// tryReplace is rollback-free recovery: instead of rewinding the whole
+// system to the last checkpoint, the dead node's shards are repointed onto
+// stores the surviving nodes grow for them, restored individually from the
+// checkpoint (client lane state + tree, through the freshly repointed
+// placement), and only those lanes re-run the windows since the boundary —
+// byte-identically, since plan seeds are pinned to absolute window indices
+// and each lane's randomness is lane-local. Healthy lanes keep their live
+// state: they already completed the failed window W (lane fan-out joins all
+// lanes), so after the dead lanes catch up through W every lane sits at the
+// same post-W boundary and the run resumes at W+1.
+//
+// Any error leaves recovery to the caller's full-rollback path, which
+// tolerates whatever this attempt already changed (repointed shards restore
+// through the live placement).
+func (t *Trainer) tryReplace(ctx context.Context, cfg batch.TrainConfig, st batch.TrainStats, nd *remote.ErrNodeDown, src RewindSource, lastCk []byte, ckAgg runAgg, ckPos uint64, ckWin int, cur runAgg) (replaceResume, error) {
+	o := t.db
+	var zero replaceResume
+	if !o.remote() {
+		return zero, fmt.Errorf("laoram: re-placement requires a remote instance")
+	}
+	if st.FailedWindow < 0 {
+		// The failure hit the planner, the checkpoint hook or the load —
+		// there is no per-lane progress to preserve.
+		return zero, fmt.Errorf("laoram: failure outside a window execution")
+	}
+	w := st.FailedWindow
+	if w < ckWin || len(st.FailedLaneSession) != o.eng.Shards() {
+		return zero, fmt.Errorf("laoram: inconsistent failed-window accounting (window %d, boundary %d)", w, ckWin)
+	}
+
+	// Classify: dead shards are the ones the placement table still routes
+	// to the down node. Needs a true subset — survivors must exist both as
+	// re-placement targets and as keepers of live state.
+	shards := o.eng.Shards()
+	dead := make([]bool, shards)
+	ndead := 0
+	for s := 0; s < shards; s++ {
+		if o.placeAddr(s) == nd.Addr {
+			dead[s] = true
+			ndead++
+		}
+	}
+	if ndead == 0 {
+		return zero, fmt.Errorf("laoram: down node %s serves no shard", nd.Addr)
+	}
+	if ndead == shards {
+		return zero, fmt.Errorf("laoram: down node %s serves every shard; nothing survives to re-place onto", nd.Addr)
+	}
+	var survivors []*remote.Client
+	for _, rc := range o.remoteList() {
+		if rc.Addr() != nd.Addr {
+			survivors = append(survivors, rc)
+		}
+	}
+	if len(survivors) == 0 {
+		return zero, fmt.Errorf("laoram: no surviving node connected")
+	}
+
+	// Repoint each dead shard onto a store a survivor grows for it. Unlike
+	// Migrate nothing is copied — the old placement is unreachable, and the
+	// tree content comes from the checkpoint restore below.
+	rr := 0
+	for s := 0; s < shards; s++ {
+		if !dead[s] {
+			continue
+		}
+		tc := survivors[rr%len(survivors)]
+		rr++
+		view, err := tc.AddStore()
+		if err != nil {
+			return zero, fmt.Errorf("laoram: grow store on %s for shard %d: %w", tc.Addr(), s, err)
+		}
+		if err := o.places[s].Repoint(view); err != nil {
+			return zero, fmt.Errorf("laoram: repoint shard %d: %w", s, err)
+		}
+	}
+	if err := o.loadStateShards(bytes.NewReader(lastCk), dead); err != nil {
+		return zero, fmt.Errorf("laoram: per-shard restore: %w", err)
+	}
+	if err := src.Rewind(ckPos); err != nil {
+		return zero, fmt.Errorf("laoram: re-placement rewind: %w", err)
+	}
+
+	// Catch-up: replan windows ckWin..W — identical slicing and plan seeds,
+	// since StartWindow pins the absolute indices and the source sits at the
+	// boundary's offset — and execute only the dead lanes. Window W runs on
+	// the dead lanes for the first complete time; the healthy lanes already
+	// hold its results.
+	depth := cfg.Depth
+	if depth == 0 {
+		depth = 2 // batch.Train's default, applied there after validation
+	}
+	planner, err := o.eng.NewPlanner(src, shard.PlannerConfig{
+		S: cfg.S, Window: cfg.Window, Depth: depth, StartWindow: ckWin,
+	})
+	if err != nil {
+		return zero, err
+	}
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch, err := planner.Start(pctx)
+	if err != nil {
+		return zero, err
+	}
+	drain := func() {
+		cancel()
+		for range ch {
+		}
+	}
+
+	// The dead lanes' client access counters were just restored to their
+	// boundary values; their growth over the re-executed complete windows
+	// (everything before W) is exactly the replayed work. Window W is not a
+	// replay — it never completed, exactly like the partial windows the
+	// rollback path excludes from RewoundAccesses.
+	deadAcc := func() (sum uint64) {
+		for s := 0; s < shards; s++ {
+			if dead[s] {
+				sum += o.eng.Sub(s).Client.Stats().Accesses
+			}
+		}
+		return sum
+	}
+	startAcc := deadAcc()
+
+	var (
+		replayed uint64 // dead-lane accesses re-executed for windows < W
+		span     int    // stream indices covered by windows ckWin..W
+		caughtW  bool
+		deadW    []batch.LaneSession // dead lanes' full window-W counters
+	)
+	for pw := range ch {
+		if pw.Index == w {
+			replayed = deadAcc() - startAcc
+		}
+		sess, err := o.eng.NewSession(pw.Plan)
+		if err != nil {
+			drain()
+			return zero, err
+		}
+		if cfg.BatchBins > 0 {
+			err = sess.RunBatchedLanesContext(ctx, cfg.BatchBins, dead, cfg.NewVisit)
+		} else {
+			err = sess.RunLanesContext(ctx, dead, cfg.NewVisit)
+		}
+		if err != nil {
+			drain()
+			return zero, fmt.Errorf("laoram: catch-up window %d: %w", pw.Index, err)
+		}
+		span += pw.Accesses
+		if pw.Index < w {
+			continue
+		}
+		// pw.Index == w: record the dead lanes' complete window-W session
+		// counters, replacing the partial ones the failed attempt folded in.
+		deadW = make([]batch.LaneSession, shards)
+		for s := 0; s < shards; s++ {
+			if !dead[s] {
+				continue
+			}
+			ls := sess.Lane(s).Stats()
+			deadW[s] = batch.LaneSession{
+				Bins: ls.Bins, ColdPathReads: ls.ColdPathReads,
+				LookaheadRemaps: ls.LookaheadRemaps, UniformRemaps: ls.UniformRemaps,
+			}
+		}
+		caughtW = true
+		break
+	}
+	drain()
+	if !caughtW {
+		if err := planner.Err(); err != nil {
+			return zero, fmt.Errorf("laoram: catch-up planner: %w", err)
+		}
+		return zero, fmt.Errorf("laoram: catch-up stream ended before window %d", w)
+	}
+	// The windows ckWin..W must cover exactly the boundary-to-failure span:
+	// the completed windows' accesses since the boundary plus window W's. A
+	// mismatch means the re-planned slicing diverged — unsafe to resume.
+	if want := int(cur.accesses-ckAgg.accesses) + st.FailedAccesses; span != want {
+		return zero, fmt.Errorf("laoram: catch-up covered %d accesses, boundary-to-failure span is %d", span, want)
+	}
+
+	// Assemble the post-W identity counters: everything the failed attempt
+	// accumulated, plus window W now counting as complete, minus the dead
+	// lanes' partial window-W contribution, plus their complete one.
+	agg := cur
+	agg.windows++
+	agg.accesses += uint64(st.FailedAccesses)
+	for s := 0; s < shards; s++ {
+		if !dead[s] {
+			continue
+		}
+		part := st.FailedLaneSession[s]
+		agg.session.Bins += deadW[s].Bins - part.Bins
+		agg.session.ColdPathReads += deadW[s].ColdPathReads - part.ColdPathReads
+		agg.session.LookaheadRemaps += deadW[s].LookaheadRemaps - part.LookaheadRemaps
+		agg.session.UniformRemaps += deadW[s].UniformRemaps - part.UniformRemaps
+	}
+
+	// The catch-up planner read ahead of window W (bounded queue); park the
+	// source exactly after W so the resumed attempt sees the right stream.
+	if err := src.Rewind(ckPos + uint64(span)); err != nil {
+		return zero, fmt.Errorf("laoram: post-catch-up seek: %w", err)
+	}
+	return replaceResume{base: agg, pos: ckPos + uint64(span), win: w + 1, replayed: replayed}, nil
 }
 
 // sleepCtx pauses for d or until ctx fires.
