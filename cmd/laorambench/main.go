@@ -22,8 +22,8 @@
 //
 // Experiment IDs follow DESIGN.md's experiment index: fig2, fig7a..fig7f,
 // fig8, fig9, table1, table2, memneutral, preproc, ring, security, serve,
-// pipeline, sealed, elastic, and the ablations abl-window, abl-profile,
-// abl-thresh, abl-z, abl-model, abl-batch, abl-shards.
+// pipeline, sealed, elastic, tiered, and the ablations abl-window,
+// abl-profile, abl-thresh, abl-z, abl-model, abl-batch, abl-shards.
 package main
 
 import (
@@ -84,6 +84,7 @@ func experiments() []experiment {
 		{"pipeline", "§VIII-A overlap: streaming Trainer vs sequential plan-then-run", func(sc harness.Scale, seed int64) (renderer, error) { return harness.PipelineExp(sc, seed) }},
 		{"sealed", "crypto fan-out: sealed-batch throughput vs CryptoWorkers", func(sc harness.Scale, seed int64) (renderer, error) { return harness.SealedExp(sc, seed) }},
 		{"elastic", "elastic serving: live migration blackout + re-placement vs rollback MTTR", func(sc harness.Scale, seed int64) (renderer, error) { return harness.ElasticExp(sc, seed) }},
+		{"tiered", "tiered storage: disk-backed tree hit/miss curve vs memory budget, prefetch on/off", func(sc harness.Scale, seed int64) (renderer, error) { return harness.TieredExp(sc, seed) }},
 	}
 }
 
@@ -270,11 +271,67 @@ func checkRegression(res *harness.EngineBenchResult, baselinePath string) error 
 				row.Name, row.AllocsPerOp, b.AllocsPerOp))
 		}
 	}
+	failures = append(failures, checkTieredRegression(res.Tiered, base.Tiered)...)
 	if len(failures) > 0 {
 		return fmt.Errorf("%d regression(s) vs %s:\n  %s\n(ns/op is host-dependent; if the hardware class changed rather than the code, refresh the baseline with `go run ./cmd/laorambench -scale ci -json %s` and commit it)",
 			len(failures), baselinePath, strings.Join(failures, "\n  "), baselinePath)
 	}
 	return nil
+}
+
+// missRegressionTolerance bounds how much the tiered demand-miss counts
+// may grow over the committed baseline. Only prefetch-off rows are held
+// to it: their counts are fully determined by cache geometry and the
+// access plan, whereas prefetch-on counts vary run to run with how far
+// ahead the worker gets (host-scheduling jitter).
+const missRegressionTolerance = 1.20
+
+// checkTieredRegression guards the tiered-storage acceptance properties:
+// every sweep row must remain byte-identical to the in-memory baseline,
+// the 5%-budget prefetcher must keep beating prefetch-off on demand
+// misses, and per-row miss counts must not grow past the committed
+// baseline by more than the tolerance.
+func checkTieredRegression(cur, base *harness.TieredBench) []string {
+	if cur == nil {
+		return nil
+	}
+	var failures []string
+	var on5, off5 *harness.TieredBenchRow
+	baseRow := func(pct int, pf bool) *harness.TieredBenchRow {
+		if base == nil {
+			return nil
+		}
+		for i := range base.Rows {
+			if base.Rows[i].BudgetPct == pct && base.Rows[i].Prefetch == pf {
+				return &base.Rows[i]
+			}
+		}
+		return nil
+	}
+	for i := range cur.Rows {
+		row := &cur.Rows[i]
+		if !row.Identical {
+			failures = append(failures, fmt.Sprintf("tiered budget=%d%% prefetch=%v: diverged from the in-memory baseline",
+				row.BudgetPct, row.Prefetch))
+		}
+		if b := baseRow(row.BudgetPct, row.Prefetch); !row.Prefetch && b != nil && b.Misses > 0 &&
+			float64(row.Misses) > float64(b.Misses)*missRegressionTolerance {
+			failures = append(failures, fmt.Sprintf("tiered budget=%d%% prefetch=%v: %d demand misses vs baseline %d (>%.0f%% regression)",
+				row.BudgetPct, row.Prefetch, row.Misses, b.Misses, (missRegressionTolerance-1)*100))
+		}
+		if row.BudgetPct == 5 {
+			if row.Prefetch {
+				on5 = row
+			} else {
+				off5 = row
+			}
+		}
+	}
+	if on5 != nil && off5 != nil && on5.Misses >= off5.Misses {
+		failures = append(failures, fmt.Sprintf("tiered budget=5%%: prefetch on suffered %d demand misses vs %d with prefetch off (look-ahead no longer hides miss cost)",
+			on5.Misses, off5.Misses))
+	}
+	return failures
 }
 
 func writeCSV(dir, id string, res renderer) error {

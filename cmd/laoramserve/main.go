@@ -58,6 +58,7 @@ import (
 	"time"
 
 	"repro/internal/crypto"
+	"repro/internal/diskstore"
 	"repro/internal/oram"
 	"repro/internal/remote"
 	"repro/internal/shard"
@@ -74,6 +75,8 @@ func main() {
 		workers = flag.Int("workers", 0, "request worker pool size (0 = one per CPU)")
 		sealed  = flag.Bool("sealed", false, "seal payloads at rest (AES-CTR+HMAC, fresh random key per shard store)")
 		cworker = flag.Int("cryptoworkers", 0, "crypto fan-out width for sealed stores: seal/open of path and batched requests is partitioned across this many workers (0 = one per CPU capped at 8, 1 = serial)")
+		dataDir = flag.String("data-dir", "", "directory for disk-backed shard trees (one bucket arena file per store, internal/diskstore): the tiered storage backend — served trees may exceed RAM; clean arenas are resumed at startup, crashed arenas are restored from -checkpoint or refused")
+		memBud  = flag.Int64("mem-budget", 0, "total in-memory bucket cache across all disk-backed stores, in bytes, split evenly per store (0 = unbounded); requires -data-dir")
 		ckDir   = flag.String("checkpoint", "", "directory for shard tree checkpoints: restore shard-N.ck at startup if present, save on shutdown (and periodically with -checkpoint-interval)")
 		ckEvery = flag.Duration("checkpoint-interval", 0, "periodic checkpoint cadence (0 = only on shutdown); requires -checkpoint")
 		drainT  = flag.Duration("drain-grace", 10*time.Second, "on SIGTERM, how long to wait for connected clients to migrate off before exiting anyway")
@@ -82,6 +85,9 @@ func main() {
 
 	if *shards < 1 {
 		log.Fatalf("laoramserve: -shards must be >= 1")
+	}
+	if err := validateStorageFlags(*dataDir, *memBud, *ckDir, *block, *sealed); err != nil {
+		log.Fatalf("laoramserve: %v", err)
 	}
 	per := shard.PerShardEntries(*entries, *shards)
 	cfg := oram.GeometryConfig{
@@ -116,12 +122,37 @@ func main() {
 		}
 	}
 
+	// Disk-backed stores get an even split of the memory budget; the store
+	// itself clamps tiny budgets up to a workable floor.
+	perBudget := int64(0)
+	if *memBud > 0 {
+		perBudget = *memBud / int64(*shards)
+		if perBudget == 0 {
+			perBudget = 1
+		}
+	}
+	var disksMu sync.Mutex
+	var arenaSeq int
+	var disks []*diskstore.Store
 	// newStore builds one shard backing store — used for the -shards
 	// initial set and again whenever a client migrates a shard in
 	// (opAddStore grows one through the factory below).
 	newStore := func() (*oram.CountingStore, error) {
 		var inner oram.Store
-		if *block > 0 {
+		if *dataDir != "" {
+			disksMu.Lock()
+			idx := arenaSeq
+			arenaSeq++
+			disksMu.Unlock()
+			ds, err := openArena(*dataDir, *ckDir, idx, g, perBudget)
+			if err != nil {
+				return nil, err
+			}
+			disksMu.Lock()
+			disks = append(disks, ds)
+			disksMu.Unlock()
+			inner = ds
+		} else if *block > 0 {
 			var sealer oram.Sealer
 			if *sealed {
 				s, err := crypto.NewRandomSealer()
@@ -203,8 +234,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("laoramserve: %v", err)
 	}
+	kind := storeKindSealed(*block, *sealed)
+	if *dataDir != "" {
+		kind = fmt.Sprintf("disk-backed payload %dB in %s, cache budget %s", *block, *dataDir, budgetString(*memBud))
+	}
 	fmt.Printf("laoramserve: serving %d×[%s] (%s, %d entries, server bytes %.2f GB) on %s\n",
-		*shards, g.String(), storeKindSealed(*block, *sealed), *entries,
+		*shards, g.String(), kind, *entries,
 		float64(int64(*shards)*g.ServerBytes())/(1<<30), bound)
 	fmt.Println("laoramserve: Ctrl-C to stop, SIGTERM to drain")
 
@@ -275,6 +310,110 @@ func main() {
 	if err := srv.Close(); err != nil {
 		log.Printf("laoramserve: close: %v", err)
 	}
+	// Disk arenas close last (after the server stops issuing requests):
+	// Close flushes the write-behind queue, fsyncs, and marks the arena
+	// clean so the next start resumes instead of demanding a checkpoint.
+	disksMu.Lock()
+	var tier oram.TierStats
+	for _, ds := range disks {
+		tier = tier.Add(ds.TierStats())
+		if err := ds.Close(); err != nil {
+			log.Printf("laoramserve: disk store close: %v", err)
+		}
+	}
+	disksMu.Unlock()
+	if *dataDir != "" {
+		fmt.Printf("laoramserve: store tier — %d cache hits, %d demand misses, %d buckets prefetched (%d useful), %.1f ms demand stall\n",
+			tier.Hits, tier.Misses, tier.PrefetchIssued, tier.PrefetchUseful,
+			float64(tier.DemandStallNs)/1e6)
+	}
+}
+
+// Typed flag-validation errors, so operators (and tests) can tell the
+// failure modes apart with errors.Is.
+var (
+	errMemBudgetWithoutDataDir = errors.New("-mem-budget requires -data-dir (the cache budget only applies to disk-backed stores)")
+	errDataDirIsCheckpointDir  = errors.New("-data-dir and -checkpoint must be different directories (checkpoints must survive an arena reset)")
+	errDataDirMetadataOnly     = errors.New("-data-dir requires a payload-bearing store (-block > 0); metadata-only trees fit in memory")
+	errDataDirSealed           = errors.New("-sealed uses a fresh random key per start and cannot resume sealed arenas across restarts; run -data-dir without -sealed (or front it with an encrypting client)")
+	errNegativeMemBudget       = errors.New("-mem-budget must be >= 0")
+)
+
+// validateStorageFlags rejects tiered-storage flag combinations that could
+// not work: a cache budget with nothing to cache, arenas sharing a
+// directory with the checkpoints that are supposed to outlive them, disk
+// backing for metadata-only trees, and sealed arenas whose key would be
+// lost on restart.
+func validateStorageFlags(dataDir string, memBudget int64, ckDir string, block int, sealed bool) error {
+	if memBudget < 0 {
+		return errNegativeMemBudget
+	}
+	if dataDir == "" {
+		if memBudget != 0 {
+			return errMemBudgetWithoutDataDir
+		}
+		return nil
+	}
+	if block <= 0 {
+		return errDataDirMetadataOnly
+	}
+	if sealed {
+		return errDataDirSealed
+	}
+	if ckDir != "" && sameDir(dataDir, ckDir) {
+		return errDataDirIsCheckpointDir
+	}
+	return nil
+}
+
+// sameDir reports whether two paths name the same directory, comparing
+// absolute cleaned forms (falling back to cleaned forms if Abs fails).
+func sameDir(a, b string) bool {
+	aa, errA := filepath.Abs(a)
+	bb, errB := filepath.Abs(b)
+	if errA != nil || errB != nil {
+		return filepath.Clean(a) == filepath.Clean(b)
+	}
+	return aa == bb
+}
+
+// openArena opens (or creates) the disk arena backing store idx under
+// dataDir. A cleanly closed arena resumes as-is. An arena left dirty by a
+// crash mid write-behind flush (diskstore.ErrUnclean) is reset — but only
+// when a checkpoint exists to restore from; otherwise startup fails loudly
+// rather than serving possibly-torn buckets. The prefetcher stays off on
+// the server: the remote protocol carries no look-ahead hints, the client
+// plans the windows.
+func openArena(dataDir, ckDir string, idx int, g *oram.Geometry, budget int64) (*diskstore.Store, error) {
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("data dir: %w", err)
+	}
+	path := filepath.Join(dataDir, fmt.Sprintf("tree-%d.laor", idx))
+	cfg := diskstore.Config{Path: path, Geometry: g, MemBudget: budget}
+	ds, err := diskstore.Open(cfg)
+	if err == nil {
+		return ds, nil
+	}
+	if !errors.Is(err, diskstore.ErrUnclean) {
+		return nil, err
+	}
+	if ckDir == "" {
+		return nil, fmt.Errorf("%w (no -checkpoint configured to restore from; rerun with -checkpoint, or delete %s to start empty)", err, path)
+	}
+	if _, serr := os.Stat(checkpointPath(ckDir, idx)); serr != nil {
+		return nil, fmt.Errorf("%w (no checkpoint for store %d in %s; delete %s to start empty)", err, idx, ckDir, path)
+	}
+	log.Printf("laoramserve: %s was not cleanly closed; resetting, checkpoint restore will rebuild it", path)
+	cfg.Reset = true
+	return diskstore.Open(cfg)
+}
+
+// budgetString renders a byte budget for the startup banner.
+func budgetString(b int64) string {
+	if b <= 0 {
+		return "unbounded"
+	}
+	return fmt.Sprintf("%.1f MB", float64(b)/(1<<20))
 }
 
 // checkpointPath is where shard s's tree snapshot lives under dir.

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/diskstore"
 	"repro/internal/oram"
 	"repro/internal/remote"
 )
@@ -162,5 +164,81 @@ func TestRestoreRejectsCorruptFile(t *testing.T) {
 	srv, _ := testServer(t, 1)
 	if _, _, err := restoreCheckpoints(dir, srv); err == nil {
 		t.Fatal("corrupt checkpoint file accepted")
+	}
+}
+
+// TestValidateStorageFlags pins the typed flag-validation errors: each bad
+// tiered-storage combination maps to its own sentinel (errors.Is-able), and
+// the sensible combinations pass.
+func TestValidateStorageFlags(t *testing.T) {
+	cases := []struct {
+		name      string
+		dataDir   string
+		memBudget int64
+		ckDir     string
+		block     int
+		sealed    bool
+		want      error
+	}{
+		{name: "defaults", block: 128},
+		{name: "disk", dataDir: "/tmp/d", block: 128},
+		{name: "disk with budget", dataDir: "/tmp/d", memBudget: 1 << 20, block: 128},
+		{name: "disk with checkpoint", dataDir: "/tmp/d", ckDir: "/tmp/ck", block: 128},
+		{name: "budget without data dir", memBudget: 1 << 20, block: 128, want: errMemBudgetWithoutDataDir},
+		{name: "negative budget", dataDir: "/tmp/d", memBudget: -1, block: 128, want: errNegativeMemBudget},
+		{name: "data dir is checkpoint dir", dataDir: "/tmp/d", ckDir: "/tmp/d", block: 128, want: errDataDirIsCheckpointDir},
+		{name: "data dir is checkpoint dir, unclean path", dataDir: "/tmp/x/../d", ckDir: "/tmp/d/.", block: 128, want: errDataDirIsCheckpointDir},
+		{name: "metadata-only on disk", dataDir: "/tmp/d", block: 0, want: errDataDirMetadataOnly},
+		{name: "sealed on disk", dataDir: "/tmp/d", block: 128, sealed: true, want: errDataDirSealed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateStorageFlags(tc.dataDir, tc.memBudget, tc.ckDir, tc.block, tc.sealed)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("validateStorageFlags(%q, %d, %q, %d, %v) = %v, want %v",
+					tc.dataDir, tc.memBudget, tc.ckDir, tc.block, tc.sealed, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestOpenArenaCrashRecovery covers the server-side ErrUnclean policy: a
+// crashed arena with a checkpoint available is reset (restore rewrites it),
+// without a checkpoint startup refuses.
+func TestOpenArenaCrashRecovery(t *testing.T) {
+	g := testGeometry(t)
+	dataDir := t.TempDir()
+	ckDir := t.TempDir()
+
+	// Build a dirty (crashed) arena.
+	ds, err := openArena(dataDir, "", 0, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	markStore(t, ds, 0xC3)
+	ds.Abandon()
+
+	// No checkpoint dir: refuse loudly.
+	if _, err := openArena(dataDir, "", 0, g, 0); !errors.Is(err, diskstore.ErrUnclean) {
+		t.Fatalf("crashed arena without checkpoints: got %v, want ErrUnclean", err)
+	}
+	// Checkpoint dir configured but no file for this store: still refuse.
+	if _, err := openArena(dataDir, ckDir, 0, g, 0); !errors.Is(err, diskstore.ErrUnclean) {
+		t.Fatalf("crashed arena without a checkpoint file: got %v, want ErrUnclean", err)
+	}
+
+	// With a checkpoint present the arena is reset and serves again.
+	srv, stores := testServer(t, 1)
+	markStore(t, stores[0], 0xD4)
+	if err := saveCheckpoints(ckDir, srv, 3); err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := openArena(dataDir, ckDir, 0, g, 0)
+	if err != nil {
+		t.Fatalf("crashed arena with a checkpoint available: %v", err)
+	}
+	defer ds2.Close()
+	if got := readMark(t, ds2, 0); got != 0 {
+		t.Fatalf("reset arena still holds pre-crash data: mark %#x", got)
 	}
 }

@@ -1,0 +1,88 @@
+// Package diskstore is the tiered storage backend: a disk-backed bucket
+// store implementing the oram.Store family of interfaces so the ORAM tree
+// can exceed RAM. The tree lives in one fixed-layout arena file per shard
+// (bucket-aligned pread/pwrite records, CRC-framed, crash-safe header with
+// magic+epoch in the LAORCKF1 spirit); a bounded in-memory bucket cache
+// absorbs the working set, dirty buckets coalesce and flush through a
+// write-behind goroutine (fsync on checkpoint/close), and a look-ahead
+// prefetcher faults the paths the shard planner announces for upcoming
+// superblock windows into memory before the session arrives — the paper's
+// look-ahead plan used as a prefetch oracle (MLKV is the layout reference,
+// see PAPERS.md).
+//
+// Prefetching never changes the client-visible access sequence: the store
+// answers exactly the reads and writes it is asked, in order, with the
+// same contents as an in-memory store; only its internal disk I/O is
+// reordered (DESIGN.md invariant #14, pinned byte-for-byte by the
+// TestTieredIdentity suite at every memory budget).
+package diskstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk bucket record layout. A bucket of z slots with payload stride p
+// (the sealed size when a sealer is installed) is stored as
+//
+//	z × ( id u64 LE | leaf u64 LE | payload[p] )  — the record body
+//	crc32(IEEE) over the body, u32 LE             — the record trailer
+//
+// Records are fixed-size per level and bucket-aligned: the record of
+// bucket (level, node) starts at a file offset computable from the
+// geometry alone, so every read and write is one positioned I/O. The CRC
+// makes torn writes (a crash mid-pwrite) detectable: a record that fails
+// its CRC is never decoded into slots — the store fails loudly instead of
+// serving a blended bucket.
+const (
+	slotMeta = 16 // id + leaf, u64 LE each
+	crcLen   = 4
+)
+
+// bodyLen returns the record body size of a z-slot bucket at stride p.
+func bodyLen(z, stride int) int { return z * (slotMeta + stride) }
+
+// recLen returns the full on-disk record size (body + CRC trailer).
+func recLen(z, stride int) int { return bodyLen(z, stride) + crcLen }
+
+// putSlot writes slot k's metadata and raw payload bytes into a record
+// body. payload must be exactly stride bytes (sealed or plain — the codec
+// is agnostic; the store zeroes dummy payloads before encoding).
+func putSlot(body []byte, k, stride int, id, leaf uint64, payload []byte) {
+	off := k * (slotMeta + stride)
+	binary.LittleEndian.PutUint64(body[off:], id)
+	binary.LittleEndian.PutUint64(body[off+8:], leaf)
+	copy(body[off+slotMeta:off+slotMeta+stride], payload)
+}
+
+// slotAt returns slot k's metadata and a view of its raw payload bytes
+// (aliasing body; callers copy or decode before body is reused).
+func slotAt(body []byte, k, stride int) (id, leaf uint64, payload []byte) {
+	off := k * (slotMeta + stride)
+	id = binary.LittleEndian.Uint64(body[off:])
+	leaf = binary.LittleEndian.Uint64(body[off+8:])
+	payload = body[off+slotMeta : off+slotMeta+stride]
+	return
+}
+
+// stampRecord computes the CRC of rec's body and writes it into the
+// trailer. rec must be a full record (body + crcLen bytes).
+func stampRecord(rec []byte) {
+	body := rec[:len(rec)-crcLen]
+	binary.LittleEndian.PutUint32(rec[len(rec)-crcLen:], crc32.ChecksumIEEE(body))
+}
+
+// verifyRecord checks rec's CRC trailer against its body, returning a
+// descriptive error for a torn (partially written) record.
+func verifyRecord(rec []byte) error {
+	if len(rec) < crcLen {
+		return fmt.Errorf("diskstore: record of %d bytes shorter than its CRC trailer", len(rec))
+	}
+	body := rec[:len(rec)-crcLen]
+	want := binary.LittleEndian.Uint32(rec[len(rec)-crcLen:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return fmt.Errorf("diskstore: torn bucket record (crc %#08x, want %#08x)", got, want)
+	}
+	return nil
+}

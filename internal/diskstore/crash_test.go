@@ -1,0 +1,217 @@
+package diskstore
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/crypto"
+	"repro/internal/oram"
+)
+
+func newTestSealer(t *testing.T) oram.Sealer {
+	t.Helper()
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i * 11)
+	}
+	s, err := crypto.NewSealer(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func readFileRange(t *testing.T, path string, off int64, n int) []byte {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func writeFileRange(t *testing.T, path string, off int64, p []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(p, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// dirtyBuckets writes enough distinct buckets to leave real dirt in the
+// write-behind queue.
+func dirtyBuckets(t *testing.T, st *Store, g *oram.Geometry, n int) {
+	t.Helper()
+	lvl := g.Levels() - 1
+	src := make([]oram.Slot, g.BucketSize(lvl))
+	for k := range src {
+		src[k] = oram.Slot{ID: oram.BlockID(k), Leaf: 1, Payload: bytes.Repeat([]byte{byte(k + 1)}, g.BlockSize())}
+	}
+	for node := 0; node < n; node++ {
+		if err := st.WriteBucket(lvl, uint64(node), src); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCrashMidWriteBehind is the satellite regression: a store killed
+// with dirty write-behind state (Abandon — no flush, no sync, like a
+// SIGKILL) must NOT reopen as if nothing happened. The dirty header
+// (forced to disk before the first record write of the cycle) makes the
+// next Open fail with ErrUnclean instead of serving a possibly-blended
+// tree, and Reset is the documented way back.
+func TestCrashMidWriteBehind(t *testing.T) {
+	g := testGeometry(t, 4, 4, 16)
+	path := filepath.Join(t.TempDir(), "tree.laor")
+	st, err := Open(Config{Path: path, Geometry: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirtyBuckets(t, st, g, 8)
+	st.Abandon()
+
+	if _, err := Open(Config{Path: path, Geometry: g}); !errors.Is(err, ErrUnclean) {
+		t.Fatalf("reopening a crashed arena: got %v, want ErrUnclean", err)
+	}
+
+	// Recovery: Reset reinitialises (epoch preserved and advanced), and a
+	// checkpoint restores a consistent tree.
+	mem, err := oram.NewPayloadStore(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := mem.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(Config{Path: path, Geometry: g, Reset: true})
+	if err != nil {
+		t.Fatalf("Reset of a crashed arena: %v", err)
+	}
+	defer st2.Close()
+	if st2.Epoch() == 0 {
+		t.Fatal("Reset lost the epoch lineage")
+	}
+	if err := st2.Load(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatalf("restoring a checkpoint into the reset arena: %v", err)
+	}
+	buf := make([]oram.Slot, g.BucketSize(0))
+	if err := st2.ReadBucket(0, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCleanCloseThenCrashWindow: an arena that only ever reached clean
+// states reopens fine even after an Abandon with nothing dirty (the
+// header stayed clean), pinning that ErrUnclean fires on actual dirt, not
+// on every non-Close exit.
+func TestCleanCloseThenCrashWindow(t *testing.T) {
+	g := testGeometry(t, 3, 4, 16)
+	path := filepath.Join(t.TempDir(), "tree.laor")
+	st, err := Open(Config{Path: path, Geometry: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirtyBuckets(t, st, g, 2)
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st.Abandon() // crash after a clean sync: nothing in flight
+	st2, err := Open(Config{Path: path, Geometry: g})
+	if err != nil {
+		t.Fatalf("arena crashed at a clean point must reopen: %v", err)
+	}
+	st2.Close()
+}
+
+// TestTornRecordFailsLoudly: a record corrupted on disk (the torn-write
+// model: some bytes of a pwrite landed, others did not) is detected by
+// its CRC on the demand path and never decoded into slots.
+func TestTornRecordFailsLoudly(t *testing.T) {
+	g := testGeometry(t, 3, 4, 16)
+	path := filepath.Join(t.TempDir(), "tree.laor")
+	st, err := Open(Config{Path: path, Geometry: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirtyBuckets(t, st, g, 4)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the middle of bucket (lastLevel, 2)'s record.
+	lvl := g.Levels() - 1
+	st2, err := Open(Config{Path: path, Geometry: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := st2.recOff(lvl, 2) + 5
+	raw := readFileRange(t, path, off, 3)
+	raw[0] ^= 0xFF
+	writeFileRange(t, path, off, raw)
+
+	buf := make([]oram.Slot, g.BucketSize(lvl))
+	err = st2.ReadBucket(lvl, 2, buf)
+	if err == nil || !strings.Contains(err.Error(), "torn") {
+		t.Fatalf("reading a torn record: got %v, want a torn-bucket error", err)
+	}
+	// Other buckets still serve.
+	if err := st2.ReadBucket(lvl, 1, buf); err != nil {
+		t.Fatalf("intact bucket refused after an unrelated tear: %v", err)
+	}
+	st2.Abandon()
+}
+
+// TestTruncatedArenaRefused: chaos-style truncation at a chosen offset
+// (mid-record) is caught at Open by the size check — fail loudly, never
+// serve short reads.
+func TestTruncatedArenaRefused(t *testing.T) {
+	g := testGeometry(t, 3, 4, 16)
+	path := filepath.Join(t.TempDir(), "tree.laor")
+	st, err := Open(Config{Path: path, Geometry: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := st.recOff(g.Levels()-1, 3) + 7 // mid write-behind flush offset
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, cut); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(Config{Path: path, Geometry: g})
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("opening a truncated arena: got %v, want a truncation error", err)
+	}
+	// Reset recovers even from truncation.
+	st2, err := Open(Config{Path: path, Geometry: g, Reset: true})
+	if err != nil {
+		t.Fatalf("Reset of a truncated arena: %v", err)
+	}
+	st2.Close()
+}
+
+// TestNotAnArena: garbage files are refused by magic.
+func TestNotAnArena(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, bytes.Repeat([]byte{0x42}, 4096), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g := testGeometry(t, 3, 4, 16)
+	if _, err := Open(Config{Path: path, Geometry: g}); err == nil {
+		t.Fatal("garbage file opened as a bucket arena")
+	}
+}

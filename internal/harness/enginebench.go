@@ -93,6 +93,31 @@ type ElasticBench struct {
 	ReplacementIdentical bool    `json:"replacement_identical"`
 }
 
+// TieredBenchRow is one (budget, prefetch) point of the tiered sweep.
+type TieredBenchRow struct {
+	BudgetPct      int     `json:"budget_pct"`
+	Prefetch       bool    `json:"prefetch"`
+	Hits           uint64  `json:"cache_hits"`
+	Misses         uint64  `json:"demand_misses"`
+	PrefetchIssued uint64  `json:"prefetch_issued"`
+	PrefetchUseful uint64  `json:"prefetch_useful"`
+	DemandStallMs  float64 `json:"demand_stall_ms"`
+	Throughput     float64 `json:"accesses_per_sec"`
+	Identical      bool    `json:"identical"`
+}
+
+// TieredBench records the tiered-storage sweep (PR 9's acceptance curve):
+// the disk-backed store's hit/miss curve over memory budgets of
+// {100, 25, 5}% of tree size, with the look-ahead prefetcher on and off.
+// Every row must be byte-identical to the in-memory baseline, and at the
+// 5% budget prefetch must reduce effective miss cost (fewer demand
+// misses, less demand stall).
+type TieredBench struct {
+	TreeBytes     int64            `json:"tree_bytes"`
+	MemThroughput float64          `json:"mem_accesses_per_sec"`
+	Rows          []TieredBenchRow `json:"sweep"`
+}
+
 // EngineBenchResult is the BENCH_engine.json document.
 type EngineBenchResult struct {
 	GoVersion string             `json:"go_version"`
@@ -106,6 +131,7 @@ type EngineBenchResult struct {
 	Pipeline  *PipelineBench     `json:"pipeline_overlap,omitempty"`
 	Sealed    *SealedBench       `json:"sealed_workers,omitempty"`
 	Elastic   *ElasticBench      `json:"elastic,omitempty"`
+	Tiered    *TieredBench       `json:"tiered,omitempty"`
 }
 
 // JSON renders the document with stable indentation.
@@ -146,6 +172,18 @@ func (r *EngineBenchResult) Render() string {
 			e.MigratedShards, e.MigrationBlackoutMs, e.MigrationIdentical))
 		sb.WriteString(fmt.Sprintf("elastic re-placement        MTTR %.2fms vs rollback %.2fms; replayed %d vs %d accesses, identical=%v\n",
 			e.ReplaceMTTRMs, e.RollbackMTTRMs, e.ReplaceRewound, e.RollbackRewound, e.ReplacementIdentical))
+	}
+	if td := r.Tiered; td != nil {
+		for _, row := range td.Rows {
+			pf := "off"
+			if row.Prefetch {
+				pf = "on"
+			}
+			sb.WriteString(fmt.Sprintf("tiered budget=%3d%% pf=%-3s   %6d hits %6d misses  stall %.2fms  identical=%v\n",
+				row.BudgetPct, pf, row.Hits, row.Misses, row.DemandStallMs, row.Identical))
+		}
+		sb.WriteString(fmt.Sprintf("tiered tree %.1f MB, in-memory baseline %.0f acc/s\n",
+			float64(td.TreeBytes)/(1<<20), td.MemThroughput))
 	}
 	return sb.String()
 }
@@ -364,6 +402,28 @@ func EngineBench(sc Scale, seed int64) (*EngineBenchResult, error) {
 		RollbackRewound:      er.Replacement.RollbackRewound,
 		MigrationIdentical:   er.Migration.Identical(),
 		ReplacementIdentical: er.Replacement.Identical() && er.Replacement.RollbackMatch,
+	}
+
+	// Tiered storage: the disk-backed tree's hit/miss curve over shrinking
+	// memory budgets, with the look-ahead prefetcher on and off (PR 9's
+	// acceptance metrics).
+	tr, err := TieredExp(sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	out.Tiered = &TieredBench{TreeBytes: tr.TreeBytes, MemThroughput: tr.MemThroughput}
+	for _, row := range tr.Rows {
+		out.Tiered.Rows = append(out.Tiered.Rows, TieredBenchRow{
+			BudgetPct:      row.BudgetPct,
+			Prefetch:       row.Prefetch,
+			Hits:           row.Hits,
+			Misses:         row.Misses,
+			PrefetchIssued: row.PrefetchIssued,
+			PrefetchUseful: row.PrefetchUseful,
+			DemandStallMs:  float64(row.DemandStall.Microseconds()) / 1000,
+			Throughput:     row.Throughput,
+			Identical:      row.Identical,
+		})
 	}
 	return out, nil
 }

@@ -1,0 +1,49 @@
+package harness
+
+import "testing"
+
+// TestTieredExperiment runs the tiered-storage sweep at CI scale and
+// enforces the PR's acceptance bars: every (budget, prefetch)
+// configuration must be byte-identical to the in-memory baseline, and at
+// the 5% budget the plan-driven prefetcher must measurably reduce the
+// effective miss cost — fewer demand misses than the same budget with
+// prefetch off (the prefetcher converts demand faults into overlapped
+// background reads; DESIGN.md "Memory hierarchy").
+func TestTieredExperiment(t *testing.T) {
+	res, err := TieredExp(CIScale(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(tieredBudgetSweep); len(res.Rows) != want {
+		t.Fatalf("expected %d rows, got %d", want, len(res.Rows))
+	}
+	if res.TreeBytes <= 0 {
+		t.Fatalf("tree size not measured: %d", res.TreeBytes)
+	}
+	for _, row := range res.Rows {
+		if !row.Identical {
+			t.Errorf("budget=%d%% prefetch=%v diverged from the in-memory baseline", row.BudgetPct, row.Prefetch)
+		}
+		if row.Throughput <= 0 || row.Wall <= 0 {
+			t.Errorf("budget=%d%% prefetch=%v: empty measurement: %+v", row.BudgetPct, row.Prefetch, row)
+		}
+		if row.Prefetch && row.BudgetPct < 100 && row.PrefetchIssued == 0 {
+			t.Errorf("budget=%d%%: prefetcher enabled but never faulted a bucket", row.BudgetPct)
+		}
+		if !row.Prefetch && (row.PrefetchIssued != 0 || row.PrefetchUseful != 0) {
+			t.Errorf("budget=%d%%: prefetch disabled but issued %d/%d", row.BudgetPct, row.PrefetchIssued, row.PrefetchUseful)
+		}
+	}
+	on, off := res.Row(5, true), res.Row(5, false)
+	if on == nil || off == nil {
+		t.Fatal("missing 5-percent-budget rows")
+	}
+	if on.Misses >= off.Misses {
+		t.Errorf("5%% budget: prefetch on suffered %d demand misses vs %d with prefetch off; want fewer",
+			on.Misses, off.Misses)
+	}
+	if on.PrefetchUseful == 0 {
+		t.Errorf("5%% budget: no prefetched bucket was ever demanded")
+	}
+	t.Logf("\n%s", res.Render())
+}

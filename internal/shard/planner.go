@@ -178,6 +178,9 @@ func (p *Planner) run(ctx context.Context) {
 				p.err = fmt.Errorf("shard: planner window %d: %w", win, err)
 				return
 			}
+			// The plan is the prefetch oracle: hint tiered stores now,
+			// while the trainer is still executing earlier windows.
+			p.e.prefetchPlan(plan)
 			w := PlannedWindow{Index: win, Accesses: len(ids), Plan: plan, PlanTime: time.Since(start)}
 			enqStart := time.Now()
 			select {

@@ -90,6 +90,9 @@ type Stats struct {
 	ServerBytes int64
 	PosBytes    int64
 	SimTime     time.Duration
+	// Tier sums the memory-tier counters of tiered (disk-backed) stores;
+	// all-zero for pure in-memory engines.
+	Tier oram.TierStats
 }
 
 // Stats sums the per-shard snapshots (see type Stats for the SimTime
@@ -116,6 +119,7 @@ func (e *Engine) Stats() Stats {
 			out.Counters.SlotWrites += c.SlotWrites
 			out.Counters.BytesRead += c.BytesRead
 			out.Counters.BytesWritten += c.BytesWritten
+			out.Tier = out.Tier.Add(sub.Store.TierStats())
 		}
 		if sub.Meter != nil && sub.Meter.Now() > out.SimTime {
 			out.SimTime = sub.Meter.Now()
@@ -131,6 +135,7 @@ func (e *Engine) ResetStats() {
 		sub.Client.Stash().ResetPeak()
 		if sub.Store != nil {
 			sub.Store.ResetCounters()
+			sub.Store.ResetTierStats()
 		}
 		if sub.Meter != nil {
 			sub.Meter.Reset()

@@ -47,6 +47,9 @@ func (e *Engine) NewSession(p *Plan) (*Session, error) {
 		}
 		s.las[i] = la
 	}
+	// Catch-up prefetch hint for plans that skipped the planner (one-shot
+	// Preprocess); already-hinted windows dedupe inside the store.
+	e.prefetchPlan(p)
 	return s, nil
 }
 

@@ -79,6 +79,13 @@ type Sub struct {
 	Store  *oram.CountingStore
 	Meter  *memsim.Meter
 	Src    *trace.CountedSource
+	// Prefetch, when non-nil, receives look-ahead path hints: as soon as a
+	// window's superblock plan exists, the bin leaves are handed to the
+	// tiered store so it can fault the paths in from disk before the
+	// session arrives (see prefetch.go). Hints never change what the store
+	// answers — DESIGN.md invariant #14 — so in-memory stacks leave this
+	// nil at zero cost.
+	Prefetch oram.PathPrefetcher
 }
 
 // Config assembles an Engine.

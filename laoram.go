@@ -47,10 +47,13 @@ package laoram
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"repro/internal/crypto"
+	"repro/internal/diskstore"
 	"repro/internal/integrity"
 	"repro/internal/memsim"
 	"repro/internal/oram"
@@ -150,6 +153,29 @@ type Options struct {
 	// extension beyond the paper's honest-but-curious model; see
 	// internal/integrity). Adds hashing plus authentication-path reads.
 	Verify bool
+	// DataDir, when set, backs every shard tree with a disk arena file
+	// (internal/diskstore) under this directory instead of an in-memory
+	// store — the tiered storage backend that lets tables exceed RAM. A
+	// bounded bucket cache (MemBudget) absorbs the working set, dirty
+	// buckets flush behind writes, and the look-ahead planner prefetches
+	// each upcoming window's superblock paths from disk before the session
+	// arrives. Accesses, stats and decrypted tree state are byte-identical
+	// to the in-memory store at any budget (DESIGN.md invariant #14).
+	// Existing clean arenas are resumed; an arena from a crashed run fails
+	// construction with diskstore.ErrUnclean inside the error chain.
+	// Incompatible with MetadataOnly (a 16 B/slot tree fits in RAM by
+	// construction) and with RemoteAddr/RemoteAddrs (the server owns its
+	// storage; use laoramserve -data-dir for a disk-backed serving tier).
+	DataDir string
+	// MemBudget bounds the disk-backed stores' total in-memory bucket
+	// cache, in bytes, split evenly across shards (each shard keeps at
+	// least two root→leaf paths so it can always make progress). 0 means
+	// unbounded — the whole tree may be cached. Requires DataDir.
+	MemBudget int64
+	// DisablePrefetch turns off the look-ahead disk prefetcher (hints from
+	// the planner are dropped), leaving every miss to be demand-fetched —
+	// the ablation knob for measuring prefetch hiding. Requires DataDir.
+	DisablePrefetch bool
 	// RecursivePosMap stores the position map itself in smaller ORAMs
 	// (the original PathORAM recursion), shrinking trusted client state
 	// from O(N) to O(log N) at the cost of extra oblivious accesses per
@@ -222,6 +248,10 @@ type ORAM struct {
 	pmu     sync.Mutex
 	remotes []*remote.Client // one multiplexed connection per serving node
 	places  []*remote.ShardStore
+
+	// disks tracks the shard arena stores of a DataDir instance so Close
+	// can flush and sync them (nil otherwise).
+	disks []*diskstore.Store
 }
 
 // Stats summarises client activity and server traffic. With Shards > 1,
@@ -240,6 +270,18 @@ type Stats struct {
 	ServerBytes    int64
 	PositionBytes  int64
 	SimTimeSeconds float64
+	// Memory-tier counters of disk-backed instances (Options.DataDir),
+	// summed across shards; all zero for in-memory and remote instances.
+	// TierHits/TierMisses split demand bucket fetches by residency,
+	// TierPrefetchIssued counts buckets the look-ahead prefetcher faulted
+	// in, TierPrefetchUseful the prefetched buckets a demand access then
+	// hit, and TierStallSeconds the wall time spent blocked on demand disk
+	// reads (the miss cost prefetching hides).
+	TierHits           uint64
+	TierMisses         uint64
+	TierPrefetchIssued uint64
+	TierPrefetchUseful uint64
+	TierStallSeconds   float64
 }
 
 // New builds an ORAM instance: Options.Shards independent PathORAM stacks
@@ -268,12 +310,32 @@ func NewContext(ctx context.Context, opts Options) (*ORAM, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.MemBudget < 0 {
+		return nil, fmt.Errorf("laoram: Options.MemBudget must be >= 0, got %d", opts.MemBudget)
+	}
+	if opts.DataDir == "" {
+		if opts.MemBudget != 0 {
+			return nil, fmt.Errorf("laoram: Options.MemBudget requires Options.DataDir (nothing to tier without a disk arena)")
+		}
+		if opts.DisablePrefetch {
+			return nil, fmt.Errorf("laoram: Options.DisablePrefetch requires Options.DataDir")
+		}
+	} else {
+		if opts.MetadataOnly {
+			return nil, fmt.Errorf("laoram: Options.DataDir is incompatible with MetadataOnly (metadata trees fit in memory)")
+		}
+		if len(addrs) > 0 {
+			return nil, fmt.Errorf("laoram: Options.DataDir is incompatible with remote storage (run laoramserve -data-dir instead)")
+		}
+	}
 	n := opts.shards()
 	o := &ORAM{opts: opts}
 	// One bounded crypto pool serves every shard's sealed store: the
 	// fan-out width models the host's cores, which the shards already
-	// share.
-	if opts.Encrypt && !opts.MetadataOnly && len(addrs) == 0 {
+	// share. Disk-backed stores seal serially (their cost model is disk
+	// I/O, and serial sealing keeps them byte-identical to the serial
+	// in-memory path), so no pool is built for them.
+	if opts.Encrypt && !opts.MetadataOnly && len(addrs) == 0 && opts.DataDir == "" {
 		if w := opts.cryptoWorkers(); w > 1 {
 			o.pool = crypto.NewPool(w)
 		}
@@ -293,6 +355,7 @@ func NewContext(ctx context.Context, opts Options) (*ORAM, error) {
 		},
 	})
 	if err != nil {
+		o.closeDisks()
 		o.closeRemotes()
 		o.pool.Close()
 		return nil, err
@@ -386,6 +449,7 @@ func (o *ORAM) remoteList() []*remote.Client {
 func (o *ORAM) buildSub(idx int, per uint64, seed int64, evict oram.EvictConfig) (shard.Sub, error) {
 	opts := o.opts
 	var inner oram.Store
+	var prefetch oram.PathPrefetcher
 	if len(o.remotes) > 0 {
 		nodes := len(o.remotes)
 		st, err := o.remotes[idx%nodes].Store(idx / nodes)
@@ -440,16 +504,41 @@ func (o *ORAM) buildSub(idx int, per uint64, seed int64, evict oram.EvictConfig)
 				}
 				sealer = s
 			}
-			ps, err := oram.NewPayloadStore(g, sealer)
-			if err != nil {
-				return shard.Sub{}, err
-			}
-			if o.pool != nil && sealer != nil {
-				if err := ps.SetCryptoPool(o.pool); err != nil {
+			if opts.DataDir != "" {
+				if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
+					return shard.Sub{}, fmt.Errorf("laoram: data dir: %w", err)
+				}
+				budget := int64(0)
+				if opts.MemBudget > 0 {
+					// Even split across shards; the store clamps tiny
+					// budgets up to a workable floor itself.
+					budget = max(opts.MemBudget/int64(o.opts.shards()), 1)
+				}
+				ds, err := diskstore.Open(diskstore.Config{
+					Path:      filepath.Join(opts.DataDir, fmt.Sprintf("tree-%d.laor", idx)),
+					Geometry:  g,
+					Sealer:    sealer,
+					MemBudget: budget,
+					Prefetch:  !opts.DisablePrefetch,
+				})
+				if err != nil {
 					return shard.Sub{}, err
 				}
+				o.disks = append(o.disks, ds)
+				prefetch = ds
+				inner = ds
+			} else {
+				ps, err := oram.NewPayloadStore(g, sealer)
+				if err != nil {
+					return shard.Sub{}, err
+				}
+				if o.pool != nil && sealer != nil {
+					if err := ps.SetCryptoPool(o.pool); err != nil {
+						return shard.Sub{}, err
+					}
+				}
+				inner = ps
 			}
-			inner = ps
 		}
 	}
 	var meter *memsim.Meter
@@ -493,7 +582,7 @@ func (o *ORAM) buildSub(idx int, per uint64, seed int64, evict oram.EvictConfig)
 	if err != nil {
 		return shard.Sub{}, err
 	}
-	return shard.Sub{Client: client, Store: cs, Meter: meter, Src: src}, nil
+	return shard.Sub{Client: client, Store: cs, Meter: meter, Src: src, Prefetch: prefetch}, nil
 }
 
 func tickerOrNil(m *memsim.Meter) oram.Ticker {
@@ -510,12 +599,42 @@ func timerOrNil(m *memsim.Meter) oram.Timer {
 	return m
 }
 
-// Close releases resources (every node connection and the crypto worker
-// pool, if any).
+// TierBytes reports the memory needed to keep every server bucket of a
+// disk-backed instance resident — the tree size that Options.MemBudget is
+// a fraction of. Zero when the instance is not disk-backed.
+func (o *ORAM) TierBytes() int64 {
+	var total int64
+	for _, ds := range o.disks {
+		total += ds.TreeBytes()
+	}
+	return total
+}
+
+// closeDisks flushes, syncs and closes every shard arena, keeping the
+// first error.
+func (o *ORAM) closeDisks() error {
+	disks := o.disks
+	o.disks = nil
+	var first error
+	for _, ds := range disks {
+		if err := ds.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close releases resources: every node connection, the crypto worker pool
+// and — for DataDir instances — the disk arenas, which are flushed and
+// fsynced clean so the next run can resume them.
 func (o *ORAM) Close() error {
 	o.pool.Close()
 	o.pool = nil
-	return o.closeRemotes()
+	derr := o.closeDisks()
+	if rerr := o.closeRemotes(); rerr != nil && derr == nil {
+		derr = rerr
+	}
+	return derr
 }
 
 // Entries returns the configured number of blocks.
@@ -636,6 +755,12 @@ func (o *ORAM) Stats() Stats {
 		ServerBytes:    st.ServerBytes,
 		PositionBytes:  st.PosBytes,
 		SimTimeSeconds: st.SimTime.Seconds(),
+
+		TierHits:           st.Tier.Hits,
+		TierMisses:         st.Tier.Misses,
+		TierPrefetchIssued: st.Tier.PrefetchIssued,
+		TierPrefetchUseful: st.Tier.PrefetchUseful,
+		TierStallSeconds:   time.Duration(st.Tier.DemandStallNs).Seconds(),
 	}
 }
 
