@@ -22,8 +22,9 @@
 //
 // Experiment IDs follow DESIGN.md's experiment index: fig2, fig7a..fig7f,
 // fig8, fig9, table1, table2, memneutral, preproc, ring, security, serve,
-// pipeline, sealed, elastic, tiered, and the ablations abl-window,
-// abl-profile, abl-thresh, abl-z, abl-model, abl-batch, abl-shards.
+// pipeline, sealed, elastic, tiered, serve-overload, and the ablations
+// abl-window, abl-profile, abl-thresh, abl-z, abl-model, abl-batch,
+// abl-shards.
 package main
 
 import (
@@ -85,6 +86,7 @@ func experiments() []experiment {
 		{"sealed", "crypto fan-out: sealed-batch throughput vs CryptoWorkers", func(sc harness.Scale, seed int64) (renderer, error) { return harness.SealedExp(sc, seed) }},
 		{"elastic", "elastic serving: live migration blackout + re-placement vs rollback MTTR", func(sc harness.Scale, seed int64) (renderer, error) { return harness.ElasticExp(sc, seed) }},
 		{"tiered", "tiered storage: disk-backed tree hit/miss curve vs memory budget, prefetch on/off", func(sc harness.Scale, seed int64) (renderer, error) { return harness.TieredExp(sc, seed) }},
+		{"serve-overload", "overload robustness: admission control + fair queueing vs a flooding aggressor", func(sc harness.Scale, seed int64) (renderer, error) { return harness.OverloadExp(sc, seed) }},
 	}
 }
 

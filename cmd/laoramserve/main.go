@@ -53,6 +53,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -80,6 +81,11 @@ func main() {
 		ckDir   = flag.String("checkpoint", "", "directory for shard tree checkpoints: restore shard-N.ck at startup if present, save on shutdown (and periodically with -checkpoint-interval)")
 		ckEvery = flag.Duration("checkpoint-interval", 0, "periodic checkpoint cadence (0 = only on shutdown); requires -checkpoint")
 		drainT  = flag.Duration("drain-grace", 10*time.Second, "on SIGTERM, how long to wait for connected clients to migrate off before exiting anyway")
+
+		maxInflight = flag.Int("max-inflight", 0, "global concurrency budget: admitted-but-unfinished data requests across all connections; beyond it requests are shed with a typed busy frame (0 = unbounded)")
+		perConnRate = flag.Float64("per-conn-rate", 0, "per-connection sustained data-request rate limit, requests/second, via token bucket (0 = unlimited)")
+		perConnBur  = flag.Int("per-conn-burst", 0, "token bucket capacity: back-to-back requests one connection may issue before -per-conn-rate applies (0 = one second's worth of -per-conn-rate); requires -per-conn-rate")
+		fairQ       = flag.Bool("fair", false, "dispatch the worker pool across connections by deficit round robin with bounded per-connection queues instead of one shared FIFO: a flooding connection's backlog hurts only itself, its overflow is shed")
 	)
 	flag.Parse()
 
@@ -87,6 +93,15 @@ func main() {
 		log.Fatalf("laoramserve: -shards must be >= 1")
 	}
 	if err := validateStorageFlags(*dataDir, *memBud, *ckDir, *block, *sealed); err != nil {
+		log.Fatalf("laoramserve: %v", err)
+	}
+	limits := remote.Limits{
+		MaxInflight:  *maxInflight,
+		PerConnRate:  *perConnRate,
+		PerConnBurst: *perConnBur,
+		Fair:         *fairQ,
+	}
+	if err := validateAdmissionFlags(limits, *workers); err != nil {
 		log.Fatalf("laoramserve: %v", err)
 	}
 	per := shard.PerShardEntries(*entries, *shards)
@@ -191,6 +206,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("laoramserve: %v", err)
 	}
+	// Admission limits must be in place before Listen: a server that
+	// accepted even one connection unprotected would admit its backlog.
+	if err := srv.SetLimits(limits); err != nil {
+		log.Fatalf("laoramserve: %v", err)
+	}
 	// Migrated-in shards count toward the shutdown byte totals too.
 	var cmu sync.Mutex
 	srv.SetStoreFactory(func() (oram.Store, error) {
@@ -241,6 +261,9 @@ func main() {
 	fmt.Printf("laoramserve: serving %d×[%s] (%s, %d entries, server bytes %.2f GB) on %s\n",
 		*shards, g.String(), kind, *entries,
 		float64(int64(*shards)*g.ServerBytes())/(1<<30), bound)
+	if desc := admissionString(limits); desc != "" {
+		fmt.Printf("laoramserve: admission — %s\n", desc)
+	}
 	fmt.Println("laoramserve: Ctrl-C to stop, SIGTERM to drain")
 
 	// Serve until the process context is cancelled (Ctrl-C / SIGINT): the
@@ -337,7 +360,46 @@ var (
 	errDataDirMetadataOnly     = errors.New("-data-dir requires a payload-bearing store (-block > 0); metadata-only trees fit in memory")
 	errDataDirSealed           = errors.New("-sealed uses a fresh random key per start and cannot resume sealed arenas across restarts; run -data-dir without -sealed (or front it with an encrypting client)")
 	errNegativeMemBudget       = errors.New("-mem-budget must be >= 0")
+
+	errNegativeMaxInflight   = errors.New("-max-inflight must be >= 0")
+	errNegativePerConnRate   = errors.New("-per-conn-rate must be >= 0")
+	errNegativePerConnBurst  = errors.New("-per-conn-burst must be >= 0")
+	errBurstWithoutRate      = errors.New("-per-conn-burst requires -per-conn-rate (a bucket capacity without a refill rate meters nothing)")
+	errBurstExceedsInflight  = errors.New("-per-conn-burst exceeds -max-inflight: a single connection's permitted burst could never be admitted under the global budget")
+	errAdmissionNeedsWorkers = errors.New("admission control (-max-inflight/-per-conn-rate/-fair) requires a positive worker pool (-workers >= 0; 0 = one per CPU)")
 )
+
+// validateAdmissionFlags rejects nonsensical admission combinations up
+// front, before any store is built or socket bound. The remote package
+// re-validates in SetLimits; duplicating the checks here turns them into
+// flag errors with flag names instead of library errors after startup work.
+func validateAdmissionFlags(l remote.Limits, workers int) error {
+	if l.MaxInflight < 0 {
+		return errNegativeMaxInflight
+	}
+	if l.PerConnRate < 0 {
+		return errNegativePerConnRate
+	}
+	if l.PerConnBurst < 0 {
+		return errNegativePerConnBurst
+	}
+	if l.PerConnBurst > 0 && l.PerConnRate == 0 {
+		return errBurstWithoutRate
+	}
+	if l.MaxInflight > 0 && l.PerConnBurst > l.MaxInflight {
+		return errBurstExceedsInflight
+	}
+	// A rate with a derived burst (one second's worth) must also fit the
+	// global budget — the same rule SetLimits enforces, surfaced as a flag
+	// error: -per-conn-rate 500 -max-inflight 10 silently shrinks nothing.
+	if l.MaxInflight > 0 && l.PerConnBurst == 0 && l.PerConnRate > 0 && int(l.PerConnRate) > l.MaxInflight {
+		return errBurstExceedsInflight
+	}
+	if (l.MaxInflight > 0 || l.PerConnRate > 0 || l.Fair) && workers < 0 {
+		return errAdmissionNeedsWorkers
+	}
+	return nil
+}
 
 // validateStorageFlags rejects tiered-storage flag combinations that could
 // not work: a cache budget with nothing to cache, arenas sharing a
@@ -406,6 +468,29 @@ func openArena(dataDir, ckDir string, idx int, g *oram.Geometry, budget int64) (
 	log.Printf("laoramserve: %s was not cleanly closed; resetting, checkpoint restore will rebuild it", path)
 	cfg.Reset = true
 	return diskstore.Open(cfg)
+}
+
+// admissionString renders the enabled admission mechanisms for the startup
+// banner; empty when admission is off (the pre-v3 default).
+func admissionString(l remote.Limits) string {
+	var parts []string
+	if l.MaxInflight > 0 {
+		parts = append(parts, fmt.Sprintf("max %d in-flight", l.MaxInflight))
+	}
+	if l.PerConnRate > 0 {
+		b := l.PerConnBurst
+		if b == 0 {
+			b = int(l.PerConnRate)
+			if b < 1 {
+				b = 1
+			}
+		}
+		parts = append(parts, fmt.Sprintf("%.0f req/s per conn (burst %d)", l.PerConnRate, b))
+	}
+	if l.Fair {
+		parts = append(parts, "fair queueing (deficit round robin, bounded per-conn queues)")
+	}
+	return strings.Join(parts, ", ")
 }
 
 // budgetString renders a byte budget for the startup banner.

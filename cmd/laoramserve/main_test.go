@@ -202,6 +202,42 @@ func TestValidateStorageFlags(t *testing.T) {
 	}
 }
 
+// TestValidateAdmissionFlags pins the typed admission flag-validation
+// errors: each nonsensical limit combination maps to its own sentinel
+// (errors.Is-able), and the sensible combinations pass.
+func TestValidateAdmissionFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		limits  remote.Limits
+		workers int
+		want    error
+	}{
+		{name: "defaults (admission off)"},
+		{name: "inflight only", limits: remote.Limits{MaxInflight: 64}},
+		{name: "rate only", limits: remote.Limits{PerConnRate: 100}},
+		{name: "rate with burst", limits: remote.Limits{PerConnRate: 100, PerConnBurst: 10}},
+		{name: "fair only", limits: remote.Limits{Fair: true}},
+		{name: "everything on", limits: remote.Limits{MaxInflight: 64, PerConnRate: 50, PerConnBurst: 10, Fair: true}, workers: 4},
+		{name: "burst fits budget exactly", limits: remote.Limits{MaxInflight: 10, PerConnRate: 100, PerConnBurst: 10}},
+		{name: "negative inflight", limits: remote.Limits{MaxInflight: -1}, want: errNegativeMaxInflight},
+		{name: "negative rate", limits: remote.Limits{PerConnRate: -5}, want: errNegativePerConnRate},
+		{name: "negative burst", limits: remote.Limits{PerConnRate: 10, PerConnBurst: -1}, want: errNegativePerConnBurst},
+		{name: "burst without rate", limits: remote.Limits{PerConnBurst: 8}, want: errBurstWithoutRate},
+		{name: "burst exceeds budget", limits: remote.Limits{MaxInflight: 4, PerConnRate: 100, PerConnBurst: 8}, want: errBurstExceedsInflight},
+		{name: "derived burst exceeds budget", limits: remote.Limits{MaxInflight: 10, PerConnRate: 500}, want: errBurstExceedsInflight},
+		{name: "admission with negative workers", limits: remote.Limits{Fair: true}, workers: -1, want: errAdmissionNeedsWorkers},
+		{name: "no admission with negative workers"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateAdmissionFlags(tc.limits, tc.workers)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("validateAdmissionFlags(%+v, %d) = %v, want %v", tc.limits, tc.workers, err, tc.want)
+			}
+		})
+	}
+}
+
 // TestOpenArenaCrashRecovery covers the server-side ErrUnclean policy: a
 // crashed arena with a checkpoint available is reset (restore rewrites it),
 // without a checkpoint startup refuses.

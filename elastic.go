@@ -61,8 +61,10 @@ func (o *ORAM) nodeClient(ctx context.Context, addr string) (*remote.Client, err
 	}
 	o.pmu.Unlock()
 	rc, err := remote.DialConfig(ctx, addr, remote.Config{
-		Reconnect:    o.opts.Reconnect,
-		RetryElapsed: o.opts.RetryElapsed,
+		Reconnect:       o.opts.Reconnect,
+		RetryElapsed:    o.opts.RetryElapsed,
+		RequestDeadline: o.opts.RequestDeadline,
+		ShedRetries:     o.opts.ShedRetries,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("laoram: migrate target %s: %w", addr, err)

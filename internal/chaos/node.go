@@ -35,6 +35,7 @@ type Node struct {
 	addr    string // pinned after the first Start
 	srv     *remote.Server
 	factory func() (oram.Store, error) // armed on every (re)started server; nil = fixed placement
+	limits  remote.Limits              // admission control, applied before every Listen
 }
 
 // NewNode wraps a store factory. Every (re)start calls build() for fresh
@@ -67,6 +68,14 @@ func (n *Node) startLocked() (string, error) {
 	}
 	if n.factory != nil {
 		srv.SetStoreFactory(n.factory)
+	}
+	if n.limits != (remote.Limits{}) {
+		// Limits must be armed before Listen: a server that accepted even
+		// one connection unprotected would admit its backlog.
+		if err := srv.SetLimits(n.limits); err != nil {
+			srv.Close()
+			return "", fmt.Errorf("chaos: node limits: %w", err)
+		}
 	}
 	listen := n.addr
 	if listen == "" {
@@ -122,6 +131,17 @@ func (n *Node) SetStoreFactory(f func() (oram.Store, error)) {
 	if srv != nil {
 		srv.SetStoreFactory(f)
 	}
+}
+
+// SetLimits arms admission control (remote.Limits) on the node's server.
+// It applies from the NEXT (re)start — limits must be in place before a
+// server's Listen, so a live server keeps its current limits until it is
+// killed and brought back. Call it before Start for a node that should
+// never serve unprotected.
+func (n *Node) SetLimits(l remote.Limits) {
+	n.mu.Lock()
+	n.limits = l
+	n.mu.Unlock()
 }
 
 // Restart brings a killed node back on its pinned address with fresh

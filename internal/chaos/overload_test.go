@@ -1,0 +1,162 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/oram"
+	"repro/internal/remote"
+)
+
+// TestOverloadSurvivesConnKills is the sustained-load chaos drill for the
+// admission-controlled serving path: a flood of concurrent writers runs
+// against a node with rate limiting and fair queueing armed, while the
+// proxy kills every connection twice mid-flood. Admission sheds must be
+// absorbed by the client's in-lane retries, connection kills by its
+// reconnect replay, and the two failure planes must never bleed into each
+// other: every write lands exactly as issued (byte-identical read-back),
+// no call surfaces an error, and the server's stats show the overload
+// machinery actually engaged.
+func TestOverloadSurvivesConnKills(t *testing.T) {
+	const (
+		senders = 8
+		iters   = 40
+	)
+	g := oram.MustGeometry(oram.GeometryConfig{LeafBits: 3, LeafZ: 4, BlockSize: 32})
+	node := NewNode(func() ([]oram.Store, error) {
+		stores := make([]oram.Store, 4)
+		for i := range stores {
+			ps, err := oram.NewPayloadStore(g, nil)
+			if err != nil {
+				return nil, err
+			}
+			stores[i] = ps
+		}
+		return stores, nil
+	}, 2, nil)
+	// A burst far below the flood's instantaneous demand, so the token
+	// bucket is guaranteed to shed; fair queueing bounds each connection's
+	// backlog on top.
+	node.SetLimits(remote.Limits{
+		PerConnRate:     1500,
+		PerConnBurst:    32,
+		Fair:            true,
+		MaxQueuePerConn: 16,
+	})
+	addr, err := node.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Kill()
+
+	proxy, err := NewProxy(addr, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	cl, err := remote.DialConfig(context.Background(), proxy.Addr(), remote.Config{
+		Reconnect:   true,
+		ShedRetries: 1 << 20, // the drill wants sheds absorbed, not surfaced
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	leafLevel := g.LeafBits()
+	payload := func(sender, iter int) []byte {
+		p := make([]byte, g.BlockSize())
+		copy(p, fmt.Sprintf("sender %d iter %d", sender, iter))
+		return p
+	}
+	// Each sender owns one (store, bucket, slot) address; every iteration
+	// overwrites it and reads it straight back.
+	views := make([]*remote.ShardStore, 4)
+	for s := range views {
+		if views[s], err = cl.Store(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, senders)
+	for k := 0; k < senders; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			st := views[k%4]
+			node := uint64(k / 4)
+			for i := 0; i < iters; i++ {
+				want := payload(k, i)
+				slot := oram.Slot{ID: oram.BlockID(k + 1), Leaf: oram.Leaf(node), Payload: want}
+				if err := st.WriteSlot(leafLevel, node, 0, slot); err != nil {
+					errs <- fmt.Errorf("sender %d write %d: %w", k, i, err)
+					return
+				}
+				var got oram.Slot
+				if err := st.ReadSlot(leafLevel, node, 0, &got); err != nil {
+					errs <- fmt.Errorf("sender %d read %d: %w", k, i, err)
+					return
+				}
+				if string(got.Payload) != string(want) {
+					errs <- fmt.Errorf("sender %d iter %d read back %q", k, i, got.Payload[:20])
+					return
+				}
+			}
+		}(k)
+	}
+
+	// Two connection kills while the flood runs: the client must redial
+	// through the proxy and replay — the node never restarted, so no
+	// state-loss latch, no rollback, no surfaced error.
+	for i := 0; i < 2; i++ {
+		time.Sleep(60 * time.Millisecond)
+		proxy.KillConns()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	stats := node.Server().OverloadStats()
+	if stats.Admitted == 0 {
+		t.Error("no request was ever admitted")
+	}
+	if stats.Shed() == 0 {
+		t.Error("the flood never tripped admission control; the drill was not an overload")
+	}
+	t.Logf("overload chaos stats: %+v", stats)
+}
+
+// TestNodeLimitsSurviveRestart: limits armed on a node apply to every
+// restart, not just the first Listen — a supervisor that brings a node
+// back without its admission control would reopen the overload hole at
+// the worst possible time (the recovering node is the busiest).
+func TestNodeLimitsSurviveRestart(t *testing.T) {
+	node := startNode(t, 1)
+	node.SetLimits(remote.Limits{Fair: true, MaxQueuePerConn: 4})
+	if err := node.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	node.WaitDown()
+	if _, err := node.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	got := node.Server().Limits()
+	if !got.Fair || got.MaxQueuePerConn != 4 {
+		t.Errorf("restarted node limits = %+v", got)
+	}
+	// Invalid limits must fail the restart loudly, not serve unprotected.
+	if err := node.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	node.WaitDown()
+	node.SetLimits(remote.Limits{MaxInflight: -1})
+	if _, err := node.Restart(); err == nil {
+		t.Error("restart accepted invalid limits")
+	}
+}

@@ -118,6 +118,35 @@ type TieredBench struct {
 	Rows          []TieredBenchRow `json:"sweep"`
 }
 
+// OverloadBenchRow is one configuration of the serve-overload drill.
+type OverloadBenchRow struct {
+	Config         string  `json:"config"`
+	Aggressor      bool    `json:"aggressor"`
+	OfferedFair    float64 `json:"offered_fair_req_s"`
+	FairGoodput    float64 `json:"fair_goodput_req_s"`
+	FairMinGoodput float64 `json:"fair_min_goodput_req_s"`
+	FairP50Ms      float64 `json:"fair_p50_ms"`
+	FairP95Ms      float64 `json:"fair_p95_ms"`
+	FairP99Ms      float64 `json:"fair_p99_ms"`
+	FairShedRate   float64 `json:"fair_shed_rate"`
+	AggrGoodput    float64 `json:"aggr_goodput_req_s"`
+	AggrShedRate   float64 `json:"aggr_shed_rate"`
+	ServerShed     uint64  `json:"server_shed"`
+}
+
+// OverloadBench records the serve-overload drill (PR 10's acceptance
+// curves): well-behaved-client goodput and tail latency with and without
+// an aggressor connection, under FIFO dispatch vs per-connection fair
+// queueing, plus the byte-transparency identity verdict (invariant 15).
+type OverloadBench struct {
+	CapacityReqS      float64            `json:"capacity_req_s"`
+	Workers           int                `json:"workers"`
+	FairClients       int                `json:"fair_clients"`
+	Rows              []OverloadBenchRow `json:"rows"`
+	IdentitySheds     uint64             `json:"identity_sheds"`
+	IdentityIdentical bool               `json:"identity_identical"`
+}
+
 // EngineBenchResult is the BENCH_engine.json document.
 type EngineBenchResult struct {
 	GoVersion string             `json:"go_version"`
@@ -132,6 +161,7 @@ type EngineBenchResult struct {
 	Sealed    *SealedBench       `json:"sealed_workers,omitempty"`
 	Elastic   *ElasticBench      `json:"elastic,omitempty"`
 	Tiered    *TieredBench       `json:"tiered,omitempty"`
+	Overload  *OverloadBench     `json:"overload,omitempty"`
 }
 
 // JSON renders the document with stable indentation.
@@ -172,6 +202,18 @@ func (r *EngineBenchResult) Render() string {
 			e.MigratedShards, e.MigrationBlackoutMs, e.MigrationIdentical))
 		sb.WriteString(fmt.Sprintf("elastic re-placement        MTTR %.2fms vs rollback %.2fms; replayed %d vs %d accesses, identical=%v\n",
 			e.ReplaceMTTRMs, e.RollbackMTTRMs, e.ReplaceRewound, e.RollbackRewound, e.ReplacementIdentical))
+	}
+	if o := r.Overload; o != nil {
+		for _, row := range o.Rows {
+			aggr := "-"
+			if row.Aggressor {
+				aggr = "10x"
+			}
+			sb.WriteString(fmt.Sprintf("overload %-8s aggr=%-3s   fair %6.1f/%.1f req/s  p99 %.1fms  aggr shed %.0f%%\n",
+				row.Config, aggr, row.FairGoodput, row.OfferedFair*float64(o.FairClients), row.FairP99Ms, row.AggrShedRate*100))
+		}
+		sb.WriteString(fmt.Sprintf("overload capacity %.0f req/s, identity sheds %d, byte-identical=%v\n",
+			o.CapacityReqS, o.IdentitySheds, o.IdentityIdentical))
 	}
 	if td := r.Tiered; td != nil {
 		for _, row := range td.Rows {
@@ -423,6 +465,37 @@ func EngineBench(sc Scale, seed int64) (*EngineBenchResult, error) {
 			DemandStallMs:  float64(row.DemandStall.Microseconds()) / 1000,
 			Throughput:     row.Throughput,
 			Identical:      row.Identical,
+		})
+	}
+
+	// Serve-overload drill: fair-client goodput and tails under a flooding
+	// aggressor, FIFO vs fair queueing, plus the byte-transparency identity
+	// verdict (PR 10's acceptance curves).
+	or, err := OverloadExp(sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	out.Overload = &OverloadBench{
+		CapacityReqS:      or.Capacity,
+		Workers:           or.Workers,
+		FairClients:       or.FairClients,
+		IdentitySheds:     or.IdentitySheds,
+		IdentityIdentical: or.IdentityIdentical,
+	}
+	for _, row := range or.Rows {
+		out.Overload.Rows = append(out.Overload.Rows, OverloadBenchRow{
+			Config:         row.Config,
+			Aggressor:      row.Aggressor,
+			OfferedFair:    row.OfferedFair,
+			FairGoodput:    row.FairGoodput,
+			FairMinGoodput: row.FairMinGoodput,
+			FairP50Ms:      float64(row.FairP50.Microseconds()) / 1000,
+			FairP95Ms:      float64(row.FairP95.Microseconds()) / 1000,
+			FairP99Ms:      float64(row.FairP99.Microseconds()) / 1000,
+			FairShedRate:   row.FairShedRate,
+			AggrGoodput:    row.AggrGoodput,
+			AggrShedRate:   row.AggrShedRate,
+			ServerShed:     row.Shed,
 		})
 	}
 	return out, nil

@@ -1,0 +1,234 @@
+// Package loadgen generates synthetic request load for overload and
+// fairness experiments: key-popularity distributions (uniform, Zipfian,
+// hotkey), an open-loop pacer that decouples offered load from service
+// time, and a concurrent latency/outcome recorder.
+//
+// Open loop matters here. A closed-loop driver (issue, wait, issue) slows
+// down exactly when the server does, so overload never builds and tail
+// latency hides — the coordinated-omission trap. The Pacer instead fixes
+// arrival times on an absolute schedule: if the server stalls, arrivals
+// keep their slots and the backlog (or the shed rate) becomes visible,
+// which is the whole point of an overload drill.
+package loadgen
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Keys yields block IDs in [0, n) under some popularity distribution. Not
+// safe for concurrent use; give each client goroutine its own generator.
+type Keys interface {
+	Next() uint64
+}
+
+// uniformKeys draws uniformly over [0, n).
+type uniformKeys struct {
+	rng *rand.Rand
+	n   uint64
+}
+
+func (u *uniformKeys) Next() uint64 { return uint64(u.rng.Int63n(int64(u.n))) }
+
+// Uniform returns a uniform key generator over [0, n).
+func Uniform(rng *rand.Rand, n uint64) Keys {
+	if n == 0 {
+		n = 1
+	}
+	return &uniformKeys{rng: rng, n: n}
+}
+
+// Zipf returns a Zipfian key generator over [0, n) with exponent s > 1:
+// key 0 is the hottest. The classic skewed-tenant shape (a few keys take
+// most of the traffic).
+func Zipf(rng *rand.Rand, n uint64, s float64) Keys {
+	if n == 0 {
+		n = 1
+	}
+	if s <= 1 {
+		s = 1.1
+	}
+	return zipfKeys{rand.NewZipf(rng, s, 1, n-1)}
+}
+
+// zipfKeys adapts *rand.Zipf (whose draw method is Uint64) to Keys.
+type zipfKeys struct{ z *rand.Zipf }
+
+func (z zipfKeys) Next() uint64 { return z.z.Uint64() }
+
+// hotkeyKeys sends frac of the traffic to the first hot keys and the rest
+// uniformly over the whole space.
+type hotkeyKeys struct {
+	rng  *rand.Rand
+	n    uint64
+	hot  uint64
+	frac float64
+}
+
+func (h *hotkeyKeys) Next() uint64 {
+	if h.rng.Float64() < h.frac {
+		return uint64(h.rng.Int63n(int64(h.hot)))
+	}
+	return uint64(h.rng.Int63n(int64(h.n)))
+}
+
+// Hotkey returns a generator sending frac (0..1) of requests to the hot
+// lowest keys and the remainder uniformly over [0, n) — an aggressor
+// hammering a small working set while background traffic stays spread out.
+func Hotkey(rng *rand.Rand, n, hot uint64, frac float64) Keys {
+	if n == 0 {
+		n = 1
+	}
+	if hot == 0 || hot > n {
+		hot = 1
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return &hotkeyKeys{rng: rng, n: n, hot: hot, frac: frac}
+}
+
+// Pacer is an open-loop arrival schedule: rate requests per second on
+// fixed slots anchored at the first Wait. Not safe for concurrent use;
+// one pacer per client goroutine.
+type Pacer struct {
+	interval time.Duration
+	next     time.Time
+}
+
+// NewPacer builds a pacer for rate requests/second. rate <= 0 means
+// unpaced: Wait never sleeps (issue as fast as the loop runs).
+func NewPacer(rate float64) *Pacer {
+	if rate <= 0 {
+		return &Pacer{}
+	}
+	return &Pacer{interval: time.Duration(float64(time.Second) / rate)}
+}
+
+// Wait sleeps until this request's slot. Slots never slip: a slow request
+// makes the next Wait return immediately (the schedule is behind) rather
+// than pushing every later slot out — that is what keeps the offered load
+// constant while the server struggles.
+func (p *Pacer) Wait() {
+	if p.interval == 0 {
+		return
+	}
+	now := time.Now()
+	if p.next.IsZero() {
+		p.next = now
+	}
+	if d := p.next.Sub(now); d > 0 {
+		time.Sleep(d)
+	}
+	p.next = p.next.Add(p.interval)
+}
+
+// Behind reports how far the schedule has fallen behind real time — a
+// sustained positive value means the issuing loop (not the pacer) is the
+// bottleneck and the intended rate is not actually being offered.
+func (p *Pacer) Behind() time.Duration {
+	if p.interval == 0 || p.next.IsZero() {
+		return 0
+	}
+	return time.Since(p.next)
+}
+
+// Outcome classifies one request for the Recorder.
+type Outcome int
+
+const (
+	// OK is a completed request: it counts toward goodput and latency.
+	OK Outcome = iota
+	// Shed is a request the server rejected under admission control (after
+	// the client's in-lane retries, if any).
+	Shed
+	// Errored is any other failure.
+	Errored
+)
+
+// Recorder accumulates request outcomes and latencies. Safe for concurrent
+// use by many client goroutines.
+type Recorder struct {
+	mu   sync.Mutex
+	lat  []time.Duration // completed requests only
+	shed int
+	errs int
+}
+
+// Observe records one request.
+func (r *Recorder) Observe(o Outcome, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch o {
+	case OK:
+		r.lat = append(r.lat, d)
+	case Shed:
+		r.shed++
+	default:
+		r.errs++
+	}
+}
+
+// Stats summarises one recorder over an elapsed wall-clock window.
+type Stats struct {
+	Sent    int     // every observed request
+	OK      int     // completed
+	Shed    int     // rejected under admission control
+	Errored int     // failed any other way
+	Goodput float64 // completed requests per second over elapsed
+
+	P50, P95, P99 time.Duration // completed-request latency percentiles
+}
+
+// ShedRate is the fraction of requests shed (0 when none were sent).
+func (s Stats) ShedRate() float64 {
+	if s.Sent == 0 {
+		return 0
+	}
+	return float64(s.Shed) / float64(s.Sent)
+}
+
+// Stats computes the summary. elapsed <= 0 yields zero goodput.
+func (r *Recorder) Stats(elapsed time.Duration) Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Stats{
+		OK:      len(r.lat),
+		Shed:    r.shed,
+		Errored: r.errs,
+	}
+	s.Sent = s.OK + s.Shed + s.Errored
+	if elapsed > 0 {
+		s.Goodput = float64(s.OK) / elapsed.Seconds()
+	}
+	if len(r.lat) > 0 {
+		sorted := make([]time.Duration, len(r.lat))
+		copy(sorted, r.lat)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		s.P50 = percentile(sorted, 50)
+		s.P95 = percentile(sorted, 95)
+		s.P99 = percentile(sorted, 99)
+	}
+	return s
+}
+
+// percentile reads the p-th percentile from an ascending-sorted slice
+// (nearest-rank).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}

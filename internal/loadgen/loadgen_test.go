@@ -1,0 +1,146 @@
+package loadgen
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestUniformCoversRange(t *testing.T) {
+	g := Uniform(rand.New(rand.NewSource(1)), 16)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 4096; i++ {
+		k := g.Next()
+		if k >= 16 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("uniform over 16 keys hit only %d in 4096 draws", len(seen))
+	}
+}
+
+func TestZipfIsSkewed(t *testing.T) {
+	g := Zipf(rand.New(rand.NewSource(2)), 1<<16, 1.2)
+	const draws = 20000
+	low := 0
+	for i := 0; i < draws; i++ {
+		k := g.Next()
+		if k >= 1<<16 {
+			t.Fatalf("key %d out of range", k)
+		}
+		if k < 16 {
+			low++
+		}
+	}
+	// Under uniform, 16/65536 of draws (~5) would land in the bottom 16
+	// keys; Zipfian skew concentrates far more there.
+	if low < draws/10 {
+		t.Fatalf("zipf put only %d/%d draws in the hottest 16 keys; not skewed", low, draws)
+	}
+}
+
+func TestHotkeyFraction(t *testing.T) {
+	g := Hotkey(rand.New(rand.NewSource(3)), 1<<16, 8, 0.9)
+	const draws = 20000
+	hot := 0
+	for i := 0; i < draws; i++ {
+		if g.Next() < 8 {
+			hot++
+		}
+	}
+	frac := float64(hot) / draws
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hotkey fraction %.3f, want ~0.9", frac)
+	}
+}
+
+func TestPacerHoldsRate(t *testing.T) {
+	p := NewPacer(1000) // 1ms slots
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		p.Wait()
+	}
+	elapsed := time.Since(start)
+	// 50 slots at 1ms: the 1st fires immediately, so ~49ms minimum. Allow
+	// generous upside for scheduler noise.
+	if elapsed < 45*time.Millisecond {
+		t.Fatalf("50 waits at 1khz took only %v; pacer not pacing", elapsed)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("50 waits at 1khz took %v; pacer oversleeping", elapsed)
+	}
+}
+
+func TestPacerOpenLoopDoesNotSlip(t *testing.T) {
+	p := NewPacer(1000)
+	p.Wait()
+	time.Sleep(20 * time.Millisecond) // a "slow request" burning ~20 slots
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		p.Wait() // schedule is behind: these must not sleep
+	}
+	if d := time.Since(start); d > 5*time.Millisecond {
+		t.Fatalf("pacer slipped: 10 overdue slots took %v", d)
+	}
+	if p.Behind() <= 0 {
+		t.Fatalf("pacer should report a backlog after a stall")
+	}
+}
+
+func TestUnpacedNeverSleeps(t *testing.T) {
+	p := NewPacer(0)
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		p.Wait()
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("unpaced Wait slept: 1000 calls took %v", d)
+	}
+	if p.Behind() != 0 {
+		t.Fatalf("unpaced pacer cannot be behind")
+	}
+}
+
+func TestRecorderStats(t *testing.T) {
+	var r Recorder
+	for i := 1; i <= 100; i++ {
+		r.Observe(OK, time.Duration(i)*time.Millisecond)
+	}
+	r.Observe(Shed, 0)
+	r.Observe(Shed, 0)
+	r.Observe(Errored, 0)
+	s := r.Stats(2 * time.Second)
+	if s.Sent != 103 || s.OK != 100 || s.Shed != 2 || s.Errored != 1 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.Goodput != 50 {
+		t.Fatalf("goodput %v, want 50", s.Goodput)
+	}
+	if s.P50 != 50*time.Millisecond || s.P95 != 95*time.Millisecond || s.P99 != 99*time.Millisecond {
+		t.Fatalf("percentiles p50=%v p95=%v p99=%v", s.P50, s.P95, s.P99)
+	}
+	if got := s.ShedRate(); got < 0.019 || got > 0.020 {
+		t.Fatalf("shed rate %v", got)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	var r Recorder
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				r.Observe(OK, time.Millisecond)
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if s := r.Stats(time.Second); s.OK != 8000 {
+		t.Fatalf("lost observations: %d/8000", s.OK)
+	}
+}

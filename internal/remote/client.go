@@ -77,12 +77,29 @@ type Client struct {
 	// watcher and any sleeping reconnect loop.
 	stop chan struct{}
 
+	// goaway remembers the server's final busy frame on a connection it is
+	// about to drop (slow consumer). While set, connection-death failures
+	// map to *ErrOverloaded instead of *ErrNodeDown — the node is alive, it
+	// shed us. Cleared when a fresh connection is adopted. Guarded by mu.
+	goaway *goawaySignal
+
 	// rng drives the reconnect backoff jitter. Only the reconnect loop
 	// touches it, and at most one loop runs at a time (the reconnecting
 	// flag), so it needs no lock. Seeded deterministically per client so
 	// tests reproduce, but differently across clients of one address so
 	// they do not redial a restarted node in lockstep.
 	rng *rand.Rand
+
+	// brng drives the busy-retry jitter. Unlike rng it is shared by every
+	// concurrent caller sleeping out a shed, so it takes its own lock.
+	bmu  sync.Mutex
+	brng *rand.Rand
+}
+
+// goawaySignal is the decoded final busy frame of a dropped connection.
+type goawaySignal struct {
+	retryAfter time.Duration
+	reason     string
 }
 
 // Config tunes a client's placement identity and failure handling.
@@ -102,6 +119,20 @@ type Config struct {
 	// deployment leaves them zero (stride defaults to 1).
 	ShardBase   int
 	ShardStride int
+
+	// RequestDeadline attaches a relative execution budget to every data
+	// operation (an opDeadline envelope, protocol v3): a request still
+	// queued server-side past its budget is shed instead of executed. A
+	// deadline on the dial context tightens it per call to the remaining
+	// context time. Zero sends no deadline (unless the context has one).
+	RequestDeadline time.Duration
+
+	// ShedRetries bounds how many times one call is retried after the
+	// server sheds it with a busy frame, before the call fails with
+	// *ErrOverloaded. Retries back off exponentially with jitter, never
+	// sleeping less than the server's retry-after hint. Zero means 12;
+	// negative disables retries (fail on the first shed).
+	ShedRetries int
 }
 
 // pendingCall is one in-flight request. The full request frame is retained
@@ -119,6 +150,13 @@ type pendingCall struct {
 type rpcResult struct {
 	body []byte
 	err  error
+
+	// busy marks a statusBusy shed: the server refused the request under
+	// admission control. retryAfter carries its backoff hint; err holds the
+	// reason. The retry loop in call consumes these — callers above it only
+	// ever see a terminal *ErrOverloaded.
+	busy       bool
+	retryAfter time.Duration
 }
 
 var (
@@ -154,6 +192,12 @@ func DialConfig(ctx context.Context, addr string, cfg Config) (*Client, error) {
 	if cfg.RetryElapsed <= 0 {
 		cfg.RetryElapsed = 5 * time.Second
 	}
+	switch {
+	case cfg.ShedRetries == 0:
+		cfg.ShedRetries = 12
+	case cfg.ShedRetries < 0:
+		cfg.ShedRetries = 0
+	}
 	conn, shards, gw, bootID, err := dialHandshake(ctx, addr)
 	if err != nil {
 		return nil, err
@@ -175,6 +219,7 @@ func DialConfig(ctx context.Context, addr string, cfg Config) (*Client, error) {
 		pending: make(map[uint64]*pendingCall),
 		stop:    make(chan struct{}),
 		rng:     rand.New(rand.NewSource(jitterSeed(addr))),
+		brng:    rand.New(rand.NewSource(jitterSeed(addr))),
 	}
 	c.s0 = &ShardStore{c: c, shard: 0}
 	go c.readLoop(conn, 1)
@@ -359,9 +404,24 @@ func (c *Client) readLoop(conn net.Conn, gen uint64) {
 			return
 		}
 		var res rpcResult
-		if status == statusOK {
+		switch status {
+		case statusOK:
 			res.body = body
-		} else {
+		case statusBusy:
+			retryAfter, reason := parseBusy(body)
+			if id == goawayID {
+				// The server's last word before dropping us as a slow
+				// consumer. Latch it so the imminent connection death maps
+				// to *ErrOverloaded, not a bare transport fault.
+				c.mu.Lock()
+				c.goaway = &goawaySignal{retryAfter: retryAfter, reason: reason}
+				c.mu.Unlock()
+				continue
+			}
+			res.busy = true
+			res.retryAfter = retryAfter
+			res.err = fmt.Errorf("remote: server busy: %s", reason)
+		default:
 			res.err = fmt.Errorf("remote: server: %s", string(body))
 		}
 		c.mu.Lock()
@@ -389,13 +449,31 @@ func (c *Client) nodeDown(local uint32, stateLost bool, cause error) *ErrNodeDow
 	return &ErrNodeDown{Addr: c.addr, Shard: c.globalShard(local), StateLost: stateLost, Err: cause}
 }
 
-// failAllLocked releases every pending caller with *ErrNodeDown. (The
-// state-losing variant lives in adopt, which spares never-sent Restore
-// frames.) Callers hold c.mu.
+// downErrLocked classifies one call's dead-connection failure: a
+// connection the server ended with a goaway maps to *ErrOverloaded — the
+// node is alive and intact, it shed us, so the caller should back off and
+// retry rather than run node-death recovery — anything else to
+// *ErrNodeDown. Callers hold c.mu.
+func (c *Client) downErrLocked(shard uint32, cause error) error {
+	if g := c.goaway; g != nil {
+		return &ErrOverloaded{
+			Addr:       c.addr,
+			Shard:      c.globalShard(shard),
+			RetryAfter: g.retryAfter,
+			Err:        fmt.Errorf("server sent goaway: %s", g.reason),
+		}
+	}
+	return c.nodeDown(shard, false, cause)
+}
+
+// failAllLocked releases every pending caller with *ErrNodeDown (or
+// *ErrOverloaded after a goaway; see downErrLocked). The state-losing
+// variant lives in adopt, which spares never-sent Restore frames. Callers
+// hold c.mu.
 func (c *Client) failAllLocked(cause error) {
 	for id, pc := range c.pending {
 		delete(c.pending, id)
-		pc.ch <- rpcResult{err: c.nodeDown(pc.shard, false, cause)}
+		pc.ch <- rpcResult{err: c.downErrLocked(pc.shard, cause)}
 	}
 }
 
@@ -529,6 +607,7 @@ func (c *Client) adopt(conn net.Conn, bootID uint64) {
 	c.conn = conn
 	c.connErr = nil
 	c.reconnecting = false
+	c.goaway = nil // a fresh connection starts with a clean slate
 	if bootID != c.bootID {
 		// The node restarted: its tree is gone. Latch state loss — every
 		// pending and future call fails until a Restore rebuilds the trees
@@ -563,17 +642,87 @@ func (c *Client) adopt(conn net.Conn, bootID uint64) {
 	c.wmu.Unlock()
 }
 
-// call performs one request/response exchange. Many calls may be in flight
-// concurrently; each blocks only on its own response channel. While the
-// connection is down in reconnect mode the call parks: the reconnect loop
-// will send its frame once a connection is adopted, or fail it when the
-// retry budget runs out.
+// call performs one request/response exchange, absorbing admission-control
+// sheds: a statusBusy response is retried here — inside the lane, invisible
+// to the ORAM client above — with jittered exponential backoff that never
+// undercuts the server's retry-after hint. Only when the retry budget
+// (Config.ShedRetries) runs out does the caller see *ErrOverloaded. An
+// overloaded node is not a failed node: nothing executed, nothing was
+// lost, so no rollback or recovery is ever triggered by a shed.
 func (c *Client) call(op byte, shard uint32, body []byte) ([]byte, error) {
+	backoff := time.Millisecond
+	for sheds := 0; ; {
+		res := c.callOnce(op, shard, body)
+		if !res.busy {
+			return res.body, res.err
+		}
+		sheds++
+		if sheds > c.cfg.ShedRetries {
+			return nil, &ErrOverloaded{
+				Addr:       c.addr,
+				Shard:      c.globalShard(shard),
+				RetryAfter: res.retryAfter,
+				Sheds:      sheds,
+				Err:        res.err,
+			}
+		}
+		wait := backoff
+		if res.retryAfter > wait {
+			wait = res.retryAfter
+		}
+		c.bmu.Lock()
+		wait = jitteredBackoff(c.brng, wait)
+		c.bmu.Unlock()
+		select {
+		case <-time.After(wait):
+		case <-c.stop:
+			return nil, fmt.Errorf("remote: client closed")
+		}
+		if backoff *= 2; backoff > 250*time.Millisecond {
+			backoff = 250 * time.Millisecond
+		}
+	}
+}
+
+// requestBudget resolves the relative deadline to attach to one data
+// request: the configured RequestDeadline, tightened by the dial context's
+// remaining time when it has a deadline. ok = false sends no envelope.
+func (c *Client) requestBudget() (budget time.Duration, ok bool) {
+	d := c.cfg.RequestDeadline
+	if dl, hasDL := c.ctx.Deadline(); hasDL {
+		if rem := time.Until(dl); d == 0 || rem < d {
+			d = rem
+		}
+	}
+	if d == 0 {
+		return 0, false
+	}
+	if d < time.Millisecond {
+		// An already-expired context still sends a (minimal) budget; the
+		// server sheds it cheaply and the context watcher ends the client.
+		d = time.Millisecond
+	}
+	return d, true
+}
+
+// callOnce performs one request/response exchange. Many calls may be in
+// flight concurrently; each blocks only on its own response channel. While
+// the connection is down in reconnect mode the call parks: the reconnect
+// loop will send its frame once a connection is adopted, or fail it when
+// the retry budget runs out.
+func (c *Client) callOnce(op byte, shard uint32, body []byte) rpcResult {
+	wireOp, wireBody := op, body
+	if isDataOp(op) {
+		if budget, ok := c.requestBudget(); ok {
+			wireOp = opDeadline
+			wireBody = appendDeadline(make([]byte, 0, deadlineHdrLen+len(body)), budget, op, body)
+		}
+	}
 	pc := &pendingCall{ch: make(chan rpcResult, 1), shard: shard, op: op}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, fmt.Errorf("remote: client closed")
+		return rpcResult{err: fmt.Errorf("remote: client closed")}
 	}
 	if c.stateLost && op != opRestore {
 		// The node restarted since the last checkpoint was applied; only a
@@ -582,18 +731,18 @@ func (c *Client) call(op byte, shard uint32, body []byte) ([]byte, error) {
 		// garbage as a recovery point.
 		err := c.nodeDown(shard, true, fmt.Errorf("node restarted; state not re-established"))
 		c.mu.Unlock()
-		return nil, err
+		return rpcResult{err: err}
 	}
 	if c.connErr != nil && !c.cfg.Reconnect {
-		err := c.nodeDown(shard, false, c.connErr)
+		err := c.downErrLocked(shard, c.connErr)
 		c.mu.Unlock()
-		return nil, err
+		return rpcResult{err: err}
 	}
 	c.nextID++
 	id := c.nextID
-	req := make([]byte, 0, reqHeaderLen+len(body))
-	req = appendReqHeader(req, id, op, shard)
-	req = append(req, body...)
+	req := make([]byte, 0, reqHeaderLen+len(wireBody))
+	req = appendReqHeader(req, id, wireOp, shard)
+	req = append(req, wireBody...)
 	pc.req = req
 	c.pending[id] = pc
 	healthy := c.connErr == nil
@@ -621,8 +770,7 @@ func (c *Client) call(op byte, shard uint32, body []byte) ([]byte, error) {
 			c.mu.Unlock()
 		}
 	}
-	res := <-pc.ch
-	return res.body, res.err
+	return <-pc.ch
 }
 
 // Shard-0 convenience delegations, keeping Client itself usable as the

@@ -53,6 +53,29 @@
 //	              the rest — and returns its index, giving a migration or
 //	              re-placement somewhere to land a shard. Rejected when the
 //	              server has no factory. Not valid inside opBatch.)
+//	opDeadline    req: budgetMillis u32 · inner op u8 · inner body
+//	              (protocol v3: a deadline-carrying envelope around one data
+//	              operation. budgetMillis is RELATIVE — how long the client
+//	              is willing to wait from the moment the server reads the
+//	              frame — so no clock synchronisation is assumed. A server
+//	              with admission control sheds the request with statusBusy
+//	              instead of executing it once the budget has elapsed in
+//	              queue; servers predating v3 reject the unknown opcode,
+//	              which clients treat as fatal, so deadlines are opt-in.
+//	              Only the data opcodes (2–8) may be wrapped.)
+//
+// Overload (protocol v3): a server under admission control may answer any
+// data request with statusBusy instead of executing it. The busy body is
+// retryAfterMillis u32 — the server's hint for how long the client should
+// back off before retrying — optionally followed by human-readable text.
+// A busy response is a clean, typed rejection: the request did NOT execute
+// and retrying it later is always safe (every data op is an idempotent
+// read or overwrite of named tree addresses). A busy frame with request ID
+// 0 is a GOAWAY: the server is about to drop this connection (today: the
+// consumer stopped draining responses past slowConnTimeout) and no pending
+// request on it will be answered; clients surface ErrOverloaded rather
+// than a generic I/O error. ID 0 is never allocated to a real call, so
+// goaways can never be mistaken for a response.
 //
 // Slots are serialised as (id u64, leaf u64, payloadLen u32, payload).
 // The path and batch opcodes are what make the serving path fast: a whole
@@ -65,6 +88,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 
 	"repro/internal/oram"
 )
@@ -72,7 +96,7 @@ import (
 // Opcodes. 1–5 are the original synchronous protocol's operations; 6–8 are
 // the v2 pipelining additions; 9–10 are the checkpoint-coordinator RPC;
 // 11–12 are the elastic-placement additions (health heartbeat, dynamic
-// store growth).
+// store growth); 13 is the v3 deadline envelope.
 const (
 	opHello       = 1
 	opReadBucket  = 2
@@ -86,13 +110,32 @@ const (
 	opRestore     = 10
 	opHealth      = 11
 	opAddStore    = 12
+	opDeadline    = 13
 )
 
-// Response status codes.
+// Response status codes. statusBusy (protocol v3) means the request was
+// SHED by admission control without executing; its body carries a
+// retry-after hint (see parseBusy).
 const (
-	statusOK  = 0
-	statusErr = 1
+	statusOK   = 0
+	statusErr  = 1
+	statusBusy = 2
 )
+
+// goawayID is the request ID of a server-initiated busy frame announcing
+// the connection is about to be dropped. Client-allocated IDs start at 1,
+// and malformed-frame error responses (also ID 0) are status-Err, so a
+// (goawayID, statusBusy) frame is unambiguous.
+const goawayID = 0
+
+// isDataOp reports whether op is one of the shard data operations (the
+// only opcodes admission control meters, deadlines may wrap, and a busy
+// shed may answer). Everything else is control plane: handshake, health,
+// checkpoint/recovery and placement traffic must not be shed — it is
+// exactly the traffic that resolves an overload or repairs a node.
+func isDataOp(op byte) bool {
+	return op >= opReadBucket && op <= opBatch
+}
 
 // maxFrame bounds a frame to something generous but finite: a batched
 // bucket union of 4 KB blocks with headroom.
@@ -173,6 +216,79 @@ func errResponse(id uint64, err error) []byte {
 	out := make([]byte, 0, respHeaderLen+len(msg))
 	out = appendRespHeader(out, id, statusErr)
 	return append(out, msg...)
+}
+
+// busyResponse builds a statusBusy response frame payload: the typed
+// rejection of admission control. retryAfter is the server's backoff hint
+// (clamped into [0, busyHintCap]); reason is optional human-readable
+// context (it travels after the hint).
+func busyResponse(id uint64, retryAfter time.Duration, reason string) []byte {
+	if retryAfter < 0 {
+		retryAfter = 0
+	}
+	if retryAfter > busyHintCap {
+		retryAfter = busyHintCap
+	}
+	out := make([]byte, 0, respHeaderLen+4+len(reason))
+	out = appendRespHeader(out, id, statusBusy)
+	out = appendU32(out, uint32(retryAfter/time.Millisecond))
+	return append(out, reason...)
+}
+
+// busyHintCap bounds the retry-after hint a server may send (and a client
+// will honour): an overloaded server wants traffic spread out, not parked
+// for minutes on a stale estimate.
+const busyHintCap = 5 * time.Second
+
+// parseBusy extracts the retry-after hint from a statusBusy body. A short
+// body (from some future frugal server) degrades to a zero hint rather
+// than an error — the client then applies its own backoff schedule.
+func parseBusy(body []byte) (retryAfter time.Duration, reason string) {
+	if len(body) < 4 {
+		return 0, ""
+	}
+	ms := binary.BigEndian.Uint32(body)
+	d := time.Duration(ms) * time.Millisecond
+	if d > busyHintCap {
+		d = busyHintCap
+	}
+	return d, string(body[4:])
+}
+
+// deadlineHdrLen is the envelope prefix: budget u32 (ms) + inner opcode.
+const deadlineHdrLen = 5
+
+// appendDeadline wraps one data operation in the v3 deadline envelope:
+// the body of an opDeadline request. budget is relative to the server's
+// receipt of the frame.
+func appendDeadline(buf []byte, budget time.Duration, op byte, body []byte) []byte {
+	ms := uint64(budget / time.Millisecond)
+	if budget > 0 && ms == 0 {
+		ms = 1 // a sub-millisecond budget must not round down to "none"
+	}
+	if ms > uint64(^uint32(0)) {
+		ms = uint64(^uint32(0))
+	}
+	buf = appendU32(buf, uint32(ms))
+	buf = append(buf, op)
+	return append(buf, body...)
+}
+
+// parseDeadline unwraps an opDeadline body into the inner operation and
+// its relative budget.
+func parseDeadline(body []byte) (budget time.Duration, op byte, inner []byte, err error) {
+	if len(body) < 5 {
+		return 0, 0, nil, fmt.Errorf("remote: truncated deadline envelope (%d bytes)", len(body))
+	}
+	ms := binary.BigEndian.Uint32(body)
+	op = body[4]
+	if op == opDeadline {
+		return 0, 0, nil, fmt.Errorf("remote: nested deadline envelope")
+	}
+	if !isDataOp(op) {
+		return 0, 0, nil, fmt.Errorf("remote: opcode %d cannot carry a deadline", op)
+	}
+	return time.Duration(ms) * time.Millisecond, op, body[5:], nil
 }
 
 // parseRespHeader splits a response frame into id, status and body.

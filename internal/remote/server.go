@@ -49,7 +49,14 @@ type Server struct {
 	ln     net.Listener
 	lnOnce sync.Once // Drain and Close race to close the listener
 	lnErr  error
-	tasks  chan task
+	disp   *dispatcher
+
+	// limits is the admission-control configuration (zero = admit
+	// everything, FIFO dispatch — the pre-v3 behaviour). Set before Listen.
+	limits   Limits
+	inflight atomic.Int64 // admitted data requests not yet completed
+	oc       overloadCounters
+	svc      serviceClock
 
 	draining atomic.Bool
 
@@ -67,6 +74,17 @@ type serverConn struct {
 	out  chan []byte   // response frame payloads awaiting the writer
 	done chan struct{} // closed when the connection is torn down
 	once sync.Once
+
+	// goaway is a 1-slot priority channel to the write loop: the final
+	// typed busy frame a slow consumer receives before its connection is
+	// dropped. The write loop checks it before every response so the
+	// goaway outranks whatever is queued.
+	goaway chan []byte
+
+	// bucket meters this connection's data-request rate (nil = unlimited).
+	bucket *tokenBucket
+	// cq is this connection's queue under fair dispatch (nil otherwise).
+	cq *connQueue
 }
 
 func (sc *serverConn) close() {
@@ -74,11 +92,6 @@ func (sc *serverConn) close() {
 		close(sc.done)
 		sc.conn.Close()
 	})
-}
-
-type task struct {
-	sc    *serverConn
-	frame []byte
 }
 
 // NewServer wraps a single store (a 1-shard server); logf may be nil
@@ -208,6 +221,24 @@ func (s *Server) AddStore() (int, error) {
 	return len(s.stores) - 1, nil
 }
 
+// SetLimits configures admission control (see Limits); call before Listen.
+// The zero Limits — the default — keeps the pre-v3 behaviour: every request
+// admitted, one FIFO dispatch queue shared by all connections.
+func (s *Server) SetLimits(l Limits) error {
+	if err := l.validate(s.workers); err != nil {
+		return err
+	}
+	s.limits = l
+	return nil
+}
+
+// Limits returns the active admission configuration.
+func (s *Server) Limits() Limits { return s.limits }
+
+// OverloadStats returns the admission layer's decision counts since the
+// server started.
+func (s *Server) OverloadStats() OverloadStats { return s.oc.snapshot() }
+
 // Drain begins a graceful shutdown: the listener closes so no new
 // connections arrive, opHealth starts reporting draining so clients
 // migrate their shards off proactively, but existing connections keep
@@ -285,7 +316,9 @@ func (s *Server) Listen(addr string) (string, error) {
 		return "", fmt.Errorf("remote: listen: %w", err)
 	}
 	s.ln = ln
-	s.tasks = make(chan task, s.workers)
+	// The FIFO bound matches the old `chan task` capacity; the fair bound
+	// is per connection.
+	s.disp = newDispatcher(s.limits.Fair, s.workers, s.limits.maxQueue(s.workers))
 	for i := 0; i < s.workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -300,6 +333,9 @@ func (s *Server) Listen(addr string) (string, error) {
 func (s *Server) Close() error {
 	close(s.closed)
 	s.closeListener()
+	if s.disp != nil {
+		s.disp.close()
+	}
 	err := s.lnErr
 	s.connMu.Lock()
 	for sc := range s.conns {
@@ -324,7 +360,18 @@ func (s *Server) acceptLoop() {
 			}
 			return
 		}
-		sc := &serverConn{conn: conn, out: make(chan []byte, 128), done: make(chan struct{})}
+		sc := &serverConn{
+			conn:   conn,
+			out:    make(chan []byte, 128),
+			done:   make(chan struct{}),
+			goaway: make(chan []byte, 1),
+		}
+		if s.limits.Fair {
+			sc.cq = &connQueue{sc: sc, weight: 1}
+		}
+		if s.limits.PerConnRate > 0 {
+			sc.bucket = newTokenBucket(s.limits.PerConnRate, s.limits.burst())
+		}
 		s.connMu.Lock()
 		s.conns[sc] = struct{}{}
 		s.connMu.Unlock()
@@ -334,8 +381,10 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// readLoop pulls frames off the socket and hands them to the worker pool.
-// Frame order on the wire does not constrain response order.
+// readLoop pulls frames off the socket, parses and admits them, and hands
+// admitted tasks to the worker pool. Frame order on the wire does not
+// constrain response order. Admission runs here — in the connection's own
+// goroutine — so one tenant's rejected flood costs no worker time at all.
 func (s *Server) readLoop(sc *serverConn) {
 	defer s.wg.Done()
 	defer func() {
@@ -352,21 +401,70 @@ func (s *Server) readLoop(sc *serverConn) {
 			}
 			return
 		}
-		select {
-		case s.tasks <- task{sc: sc, frame: frame}:
-		case <-sc.done:
-			return
-		case <-s.closed:
-			return
+		t := task{sc: sc}
+		t.id, t.op, t.shard, t.body, t.bad = parseReqHeader(frame)
+		if t.bad != nil {
+			t.id = 0 // answered with ID 0; see handle
+		} else if t.op == opDeadline {
+			var budget time.Duration
+			budget, t.op, t.body, t.bad = parseDeadline(t.body)
+			if t.bad == nil {
+				// The budget is relative to receipt — no clock sync with
+				// the client is assumed.
+				t.expiry = time.Now().Add(budget)
+			}
+		}
+		if t.bad == nil && s.limits.enabled() && isDataOp(t.op) {
+			if sc.bucket != nil {
+				if ok, wait := sc.bucket.take(time.Now()); !ok {
+					s.oc.shedRate.Add(1)
+					s.respond(sc, busyResponse(t.id, wait, "per-connection rate limit"))
+					continue
+				}
+			}
+			if max := int64(s.limits.MaxInflight); max > 0 {
+				if s.inflight.Add(1) > max {
+					s.inflight.Add(-1)
+					s.oc.shedInflight.Add(1)
+					hint := s.svc.hint(int(s.inflight.Load())+s.disp.backlog(), s.workers)
+					s.respond(sc, busyResponse(t.id, hint, "concurrency budget exhausted"))
+					continue
+				}
+				t.data = true
+			}
+			s.oc.admitted.Add(1)
+		}
+		if err := s.disp.enqueue(t); err != nil {
+			if t.data {
+				s.inflight.Add(-1)
+			}
+			if errors.Is(err, errQueueFull) {
+				s.oc.shedQueue.Add(1)
+				hint := s.svc.hint(s.disp.connDepth(sc), 1)
+				s.respond(sc, busyResponse(t.id, hint, "connection queue full"))
+				continue
+			}
+			return // dispatcher closed: server shutting down
 		}
 	}
 }
 
-// writeLoop serialises response frames onto the socket.
+// writeLoop serialises response frames onto the socket. The goaway slot is
+// checked before every frame: a dying connection's last frame must be the
+// typed overload signal, not whichever response happened to be queued.
 func (s *Server) writeLoop(sc *serverConn) {
 	defer s.wg.Done()
 	for {
 		select {
+		case g := <-sc.goaway:
+			s.writeGoaway(sc, g)
+			return
+		default:
+		}
+		select {
+		case g := <-sc.goaway:
+			s.writeGoaway(sc, g)
+			return
 		case resp := <-sc.out:
 			if err := writeFrame(sc.conn, resp); err != nil {
 				sc.close()
@@ -378,46 +476,111 @@ func (s *Server) writeLoop(sc *serverConn) {
 	}
 }
 
+// writeGoaway sends the final busy frame under a short deadline (the
+// consumer already proved slow) and tears the connection down.
+func (s *Server) writeGoaway(sc *serverConn, g []byte) {
+	sc.conn.SetWriteDeadline(time.Now().Add(goawayGrace))
+	if writeFrame(sc.conn, g) == nil {
+		s.oc.goaways.Add(1)
+	}
+	sc.close()
+}
+
 // slowConnTimeout bounds how long a worker will wait to enqueue a response
 // on one connection's outbound queue. A client that pipelines requests but
 // stops draining responses would otherwise wedge every pool worker on its
 // full queue and starve all other connections; after the timeout the
-// stalled connection is torn down and the pool moves on.
-const slowConnTimeout = 10 * time.Second
+// stalled connection gets a goaway and is torn down, and the pool moves on.
+// Variables, not constants, so tests can compress the timeline.
+var (
+	slowConnTimeout = 10 * time.Second
+	goawayGrace     = 2 * time.Second
+)
 
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
-		select {
-		case t := <-s.tasks:
-			resp := s.handle(t.frame)
-			select {
-			case t.sc.out <- resp:
-				continue
-			case <-t.sc.done:
-				continue
-			case <-s.closed:
-				return
-			default:
-			}
-			// Slow path: the connection's queue is full. Wait a bounded
-			// time, then declare the consumer dead.
-			timer := time.NewTimer(slowConnTimeout)
-			select {
-			case t.sc.out <- resp:
-			case <-t.sc.done:
-			case <-s.closed:
-				timer.Stop()
-				return
-			case <-timer.C:
-				s.logf("remote: conn %v: response queue stalled for %v, dropping connection",
-					t.sc.conn.RemoteAddr(), slowConnTimeout)
-				t.sc.close()
-			}
-			timer.Stop()
-		case <-s.closed:
+		t, ok := s.disp.dequeue()
+		if !ok {
 			return
 		}
+		s.process(t)
+	}
+}
+
+// process executes one admitted task and queues its response.
+func (s *Server) process(t task) {
+	if t.data {
+		defer s.inflight.Add(-1)
+	}
+	if t.bad != nil {
+		s.respond(t.sc, errResponse(t.id, t.bad))
+		return
+	}
+	if !t.expiry.IsZero() && time.Now().After(t.expiry) {
+		// The deadline expired while the request sat in queue: executing it
+		// would waste a worker on an answer the client has given up on.
+		s.oc.shedDeadline.Add(1)
+		hint := s.svc.hint(int(s.inflight.Load())+s.disp.backlog(), s.workers)
+		s.respond(t.sc, busyResponse(t.id, hint, "deadline expired in queue"))
+		return
+	}
+	start := time.Now()
+	respBody, err := s.dispatch(t.op, t.shard, t.body, true)
+	if isDataOp(t.op) {
+		s.svc.observe(time.Since(start))
+	}
+	if err != nil {
+		s.respond(t.sc, errResponse(t.id, err))
+		return
+	}
+	out := appendRespHeader(make([]byte, 0, respHeaderLen+len(respBody)), t.id, statusOK)
+	s.respond(t.sc, append(out, respBody...))
+}
+
+// respond enqueues one response frame for sc, waiting up to slowConnTimeout
+// before declaring the consumer dead. On a stall the connection gets a
+// final goaway busy frame (best effort — its socket is by definition
+// jammed) and is torn down, so the pool never wedges on one slow client.
+func (s *Server) respond(sc *serverConn, resp []byte) {
+	select {
+	case sc.out <- resp:
+		return
+	case <-sc.done:
+		return
+	case <-s.closed:
+		return
+	default:
+	}
+	// Slow path: the connection's queue is full. Wait a bounded time, then
+	// declare the consumer dead.
+	timer := time.NewTimer(slowConnTimeout)
+	defer timer.Stop()
+	select {
+	case sc.out <- resp:
+	case <-sc.done:
+	case <-s.closed:
+	case <-timer.C:
+		s.logf("remote: conn %v: response queue stalled for %v, sending goaway and dropping connection",
+			sc.conn.RemoteAddr(), slowConnTimeout)
+		s.goawayConn(sc, "slow consumer: response queue stalled")
+	}
+}
+
+// goawayConn arranges a final typed busy frame for a connection about to be
+// dropped as a slow consumer, so its client can classify the drop as
+// overload instead of a transport fault. The write loop owns the socket;
+// the frame travels through the 1-slot priority channel, and a write
+// deadline set here breaks any frame write already wedged on the jammed
+// socket so the write loop gets to the goaway at all.
+func (s *Server) goawayConn(sc *serverConn, reason string) {
+	backlog := int(s.inflight.Load()) + s.disp.backlog()
+	frame := busyResponse(goawayID, s.svc.hint(backlog, s.workers), reason)
+	select {
+	case sc.goaway <- frame:
+		sc.conn.SetWriteDeadline(time.Now().Add(goawayGrace))
+	default:
+		// A goaway is already pending; the connection is on its way out.
 	}
 }
 

@@ -142,6 +142,20 @@ type Options struct {
 	// 5s). The client remains usable after exhaustion: the next call
 	// lazily redials.
 	RetryElapsed time.Duration
+	// RequestDeadline attaches a relative execution budget to every data
+	// request sent to a remote node (protocol v3): a request still queued
+	// server-side past the budget is shed — answered with a typed busy
+	// frame — instead of executed late. Shed requests are retried inside
+	// the lane (see ShedRetries); the ORAM client above never observes a
+	// shed, only the final result. Zero sends no deadlines.
+	RequestDeadline time.Duration
+	// ShedRetries bounds how many times one remote request is retried
+	// after an overloaded node sheds it, before the call fails with
+	// remote.ErrOverloaded. Retries use jittered exponential backoff and
+	// honor the server's retry-after hint. An overloaded node is alive and
+	// intact, so a shed never triggers rollback or recovery — unlike
+	// ErrNodeDown. Zero means 12; negative fails on the first shed.
+	ShedRetries int
 	// Measure attaches a deterministic DDR4 timing model; SimTime then
 	// reports simulated time. With Shards > 1 every shard gets its own
 	// meter (independent memory channels) and SimTime reports the
@@ -380,10 +394,12 @@ func (o *ORAM) dialNodes(ctx context.Context, addrs []string, n int) error {
 		go func(j int, addr string) {
 			defer wg.Done()
 			rc, err := remote.DialConfig(ctx, addr, remote.Config{
-				Reconnect:    o.opts.Reconnect,
-				RetryElapsed: o.opts.RetryElapsed,
-				ShardBase:    j,
-				ShardStride:  len(addrs),
+				Reconnect:       o.opts.Reconnect,
+				RetryElapsed:    o.opts.RetryElapsed,
+				RequestDeadline: o.opts.RequestDeadline,
+				ShedRetries:     o.opts.ShedRetries,
+				ShardBase:       j,
+				ShardStride:     len(addrs),
 			})
 			if err != nil {
 				errs[j] = fmt.Errorf("laoram: node %d (%s): %w", j, addr, err)
